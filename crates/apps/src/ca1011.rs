@@ -1,0 +1,193 @@
+//! CA-1011 — Cassandra: data backup (hinted-handoff) failure during
+//! bootstrap.
+//!
+//! Workload (Table 3): cluster startup. Topology: a seed node, a
+//! bootstrapping node, and a peer replica. Cassandra communicates through
+//! asynchronous sockets (`IVerbHandler`) and stages work on event queues
+//! (Table 1: sockets + threads + events, no RPC).
+//!
+//! The bootstrapping node announces its token through gossip; the seed's
+//! gossip stage applies it to `token_map`. A later gossip round *replaces*
+//! the token — a non-atomic remove-then-put. The hint-delivery thread
+//! reads `token_map` concurrently: if its read lands inside the
+//! replacement window (an atomicity violation, AV), the seed believes the
+//! bootstrapping node has no token and tells it the backup failed — the
+//! error surfaces on a *different* node than the racing accesses (DE).
+
+use dcatch_model::{Expr, FuncKind, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+use crate::noise;
+use crate::{Benchmark, ErrorPattern, RootCause, System};
+
+/// Builds the CA-1011 benchmark.
+pub fn benchmark_scaled(scale: u32) -> Benchmark {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- seed: gossip stage ---------------------------------------------
+    pb.func("on_announce", &["from", "token"], FuncKind::SocketHandler, |b| {
+        // record the pending digest, then defer its processing to a
+        // self-addressed message (Cassandra's stage hand-off) — the
+        // `Msoc` rule is what orders this write before `on_digest`'s read
+        b.write("pending_digest", Expr::local("token"));
+        b.socket_send(Expr::SelfNode, "on_digest", vec![]);
+        b.enqueue(
+            "gossip_stage",
+            "apply_gossip",
+            vec![Expr::local("from"), Expr::local("token")],
+        );
+    });
+    pb.func("on_digest", &[], FuncKind::SocketHandler, |b| {
+        b.read("d", "pending_digest");
+        b.if_(Expr::local("d").eq(Expr::null()), |b| {
+            b.log_warn("digest vanished before processing");
+        });
+        b.map_put("digest_log", Expr::val("last"), Expr::local("d"));
+    });
+    pb.func("apply_gossip", &["from", "token"], FuncKind::EventHandler, |b| {
+        b.map_put("token_map", Expr::local("from"), Expr::local("token"));
+        b.write("ca_phase", Expr::val("LIVE"));
+    });
+    pb.func("on_update", &["from", "token"], FuncKind::SocketHandler, |b| {
+        b.enqueue(
+            "gossip_stage",
+            "apply_update",
+            vec![Expr::local("from"), Expr::local("token")],
+        );
+    });
+    pb.func("apply_update", &["from", "token"], FuncKind::EventHandler, |b| {
+        // the AV window: remove … (gossip-state recomputation) … put
+        b.map_remove("token_map", Expr::local("from"));
+        b.sleep(Expr::val(15));
+        b.map_put("token_map", Expr::local("from"), Expr::local("token"));
+    });
+
+    // ---- seed: hint delivery ----------------------------------------------
+    pb.func("hint_delivery", &["boot"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(220));
+        b.map_get("t", "token_map", Expr::val("boot"));
+        b.if_else(
+            Expr::local("t").eq(Expr::null()),
+            |b| {
+                // no token for the bootstrapping node → hints undeliverable
+                b.log_fatal("cannot deliver hints: no token for bootstrapping node");
+                b.socket_send(Expr::local("boot"), "on_backup_failed", vec![]);
+            },
+            |b| {
+                b.map_put("delivered_hints", Expr::val("boot"), Expr::local("t"));
+            },
+        );
+    });
+
+    // ---- bootstrapping node -------------------------------------------------
+    pb.func("on_backup_failed", &[], FuncKind::SocketHandler, |b| {
+        b.log_fatal("bootstrap data backup failed: hints undeliverable");
+    });
+    pb.func("boot_main", &["seed", "peer"], FuncKind::Regular, |b| {
+        b.socket_send(
+            Expr::local("seed"),
+            "on_announce",
+            vec![Expr::val("boot"), Expr::val("tok_1")],
+        );
+        b.socket_send(
+            Expr::local("peer"),
+            "on_announce",
+            vec![Expr::val("boot"), Expr::val("tok_1")],
+        );
+        // a later gossip round refreshes the token
+        b.sleep(Expr::val(90));
+        b.socket_send(
+            Expr::local("seed"),
+            "on_update",
+            vec![Expr::val("boot"), Expr::val("tok_2")],
+        );
+    });
+
+    // ---- peer: replica bookkeeping (noise pruned by SP) ---------------------
+    pb.func("peer_check", &[], FuncKind::EventHandler, |b| {
+        b.map_get("t", "token_map", Expr::val("boot"));
+        b.if_(Expr::local("t").eq(Expr::null()), |b| {
+            b.log_warn("peer has not seen the bootstrap token yet");
+        });
+    });
+    pb.func("peer_monitor", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(50));
+        b.enqueue("gossip_stage", "peer_check", vec![]);
+    });
+    noise::stats_noise(&mut pb, "gossip", FuncKind::SocketHandler, "gossip_stage");
+    pb.func("gossip_heartbeats", &["seed"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(12));
+        b.socket_send(Expr::local("seed"), "gossip_stat_update", vec![Expr::val(1)]);
+        b.sleep(Expr::val(14));
+        b.socket_send(Expr::local("seed"), "gossip_stat_update", vec![Expr::val(2)]);
+    });
+    noise::benign_guard(&mut pb, "ca", "gossip_stage");
+
+    noise::local_churn(&mut pb, "gossip_compaction", 90 * i64::from(scale));
+    noise::local_churn(&mut pb, "hint_flush", 60 * i64::from(scale));
+
+    let program = pb.build().expect("CA-1011 program must build");
+
+    let mut topology = Topology::new();
+    let seed = {
+        let mut nb = topology.node("seed");
+        nb.queue("gossip_stage", 1);
+        nb.entry("ca_phase_kicker", vec![]);
+        nb.entry("gossip_stat_kicker", vec![]);
+        nb.id()
+    };
+    let peer = {
+        let mut nb = topology.node("peer");
+        nb.queue("gossip_stage", 1);
+        nb.entry("peer_monitor", vec![]);
+        nb.id()
+    };
+    let boot = {
+        let mut nb = topology.node("boot");
+        nb.entry("boot_main", vec![Value::Node(seed), Value::Node(peer)]);
+        nb.entry("gossip_heartbeats", vec![Value::Node(seed)]);
+        nb.id()
+    };
+    topology.nodes[seed.index()]
+        .entries
+        .push(("hint_delivery".to_owned(), vec![Value::Node(boot)]));
+
+    topology.nodes[0]
+        .entries
+        .push(("gossip_compaction".to_owned(), vec![]));
+    topology.nodes[0]
+        .entries
+        .push(("hint_flush".to_owned(), vec![]));
+
+    Benchmark {
+        id: "CA-1011",
+        system: System::Cassandra,
+        workload: "startup",
+        symptom: "Data backup failure",
+        error: ErrorPattern::DistributedExplicit,
+        root: RootCause::AtomicityViolation,
+        program,
+        topology,
+        seed: 1_011,
+        bug_objects: vec!["token_map"],
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn natural_run_delivers_hints() {
+        let b = super::benchmark_scaled(1);
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        assert!(run.trace.count_tag("ss") >= 4, "gossip traffic expected");
+    }
+}

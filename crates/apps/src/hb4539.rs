@@ -1,0 +1,172 @@
+//! HB-4539 — HBase: system-master crash when an `alter table` collides
+//! with a table split.
+//!
+//! Workload (Table 3): split a table, then alter it. Topology: HMaster and
+//! one HRegionServer (the paper runs this benchmark on two physical
+//! machines), plus the built-in ZooKeeper coordination service.
+//!
+//! This benchmark contains the paper's **Figure 3 causality chain**
+//! verbatim: HMaster adds a region to `regionsToOpen` (W), a worker thread
+//! issues the `OpenRegion` RPC, the HRS handler enqueues a region-open
+//! event, the event handler updates the region's zknode to
+//! `RS_ZK_REGION_OPENED`, ZooKeeper pushes the change to the HMaster's
+//! watcher, and the watcher finally reads `regionsToOpen` (R). W ⇒ R holds
+//! only through thread + RPC + event + push rules together — drop any one
+//! (Table 9 ablations) and the pair becomes a false positive.
+//!
+//! The **bug** is the third party: the alter-table path removes the region
+//! from `regionsToOpen` concurrently with the watcher's check. If the
+//! removal lands first, the watcher finds the list empty and the master
+//! dies — a distributed explicit error (DE) from an order violation (OV).
+
+use dcatch_model::{Expr, FuncKind, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+use crate::noise;
+use crate::{Benchmark, ErrorPattern, RootCause, System};
+
+/// Builds the HB-4539 benchmark.
+pub fn benchmark_scaled(scale: u32) -> Benchmark {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- HMaster: split path (Figure 3 steps 1–3) --------------------------
+    pb.func("master_split", &["hrs"], FuncKind::Regular, |b| {
+        b.enqueue("master_events", "split_handler", vec![Expr::local("hrs")]);
+    });
+    pb.func("split_handler", &["hrs"], FuncKind::EventHandler, |b| {
+        // (1) W: regionsToOpen.add(region)
+        b.list_add("regionsToOpen", Expr::val("r1"));
+        // (2) a thread t is created to open the region
+        b.spawn_detached("open_region_worker", vec![Expr::local("hrs")]);
+    });
+    pb.func("open_region_worker", &["hrs"], FuncKind::Regular, |b| {
+        // (3) t invokes the OpenRegion RPC
+        b.rpc_void(Expr::local("hrs"), "open_region", vec![Expr::val("r1")]);
+    });
+
+    // ---- HRS: open path (Figure 3 steps 4–6) -------------------------------
+    pb.func("open_region", &["region"], FuncKind::RpcHandler, |b| {
+        // (4) the RPC implementation puts a region-open event into a queue
+        b.enqueue("hrs_events", "region_open_handler", vec![Expr::local("region")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("region_open_handler", &["region"], FuncKind::EventHandler, |b| {
+        // (5) the event is handled…
+        b.map_put("online_regions", Expr::local("region"), Expr::val(true));
+        // (6) …and the region's zknode status becomes RS_ZK_REGION_OPENED
+        b.zk_create(
+            Expr::val("/region/").concat(Expr::local("region")),
+            Expr::val("RS_ZK_REGION_OPENED"),
+        );
+    });
+
+    // ---- HMaster: watcher (Figure 3 steps 7–8) ------------------------------
+    pb.func("on_region_state", &["path", "data"], FuncKind::ZkWatcher, |b| {
+        b.if_(Expr::local("data").eq(Expr::val("RS_ZK_REGION_OPENED")), |b| {
+            // (8) R: if (regionsToOpen.isEmpty()) → master crash
+            b.list_is_empty("empty", "regionsToOpen");
+            b.if_else(
+                Expr::local("empty"),
+                |b| {
+                    b.throw("IllegalStateException: opened region was not pending");
+                },
+                |b| {
+                    b.list_remove("regionsToOpen", Expr::val("r1"));
+                    b.write("assignment_done", Expr::val(true));
+                },
+            );
+        });
+    });
+
+    // ---- HMaster: alter-table path (the racing third party) ----------------
+    pb.func("alter_table", &[], FuncKind::Regular, |b| {
+        // correct run: the watcher has already consumed the pending region
+        b.sleep(Expr::val(160));
+        b.enqueue("master_events", "alter_handler", vec![]);
+    });
+    pb.func("alter_handler", &[], FuncKind::EventHandler, |b| {
+        b.write("table_schema", Expr::val("v2"));
+        // unassign pending regions so they reopen with the new schema
+        b.list_remove("regionsToOpen", Expr::val("r1"));
+        b.enqueue("master_events", "reopen_regions", vec![]);
+    });
+    pb.func("reopen_regions", &[], FuncKind::EventHandler, |b| {
+        b.read("s", "table_schema");
+        b.map_put("reopen_plan", Expr::val("r1"), Expr::local("s"));
+    });
+
+    // master-side bookkeeping noise (pruned by SP) and a benign guard
+    noise::stats_noise(&mut pb, "hbase", FuncKind::RpcHandler, "master_events");
+    pb.func("hrs_load_reporter", &["master"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(20));
+        b.rpc_void(Expr::local("master"), "hbase_stat_update", vec![Expr::val(7)]);
+        b.sleep(Expr::val(25));
+        b.rpc_void(Expr::local("master"), "hbase_stat_update", vec![Expr::val(9)]);
+    });
+
+    noise::local_churn(&mut pb, "region_compaction", 45 * i64::from(scale));
+    noise::local_churn(&mut pb, "memstore_flush", 35 * i64::from(scale));
+
+    let program = pb.build().expect("HB-4539 program must build");
+
+    let mut topology = Topology::new();
+    let master = {
+        let mut nb = topology.node("HMaster");
+        nb.queue("master_events", 1).rpc_workers(2);
+        nb.entry("alter_table", vec![]);
+        nb.entry("hbase_stat_kicker", vec![]);
+        nb.id()
+    };
+    let hrs = {
+        let mut nb = topology.node("HRS");
+        nb.queue("hrs_events", 1).rpc_workers(2);
+        nb.entry("hrs_load_reporter", vec![Value::Node(master)]);
+        nb.id()
+    };
+    topology.nodes[master.index()]
+        .entries
+        .push(("master_split".to_owned(), vec![Value::Node(hrs)]));
+    topology.watch(master, "/region/", "on_region_state");
+
+    topology.nodes[0]
+        .entries
+        .push(("region_compaction".to_owned(), vec![]));
+    topology.nodes[0]
+        .entries
+        .push(("memstore_flush".to_owned(), vec![]));
+
+    Benchmark {
+        id: "HB-4539",
+        system: System::HBase,
+        workload: "split table & alter table",
+        symptom: "System Master Crash",
+        error: ErrorPattern::DistributedExplicit,
+        root: RootCause::OrderViolation,
+        program,
+        topology,
+        seed: 4_539,
+        bug_objects: vec!["regionsToOpen"],
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn natural_run_opens_region_then_alters() {
+        let b = super::benchmark_scaled(1);
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        // the figure-3 chain executed: rpc, event, zk update, zk push
+        for tag in ["rc", "eb", "zu", "zp"] {
+            assert!(run.trace.count_tag(tag) >= 1, "missing {tag}");
+        }
+    }
+}

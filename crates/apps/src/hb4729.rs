@@ -1,0 +1,170 @@
+//! HB-4729 — HBase: system-master crash from a clash between region
+//! unassignment and server expiry.
+//!
+//! Workload (Table 3): enable a table while a region server expires. The
+//! paper's §7.2 describes the detected races exactly: "one thread t1 could
+//! delete a zknode concurrently with another thread t2 reads this zknode
+//! and deletes this zknode. Consequently, multiple DCbugs are reported
+//! here between delete and reads, and between delete and delete. They are
+//! all truly harmful: any one of these zknode operations in t2 would fail
+//! and cause HMaster to crash, if the delete from t1 executes right before
+//! it."
+//!
+//! An atomicity violation (AV): both paths individually guard their
+//! delete (`exists`/`getData` first), but the check/act sequence is not
+//! atomic. Distributed explicit error (DE): the expiry originates on the
+//! HRS, the crash hits the HMaster.
+
+use dcatch_model::{Expr, FuncKind, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+use crate::noise;
+use crate::{Benchmark, ErrorPattern, RootCause, System};
+
+/// Builds the HB-4729 benchmark.
+pub fn benchmark_scaled(scale: u32) -> Benchmark {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- HMaster boot: the unassigned znode exists at startup ---------------
+    pb.func("master_boot", &[], FuncKind::Regular, |b| {
+        b.zk_create(Expr::val("/unassigned/r2"), Expr::val("OFFLINE"));
+        b.write("master_ready", Expr::val(true));
+    });
+
+    // ---- t2: enable-table path (getData … delete, non-atomic) ---------------
+    // invoked by the admin client as an RPC (which also places it inside
+    // the selective-tracing scope, like the real EnableTableHandler)
+    pb.func("enable_table", &[], FuncKind::RpcHandler, |b| {
+        // t2 reads the znode…
+        b.zk_get_data("state", Expr::val("/unassigned/r2"));
+        b.if_(Expr::local("state").eq(Expr::val("OFFLINE")), |b| {
+            // …prepares the assignment…
+            b.map_put("assignments", Expr::val("r2"), Expr::val("hrs1"));
+            // …and deletes it (throws NoNode if t1 won the race)
+            b.zk_delete(Expr::val("/unassigned/r2"));
+            b.write("table_enabled", Expr::val(true));
+        });
+        b.ret(Expr::val(true));
+    });
+    pb.func("admin_client", &["master"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(40));
+        b.rpc_void(Expr::local("master"), "enable_table", vec![]);
+    });
+
+    // ---- t1: server-expiry path (exists … delete, non-atomic) ---------------
+    pb.func("report_expire", &["server"], FuncKind::RpcHandler, |b| {
+        b.enqueue("master_events", "expire_handler", vec![Expr::local("server")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("expire_handler", &["server"], FuncKind::EventHandler, |b| {
+        b.map_remove("assignments", Expr::val("r2"));
+        b.zk_exists("present", Expr::val("/unassigned/r2"));
+        b.if_(Expr::local("present"), |b| {
+            // throws NoNode if t2's delete lands in the check/act window
+            b.zk_delete(Expr::val("/unassigned/r2"));
+            b.write("expiry_cleaned", Expr::val(true));
+        });
+    });
+
+    // ---- HRS: reports its own expiry (session timeout) ----------------------
+    pb.func("hrs_expiry_reporter", &["master"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(150));
+        b.rpc_void(Expr::local("master"), "report_expire", vec![Expr::SelfNode]);
+    });
+
+    // watcher cache noise: every /unassigned change refreshes a cache read
+    // by a monitor with warn-only impact (pruned by SP)
+    pb.func("on_unassigned_change", &["path", "data"], FuncKind::ZkWatcher, |b| {
+        b.map_put("region_cache", Expr::local("path"), Expr::local("data"));
+    });
+    pb.func("cache_check", &[], FuncKind::EventHandler, |b| {
+        b.map_get("c", "region_cache", Expr::val("/unassigned/r2"));
+        b.if_(Expr::local("c").eq(Expr::null()), |b| {
+            b.log_warn("region cache cold");
+        });
+    });
+    pb.func("cache_monitor", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(60));
+        b.enqueue("master_events", "cache_check", vec![]);
+    });
+    noise::stats_noise(&mut pb, "hb2", FuncKind::RpcHandler, "master_events");
+    pb.func("hrs_heartbeats", &["master"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(10));
+        b.rpc_void(Expr::local("master"), "hb2_stat_update", vec![Expr::val(1)]);
+        b.sleep(Expr::val(18));
+        b.rpc_void(Expr::local("master"), "hb2_stat_update", vec![Expr::val(2)]);
+    });
+    noise::benign_guard(&mut pb, "hb2table", "master_events");
+    pb.func("hb2_phase_writer", &[], FuncKind::EventHandler, |b| {
+        b.write("hb2table_phase", Expr::val("ENABLING"));
+    });
+    pb.func("hb2_phase_write_kicker", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(9));
+        b.enqueue("master_events", "hb2_phase_writer", vec![]);
+    });
+
+    noise::local_churn(&mut pb, "region_compaction2", 100 * i64::from(scale));
+    noise::local_churn(&mut pb, "wal_sync", 80 * i64::from(scale));
+
+    let program = pb.build().expect("HB-4729 program must build");
+
+    let mut topology = Topology::new();
+    let master = {
+        let mut nb = topology.node("HMaster");
+        nb.queue("master_events", 1).rpc_workers(2);
+        nb.entry("master_boot", vec![]);
+        nb.entry("cache_monitor", vec![]);
+        nb.entry("hb2_stat_kicker", vec![]);
+        nb.entry("hb2table_phase_kicker", vec![]);
+        nb.entry("hb2_phase_write_kicker", vec![]);
+        nb.id()
+    };
+    {
+        let mut nb = topology.node("HRS");
+        nb.rpc_workers(2);
+        nb.entry("hrs_expiry_reporter", vec![Value::Node(master)]);
+        nb.entry("hrs_heartbeats", vec![Value::Node(master)]);
+        nb.entry("admin_client", vec![Value::Node(master)]);
+    }
+    topology.watch(master, "/unassigned/", "on_unassigned_change");
+
+    topology.nodes[0]
+        .entries
+        .push(("region_compaction2".to_owned(), vec![]));
+    topology.nodes[0]
+        .entries
+        .push(("wal_sync".to_owned(), vec![]));
+
+    Benchmark {
+        id: "HB-4729",
+        system: System::HBase,
+        workload: "enable table & expire server",
+        symptom: "System Master Crash",
+        error: ErrorPattern::DistributedExplicit,
+        root: RootCause::AtomicityViolation,
+        program,
+        topology,
+        seed: 4_729,
+        bug_objects: vec!["/unassigned/r2"],
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn natural_run_enables_table_then_cleans_expiry() {
+        let b = super::benchmark_scaled(1);
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        // the znode was created and deleted exactly once each
+        assert!(run.trace.count_tag("zu") >= 2);
+    }
+}

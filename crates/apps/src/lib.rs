@@ -1,0 +1,285 @@
+//! Miniature reproductions of the seven TaxDC benchmark applications
+//! (paper Table 3).
+//!
+//! The original DCatch monitors real deployments of Cassandra, HBase,
+//! Hadoop MapReduce, and ZooKeeper under seven user-reported
+//! failure-triggering workloads. Those systems cannot be instrumented from
+//! Rust, so each benchmark is rebuilt as an IR program on the `dcatch-sim`
+//! substrate that faithfully reproduces what matters to the detector:
+//!
+//! * the documented **protocol fragment** containing the root-cause
+//!   accesses (e.g. MR-3274's `jMap` put/get/remove around the `getTask`
+//!   RPC retry loop — the paper's Figures 1 and 2);
+//! * the **communication mechanisms** each system uses (Table 1):
+//!   RPC + events for HBase/MapReduce, sockets + events for
+//!   Cassandra/ZooKeeper, ZooKeeper-based push synchronization for HBase;
+//! * the **error pattern** (local/distributed, explicit/hang) and **root
+//!   cause** (order/atomicity violation) of Table 3;
+//! * the surrounding **benign races** (states cured by retries or
+//!   anti-entropy), **fault-tolerance noise** that static pruning must
+//!   remove, and **unmodeled custom synchronization** (quorum barriers à
+//!   la `waitForEpoch`) that produces the paper's *serial* reports.
+//!
+//! Each benchmark's default seed yields a *correct* traced run — DCatch
+//! detects the bugs by monitoring correct executions (§7.1).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ca1011;
+mod hb4539;
+mod hb4729;
+mod mr3274;
+mod mr4637;
+mod noise;
+mod zk1144;
+mod zk1270;
+
+use dcatch_model::{Program, StmtKind};
+use dcatch_sim::Topology;
+
+/// Which cloud system a benchmark miniaturizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum System {
+    /// Cassandra distributed key-value store.
+    Cassandra,
+    /// HBase distributed key-value store.
+    HBase,
+    /// Hadoop MapReduce computing framework.
+    MapReduce,
+    /// ZooKeeper synchronization service.
+    ZooKeeper,
+}
+
+impl System {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Cassandra => "Cassandra",
+            System::HBase => "HBase",
+            System::MapReduce => "MapReduce",
+            System::ZooKeeper => "ZooKeeper",
+        }
+    }
+}
+
+/// Error pattern of Table 3: local/distributed × explicit/hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPattern {
+    /// LE — explicit error on the machine of the root-cause accesses.
+    LocalExplicit,
+    /// LH — hang on the machine of the root-cause accesses.
+    LocalHang,
+    /// DE — explicit error on a different machine.
+    DistributedExplicit,
+    /// DH — hang on a different machine.
+    DistributedHang,
+}
+
+impl ErrorPattern {
+    /// Table 3 abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ErrorPattern::LocalExplicit => "LE",
+            ErrorPattern::LocalHang => "LH",
+            ErrorPattern::DistributedExplicit => "DE",
+            ErrorPattern::DistributedHang => "DH",
+        }
+    }
+}
+
+/// Root cause category of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootCause {
+    /// OV — order violation.
+    OrderViolation,
+    /// AV — atomicity violation.
+    AtomicityViolation,
+}
+
+impl RootCause {
+    /// Table 3 abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            RootCause::OrderViolation => "OV",
+            RootCause::AtomicityViolation => "AV",
+        }
+    }
+}
+
+/// One reproducible benchmark: the program, its deployment, and the
+/// ground-truth metadata of Table 3.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// TaxDC bug id ("MR-3274"…).
+    pub id: &'static str,
+    /// The system miniaturized.
+    pub system: System,
+    /// Workload description (Table 3).
+    pub workload: &'static str,
+    /// Failure symptom (Table 3).
+    pub symptom: &'static str,
+    /// Error pattern (Table 3).
+    pub error: ErrorPattern,
+    /// Root cause (Table 3).
+    pub root: RootCause,
+    /// The IR program.
+    pub program: Program,
+    /// The deployment.
+    pub topology: Topology,
+    /// Seed under which the traced run is correct.
+    pub seed: u64,
+    /// Objects the known root-cause bug races on (ground truth for the
+    /// evaluation harness).
+    pub bug_objects: Vec<&'static str>,
+    /// Workload scale factor used to build this instance (size of the
+    /// local-computation churn; 1 for tests, larger for the Table 6/8
+    /// measurement harness).
+    pub scale: u32,
+}
+
+/// Concurrency/communication mechanisms a program uses — the columns of
+/// the paper's Table 1, derived from the IR instead of hand-declared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mechanisms {
+    /// Synchronous RPC.
+    pub rpc: bool,
+    /// Asynchronous sockets.
+    pub socket: bool,
+    /// Custom synchronization protocol (ZooKeeper push, or RPC polled
+    /// from a retry loop — pull).
+    pub custom: bool,
+    /// Multiple threads.
+    pub threads: bool,
+    /// Asynchronous events.
+    pub events: bool,
+}
+
+/// Scans a program and its deployment for the mechanisms they use.
+pub fn mechanisms(program: &Program, topology: &Topology) -> Mechanisms {
+    let mut m = Mechanisms::default();
+    // multiple boot threads across the deployment count as multi-threading
+    let entries: usize = topology.nodes.iter().map(|n| n.entries.len()).sum();
+    if entries > 1 {
+        m.threads = true;
+    }
+    program.for_each_stmt(|_, s| match &s.kind {
+        StmtKind::RpcCall { .. } => m.rpc = true,
+        StmtKind::SocketSend { .. } => m.socket = true,
+        StmtKind::ZkCreate { .. }
+        | StmtKind::ZkSetData { .. }
+        | StmtKind::ZkDelete { .. }
+        | StmtKind::ZkGetData { .. }
+        | StmtKind::ZkExists { .. } => m.custom = true,
+        StmtKind::Spawn { .. } => m.threads = true,
+        StmtKind::Enqueue { .. } => m.events = true,
+        _ => {}
+    });
+    // pull-based custom synchronization: a retry loop whose body performs
+    // an RPC
+    program.for_each_stmt(|_, s| {
+        if let StmtKind::While {
+            retry: true, body, ..
+        } = &s.kind
+        {
+            let mut has_rpc = false;
+            for b in body {
+                b.walk(&mut |x| {
+                    if matches!(x.kind, StmtKind::RpcCall { .. }) {
+                        has_rpc = true;
+                    }
+                });
+            }
+            if has_rpc {
+                m.custom = true;
+            }
+        }
+    });
+    m
+}
+
+/// All seven benchmarks, in Table 3 order, at workload scale 1.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    all_benchmarks_scaled(1)
+}
+
+/// All seven benchmarks with the given local-computation scale factor.
+/// The detector's results are scale-independent (the extra work is pure
+/// computation); scale only matters to the measurement harness (Tables 6
+/// and 8).
+pub fn all_benchmarks_scaled(scale: u32) -> Vec<Benchmark> {
+    vec![
+        ca1011::benchmark_scaled(scale),
+        hb4539::benchmark_scaled(scale),
+        hb4729::benchmark_scaled(scale),
+        mr3274::benchmark_scaled(scale),
+        mr4637::benchmark_scaled(scale),
+        zk1144::benchmark_scaled(scale),
+        zk1270::benchmark_scaled(scale),
+    ]
+}
+
+/// Looks a benchmark up by TaxDC id (case-insensitive), at scale 1.
+pub fn benchmark(id: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.id.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn registry_has_all_seven() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 7);
+        let ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "CA-1011", "HB-4539", "HB-4729", "MR-3274", "MR-4637", "ZK-1144", "ZK-1270"
+            ]
+        );
+        assert!(benchmark("mr-3274").is_some());
+        assert!(benchmark("XX-0000").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_runs_correctly_under_its_seed() {
+        for b in all_benchmarks() {
+            let cfg = SimConfig::default().with_seed(b.seed);
+            let run = World::run_once(&b.program, &b.topology, cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.id));
+            assert!(
+                run.failures.is_empty(),
+                "{} natural run must be correct: {:?}",
+                b.id,
+                run.failures
+            );
+            assert!(run.completed, "{} must reach quiescence", b.id);
+            assert!(!run.trace.is_empty(), "{} must produce a trace", b.id);
+        }
+    }
+
+    #[test]
+    fn mechanisms_match_table_1() {
+        for b in all_benchmarks() {
+            let m = mechanisms(&b.program, &b.topology);
+            assert!(m.threads, "{}: all systems are multi-threaded", b.id);
+            assert!(m.events, "{}: all systems use events", b.id);
+            match b.system {
+                System::Cassandra | System::ZooKeeper => {
+                    assert!(m.socket, "{}: socket-based per Table 1", b.id);
+                    assert!(!m.rpc, "{}: no RPC per Table 1", b.id);
+                }
+                System::HBase | System::MapReduce => {
+                    assert!(m.rpc, "{}: RPC-based per Table 1", b.id);
+                    assert!(!m.socket, "{}: no sockets per Table 1", b.id);
+                    assert!(m.custom, "{}: custom sync protocol per Table 1", b.id);
+                }
+            }
+        }
+    }
+}

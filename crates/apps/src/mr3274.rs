@@ -1,0 +1,204 @@
+//! MR-3274 — Hadoop MapReduce: NM container hangs when a job is killed
+//! between task assignment and task retrieval (paper Figures 1 and 2).
+//!
+//! Workload (Table 3): startup + wordcount, then the client kills the job
+//! before it finishes. Topology: Client, AM (Application Master), NM
+//! (Node Manager).
+//!
+//! Protocol fragment:
+//!
+//! 1. the client submits job `j1` to the AM (`submit_job` RPC); the AM's
+//!    Register event handler does `jMap.put(jID, task)`;
+//! 2. the AM-side registration also launches a container on the NM, which
+//!    polls `getTask(jID)` — an RPC returning `jMap.get(jID)` — in a
+//!    retry loop until non-null;
+//! 3. the client later cancels the job (`kill_job` RPC); the AM's
+//!    UnRegister event handler does `jMap.remove(jID)`.
+//!
+//! Root-cause races on `jMap` (the paper's exact analysis, §1.2):
+//! `get` vs `put` is **benign** thanks to the retry loop (the pull-based
+//! synchronization that Rule-Mpull recognizes and prunes); `get` vs
+//! `remove` is the **bug**: if the removal lands before the first
+//! successful `get`, the container polls null forever — a distributed
+//! hang (DH) from an order violation (OV).
+
+use dcatch_model::{Expr, FuncKind, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+use crate::noise;
+use crate::{Benchmark, ErrorPattern, RootCause, System};
+
+/// Builds the MR-3274 benchmark.
+pub fn benchmark_scaled(scale: u32) -> Benchmark {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- AM ---------------------------------------------------------------
+    pb.func("submit_job", &["jid"], FuncKind::RpcHandler, |b| {
+        b.enqueue("dispatch", "register_job", vec![Expr::local("jid")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("register_job", &["jid"], FuncKind::EventHandler, |b| {
+        b.map_put("jMap", Expr::local("jid"), Expr::val("wordcount_task"));
+        b.map_put("job_phase_table", Expr::local("jid"), Expr::val("RUNNING"));
+        b.write("mr_phase", Expr::val("RUNNING"));
+    });
+    pb.func("kill_job", &["jid"], FuncKind::RpcHandler, |b| {
+        b.enqueue("dispatch", "unregister_job", vec![Expr::local("jid")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("unregister_job", &["jid"], FuncKind::EventHandler, |b| {
+        b.map_remove("jMap", Expr::local("jid"));
+        b.map_put("job_phase_table", Expr::local("jid"), Expr::val("KILLED"));
+    });
+    pb.func("get_task", &["jid"], FuncKind::RpcHandler, |b| {
+        b.map_get("t", "jMap", Expr::local("jid"));
+        b.ret(Expr::local("t"));
+    });
+    pb.func("report_progress", &["jid", "pct"], FuncKind::RpcHandler, |b| {
+        b.map_put("progress", Expr::local("jid"), Expr::local("pct"));
+        b.ret(Expr::val(true));
+    });
+    // AM monitor event: reads progress (warn-only → pruned) and the job
+    // phase cell (guarded by an impossible crash → a benign report)
+    pb.func("am_monitor_check", &[], FuncKind::EventHandler, |b| {
+        b.map_get("p", "progress", Expr::val("j1"));
+        b.if_(Expr::local("p").eq(Expr::null()), |b| {
+            b.log_warn("no progress reported yet");
+        });
+        b.read("ph", "mr_phase");
+        b.if_(Expr::local("ph").eq(Expr::val("CORRUPT")), |b| {
+            b.throw("IllegalStateException");
+        });
+    });
+    pb.func("am_monitor_kicker", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(40));
+        b.enqueue("dispatch", "am_monitor_check", vec![]);
+    });
+
+    // ---- NM ---------------------------------------------------------------
+    pb.func("launch_container", &["jid", "am"], FuncKind::RpcHandler, |b| {
+        b.spawn_detached("container_main", vec![Expr::local("jid"), Expr::local("am")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("container_main", &["jid", "am"], FuncKind::Regular, |b| {
+        // paper Figure 2: while (!getTask(jID)) {}
+        b.assign("done", Expr::val(false));
+        b.retry_while(Expr::local("done").not(), |b| {
+            b.rpc("t", Expr::local("am"), "get_task", vec![Expr::local("jid")]);
+            b.assign("done", Expr::local("t").ne(Expr::null()));
+            b.sleep(Expr::val(3));
+        });
+        // run the wordcount task and report back
+        b.write("task_input", Expr::local("t"));
+        b.rpc_void(
+            Expr::local("am"),
+            "report_progress",
+            vec![Expr::local("jid"), Expr::val(100)],
+        );
+    });
+
+    // ---- Client -----------------------------------------------------------
+    pb.func("submit_thread", &["am"], FuncKind::Regular, |b| {
+        b.rpc("ok", Expr::local("am"), "submit_job", vec![Expr::val("j1")]);
+    });
+    pb.func("client_main", &["am", "nm"], FuncKind::Regular, |b| {
+        // the JobClient submits on a helper thread and waits for it
+        b.spawn("h", "submit_thread", vec![Expr::local("am")]);
+        b.join(Expr::local("h"));
+        // task assignment (paper step #1): the container starts polling
+        // concurrently with the AM-side registration event
+        b.rpc_void(
+            Expr::local("nm"),
+            "launch_container",
+            vec![Expr::val("j1"), Expr::local("am")],
+        );
+        // the user kills the job before it finishes — but, in the correct
+        // traced run, after the container fetched its task
+        b.sleep(Expr::val(220));
+        b.rpc("ok2", Expr::local("am"), "kill_job", vec![Expr::val("j1")]);
+    });
+
+    // commit barrier: AM waits for two NM-side acks before finishing the
+    // job — unmodeled custom synchronization producing serial reports
+    noise::quorum_barrier(&mut pb, "commit", FuncKind::RpcHandler);
+    pb.func("nm_acker", &["am", "delay"], FuncKind::Regular, |b| {
+        b.sleep(Expr::local("delay"));
+        b.rpc_void(Expr::local("am"), "commit_ack", vec![Expr::SelfNode]);
+    });
+
+    noise::local_churn(&mut pb, "spill_sort", 110 * i64::from(scale));
+    noise::local_churn(&mut pb, "shuffle_merge", 80 * i64::from(scale));
+
+    let program = pb.build().expect("MR-3274 program must build");
+
+    let mut topology = Topology::new();
+    let am = {
+        let mut nb = topology.node("AM");
+        nb.queue("dispatch", 1).rpc_workers(3);
+        nb.entry("am_monitor_kicker", vec![]);
+        
+        nb.id()
+    };
+    let nm = {
+        let mut nb = topology.node("NM");
+        nb.rpc_workers(2);
+        nb.id()
+    };
+    topology.nodes[am.index()]
+        .entries
+        .push(("commit_wait".to_owned(), vec![Value::Node(nm)]));
+    topology.nodes[nm.index()].entries.push((
+        "nm_acker".to_owned(),
+        vec![Value::Node(am), Value::Int(60)],
+    ));
+    topology.nodes[nm.index()].entries.push((
+        "nm_acker".to_owned(),
+        vec![Value::Node(am), Value::Int(90)],
+    ));
+    topology.node("Client").entry(
+        "client_main",
+        vec![Value::Node(am), Value::Node(nm)],
+    );
+
+    topology.nodes[0]
+        .entries
+        .push(("spill_sort".to_owned(), vec![]));
+    topology.nodes[0]
+        .entries
+        .push(("shuffle_merge".to_owned(), vec![]));
+
+    Benchmark {
+        id: "MR-3274",
+        system: System::MapReduce,
+        workload: "startup + wordcount",
+        symptom: "Hang",
+        error: ErrorPattern::DistributedHang,
+        root: RootCause::OrderViolation,
+        program,
+        topology,
+        seed: 03_274,
+        bug_objects: vec!["jMap"],
+        scale,
+        // the harmful pair: get_task's map_get vs unregister_job's
+        // map_remove; the put/get pair is pruned by Rule-Mpull
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn natural_run_completes_wordcount() {
+        let b = super::benchmark_scaled(1);
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        // the container fetched its task and reported progress
+        assert!(run.trace.count_tag("rc") >= 4, "several RPCs expected");
+    }
+}

@@ -1,0 +1,175 @@
+//! MR-4637 — Hadoop MapReduce: job-master crash when a task-attempt
+//! commit races with a job kill.
+//!
+//! Workload (Table 3): startup + wordcount, killed by the client before
+//! completion. Topology: Client, AM, NM.
+//!
+//! The AM processes task-attempt events on a *multi-consumer* pool (the
+//! real MapReduce has several event-handling threads per queue, Figure 4),
+//! so two handlers can interleave. The commit handler checks the attempt
+//! state and crashes the job master (local explicit error, LE) when it
+//! finds the attempt already killed — an order violation (OV): the commit
+//! event was supposed to be handled before the kill arrived.
+
+use dcatch_model::{Expr, FuncKind, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+use crate::noise;
+use crate::{Benchmark, ErrorPattern, RootCause, System};
+
+/// Builds the MR-4637 benchmark.
+pub fn benchmark_scaled(scale: u32) -> Benchmark {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- AM ----------------------------------------------------------------
+    // task-attempt bookkeeping, racing on the attempt_states map
+    pb.func("task_done", &["aid"], FuncKind::RpcHandler, |b| {
+        b.enqueue("attempt_pool", "attempt_commit", vec![Expr::local("aid")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("kill_job2", &["aid"], FuncKind::RpcHandler, |b| {
+        b.enqueue("attempt_pool", "attempt_kill", vec![Expr::local("aid")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("attempt_commit", &["aid"], FuncKind::EventHandler, |b| {
+        b.map_get("s", "attempt_states", Expr::local("aid"));
+        b.if_(Expr::local("s").eq(Expr::val("KILLED")), |b| {
+            // the real bug: TaskAttemptImpl transitions COMMIT_PENDING
+            // from an illegal state and the AM dies
+            b.abort("InvalidStateTransition: commit of killed attempt");
+        });
+        b.map_put("attempt_states", Expr::local("aid"), Expr::val("COMMITTED"));
+    });
+    pb.func("attempt_kill", &["aid"], FuncKind::EventHandler, |b| {
+        b.map_put("attempt_states", Expr::local("aid"), Expr::val("KILLED"));
+    });
+    // work distribution with the usual polling container (Table 1's
+    // pull-based custom synchronization)
+    pb.func("publish_work", &["aid"], FuncKind::EventHandler, |b| {
+        b.map_put("work_queue", Expr::local("aid"), Expr::val("split_0"));
+    });
+    pb.func("fetch_work", &["aid"], FuncKind::RpcHandler, |b| {
+        b.map_get("w", "work_queue", Expr::local("aid"));
+        b.ret(Expr::local("w"));
+    });
+    pb.func("am_submit", &["aid"], FuncKind::RpcHandler, |b| {
+        b.enqueue("attempt_pool", "publish_work", vec![Expr::local("aid")]);
+        b.ret(Expr::val(true));
+    });
+
+    // ---- NM ----------------------------------------------------------------
+    pb.func("nm_start_attempt", &["aid", "am"], FuncKind::RpcHandler, |b| {
+        b.spawn_detached("attempt_runner", vec![Expr::local("aid"), Expr::local("am")]);
+        b.ret(Expr::val(true));
+    });
+    pb.func("attempt_runner", &["aid", "am"], FuncKind::Regular, |b| {
+        b.assign("got", Expr::val(false));
+        b.retry_while(Expr::local("got").not(), |b| {
+            b.rpc("w", Expr::local("am"), "fetch_work", vec![Expr::local("aid")]);
+            b.assign("got", Expr::local("w").ne(Expr::null()));
+            b.sleep(Expr::val(3));
+        });
+        b.write("attempt_input", Expr::local("w"));
+        // finish quickly and ask the AM to commit
+        b.sleep(Expr::val(10));
+        b.rpc_void(Expr::local("am"), "task_done", vec![Expr::local("aid")]);
+    });
+
+    // ---- Client ------------------------------------------------------------
+    pb.func("client2_main", &["am", "nm"], FuncKind::Regular, |b| {
+        b.rpc_void(Expr::local("am"), "am_submit", vec![Expr::val("a1")]);
+        b.rpc_void(
+            Expr::local("nm"),
+            "nm_start_attempt",
+            vec![Expr::val("a1"), Expr::local("am")],
+        );
+        // kill late: the correct run commits before the kill event
+        b.sleep(Expr::val(260));
+        b.rpc_void(Expr::local("am"), "kill_job2", vec![Expr::val("a1")]);
+    });
+
+    // AM-side counters read by a monitor with warn-only impact → pruned
+    noise::stats_noise(&mut pb, "am", FuncKind::RpcHandler, "attempt_pool");
+    pb.func("nm_reporter", &["am"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(15));
+        b.rpc_void(Expr::local("am"), "am_stat_update", vec![Expr::val(1)]);
+        b.sleep(Expr::val(15));
+        b.rpc_void(Expr::local("am"), "am_stat_update", vec![Expr::val(2)]);
+    });
+    // job phase guarded by an impossible crash → a benign report
+    noise::benign_guard(&mut pb, "job", "attempt_pool");
+    pb.func("phase_writer", &["aid"], FuncKind::EventHandler, |b| {
+        b.write("job_phase", Expr::val("RUNNING"));
+    });
+    pb.func("am_phase_kick", &["am"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(8));
+        b.rpc_void(Expr::local("am"), "enqueue_phase", vec![]);
+    });
+    pb.func("enqueue_phase", &[], FuncKind::RpcHandler, |b| {
+        b.enqueue("attempt_pool", "phase_writer", vec![Expr::val("a1")]);
+        b.ret(Expr::val(true));
+    });
+
+    noise::local_churn(&mut pb, "spill_sort2", 100 * i64::from(scale));
+    noise::local_churn(&mut pb, "output_commit_scan", 70 * i64::from(scale));
+
+    let program = pb.build().expect("MR-4637 program must build");
+
+    let mut topology = Topology::new();
+    let am = {
+        let mut nb = topology.node("AM");
+        nb.queue("attempt_pool", 2).rpc_workers(3);
+        nb.entry("job_phase_kicker", vec![]);
+        nb.entry("am_stat_kicker", vec![]);
+        nb.id()
+    };
+    let nm = {
+        let mut nb = topology.node("NM");
+        nb.rpc_workers(2);
+        nb.entry("nm_reporter", vec![Value::Node(am)]);
+        nb.entry("am_phase_kick", vec![Value::Node(am)]);
+        nb.id()
+    };
+    topology
+        .node("Client")
+        .entry("client2_main", vec![Value::Node(am), Value::Node(nm)]);
+
+    topology.nodes[0]
+        .entries
+        .push(("spill_sort2".to_owned(), vec![]));
+    topology.nodes[0]
+        .entries
+        .push(("output_commit_scan".to_owned(), vec![]));
+
+    Benchmark {
+        id: "MR-4637",
+        system: System::MapReduce,
+        workload: "startup + wordcount",
+        symptom: "Job Master Crash",
+        error: ErrorPattern::LocalExplicit,
+        root: RootCause::OrderViolation,
+        program,
+        topology,
+        seed: 4_637,
+        bug_objects: vec!["attempt_states"],
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn natural_run_commits_before_kill() {
+        let b = super::benchmark_scaled(1);
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        assert!(run.completed);
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared building blocks for the benchmark miniatures: fault-tolerance
+//! noise that static pruning must remove, benign-but-unprunable guards,
+//! and the quorum-barrier custom synchronization that generates the
+//! paper's *serial* reports.
+//!
+//! Monitors and checks run inside *event handlers* (kicked off by a small
+//! timer thread), the way real cloud systems run periodic work — which
+//! also places them inside DCatch's selective-tracing scope (§3.1.1).
+
+use dcatch_model::FuncKind;
+use dcatch_model::{Expr, ProgramBuilder};
+
+/// Registers a stats-counter pattern: a handler updating a stats map plus
+/// a periodic check event reading it, with only `Log.warn` downstream.
+/// Produces TA candidates that static pruning removes (the bulk of the
+/// paper's Table 5 reduction).
+///
+/// The caller must deliver `"{prefix}_stat_update"` messages (socket or
+/// RPC, per `via`) and start `"{prefix}_stat_kicker"` on the node owning
+/// `queue`.
+pub fn stats_noise(pb: &mut ProgramBuilder, prefix: &str, via: FuncKind, queue: &str) {
+    assert!(
+        matches!(via, FuncKind::SocketHandler | FuncKind::RpcHandler),
+        "stats updates arrive via sockets or RPCs"
+    );
+    let stats = format!("{prefix}_stats");
+    let seen = format!("{prefix}_seen");
+    pb.func(format!("{prefix}_stat_update"), &["v"], via, |b| {
+        b.map_put(&stats, Expr::val("latest"), Expr::local("v"));
+        b.read("s", &seen);
+        b.write(&seen, Expr::val(true));
+    });
+    pb.func(
+        format!("{prefix}_stat_check"),
+        &[],
+        FuncKind::EventHandler,
+        |b| {
+            b.map_get("v", &stats, Expr::val("latest"));
+            b.if_(Expr::local("v").eq(Expr::null()), |b| {
+                b.log_warn("stats not yet reported; retrying later");
+            });
+            b.read("s", &seen);
+        },
+    );
+    let check = format!("{prefix}_stat_check");
+    let queue = queue.to_owned();
+    pb.func(
+        format!("{prefix}_stat_kicker"),
+        &[],
+        FuncKind::Regular,
+        move |b| {
+            b.sleep(Expr::val(25));
+            b.enqueue(&queue, &check, vec![]);
+        },
+    );
+}
+
+/// Registers a benign-guard pattern: a periodic check event reads a phase
+/// cell and *would* crash on a value no writer ever produces. The
+/// dependence on a failure instruction makes static pruning keep the
+/// candidate, but triggering finds both orders harmless — a **benign**
+/// report (Table 4).
+///
+/// The caller must write `"{prefix}_phase"` from traced concurrent
+/// contexts and start `"{prefix}_phase_kicker"` on the node owning
+/// `queue`.
+pub fn benign_guard(pb: &mut ProgramBuilder, prefix: &str, queue: &str) {
+    let phase = format!("{prefix}_phase");
+    pb.func(
+        format!("{prefix}_phase_check"),
+        &[],
+        FuncKind::EventHandler,
+        |b| {
+            b.read("p", &phase);
+            b.if_(Expr::local("p").eq(Expr::val("CORRUPT")), |b| {
+                b.throw("IllegalStateException");
+            });
+        },
+    );
+    let check = format!("{prefix}_phase_check");
+    let queue = queue.to_owned();
+    pb.func(
+        format!("{prefix}_phase_kicker"),
+        &[],
+        FuncKind::Regular,
+        move |b| {
+            b.sleep(Expr::val(35));
+            b.enqueue(&queue, &check, vec![]);
+        },
+    );
+}
+
+/// Registers a quorum barrier à la ZooKeeper's `waitForEpoch`: handlers
+/// increment an acknowledgement counter; a waiter spins until the count
+/// reaches 2 and then validates it. The increment is a non-atomic
+/// read-modify-write.
+///
+/// What the pipeline sees, mirroring §7.2's "serial bug reports":
+///
+/// * the loop-sync analysis only orders the *last* increment before the
+///   loop exit, so the pair (first increment, post-loop counter read)
+///   stays reported although it is actually ordered — triggering then
+///   classifies it **serial** (holding the increment starves the loop);
+/// * the lock-guarded increments still race by HB standards (locks give
+///   mutual exclusion, not order), exercising the lock-aware placement
+///   rule of §5.2 during triggering.
+///
+/// The caller must deliver two `"{prefix}_ack"` messages (socket or RPC,
+/// per `via`) from distinct contexts and start `"{prefix}_wait"`. The
+/// waiter performs its own result RPC/socket so its post-loop read is
+/// traced; `report_to_self` keeps it communication-free when undesired.
+pub fn quorum_barrier(pb: &mut ProgramBuilder, prefix: &str, via: FuncKind) {
+    assert!(
+        matches!(via, FuncKind::SocketHandler | FuncKind::RpcHandler),
+        "acks arrive via sockets or RPCs"
+    );
+    let count = format!("{prefix}_count");
+    let mutex = format!("{prefix}_mutex");
+    pb.func(format!("{prefix}_ack"), &["from"], via, |b| {
+        // like the real waitForEpoch, the counter update is synchronized —
+        // mutual exclusion, but *no ordering*, so the write/write pair is
+        // still reported as a race candidate (locks are deliberately not
+        // part of the HB model, paper §2.3)
+        b.lock(&mutex);
+        b.read("c", &count);
+        b.if_else(
+            Expr::local("c").eq(Expr::null()),
+            |b| {
+                b.write(&count, Expr::val(1));
+            },
+            |b| {
+                b.write(&count, Expr::local("c").add(Expr::val(1)));
+            },
+        );
+        b.unlock(&mutex);
+    });
+    let done_handler = format!("{prefix}_done");
+    pb.func(&done_handler, &["n"], via, |b| {
+        b.map_put(&format!("{prefix}_done_log"), Expr::local("n"), Expr::val(true));
+        if matches!(via, FuncKind::RpcHandler) {
+            b.ret(Expr::val(true));
+        }
+    });
+    pb.func(format!("{prefix}_wait"), &["peer"], FuncKind::Regular, move |b| {
+        b.assign("ok", Expr::val(false));
+        b.retry_while(Expr::local("ok").not(), |b| {
+            b.read("c", &count);
+            b.if_else(
+                Expr::local("c").eq(Expr::null()),
+                |b| {
+                    b.assign("ok", Expr::val(false));
+                },
+                |b| {
+                    b.assign(
+                        "ok",
+                        Expr::Binary(
+                            dcatch_model::BinOp::Ge,
+                            Box::new(Expr::local("c")),
+                            Box::new(Expr::val(2)),
+                        ),
+                    );
+                },
+            );
+            b.sleep(Expr::val(2));
+        });
+        b.read("c2", &count);
+        b.if_(Expr::local("c2").eq(Expr::null()), |b| {
+            b.abort("quorum barrier lost its count");
+        });
+        b.if_(Expr::local("c2").lt(Expr::val(2)), |b| {
+            b.abort("quorum barrier released early");
+        });
+        // announce completion (also puts this function in tracing scope)
+        if matches!(via, FuncKind::RpcHandler) {
+            b.rpc_void(Expr::local("peer"), &done_handler, vec![Expr::SelfNode]);
+        } else {
+            b.socket_send(Expr::local("peer"), &done_handler, vec![Expr::SelfNode]);
+        }
+    });
+}
+
+/// Registers a pure-computation churn thread `name`: `iters` rounds of
+/// local memory activity (compaction, spill sort, log sync…). Selective
+/// tracing skips it entirely — it touches no communication — while
+/// unselective tracing records every access. This is what makes the
+/// paper's Table 8 comparison reproducible: real cloud systems spend most
+/// of their memory accesses far from the communication paths, and full
+/// tracing "will increase the trace size by up to 40 times" and blow the
+/// trace analysis out of memory.
+pub fn local_churn(pb: &mut ProgramBuilder, name: &str, iters: i64) {
+    let scratch = format!("{name}_scratch");
+    let table = format!("{name}_table");
+    pb.func(name, &[], FuncKind::Regular, move |b| {
+        // background maintenance starts after the protocol traffic settles
+        // (compaction and friends are idle-time work); this keeps the
+        // natural-run timing of the protocol independent of the churn size
+        b.sleep(Expr::val(5_000));
+        b.assign("i", Expr::val(0));
+        b.while_(Expr::local("i").lt(Expr::val(iters)), |b| {
+            b.write(&scratch, Expr::local("i"));
+            b.map_put(&table, Expr::local("i"), Expr::local("i"));
+            b.read("v", &scratch);
+            b.assign("i", Expr::local("v").add(Expr::val(1)));
+        });
+    });
+}

@@ -1,0 +1,140 @@
+//! ZK-1144 — ZooKeeper: service unavailable when a follower receives a
+//! sync packet before its request processor is initialized.
+//!
+//! Workload (Table 3): startup (leader election just finished). Topology:
+//! leader and follower, communicating over sockets (Table 1: ZooKeeper
+//! uses sockets + threads + events, no RPC).
+//!
+//! After the election the leader sends the follower a sync packet. The
+//! follower's packet handler needs the node's `request_processor`, which
+//! the startup thread initializes concurrently — an order violation (OV).
+//! If the packet wins the race, it is dropped; the session-establishment
+//! flag is never set and the local session waiter spins forever: the
+//! service is unavailable — a local hang (LH).
+
+use dcatch_model::{Expr, FuncKind, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+use crate::noise;
+use crate::{Benchmark, ErrorPattern, RootCause, System};
+
+/// Builds the ZK-1144 benchmark.
+pub fn benchmark_scaled(scale: u32) -> Benchmark {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- follower ----------------------------------------------------------
+    pb.func("follower_main", &["leader"], FuncKind::Regular, |b| {
+        b.spawn_detached("session_waiter", vec![]);
+        // initialize the request-processing pipeline (the racing write)
+        b.write("request_processor", Expr::val("FinalRequestProcessor"));
+        // announce readiness to the leader (the connection thread talks)
+        b.socket_send(Expr::local("leader"), "on_follower_ready", vec![Expr::SelfNode]);
+    });
+    pb.func("on_follower_ready", &["f"], FuncKind::SocketHandler, |b| {
+        b.map_put("ready_followers", Expr::local("f"), Expr::val(true));
+    });
+    pb.func("on_sync_packet", &["pkt"], FuncKind::SocketHandler, |b| {
+        // the racing read: the processor may not exist yet
+        b.read("rp", "request_processor");
+        b.if_else(
+            Expr::local("rp").eq(Expr::null()),
+            |b| {
+                b.log_warn("sync packet arrived before processor setup; dropped");
+            },
+            |b| {
+                b.write("session_established", Expr::val(true));
+                b.enqueue("request_queue", "commit_request", vec![Expr::local("pkt")]);
+            },
+        );
+    });
+    pb.func("commit_request", &["pkt"], FuncKind::EventHandler, |b| {
+        b.map_put("committed", Expr::local("pkt"), Expr::val(true));
+    });
+    pb.func("session_waiter", &[], FuncKind::Regular, |b| {
+        b.assign("ok", Expr::val(false));
+        b.retry_while(Expr::local("ok").not(), |b| {
+            b.read("s", "session_established");
+            b.assign("ok", Expr::local("s"));
+            b.sleep(Expr::val(2));
+        });
+        b.write("serving", Expr::val(true));
+    });
+
+    // ---- leader -------------------------------------------------------------
+    pb.func("leader_main", &["follower"], FuncKind::Regular, |b| {
+        b.write("leader_state", Expr::val("LEADING"));
+        // the sync packet normally arrives well after follower startup
+        b.sleep(Expr::val(80));
+        b.socket_send(Expr::local("follower"), "on_sync_packet", vec![Expr::val("sync_1")]);
+    });
+
+    // election statistics noise (pruned by SP) and a benign guard
+    noise::stats_noise(&mut pb, "zk1", FuncKind::SocketHandler, "request_queue");
+    pb.func("leader_heartbeats", &["follower"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(10));
+        b.socket_send(Expr::local("follower"), "zk1_stat_update", vec![Expr::val(1)]);
+        b.sleep(Expr::val(16));
+        b.socket_send(Expr::local("follower"), "zk1_stat_update", vec![Expr::val(2)]);
+    });
+
+    noise::local_churn(&mut pb, "snapshot_serialize", 60 * i64::from(scale));
+    noise::local_churn(&mut pb, "txnlog_sync", 50 * i64::from(scale));
+
+    let program = pb.build().expect("ZK-1144 program must build");
+
+    let mut topology = Topology::new();
+    let follower = {
+        let mut nb = topology.node("follower");
+        nb.queue("request_queue", 1);
+        nb.entry("zk1_stat_kicker", vec![]);
+        nb.id()
+    };
+    let leader = {
+        let mut nb = topology.node("leader");
+        nb.entry("leader_main", vec![Value::Node(follower)]);
+        nb.entry("leader_heartbeats", vec![Value::Node(follower)]);
+        nb.id()
+    };
+    topology.nodes[follower.index()]
+        .entries
+        .push(("follower_main".to_owned(), vec![Value::Node(leader)]));
+
+    topology.nodes[0]
+        .entries
+        .push(("snapshot_serialize".to_owned(), vec![]));
+    topology.nodes[0]
+        .entries
+        .push(("txnlog_sync".to_owned(), vec![]));
+
+    Benchmark {
+        id: "ZK-1144",
+        system: System::ZooKeeper,
+        workload: "startup",
+        symptom: "Service unavailable",
+        error: ErrorPattern::LocalHang,
+        root: RootCause::OrderViolation,
+        program,
+        topology,
+        seed: 1_144,
+        bug_objects: vec!["request_processor"],
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn natural_run_establishes_the_session() {
+        let b = super::benchmark_scaled(1);
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        assert!(run.completed);
+    }
+}

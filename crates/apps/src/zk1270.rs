@@ -1,0 +1,186 @@
+//! ZK-1270 — ZooKeeper: service unavailable when an epoch acknowledgement
+//! races with the leader's epoch bookkeeping.
+//!
+//! Workload (Table 3): startup / leader election with epoch negotiation.
+//! Topology: a leader and two followers over sockets.
+//!
+//! The leader's election thread records the accepted epoch; follower
+//! acknowledgements arrive concurrently and are *dropped* when the epoch
+//! is not yet recorded — an order violation (OV). A dropped ack means the
+//! leader's `waitForEpoch`-style quorum barrier never reaches its count
+//! and the election thread spins forever: service unavailable, local hang
+//! (LH).
+//!
+//! The quorum barrier is also this suite's source of **serial** false
+//! positives (§7.2: "ZK has a function waitForEpoch, essentially a
+//! distributed barrier… The implementation is complicated and cannot be
+//! inferred by existing HB rules"): the loop-synchronization analysis only
+//! orders the *last* ack increment before the barrier exit, so the pair
+//! (first increment, post-barrier read) survives detection although it is
+//! semantically ordered — the triggering module then classifies it serial.
+//! The non-atomic ack increment itself is an extra harmful atomicity bug,
+//! like the additional bugs the paper found beyond the TaxDC suite.
+
+use dcatch_model::{BinOp, Expr, FuncKind, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+use crate::noise;
+use crate::{Benchmark, ErrorPattern, RootCause, System};
+
+/// Builds the ZK-1270 benchmark.
+pub fn benchmark_scaled(scale: u32) -> Benchmark {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- leader ------------------------------------------------------------
+    pb.func("zk2_leader_main", &["f1", "f2"], FuncKind::Regular, |b| {
+        // announce leadership over the cluster port (the learner handler
+        // threads — and the epoch bookkeeping below — race with the acks
+        // the followers send on their own schedule)
+        b.socket_send(Expr::local("f1"), "on_leader_elected", vec![Expr::SelfNode]);
+        b.socket_send(Expr::local("f2"), "on_leader_elected", vec![Expr::SelfNode]);
+        // record the accepted epoch (the racing write); normally done
+        // before any follower ack arrives
+        b.write("accepted_epoch", Expr::val(1));
+        // waitForEpoch: spin until a quorum (2) of acks
+        b.assign("ok", Expr::val(false));
+        b.retry_while(Expr::local("ok").not(), |b| {
+            b.read("c", "epoch_ack_count");
+            b.if_else(
+                Expr::local("c").eq(Expr::null()),
+                |b| {
+                    b.assign("ok", Expr::val(false));
+                },
+                |b| {
+                    b.assign(
+                        "ok",
+                        Expr::Binary(
+                            BinOp::Ge,
+                            Box::new(Expr::local("c")),
+                            Box::new(Expr::val(2)),
+                        ),
+                    );
+                },
+            );
+            b.sleep(Expr::val(2));
+        });
+        // post-barrier bookkeeping (the serial-report read)
+        b.read("final", "epoch_ack_count");
+        b.if_(Expr::local("final").lt(Expr::val(2)), |b| {
+            b.abort("quorum evaporated after waitForEpoch");
+        });
+        b.write("current_epoch", Expr::val(1));
+    });
+    pb.func("on_epoch_ack", &["from"], FuncKind::SocketHandler, |b| {
+        // the racing read: an ack arriving before the epoch is recorded
+        // is dropped (the real bug re-sent a NEWLEADER proposal too early)
+        b.read("ae", "accepted_epoch");
+        b.if_else(
+            Expr::local("ae").eq(Expr::null()),
+            |b| {
+                b.log_warn("epoch ack before accepted-epoch record; dropped");
+            },
+            |b| {
+                // synchronized counter update (mutual exclusion, no order:
+                // the write/write pair is still an HB race)
+                b.lock("epoch_mutex");
+                b.read("c", "epoch_ack_count");
+                b.if_else(
+                    Expr::local("c").eq(Expr::null()),
+                    |b| {
+                        b.write("epoch_ack_count", Expr::val(1));
+                    },
+                    |b| {
+                        b.write("epoch_ack_count", Expr::local("c").add(Expr::val(1)));
+                    },
+                );
+                b.unlock("epoch_mutex");
+                b.enqueue("proposal_queue", "log_proposal", vec![Expr::local("from")]);
+            },
+        );
+    });
+    pb.func("log_proposal", &["from"], FuncKind::EventHandler, |b| {
+        b.map_put("proposal_log", Expr::local("from"), Expr::val("ACKEPOCH"));
+    });
+
+    // ---- followers -----------------------------------------------------------
+    pb.func("on_leader_elected", &["leader"], FuncKind::SocketHandler, |b| {
+        b.write("known_leader", Expr::local("leader"));
+    });
+    pb.func("follower2_main", &["leader", "delay"], FuncKind::Regular, |b| {
+        b.sleep(Expr::local("delay"));
+        b.socket_send(Expr::local("leader"), "on_epoch_ack", vec![Expr::SelfNode]);
+    });
+
+    noise::stats_noise(&mut pb, "zk2", FuncKind::SocketHandler, "proposal_queue");
+    pb.func("follower_heartbeats", &["leader"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(14));
+        b.socket_send(Expr::local("leader"), "zk2_stat_update", vec![Expr::val(1)]);
+    });
+
+    noise::local_churn(&mut pb, "snapshot_serialize2", 60 * i64::from(scale));
+    noise::local_churn(&mut pb, "txnlog_sync2", 50 * i64::from(scale));
+
+    let program = pb.build().expect("ZK-1270 program must build");
+
+    let mut topology = Topology::new();
+    let leader = {
+        let mut nb = topology.node("leader");
+        nb.queue("proposal_queue", 1);
+        nb.entry("zk2_stat_kicker", vec![]);
+        nb.id()
+    };
+    let f1 = {
+        let mut nb = topology.node("f1");
+        nb.entry("follower2_main", vec![Value::Node(leader), Value::Int(50)]);
+        nb.entry("follower_heartbeats", vec![Value::Node(leader)]);
+        nb.id()
+    };
+    let f2 = {
+        let mut nb = topology.node("f2");
+        nb.entry("follower2_main", vec![Value::Node(leader), Value::Int(75)]);
+        nb.id()
+    };
+    topology.nodes[leader.index()].entries.push((
+        "zk2_leader_main".to_owned(),
+        vec![Value::Node(f1), Value::Node(f2)],
+    ));
+
+    topology.nodes[0]
+        .entries
+        .push(("snapshot_serialize2".to_owned(), vec![]));
+    topology.nodes[0]
+        .entries
+        .push(("txnlog_sync2".to_owned(), vec![]));
+
+    Benchmark {
+        id: "ZK-1270",
+        system: System::ZooKeeper,
+        workload: "startup",
+        symptom: "Service unavailable",
+        error: ErrorPattern::LocalHang,
+        root: RootCause::OrderViolation,
+        program,
+        topology,
+        seed: 1_270,
+        bug_objects: vec!["accepted_epoch"],
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn natural_run_reaches_broadcast_phase() {
+        let b = super::benchmark_scaled(1);
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        assert!(run.completed);
+    }
+}

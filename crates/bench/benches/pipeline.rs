@@ -1,0 +1,39 @@
+//! End-to-end pipeline cost per benchmark — the aggregate behind Table 6
+//! (tracing + trace analysis + static pruning + loop-sync), and the
+//! triggering module's cost on top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dcatch::{Pipeline, PipelineOptions};
+
+fn detection_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_pipeline");
+    group.sample_size(10);
+    for bench in dcatch::all_benchmarks() {
+        group.bench_function(bench.id, |b| {
+            b.iter(|| {
+                let r = Pipeline::run(&bench, &PipelineOptions::fast()).unwrap();
+                std::hint::black_box(r.lp_static)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn full_pipeline_with_triggering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_pipeline_with_triggering");
+    group.sample_size(10);
+    for id in ["ZK-1144", "HB-4729"] {
+        let bench = dcatch::benchmark(id).unwrap();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let r = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+                std::hint::black_box(r.verdicts.total_static())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, detection_pipeline, full_pipeline_with_triggering);
+criterion_main!(benches);

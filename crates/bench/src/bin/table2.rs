@@ -1,0 +1,52 @@
+//! Table 2 — HB-related operations traced, and which rule families each
+//! feeds. Verified against a live trace: every listed operation kind is
+//! observed in the suite's traces.
+
+use dcatch::{SimConfig, World};
+use dcatch_bench::render_table;
+
+fn main() {
+    // Which record tags appear across the whole suite?
+    let mut seen = std::collections::BTreeSet::new();
+    for b in dcatch::all_benchmarks() {
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        for r in run.trace.records() {
+            seen.insert(r.kind.tag());
+        }
+    }
+    let rows = [
+        ("Create (t), Join (t)", &["tc", "tj"][..], "T-Rule"),
+        ("Begin (t), End (t)", &["tb", "te"], "T-Rule, P-Rule"),
+        ("Begin (e), End (e)", &["eb", "ee"], "E-Rule, P-Rule"),
+        ("Create (e)", &["ec"], "E-Rule"),
+        ("Begin (r,n2), End (r,n2)", &["rb", "re"], "M-Rule, P-Rule"),
+        ("Create (r,n1), Join (r,n1)", &["rc", "rj"], "M-Rule"),
+        ("Send (m,n1)", &["ss"], "M-Rule"),
+        ("Recv (m,n2)", &["sr"], "M-Rule, P-Rule"),
+        ("Update (s,n1)", &["zu"], "M-Rule"),
+        ("Pushed (s,n2)", &["zp"], "M-Rule, P-Rule"),
+        ("Lock/Unlock (triggering only)", &["la", "lr"], "(none)"),
+        ("LoopEnter/LoopExit (Mpull)", &["ln", "lx"], "M-Rule (pull)"),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(op, tags, rule)| {
+            let observed = tags.iter().all(|t| seen.contains(t));
+            vec![
+                (*op).to_owned(),
+                (*rule).to_owned(),
+                if observed { "yes" } else { "NO" }.to_owned(),
+            ]
+        })
+        .collect();
+    println!("Table 2: HB-related tracing (symbols as defined in paper §2)\n");
+    println!(
+        "{}",
+        render_table(&["Operation", "Rules fed", "Observed in suite traces"], &table)
+    );
+}

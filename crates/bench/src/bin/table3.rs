@@ -1,0 +1,30 @@
+//! Table 3 — benchmark bugs and applications. "LoC" for the miniatures is
+//! the statement count of the IR program (the paper's column counts the
+//! real systems' lines of code, 61K–1,388K).
+
+use dcatch_bench::render_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = dcatch::all_benchmarks()
+        .iter()
+        .map(|b| {
+            vec![
+                b.id.to_owned(),
+                format!("{} stmts / {} nodes", b.program.stmt_count(), b.topology.nodes.len()),
+                b.workload.to_owned(),
+                b.symptom.to_owned(),
+                b.error.abbrev().to_owned(),
+                b.root.abbrev().to_owned(),
+            ]
+        })
+        .collect();
+    println!("Table 3: benchmark bugs and applications");
+    println!("(error: L=local D=distributed, E=explicit H=hang; root: OV/AV)\n");
+    println!(
+        "{}",
+        render_table(
+            &["BugID", "Size", "Workload", "Symptom", "Error", "Root"],
+            &rows
+        )
+    );
+}

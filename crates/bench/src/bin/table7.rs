@@ -1,0 +1,41 @@
+//! Table 7 — breakdown of the major trace-record types per benchmark
+//! (selective tracing, as used by the detector).
+
+use dcatch::{SimConfig, World};
+use dcatch_bench::{render_table, MEASURE_SCALE};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(MEASURE_SCALE);
+    let mut rows = Vec::new();
+    for b in dcatch::all_benchmarks_scaled(scale) {
+        let run = World::run_once(
+            &b.program,
+            &b.topology,
+            SimConfig::default().with_seed(b.seed),
+        )
+        .unwrap();
+        let s = run.trace.stats();
+        rows.push(vec![
+            b.id.to_owned(),
+            s.total.to_string(),
+            s.mem.to_string(),
+            format!("{} / {}", s.rpc, s.socket),
+            s.event.to_string(),
+            s.thread.to_string(),
+            s.lock.to_string(),
+            s.zk.to_string(),
+            s.loops.to_string(),
+        ]);
+    }
+    println!("Table 7: breakdown of # of major types of trace records (scale {scale})\n");
+    println!(
+        "{}",
+        render_table(
+            &["BugID", "Total", "Mem", "RPC/Socket", "Event", "Thread", "Lock", "ZkPush", "Loop"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,50 @@
+//! Table 9 — false negatives (before '/') and false positives (after '/')
+//! of ignoring event, RPC, socket, or push-synchronization records in the
+//! HB analysis, relative to the full model (raw trace-analysis output,
+//! pruning disabled, exactly as in paper §7.4).
+
+use std::collections::BTreeSet;
+
+use dcatch::{Ablation, Pipeline, PipelineOptions, StmtId};
+use dcatch_bench::render_table;
+
+type Pairs = BTreeSet<(StmtId, StmtId)>;
+
+fn pairs(b: &dcatch::Benchmark, a: Ablation) -> (Pairs, usize) {
+    let mut opts = PipelineOptions::fast();
+    opts.ablation = a;
+    opts.static_pruning = false;
+    opts.loop_sync = false;
+    let r = Pipeline::run(b, &opts).unwrap();
+    let set: Pairs = r.reports.iter().map(|x| x.candidate.static_pair).collect();
+    (set, r.ta_stacks)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for b in dcatch::all_benchmarks() {
+        let (full, full_cs) = pairs(&b, Ablation::None);
+        let mut cells = vec![b.id.to_owned(), format!("{}/{}", full.len(), full_cs)];
+        for a in Ablation::TABLE9 {
+            let (ab, _) = pairs(&b, a);
+            let fn_ = full.difference(&ab).count();
+            let fp = ab.difference(&full).count();
+            cells.push(if fn_ == 0 && fp == 0 {
+                "-".to_owned()
+            } else {
+                format!("-{fn_}/+{fp}")
+            });
+        }
+        rows.push(cells);
+    }
+    println!("Table 9: false negatives (-) and false positives (+) of ignoring");
+    println!("certain HB-related operations, in unique static instruction pairs");
+    println!("(raw trace-analysis output, pruning disabled)\n");
+    println!(
+        "{}",
+        render_table(
+            &["BugID", "Full(st/cs)", "-Event", "-RPC", "-Socket", "-Push"],
+            &rows
+        )
+    );
+}

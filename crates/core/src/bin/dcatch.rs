@@ -1,0 +1,305 @@
+//! `dcatch` — command-line front end for the detection pipeline.
+//!
+//! ```text
+//! dcatch list
+//! dcatch detect <BUG-ID|all> [options]
+//! dcatch trace   <BUG-ID> [--full-tracing] [--out FILE]
+//! dcatch explain <BUG-ID> <OBJECT>
+//! ```
+//!
+//! `explain` prints, for the named shared object, which access pairs the
+//! HB analysis orders (with the rule chain, à la the paper's Figure 3)
+//! and which it reports as concurrent.
+//!
+//! Detect options:
+//!   --scale N        workload scale factor (default 1)
+//!   --seed N         scheduler seed (default: benchmark seed)
+//!   --full-tracing   unselective memory tracing (Table 8 mode)
+//!   --no-prune       skip static pruning
+//!   --no-loop-sync   skip the loop/pull synchronization analysis
+//!   --no-trigger     skip the triggering module
+//!   --ablation K     ignore one HB rule family: event|rpc|socket|push
+//!   --budget BYTES   HB reachability memory budget
+
+use std::process::ExitCode;
+
+use dcatch::{
+    Ablation, HbConfig, Pipeline, PipelineOptions, SimConfig, TracingMode, Verdict, World,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("detect") => detect(&args[1..]),
+        Some("trace") => trace(&args[1..]),
+        Some("explain") => explain(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dcatch <list|detect|trace|explain> …  (see --help in the README)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() {
+    println!("available benchmarks (TaxDC suite miniatures):");
+    for b in dcatch::all_benchmarks() {
+        println!(
+            "  {:8} {:10} {:30} {} / {}",
+            b.id,
+            b.system.name(),
+            b.workload,
+            b.error.abbrev(),
+            b.root.abbrev()
+        );
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
+    let mut opts = PipelineOptions::full();
+    opts.seed = opt(args, "--seed");
+    if flag(args, "--full-tracing") {
+        opts.tracing = TracingMode::Full;
+    }
+    if flag(args, "--no-prune") {
+        opts.static_pruning = false;
+    }
+    if flag(args, "--no-loop-sync") {
+        opts.loop_sync = false;
+    }
+    if flag(args, "--no-trigger") {
+        opts.triggering = false;
+    }
+    if let Some(budget) = opt::<usize>(args, "--budget") {
+        opts.hb = HbConfig {
+            memory_budget_bytes: budget,
+            apply_eserial: true,
+        };
+    }
+    if let Some(k) = args
+        .iter()
+        .position(|a| a == "--ablation")
+        .and_then(|i| args.get(i + 1))
+    {
+        opts.ablation = match k.as_str() {
+            "event" => Ablation::IgnoreEvent,
+            "rpc" => Ablation::IgnoreRpc,
+            "socket" => Ablation::IgnoreSocket,
+            "push" => Ablation::IgnorePush,
+            other => return Err(format!("unknown ablation `{other}`")),
+        };
+    }
+    Ok(opts)
+}
+
+fn benchmarks_for(id: &str, scale: u32) -> Vec<dcatch::Benchmark> {
+    if id.eq_ignore_ascii_case("all") {
+        dcatch::all_benchmarks_scaled(scale)
+    } else {
+        dcatch::all_benchmarks_scaled(scale)
+            .into_iter()
+            .filter(|b| b.id.eq_ignore_ascii_case(id))
+            .collect()
+    }
+}
+
+fn detect(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!("usage: dcatch detect <BUG-ID|all> [options]");
+        return ExitCode::FAILURE;
+    };
+    let scale = opt(args, "--scale").unwrap_or(1);
+    let benches = benchmarks_for(id, scale);
+    if benches.is_empty() {
+        eprintln!("unknown benchmark `{id}` — try `dcatch list`");
+        return ExitCode::FAILURE;
+    }
+    let opts = match build_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for b in benches {
+        println!("== {} ({}) ==", b.id, b.system.name());
+        match Pipeline::run(&b, &opts) {
+            Ok(r) => {
+                if let Some(oom) = &r.oom {
+                    println!("  trace: {} records; {oom}", r.trace_stats.total);
+                    continue;
+                }
+                println!(
+                    "  candidates: TA {} → +SP {} → +LP {} (callstack: {}/{}/{})",
+                    r.ta_static, r.sp_static, r.lp_static, r.ta_stacks, r.sp_stacks, r.lp_stacks
+                );
+                for rep in &r.reports {
+                    let verdict = match rep.verdict {
+                        Some(Verdict::Harmful) => "HARMFUL",
+                        Some(Verdict::BenignRace) => "benign",
+                        Some(Verdict::Serial) => "serial",
+                        None => "candidate",
+                    };
+                    println!(
+                        "  [{verdict:9}] {} × {}  on `{}`{}",
+                        rep.candidate.static_pair.0,
+                        rep.candidate.static_pair.1,
+                        rep.object(),
+                        if rep.known_bug_object { "  (known bug)" } else { "" }
+                    );
+                    for f in &rep.failures {
+                        println!("      {f}");
+                    }
+                }
+                if opts.triggering {
+                    println!(
+                        "  known bug {}",
+                        if r.detected_known_bug {
+                            "CONFIRMED HARMFUL"
+                        } else {
+                            ok = false;
+                            "NOT confirmed"
+                        }
+                    );
+                }
+            }
+            Err(e) => {
+                ok = false;
+                println!("  error: {e}");
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn trace(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!("usage: dcatch trace <BUG-ID> [--full-tracing] [--out FILE]");
+        return ExitCode::FAILURE;
+    };
+    let scale = opt(args, "--scale").unwrap_or(1);
+    let Some(b) = benchmarks_for(id, scale).into_iter().next() else {
+        eprintln!("unknown benchmark `{id}` — try `dcatch list`");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = SimConfig::default().with_seed(opt(args, "--seed").unwrap_or(b.seed));
+    if flag(args, "--full-tracing") {
+        cfg.tracing = TracingMode::Full;
+    }
+    let run = match World::run_once(&b.program, &b.topology, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines = run.trace.to_lines();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+    {
+        if let Err(e) = std::fs::write(path, &lines) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} records ({} bytes) to {path}",
+            run.trace.len(),
+            lines.len()
+        );
+    } else {
+        print!("{lines}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn explain(args: &[String]) -> ExitCode {
+    let (Some(id), Some(object)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: dcatch explain <BUG-ID> <OBJECT>");
+        return ExitCode::FAILURE;
+    };
+    let Some(b) = benchmarks_for(id, 1).into_iter().next() else {
+        eprintln!("unknown benchmark `{id}` — try `dcatch list`");
+        return ExitCode::FAILURE;
+    };
+    let cfg = SimConfig::default().with_seed(b.seed);
+    let run = match World::run_once(&b.program, &b.topology, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hb = match dcatch::HbAnalysis::build(run.trace, &HbConfig::default()) {
+        Ok(hb) => hb,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accesses: Vec<usize> = hb
+        .trace()
+        .records()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            r.kind.mem_loc().is_some_and(|l| l.object == *object)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if accesses.is_empty() {
+        eprintln!("no traced accesses to `{object}` in {id}'s correct run");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} traced accesses to `{object}`",
+        b.id,
+        accesses.len()
+    );
+    for (p, &i) in accesses.iter().enumerate() {
+        for &j in &accesses[p + 1..] {
+            let (a, z) = (i.min(j), i.max(j));
+            let ra = &hb.trace().records()[a];
+            let rz = &hb.trace().records()[z];
+            let label = format!(
+                "#{a} {} ({}) ↔ #{z} {} ({})",
+                ra.kind.tag(),
+                ra.task,
+                rz.kind.tag(),
+                rz.task
+            );
+            if let Some(chain) = hb.explain(a, z) {
+                let rules: Vec<String> =
+                    chain.iter().map(|&(_, rule)| format!("{rule:?}")).collect();
+                println!("  ordered   {label}\n            via {}", rules.join(" → "));
+            } else if hb.happens_before(z, a) {
+                println!("  ordered   {label} (reverse)");
+            } else {
+                println!("  CONCURRENT {label}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

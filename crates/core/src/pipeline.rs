@@ -1,0 +1,335 @@
+//! The end-to-end DCatch pipeline.
+
+use std::fmt;
+use std::time::Instant;
+
+use dcatch_apps::Benchmark;
+use dcatch_detect::{analyze_loop_sync, find_candidates, CandidateSet};
+use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig, HbError};
+use dcatch_prune::Pruner;
+use dcatch_sim::{FocusConfig, RunError, SimConfig, World};
+use dcatch_trace::TracingMode;
+use dcatch_trigger::{trigger_candidate, Verdict};
+
+use crate::report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
+
+/// Errors aborting a pipeline run. Out-of-memory in the HB analysis is
+/// *not* an error — it is a reportable outcome (Table 8).
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The simulation could not start.
+    Run(RunError),
+    /// The supposedly correct traced run failed; candidates from failing
+    /// runs would be meaningless (DCatch predicts bugs from *correct*
+    /// runs, §1).
+    TracedRunFailed(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Run(e) => write!(f, "{e}"),
+            PipelineError::TracedRunFailed(msg) => {
+                write!(f, "traced run was not failure-free: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<RunError> for PipelineError {
+    fn from(e: RunError) -> Self {
+        PipelineError::Run(e)
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Scheduler seed override (default: the benchmark's seed).
+    pub seed: Option<u64>,
+    /// Memory-access tracing policy (Table 8 compares Full to Selective).
+    pub tracing: TracingMode,
+    /// HB analysis configuration (memory budget…).
+    pub hb: HbConfig,
+    /// HB-rule ablation (Table 9); `Ablation::None` for the real model.
+    pub ablation: Ablation,
+    /// Run static pruning (§4).
+    pub static_pruning: bool,
+    /// Run the loop/pull custom-synchronization analysis (§3.2.1).
+    pub loop_sync: bool,
+    /// Run the triggering module on every surviving candidate (§5).
+    pub triggering: bool,
+    /// Measure the un-traced base run (Table 6's "Base" column).
+    pub measure_base: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            seed: None,
+            tracing: TracingMode::Selective,
+            hb: HbConfig::default(),
+            ablation: Ablation::None,
+            static_pruning: true,
+            loop_sync: true,
+            triggering: true,
+            measure_base: true,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Full pipeline (detection + pruning + triggering).
+    pub fn full() -> PipelineOptions {
+        PipelineOptions::default()
+    }
+
+    /// Detection and pruning only — no triggering re-runs.
+    pub fn fast() -> PipelineOptions {
+        PipelineOptions {
+            triggering: false,
+            measure_base: false,
+            ..PipelineOptions::default()
+        }
+    }
+
+    /// Trace analysis only (Table 5's "TA" column).
+    pub fn trace_analysis_only() -> PipelineOptions {
+        PipelineOptions {
+            static_pruning: false,
+            loop_sync: false,
+            triggering: false,
+            measure_base: false,
+            ..PipelineOptions::default()
+        }
+    }
+}
+
+/// The end-to-end detector.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Runs the configured pipeline stages on one benchmark.
+    pub fn run(
+        bench: &Benchmark,
+        opts: &PipelineOptions,
+    ) -> Result<BenchmarkReport, PipelineError> {
+        let seed = opts.seed.unwrap_or(bench.seed);
+        let mut timings = StageTimings::default();
+
+        // ---- base run (untraced) ----------------------------------------
+        if opts.measure_base {
+            let mut cfg = SimConfig::default().with_seed(seed);
+            cfg.trace_enabled = false;
+            let t0 = Instant::now();
+            World::run_once(&bench.program, &bench.topology, cfg)?;
+            timings.base = t0.elapsed();
+        }
+
+        // ---- traced run ---------------------------------------------------
+        let mut cfg = SimConfig::default().with_seed(seed);
+        cfg.tracing = opts.tracing;
+        let t0 = Instant::now();
+        let run = World::run_once(&bench.program, &bench.topology, cfg.clone())?;
+        timings.tracing = t0.elapsed();
+        if !run.failures.is_empty() {
+            return Err(PipelineError::TracedRunFailed(format!(
+                "{:?}",
+                run.failures
+            )));
+        }
+        let trace_stats = run.trace.stats();
+        let trace_bytes = run.trace.byte_size();
+
+        // ---- HB graph + candidates -----------------------------------------
+        let analyzed = apply_ablation(&run.trace, opts.ablation);
+        let t0 = Instant::now();
+        let mut hb = match HbAnalysis::build(analyzed, &opts.hb) {
+            Ok(hb) => hb,
+            Err(e @ HbError::OutOfMemory { .. }) => {
+                return Ok(BenchmarkReport {
+                    id: bench.id.to_owned(),
+                    trace_stats,
+                    trace_bytes,
+                    ta_static: 0,
+                    ta_stacks: 0,
+                    sp_static: 0,
+                    sp_stacks: 0,
+                    lp_static: 0,
+                    lp_stacks: 0,
+                    reports: Vec::new(),
+                    verdicts: VerdictCounts::default(),
+                    detected_known_bug: false,
+                    timings,
+                    oom: Some(e),
+                });
+            }
+        };
+        let mut candidates = find_candidates(&hb);
+        timings.trace_analysis = t0.elapsed();
+        let (ta_static, ta_stacks) = (
+            candidates.static_pair_count(),
+            candidates.callstack_pair_count(),
+        );
+
+        // ---- static pruning --------------------------------------------------
+        let pruner = Pruner::new(&bench.program);
+        if opts.static_pruning {
+            let t0 = Instant::now();
+            let (kept, _pruned, _stats) = pruner.prune(candidates);
+            candidates = kept;
+            timings.static_pruning = t0.elapsed();
+        }
+        let (sp_static, sp_stacks) = (
+            candidates.static_pair_count(),
+            candidates.callstack_pair_count(),
+        );
+
+        // ---- loop/pull synchronization analysis ------------------------------
+        if opts.loop_sync {
+            let t0 = Instant::now();
+            let program = &bench.program;
+            let topo = &bench.topology;
+            let base_cfg = cfg.clone();
+            let mut rerun = |objects: &std::collections::BTreeSet<String>| {
+                let focus_cfg = base_cfg
+                    .clone()
+                    .with_focus(FocusConfig::on(objects.iter().cloned()));
+                World::run_once(program, topo, focus_cfg)
+                    .expect("focused re-run")
+                    .trace
+            };
+            let (updated, _result) = analyze_loop_sync(program, &mut hb, candidates, &mut rerun);
+            candidates = updated;
+            // loop-sync edges may order candidates SP had already scored;
+            // re-apply the pruning filter to the refreshed set
+            if opts.static_pruning {
+                let (kept, _, _) = pruner.prune(candidates);
+                candidates = kept;
+            }
+            timings.loop_sync = t0.elapsed();
+        }
+        let (lp_static, lp_stacks) = (
+            candidates.static_pair_count(),
+            candidates.callstack_pair_count(),
+        );
+
+        // ---- triggering -------------------------------------------------------
+        let mut reports = Vec::new();
+        let mut verdicts = VerdictCounts::default();
+        let mut detected_known_bug = false;
+        let t0 = Instant::now();
+        for candidate in take_candidates(candidates) {
+            let impacts = {
+                let mut v = pruner.impact_of(&candidate.rep.0);
+                v.extend(pruner.impact_of(&candidate.rep.1));
+                v
+            };
+            let known = bench
+                .bug_objects
+                .iter()
+                .any(|o| candidate.object() == *o);
+            let (verdict, failures) = if opts.triggering {
+                let report =
+                    trigger_candidate(&bench.program, &bench.topology, &cfg, &candidate, &hb);
+                let failures: Vec<String> =
+                    report.failures().map(|f| f.to_string()).collect();
+                // Attribution: holding a request point can starve unrelated
+                // paths and surface *other* bugs' failures. A candidate is
+                // only confirmed harmful by failures its own static impact
+                // analysis predicted (the paper's impact analysis plays the
+                // same role in interpreting triggering results, §4/§5).
+                let v = adjust_verdict(&report, &impacts);
+                let stacks = candidate.stack_pairs.len();
+                match v {
+                    Verdict::Harmful => {
+                        verdicts.bug_static += 1;
+                        verdicts.bug_stacks += stacks;
+                        if known {
+                            detected_known_bug = true;
+                        }
+                    }
+                    Verdict::BenignRace => {
+                        verdicts.benign_static += 1;
+                        verdicts.benign_stacks += stacks;
+                    }
+                    Verdict::Serial => {
+                        verdicts.serial_static += 1;
+                        verdicts.serial_stacks += stacks;
+                    }
+                }
+                (Some(v), failures)
+            } else {
+                (None, Vec::new())
+            };
+            reports.push(BugReport {
+                candidate,
+                impacts,
+                verdict,
+                failures,
+                known_bug_object: known,
+            });
+        }
+        if opts.triggering {
+            timings.triggering = t0.elapsed();
+        }
+
+        Ok(BenchmarkReport {
+            id: bench.id.to_owned(),
+            trace_stats,
+            trace_bytes,
+            ta_static,
+            ta_stacks,
+            sp_static,
+            sp_stacks,
+            lp_static,
+            lp_stacks,
+            reports,
+            verdicts,
+            detected_known_bug,
+            timings,
+            oom: None,
+        })
+    }
+}
+
+fn take_candidates(set: CandidateSet) -> Vec<dcatch_detect::Candidate> {
+    set.candidates
+}
+
+/// Re-classifies a triggering report so only failures attributable to the
+/// candidate's own predicted failure instructions count as harmful.
+fn adjust_verdict(
+    report: &dcatch_trigger::TriggerReport,
+    impacts: &[dcatch_prune::Impact],
+) -> Verdict {
+    use dcatch_model::FailureKind;
+    use dcatch_sim::RunFailureKind;
+    if report.verdict != Verdict::Harmful {
+        return report.verdict;
+    }
+    // Only runs that executed the full forced order (both confirms) count:
+    // a run stuck mid-coordination can hang the system through the hold
+    // itself (e.g. branch-exclusive access pairs), which is an artifact of
+    // the controller, not evidence about the race.
+    let attributable = report.runs.iter().any(|r| {
+        r.completed
+            && r.failures.iter().any(|f| {
+                impacts.iter().any(|i| {
+                    let fi = i.failure();
+                    match (&f.kind, fi.kind) {
+                        (RunFailureKind::RetryLoopHang(l), FailureKind::LoopExit(l2)) => *l == l2,
+                        _ => f.stmt == Some(fi.stmt),
+                    }
+                })
+            })
+    });
+    if attributable {
+        Verdict::Harmful
+    } else {
+        Verdict::BenignRace
+    }
+}

@@ -1,0 +1,125 @@
+//! Pipeline output types: per-benchmark reports matching the paper's
+//! evaluation tables.
+
+use std::time::Duration;
+
+use dcatch_detect::Candidate;
+use dcatch_hb::HbError;
+use dcatch_prune::Impact;
+use dcatch_trace::TraceStats;
+use dcatch_trigger::Verdict;
+
+/// Wall-clock cost of each pipeline stage (paper Table 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// The workload without any tracing ("Base").
+    pub base: Duration,
+    /// The traced run ("Tracing").
+    pub tracing: Duration,
+    /// HB-graph construction + candidate detection ("Trace Analysis").
+    pub trace_analysis: Duration,
+    /// Static pruning ("Static Pruning").
+    pub static_pruning: Duration,
+    /// Loop/pull synchronization analysis (the paper reports it as
+    /// negligible; measured here anyway).
+    pub loop_sync: Duration,
+    /// Triggering all surviving candidates (not part of Table 6).
+    pub triggering: Duration,
+}
+
+/// Verdict tallies in the paper's two counting granularities
+/// (Table 4's Bug / Benign / Serial columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Harmful — static pairs.
+    pub bug_static: usize,
+    /// Benign — static pairs.
+    pub benign_static: usize,
+    /// Serial — static pairs.
+    pub serial_static: usize,
+    /// Harmful — callstack pairs.
+    pub bug_stacks: usize,
+    /// Benign — callstack pairs.
+    pub benign_stacks: usize,
+    /// Serial — callstack pairs.
+    pub serial_stacks: usize,
+}
+
+impl VerdictCounts {
+    /// Total static pairs reported.
+    pub fn total_static(&self) -> usize {
+        self.bug_static + self.benign_static + self.serial_static
+    }
+
+    /// Total callstack pairs reported.
+    pub fn total_stacks(&self) -> usize {
+        self.bug_stacks + self.benign_stacks + self.serial_stacks
+    }
+}
+
+/// One final DCatch bug report: a candidate, its static impacts, and (if
+/// triggering ran) its experimental verdict.
+#[derive(Debug)]
+pub struct BugReport {
+    /// The candidate pair.
+    pub candidate: Candidate,
+    /// Static failure impacts found for either side.
+    pub impacts: Vec<Impact>,
+    /// Triggering verdict (None when triggering was disabled).
+    pub verdict: Option<Verdict>,
+    /// Failure descriptions observed while triggering.
+    pub failures: Vec<String>,
+    /// Whether this report touches one of the benchmark's known
+    /// root-cause objects (ground truth).
+    pub known_bug_object: bool,
+}
+
+impl BugReport {
+    /// Object raced on.
+    pub fn object(&self) -> &str {
+        self.candidate.object()
+    }
+}
+
+/// Everything one pipeline invocation produced for one benchmark.
+#[derive(Debug)]
+pub struct BenchmarkReport {
+    /// Benchmark id ("MR-3274"…).
+    pub id: String,
+    /// Trace record breakdown (Table 7).
+    pub trace_stats: TraceStats,
+    /// Trace size in bytes, on-disk line format (Tables 6 and 8).
+    pub trace_bytes: usize,
+    /// Static pairs after trace analysis alone (Table 5 "TA").
+    pub ta_static: usize,
+    /// Callstack pairs after trace analysis alone.
+    pub ta_stacks: usize,
+    /// Static pairs after static pruning (Table 5 "TA+SP").
+    pub sp_static: usize,
+    /// Callstack pairs after static pruning.
+    pub sp_stacks: usize,
+    /// Static pairs after loop-sync pruning (Table 5 "TA+SP+LP") — the
+    /// final DCatch report count.
+    pub lp_static: usize,
+    /// Callstack pairs after loop-sync pruning.
+    pub lp_stacks: usize,
+    /// Final reports (with verdicts when triggering ran).
+    pub reports: Vec<BugReport>,
+    /// Verdict tallies (zeroes when triggering was disabled).
+    pub verdicts: VerdictCounts,
+    /// Whether a known root-cause bug was detected *and* confirmed harmful
+    /// (Table 4's "Detected?" column; requires triggering).
+    pub detected_known_bug: bool,
+    /// Stage timings (Table 6).
+    pub timings: StageTimings,
+    /// Set when HB analysis ran out of memory (Table 8's full-tracing
+    /// "Out of Memory" outcome); all counts are then zero.
+    pub oom: Option<HbError>,
+}
+
+impl BenchmarkReport {
+    /// Reports whose candidate touches a known root-cause object.
+    pub fn known_bug_reports(&self) -> impl Iterator<Item = &BugReport> {
+        self.reports.iter().filter(|r| r.known_bug_object)
+    }
+}

@@ -1,0 +1,296 @@
+//! Conflicting concurrent access pair enumeration.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dcatch_hb::HbAnalysis;
+use dcatch_model::StmtId;
+use dcatch_trace::{CallStack, ExecCtx, MemLoc, TaskId};
+
+/// One dynamic access participating in a candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Index of the record in the analyzed trace.
+    pub index: usize,
+    /// Static instruction.
+    pub stmt: StmtId,
+    /// Callstack.
+    pub stack: CallStack,
+    /// Executing task.
+    pub task: TaskId,
+    /// Execution context.
+    pub ctx: ExecCtx,
+    /// Accessed location.
+    pub loc: MemLoc,
+    /// Whether this side is a write.
+    pub is_write: bool,
+}
+
+/// A DCbug candidate: a unique *static instruction pair* with all its
+/// observed callstack pairs and one representative dynamic pair.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Canonically ordered static pair (smaller `StmtId` first).
+    pub static_pair: (StmtId, StmtId),
+    /// Unique callstack pairs observed for this static pair.
+    pub stack_pairs: BTreeSet<(CallStack, CallStack)>,
+    /// First observed dynamic pair (ordered like `static_pair`).
+    pub rep: (AccessSite, AccessSite),
+    /// Number of dynamic pairs observed.
+    pub dynamic_count: usize,
+}
+
+impl Candidate {
+    /// The object name both sides access.
+    pub fn object(&self) -> &str {
+        &self.rep.0.loc.object
+    }
+}
+
+/// All candidates of one analysis, with the paper's two counting
+/// granularities.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    /// One entry per unique static instruction pair.
+    pub candidates: Vec<Candidate>,
+}
+
+impl CandidateSet {
+    /// Number of unique static instruction pairs (Table 4 left half).
+    pub fn static_pair_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of unique callstack pairs (Table 4 right half).
+    pub fn callstack_pair_count(&self) -> usize {
+        self.candidates.iter().map(|c| c.stack_pairs.len()).sum()
+    }
+
+    /// Retains only candidates satisfying `keep`.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Candidate) -> bool) {
+        self.candidates.retain(|c| keep(c));
+    }
+
+    /// Looks up a candidate by its static pair (in either order).
+    pub fn find(&self, a: StmtId, b: StmtId) -> Option<&Candidate> {
+        let key = canonical(a, b);
+        self.candidates.iter().find(|c| c.static_pair == key)
+    }
+}
+
+fn canonical(a: StmtId, b: StmtId) -> (StmtId, StmtId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Enumerates all conflicting concurrent access pairs of `hb`'s trace.
+///
+/// Two accesses form a *dynamic pair* when they touch conflicting
+/// locations, at least one writes, they come from different program-order
+/// groups (different tasks, or different handler instances of one task),
+/// and the HB graph orders them in neither direction.
+pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
+    let trace = hb.trace();
+    // group record indices by object name (heap objects and zknodes share
+    // the namespace keyed by space+object)
+    let mut groups: BTreeMap<(bool, String), Vec<usize>> = BTreeMap::new();
+    for idx in trace.mem_access_indices() {
+        let r = &trace.records()[idx];
+        let loc = r.kind.mem_loc().expect("mem access");
+        let key = (
+            matches!(loc.space, dcatch_trace::MemSpace::Zk),
+            loc.object.clone(),
+        );
+        groups.entry(key).or_default().push(idx);
+    }
+
+    let mut agg: BTreeMap<(StmtId, StmtId), Candidate> = BTreeMap::new();
+    for indices in groups.values() {
+        for (pos, &i) in indices.iter().enumerate() {
+            for &j in &indices[pos + 1..] {
+                let (ri, rj) = (&trace.records()[i], &trace.records()[j]);
+                // same program-order group can never race (cheapest test
+                // first: it eliminates the bulk of same-thread pairs)
+                if ri.task == rj.task && ri.ctx == rj.ctx {
+                    continue;
+                }
+                if !ri.kind.is_write() && !rj.kind.is_write() {
+                    continue;
+                }
+                let (li, lj) = (
+                    ri.kind.mem_loc().expect("mem"),
+                    rj.kind.mem_loc().expect("mem"),
+                );
+                if !li.conflicts_with(lj) {
+                    continue;
+                }
+                let (Some(si), Some(sj)) = (ri.stmt(), rj.stmt()) else {
+                    continue;
+                };
+                if !hb.concurrent(i, j) {
+                    continue;
+                }
+                let key = canonical(si, sj);
+                let (first, second) = if (si, i) <= (sj, j) { (i, j) } else { (j, i) };
+                let site = |idx: usize| {
+                    let r = &trace.records()[idx];
+                    AccessSite {
+                        index: idx,
+                        stmt: r.stmt().expect("leaf"),
+                        stack: r.stack.clone(),
+                        task: r.task,
+                        ctx: r.ctx,
+                        loc: r.kind.mem_loc().expect("mem").clone(),
+                        is_write: r.kind.is_write(),
+                    }
+                };
+                let stack_pair = {
+                    let (a, b) = (
+                        trace.records()[first].stack.clone(),
+                        trace.records()[second].stack.clone(),
+                    );
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                };
+                agg.entry(key)
+                    .and_modify(|c| {
+                        c.dynamic_count += 1;
+                        c.stack_pairs.insert(stack_pair.clone());
+                    })
+                    .or_insert_with(|| Candidate {
+                        static_pair: key,
+                        stack_pairs: [stack_pair.clone()].into_iter().collect(),
+                        rep: (site(first), site(second)),
+                        dynamic_count: 1,
+                    });
+            }
+        }
+    }
+    CandidateSet {
+        candidates: agg.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcatch_hb::{HbAnalysis, HbConfig};
+    use dcatch_model::{Expr, FuncKind, ProgramBuilder};
+    use dcatch_sim::{SimConfig, Topology, World};
+
+    /// Two threads racing on a cell, plus a properly fork/join-ordered
+    /// access that must NOT be reported.
+    #[test]
+    fn reports_racing_pair_but_not_ordered_pair() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.write("cell", Expr::val(0)); // ordered before both (fork)
+            b.spawn("a", "racer", vec![]);
+            b.spawn("c", "racer2", vec![]);
+            b.join(Expr::local("a"));
+            b.join(Expr::local("c"));
+            b.read("v", "cell"); // ordered after both (join)
+        });
+        pb.func("racer", &[], FuncKind::Regular, |b| {
+            b.write("cell", Expr::val(1));
+        });
+        pb.func("racer2", &[], FuncKind::Regular, |b| {
+            b.write("cell", Expr::val(2));
+        });
+        let p = pb.build().unwrap();
+        let mut topo = Topology::new();
+        topo.node("n").entry("main", vec![]);
+        let run = World::run_once(&p, &topo, SimConfig::default().with_full_tracing()).unwrap();
+        let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+        let cs = find_candidates(&hb);
+        assert_eq!(cs.static_pair_count(), 1, "{:#?}", cs.candidates);
+        let c = &cs.candidates[0];
+        assert_eq!(c.object(), "cell");
+        assert!(c.rep.0.is_write && c.rep.1.is_write);
+        assert_eq!(cs.callstack_pair_count(), 1);
+    }
+
+    #[test]
+    fn read_read_pairs_are_not_conflicts() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.spawn_detached("r1", vec![]);
+            b.spawn_detached("r2", vec![]);
+        });
+        pb.func("r1", &[], FuncKind::Regular, |b| {
+            b.read("x", "cell");
+        });
+        pb.func("r2", &[], FuncKind::Regular, |b| {
+            b.read("x", "cell");
+        });
+        let p = pb.build().unwrap();
+        let mut topo = Topology::new();
+        topo.node("n").entry("main", vec![]);
+        let run = World::run_once(&p, &topo, SimConfig::default().with_full_tracing()).unwrap();
+        let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+        assert_eq!(find_candidates(&hb).static_pair_count(), 0);
+    }
+
+    #[test]
+    fn map_accesses_conflict_only_on_matching_keys() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.spawn_detached("w1", vec![]);
+            b.spawn_detached("w2", vec![]);
+            b.spawn_detached("w3", vec![]);
+        });
+        pb.func("w1", &[], FuncKind::Regular, |b| {
+            b.map_put("m", Expr::val("k1"), Expr::val(1));
+        });
+        pb.func("w2", &[], FuncKind::Regular, |b| {
+            b.map_put("m", Expr::val("k2"), Expr::val(2));
+        });
+        pb.func("w3", &[], FuncKind::Regular, |b| {
+            b.map_get("x", "m", Expr::val("k1"));
+        });
+        let p = pb.build().unwrap();
+        let mut topo = Topology::new();
+        topo.node("n").entry("main", vec![]);
+        let run = World::run_once(&p, &topo, SimConfig::default().with_full_tracing()).unwrap();
+        let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+        let cs = find_candidates(&hb);
+        // k1-put vs k1-get conflict; k2-put conflicts with neither
+        assert_eq!(cs.static_pair_count(), 1, "{:#?}", cs.candidates);
+    }
+
+    #[test]
+    fn dynamic_instances_aggregate_under_one_static_pair() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.assign("i", Expr::val(0));
+            b.while_(Expr::local("i").lt(Expr::val(3)), |b| {
+                b.spawn_detached("w", vec![]);
+                b.assign("i", Expr::local("i").add(Expr::val(1)));
+            });
+            b.read("x", "cell");
+        });
+        pb.func("w", &[], FuncKind::Regular, |b| {
+            b.write("cell", Expr::val(1));
+        });
+        let p = pb.build().unwrap();
+        let mut topo = Topology::new();
+        topo.node("n").entry("main", vec![]);
+        let run = World::run_once(&p, &topo, SimConfig::default().with_full_tracing()).unwrap();
+        let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+        let cs = find_candidates(&hb);
+        // 3 writer instances race with each other and with the final read,
+        // but static pairs collapse: (w-write, w-write) and (w-write, read)
+        assert_eq!(cs.static_pair_count(), 2, "{:#?}", cs.candidates);
+        let ww = cs
+            .candidates
+            .iter()
+            .find(|c| c.rep.0.is_write && c.rep.1.is_write)
+            .unwrap();
+        assert_eq!(ww.dynamic_count, 3); // 3 choose 2
+    }
+}

@@ -1,0 +1,299 @@
+//! Loop-based custom-synchronization analysis (paper §3.2.1, Rule-Mpull).
+//!
+//! Retry/polling loops are synchronization, not bugs: in MR-3274's
+//! `while (!getTask(jID)) {}` the NM polls the AM until `jMap.put` makes
+//! the RPC return non-null. The write that finally lets the loop exit
+//! *happens before* everything after the loop — causality no generic HB
+//! rule can see.
+//!
+//! Following the paper, the analysis:
+//!
+//! 1. statically finds candidate reads `r` that feed a retry-loop exit —
+//!    either directly (local while-loop sync) or through the return value
+//!    of an RPC function invoked inside a remote retry loop (pull-based
+//!    distributed sync, Rule-Mpull);
+//! 2. re-runs the system with focused value tracing on the polled objects
+//!    ("tracing only such r's and all writes that touch the same object");
+//! 3. for each dynamic loop exit, finds the last read instance before it
+//!    and the write `w*` that provided its value, and infers
+//!    `w* ⇒ LoopExit`;
+//! 4. adds the inferred edges to the HB graph, recomputes candidates, and
+//!    additionally drops the polling read/write pairs themselves (they are
+//!    the synchronization idiom).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dcatch_hb::HbAnalysis;
+use dcatch_model::{
+    DependenceAnalysis, FuncKind, LoopId, Program, Stmt, StmtId, StmtKind,
+};
+use dcatch_trace::{OpKind, TaskId, TraceSet};
+
+use crate::candidates::{find_candidates, CandidateSet};
+
+/// Outcome of the loop-synchronization analysis.
+#[derive(Debug, Clone, Default)]
+pub struct LoopSyncResult {
+    /// Inferred `w* ⇒ LoopExit` edges (original-trace indices).
+    pub edges: Vec<(usize, usize)>,
+    /// Candidate static pairs identified as the polling idiom itself.
+    pub sync_pairs: BTreeSet<(StmtId, StmtId)>,
+    /// Objects the focused re-run traced.
+    pub focused_objects: BTreeSet<String>,
+    /// Candidates pruned by this analysis (static-pair count).
+    pub pruned_static_pairs: usize,
+}
+
+/// A read statically identified as feeding a retry-loop exit.
+#[derive(Debug, Clone)]
+struct PolledRead {
+    /// The read statement.
+    read: StmtId,
+    /// Object it polls.
+    object: String,
+    /// Loops whose exits it can release.
+    loops: Vec<LoopId>,
+}
+
+/// Runs the full analysis. `rerun` must re-execute the same workload with
+/// the same seed, tracing only the given objects with values (the
+/// simulator's focused mode guarantees an identical schedule).
+///
+/// Returns the pruned candidate set and a description of what happened.
+pub fn analyze_loop_sync(
+    program: &Program,
+    hb: &mut HbAnalysis,
+    candidates: CandidateSet,
+    rerun: &mut dyn FnMut(&BTreeSet<String>) -> TraceSet,
+) -> (CandidateSet, LoopSyncResult) {
+    let polled = find_polled_reads(program, &candidates);
+    if polled.is_empty() {
+        return (candidates, LoopSyncResult::default());
+    }
+    let focused_objects: BTreeSet<String> =
+        polled.iter().map(|p| p.object.clone()).collect();
+    let focused = rerun(&focused_objects);
+
+    // map (task, tag, stmt-or-loop, ordinal) → original index
+    let original_index = occurrence_index(hb.trace());
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut sync_write_stmts: BTreeMap<StmtId, BTreeSet<StmtId>> = BTreeMap::new();
+
+    let loops_of_interest: BTreeSet<LoopId> =
+        polled.iter().flat_map(|p| p.loops.iter().copied()).collect();
+    let read_stmts: BTreeSet<StmtId> = polled.iter().map(|p| p.read).collect();
+
+    let records = focused.records();
+    let mut focus_ordinals: BTreeMap<OccKey, usize> = BTreeMap::new();
+    let mut keyed: Vec<Option<(OccKey, usize)>> = Vec::with_capacity(records.len());
+    for r in records {
+        match occ_key(r) {
+            Some(k) => {
+                let ord = focus_ordinals.entry(k.clone()).or_insert(0);
+                let this = *ord;
+                *ord += 1;
+                keyed.push(Some((k, this)));
+            }
+            None => keyed.push(None),
+        }
+    }
+    let to_original = |i: usize| -> Option<usize> {
+        let (k, ord) = keyed[i].as_ref()?;
+        original_index.get(k).and_then(|v| v.get(*ord)).copied()
+    };
+
+    for (i, r) in records.iter().enumerate() {
+        let OpKind::LoopExit { loop_id } = r.kind else {
+            continue;
+        };
+        if !loops_of_interest.contains(&loop_id) {
+            continue;
+        }
+        // last instance of a polled read before this exit (global order)
+        let Some((read_idx, read_stmt, value)) =
+            records[..i].iter().enumerate().rev().find_map(|(j, c)| {
+                let stmt = c.stmt()?;
+                if !read_stmts.contains(&stmt) {
+                    return None;
+                }
+                match &c.kind {
+                    OpKind::MemRead { value: Some(v), .. } => Some((j, stmt, v.clone())),
+                    _ => None,
+                }
+            })
+        else {
+            continue;
+        };
+        let read_loc = records[read_idx].kind.mem_loc().expect("mem read");
+        // the write that provided that value
+        let Some((w_idx, w_stmt, w_task)) =
+            records[..read_idx].iter().enumerate().rev().find_map(|(j, c)| {
+                let OpKind::MemWrite {
+                    loc,
+                    value: Some(v),
+                } = &c.kind
+                else {
+                    return None;
+                };
+                if loc.conflicts_with(read_loc) && *v == value {
+                    Some((j, c.stmt()?, c.task))
+                } else {
+                    None
+                }
+            })
+        else {
+            continue;
+        };
+        let read_task: TaskId = records[read_idx].task;
+        if w_task == read_task {
+            continue; // same-thread assignment is ordinary program order
+        }
+        // inferred causality in the original trace's index space
+        if let (Some(w_orig), Some(exit_orig)) = (to_original(w_idx), to_original(i)) {
+            edges.push((w_orig, exit_orig));
+        }
+        sync_write_stmts.entry(read_stmt).or_default().insert(w_stmt);
+    }
+
+    if edges.is_empty() && sync_write_stmts.is_empty() {
+        return (candidates, LoopSyncResult::default());
+    }
+
+    hb.add_edges_and_rebuild(&edges);
+    let mut updated = find_candidates(hb);
+
+    // drop the polling idiom pairs themselves
+    let mut sync_pairs = BTreeSet::new();
+    for (read, writes) in &sync_write_stmts {
+        for w in writes {
+            let key = if *read <= *w { (*read, *w) } else { (*w, *read) };
+            sync_pairs.insert(key);
+        }
+    }
+    updated.retain(|c| !sync_pairs.contains(&c.static_pair));
+
+    let pruned = candidates
+        .static_pair_count()
+        .saturating_sub(updated.static_pair_count());
+    let result = LoopSyncResult {
+        edges,
+        sync_pairs,
+        focused_objects,
+        pruned_static_pairs: pruned,
+    };
+    (updated, result)
+}
+
+// ---------------------------------------------------------------------------
+// static identification of polled reads
+
+/// Finds, for every candidate's read side, the retry loops its value can
+/// release (paper §3.2.1's conditions 1–3, over the IR).
+fn find_polled_reads(program: &Program, candidates: &CandidateSet) -> Vec<PolledRead> {
+    let deps = DependenceAnalysis::new(program);
+    // retry-While statements per function, with enclosure info
+    let mut out = Vec::new();
+    let mut candidate_reads: BTreeMap<StmtId, String> = BTreeMap::new();
+    for c in &candidates.candidates {
+        for side in [&c.rep.0, &c.rep.1] {
+            if !side.is_write {
+                candidate_reads.insert(side.stmt, side.loc.object.clone());
+            }
+        }
+    }
+    for (read, object) in candidate_reads {
+        let mut loops = Vec::new();
+        // local while-loop sync: the read's influence closure reaches a
+        // retry While in its own function
+        let fd = deps.func(read.func);
+        let closure = fd.closure_from_stmt(read);
+        for_each_retry_while(program, read.func, |w_stmt, loop_id| {
+            if closure
+                .get(w_stmt.idx as usize)
+                .copied()
+                .unwrap_or(false)
+            {
+                loops.push(loop_id);
+            }
+        });
+        // distributed pull-based sync: read inside an RPC function whose
+        // return depends on it; remote retry loops polling that RPC
+        let func = program.func(read.func);
+        if func.kind == FuncKind::RpcHandler && fd.return_depends_on_stmt(read) {
+            let rpc_name = func.name.clone();
+            program.for_each_stmt(|fid, s| {
+                if let StmtKind::RpcCall { func: callee, .. } = &s.kind {
+                    if callee == &rpc_name {
+                        let caller_deps = deps.func(fid);
+                        let call_closure = caller_deps.closure_from_stmt(s.id);
+                        for_each_retry_while(program, fid, |w_stmt, loop_id| {
+                            if call_closure
+                                .get(w_stmt.idx as usize)
+                                .copied()
+                                .unwrap_or(false)
+                            {
+                                loops.push(loop_id);
+                            }
+                        });
+                    }
+                }
+            });
+        }
+        if !loops.is_empty() {
+            loops.sort_unstable();
+            loops.dedup();
+            out.push(PolledRead {
+                read,
+                object,
+                loops,
+            });
+        }
+    }
+    out
+}
+
+fn for_each_retry_while(program: &Program, func: dcatch_model::FuncId, mut f: impl FnMut(StmtId, LoopId)) {
+    fn walk(block: &[Stmt], f: &mut impl FnMut(StmtId, LoopId)) {
+        for s in block {
+            if let StmtKind::While {
+                loop_id,
+                retry: true,
+                ..
+            } = &s.kind
+            {
+                f(s.id, *loop_id);
+            }
+            for b in s.blocks() {
+                walk(b, f);
+            }
+        }
+    }
+    walk(&program.func(func).body, &mut f);
+}
+
+// ---------------------------------------------------------------------------
+// cross-run record correspondence
+
+/// A run-stable identity for a dynamic record: task + op tag + static
+/// location. The `k`-th record with a given key corresponds across runs of
+/// the same seed because the focused run executes the identical schedule.
+type OccKey = (TaskId, &'static str, StmtId);
+
+fn occ_key(r: &dcatch_trace::Record) -> Option<OccKey> {
+    let stmt = r.stmt()?;
+    Some((r.task, r.kind.tag(), stmt))
+}
+
+fn occurrence_index(trace: &TraceSet) -> BTreeMap<OccKey, Vec<usize>> {
+    let mut map: BTreeMap<OccKey, Vec<usize>> = BTreeMap::new();
+    for (i, r) in trace.records().iter().enumerate() {
+        if let Some(k) = occ_key(r) {
+            map.entry(k).or_default().push(i);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests;

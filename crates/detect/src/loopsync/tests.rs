@@ -1,0 +1,156 @@
+use std::collections::BTreeSet;
+
+use dcatch_hb::{HbAnalysis, HbConfig};
+use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
+use dcatch_sim::{FocusConfig, SimConfig, Topology, World};
+use dcatch_trace::TraceSet;
+
+use crate::candidates::find_candidates;
+use super::analyze_loop_sync;
+
+const SEED: u64 = 1234;
+
+fn traced_run(p: &Program, topo: &Topology) -> TraceSet {
+    World::run_once(p, topo, SimConfig::default().with_seed(SEED).with_full_tracing())
+        .unwrap()
+        .trace
+}
+
+fn rerun_fn<'a>(
+    p: &'a Program,
+    topo: &'a Topology,
+) -> impl FnMut(&BTreeSet<String>) -> TraceSet + 'a {
+    move |objects: &BTreeSet<String>| {
+        let cfg = SimConfig::default()
+            .with_seed(SEED)
+            .with_full_tracing()
+            .with_focus(FocusConfig::on(objects.iter().cloned()));
+        World::run_once(p, topo, cfg).unwrap().trace
+    }
+}
+
+/// The MR-3274 shape: an NM retry loop polls the AM's `get_task` RPC until
+/// `jMap.put` makes it return non-null. Rule-Mpull must recognize the
+/// put/get pair as pull-based synchronization and prune it.
+#[test]
+fn distributed_pull_sync_is_recognized_and_pruned() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("am_main", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(20));
+        b.map_put("jMap", Expr::val("j1"), Expr::val("task_data"));
+    });
+    pb.func("get_task", &["jid"], FuncKind::RpcHandler, |b| {
+        b.map_get("t", "jMap", Expr::local("jid"));
+        b.ret(Expr::local("t"));
+    });
+    pb.func("nm_main", &["am"], FuncKind::Regular, |b| {
+        b.assign("done", Expr::val(false));
+        b.retry_while(Expr::local("done").not(), |b| {
+            b.rpc("t", Expr::local("am"), "get_task", vec![Expr::val("j1")]);
+            b.assign("done", Expr::local("t").ne(Expr::null()));
+        });
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    let am = topo.node("am").id();
+    topo.node("nm").entry("nm_main", vec![Value::Node(am)]);
+    topo.nodes[am.index()]
+        .entries
+        .push(("am_main".to_owned(), vec![]));
+
+    let trace = traced_run(&p, &topo);
+    let mut hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+    let candidates = find_candidates(&hb);
+    // the polling get/put pair must initially be reported as concurrent
+    assert!(
+        candidates
+            .candidates
+            .iter()
+            .any(|c| c.object() == "jMap"),
+        "{candidates:#?}"
+    );
+    let before = candidates.static_pair_count();
+
+    let mut rerun = rerun_fn(&p, &topo);
+    let (after, result) = analyze_loop_sync(&p, &mut hb, candidates, &mut rerun);
+    assert!(!result.edges.is_empty(), "an Mpull edge must be inferred");
+    assert!(result.focused_objects.contains("jMap"));
+    assert!(
+        after.candidates.iter().all(|c| c.object() != "jMap"),
+        "the polling pair must be pruned: {after:#?}"
+    );
+    assert!(after.static_pair_count() < before);
+}
+
+/// Local while-loop synchronization: a setter thread publishes `data` and
+/// then raises `flag`; the main thread spins on `flag` and reads `data`
+/// after the loop. Both the flag pair and the data pair must be pruned —
+/// the first as the sync idiom, the second by the inferred HB edge.
+#[test]
+fn local_while_loop_sync_prunes_flag_and_downstream_pairs() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("setter", vec![]);
+        b.assign("done", Expr::val(false));
+        b.retry_while(Expr::local("done").not(), |b| {
+            b.read("f", "flag");
+            b.assign("done", Expr::local("f"));
+        });
+        b.read("d", "data");
+    });
+    pb.func("setter", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(10));
+        b.write("data", Expr::val(42));
+        b.write("flag", Expr::val(true));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+
+    let trace = traced_run(&p, &topo);
+    let mut hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+    let candidates = find_candidates(&hb);
+    let has = |obj: &str, cs: &crate::CandidateSet| cs.candidates.iter().any(|c| c.object() == obj);
+    assert!(has("flag", &candidates), "{candidates:#?}");
+    assert!(has("data", &candidates), "{candidates:#?}");
+
+    let mut rerun = rerun_fn(&p, &topo);
+    let (after, result) = analyze_loop_sync(&p, &mut hb, candidates, &mut rerun);
+    assert!(!result.edges.is_empty());
+    assert!(!has("flag", &after), "sync idiom must be pruned: {after:#?}");
+    assert!(!has("data", &after), "downstream pair must be ordered: {after:#?}");
+    assert!(result.pruned_static_pairs >= 2);
+}
+
+/// Programs without retry loops are untouched, and the focused re-run is
+/// never requested.
+#[test]
+fn no_retry_loops_means_no_rerun_and_no_pruning() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("w", vec![]);
+        b.read("x", "cell");
+    });
+    pb.func("w", &[], FuncKind::Regular, |b| {
+        b.write("cell", Expr::val(1));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+
+    let trace = traced_run(&p, &topo);
+    let mut hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+    let candidates = find_candidates(&hb);
+    let before = candidates.static_pair_count();
+    assert!(before >= 1);
+
+    let mut called = false;
+    let mut rerun = |_objects: &BTreeSet<String>| -> TraceSet {
+        called = true;
+        TraceSet::new()
+    };
+    let (after, result) = analyze_loop_sync(&p, &mut hb, candidates, &mut rerun);
+    assert!(!called, "no polled reads → no focused re-run");
+    assert_eq!(after.static_pair_count(), before);
+    assert!(result.edges.is_empty());
+}

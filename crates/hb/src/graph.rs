@@ -1,0 +1,527 @@
+//! HB-graph construction and reachability queries (paper §3.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dcatch_trace::{EventId, ExecCtx, OpKind, TaskId, TraceSet};
+
+use crate::bitmatrix::BitMatrix;
+
+/// Which rule produced an edge (kept for explanations and debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeRule {
+    /// `Preg`/`Pnreg` program order.
+    Program,
+    /// `Tfork`: thread create → begin.
+    Fork,
+    /// `Tjoin`: thread end → join.
+    Join,
+    /// `Eenq`: event create → begin.
+    Eenq,
+    /// `Eserial`: serialized single-consumer event handling.
+    Eserial,
+    /// `Mrpc`: RPC create → begin / end → join.
+    Mrpc,
+    /// `Msoc`: socket send → recv.
+    Msoc,
+    /// `Mpush`: ZooKeeper update → pushed.
+    Mpush,
+    /// `Mpull` / loop-based custom synchronization (added by
+    /// `dcatch-detect` after the focused re-run).
+    LoopSync,
+}
+
+/// Configuration of the HB analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbConfig {
+    /// Budget for the reachable-set matrix, in bytes. The paper's trace
+    /// analysis "will run out of JVM memory (50 GB of RAM)" on unselective
+    /// traces (Table 8); this reproduces that failure mode at laptop scale.
+    pub memory_budget_bytes: usize,
+    /// Whether to apply `Eserial` (it requires a fixed point and is the
+    /// only rule with non-local preconditions; kept togglable for tests).
+    pub apply_eserial: bool,
+}
+
+impl Default for HbConfig {
+    fn default() -> HbConfig {
+        HbConfig {
+            memory_budget_bytes: 1 << 30, // 1 GiB
+            apply_eserial: true,
+        }
+    }
+}
+
+/// Failure of the HB analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbError {
+    /// The reachable-set matrix would exceed the configured budget — the
+    /// Table 8 "Out of Memory" outcome.
+    OutOfMemory {
+        /// Bytes the matrix would need.
+        needed: usize,
+        /// Configured budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for HbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbError::OutOfMemory { needed, budget } => write!(
+                f,
+                "HB analysis out of memory: reachable sets need {needed} bytes (budget {budget})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HbError {}
+
+/// The built HB graph plus its reachability index. Vertices are the trace
+/// record indices (`0..trace.len()`), in sequence order.
+pub struct HbAnalysis {
+    trace: TraceSet,
+    edges: Vec<Vec<(u32, EdgeRule)>>,
+    reach: BitMatrix,
+    edge_count: usize,
+}
+
+impl HbAnalysis {
+    /// Builds the HB graph of `trace` and computes reachable sets.
+    pub fn build(trace: TraceSet, config: &HbConfig) -> Result<HbAnalysis, HbError> {
+        let n = trace.len();
+        let needed = BitMatrix::estimated_bytes(n);
+        if needed > config.memory_budget_bytes {
+            return Err(HbError::OutOfMemory {
+                needed,
+                budget: config.memory_budget_bytes,
+            });
+        }
+        let mut a = HbAnalysis {
+            trace,
+            edges: vec![Vec::new(); n],
+            reach: BitMatrix::new(0),
+            edge_count: 0,
+        };
+        a.add_program_order_edges();
+        a.add_thread_edges();
+        a.add_event_enqueue_edges();
+        a.add_rpc_edges();
+        a.add_socket_edges();
+        a.add_push_edges();
+        a.recompute_reach();
+        if config.apply_eserial {
+            a.apply_eserial_fixed_point();
+        }
+        Ok(a)
+    }
+
+    /// The analyzed trace (possibly ablated by the caller).
+    pub fn trace(&self) -> &TraceSet {
+        &self.trace
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether record `a` happens before record `b` (indices).
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        a != b && self.reach.get(a, b)
+    }
+
+    /// Whether records `a` and `b` are concurrent: neither ordered way.
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        a != b && !self.reach.get(a, b) && !self.reach.get(b, a)
+    }
+
+    /// Direct successors of a vertex.
+    pub fn successors(&self, v: usize) -> impl Iterator<Item = (usize, EdgeRule)> + '_ {
+        self.edges[v].iter().map(|&(t, r)| (t as usize, r))
+    }
+
+    /// Direct predecessors of a vertex (linear scan; used only by the
+    /// triggering module's placement analysis on small candidate sets).
+    pub fn predecessors(&self, v: usize) -> Vec<(usize, EdgeRule)> {
+        let mut preds = Vec::new();
+        for (u, outs) in self.edges.iter().enumerate() {
+            for &(t, r) in outs {
+                if t as usize == v {
+                    preds.push((u, r));
+                }
+            }
+        }
+        preds
+    }
+
+    /// A happens-before chain from `a` to `b`, if one exists: the list of
+    /// `(vertex, rule-used-to-reach-it)` hops after `a`. Reconstructs the
+    /// kind of causality chain the paper's Figure 3 walks through.
+    pub fn explain(&self, a: usize, b: usize) -> Option<Vec<(usize, EdgeRule)>> {
+        if !self.happens_before(a, b) {
+            return None;
+        }
+        // BFS for a shortest chain.
+        let mut prev: BTreeMap<usize, (usize, EdgeRule)> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            if u == b {
+                break;
+            }
+            for (t, r) in self.successors(u) {
+                if t != a && !prev.contains_key(&t) {
+                    prev.insert(t, (u, r));
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut chain = Vec::new();
+        let mut cur = b;
+        while cur != a {
+            let &(p, r) = prev.get(&cur)?;
+            chain.push((cur, r));
+            cur = p;
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Renders the HB graph in Graphviz DOT form for debugging, with one
+    /// cluster per task and edges labelled by rule. Intended for the small
+    /// selective traces; `max_vertices` guards against dumping a full
+    /// trace by accident.
+    pub fn to_dot(&self, max_vertices: usize) -> String {
+        use std::fmt::Write as _;
+        let n = self.trace.len().min(max_vertices);
+        let mut out = String::from("digraph hb {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n");
+        let mut by_task: BTreeMap<_, Vec<usize>> = BTreeMap::new();
+        for (i, r) in self.trace.records().iter().take(n).enumerate() {
+            by_task.entry(r.task).or_default().push(i);
+        }
+        for (task, verts) in &by_task {
+            let _ = writeln!(out, "  subgraph \"cluster_{task}\" {{");
+            let _ = writeln!(out, "    label=\"{task}\";");
+            for &v in verts {
+                let r = &self.trace.records()[v];
+                let stmt = r
+                    .stmt()
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "-".to_owned());
+                let _ = writeln!(out, "    v{v} [label=\"#{v} {} {stmt}\"];", r.kind.tag());
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for v in 0..n {
+            for (t, rule) in self.successors(v) {
+                if t < n {
+                    let _ = writeln!(out, "  v{v} -> v{t} [label=\"{rule:?}\", fontsize=8];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Adds extra edges (e.g. inferred `Mpull`/loop-sync causality) and
+    /// recomputes reachability.
+    pub fn add_edges_and_rebuild(&mut self, extra: &[(usize, usize)]) {
+        for &(u, v) in extra {
+            debug_assert!(u < self.trace.len() && v < self.trace.len());
+            // HB edges must respect execution order for the sweep to work.
+            let (u, v) = if self.trace.records()[u].seq <= self.trace.records()[v].seq {
+                (u, v)
+            } else {
+                (v, u)
+            };
+            if u != v {
+                self.add_edge(u, v, EdgeRule::LoopSync);
+            }
+        }
+        self.recompute_reach();
+    }
+
+    // -- construction ------------------------------------------------------
+
+    fn add_edge(&mut self, u: usize, v: usize, rule: EdgeRule) {
+        debug_assert!(
+            self.trace.records()[u].seq <= self.trace.records()[v].seq,
+            "HB edges must go forward in sequence order"
+        );
+        if self.edges[u].iter().any(|&(t, _)| t as usize == v) {
+            return;
+        }
+        self.edges[u].push((v as u32, rule));
+        self.edge_count += 1;
+    }
+
+    /// `Preg` / `Pnreg`: chain consecutive records of the same
+    /// program-order group (task + context instance).
+    fn add_program_order_edges(&mut self) {
+        let mut last: BTreeMap<(TaskId, ExecCtx), usize> = BTreeMap::new();
+        let n = self.trace.len();
+        for i in 0..n {
+            let r = &self.trace.records()[i];
+            let key = (r.task, r.ctx);
+            if let Some(&p) = last.get(&key) {
+                self.add_edge(p, i, EdgeRule::Program);
+            }
+            last.insert(key, i);
+        }
+    }
+
+    /// `Tfork` / `Tjoin`.
+    fn add_thread_edges(&mut self) {
+        // first ThreadBegin and ThreadEnd per task
+        let mut begin: BTreeMap<TaskId, usize> = BTreeMap::new();
+        let mut end: BTreeMap<TaskId, usize> = BTreeMap::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            match r.kind {
+                OpKind::ThreadBegin => {
+                    begin.entry(r.task).or_insert(i);
+                }
+                OpKind::ThreadEnd => {
+                    end.insert(r.task, i);
+                }
+                _ => {}
+            }
+        }
+        let mut fork_edges = Vec::new();
+        let mut join_edges = Vec::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            match &r.kind {
+                OpKind::ThreadCreate { child } => {
+                    if let Some(&b) = begin.get(child) {
+                        fork_edges.push((i, b));
+                    }
+                }
+                OpKind::ThreadJoin { child } => {
+                    if let Some(&e) = end.get(child) {
+                        join_edges.push((e, i));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (u, v) in fork_edges {
+            self.add_edge(u, v, EdgeRule::Fork);
+        }
+        for (u, v) in join_edges {
+            self.add_edge(u, v, EdgeRule::Join);
+        }
+    }
+
+    /// `Eenq`.
+    fn add_event_enqueue_edges(&mut self) {
+        let mut create: BTreeMap<EventId, usize> = BTreeMap::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            if let OpKind::EventCreate { event } = r.kind {
+                create.insert(event, i);
+            }
+        }
+        let mut edges = Vec::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            if let OpKind::EventBegin { event } = r.kind {
+                if let Some(&c) = create.get(&event) {
+                    edges.push((c, i));
+                }
+            }
+        }
+        for (u, v) in edges {
+            self.add_edge(u, v, EdgeRule::Eenq);
+        }
+    }
+
+    /// `Mrpc`.
+    fn add_rpc_edges(&mut self) {
+        let mut create = BTreeMap::new();
+        let mut end = BTreeMap::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            match r.kind {
+                OpKind::RpcCreate { rpc } => {
+                    create.insert(rpc, i);
+                }
+                OpKind::RpcEnd { rpc } => {
+                    end.insert(rpc, i);
+                }
+                _ => {}
+            }
+        }
+        let mut edges = Vec::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            match r.kind {
+                OpKind::RpcBegin { rpc } => {
+                    if let Some(&c) = create.get(&rpc) {
+                        edges.push((c, i, EdgeRule::Mrpc));
+                    }
+                }
+                OpKind::RpcJoin { rpc } => {
+                    if let Some(&e) = end.get(&rpc) {
+                        edges.push((e, i, EdgeRule::Mrpc));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (u, v, r) in edges {
+            self.add_edge(u, v, r);
+        }
+    }
+
+    /// `Msoc`.
+    fn add_socket_edges(&mut self) {
+        let mut send = BTreeMap::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            if let OpKind::SocketSend { msg } = r.kind {
+                send.insert(msg, i);
+            }
+        }
+        let mut edges = Vec::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            if let OpKind::SocketRecv { msg } = r.kind {
+                if let Some(&s) = send.get(&msg) {
+                    edges.push((s, i));
+                }
+            }
+        }
+        for (u, v) in edges {
+            self.add_edge(u, v, EdgeRule::Msoc);
+        }
+    }
+
+    /// `Mpush`: pair updates with pushed notifications by (path, version).
+    fn add_push_edges(&mut self) {
+        let mut update: BTreeMap<(String, u64), usize> = BTreeMap::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            if let OpKind::ZkUpdate { path, version } = &r.kind {
+                update.insert((path.clone(), *version), i);
+            }
+        }
+        let mut edges = Vec::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            if let OpKind::ZkPushed { path, version } = &r.kind {
+                if let Some(&u) = update.get(&(path.clone(), *version)) {
+                    edges.push((u, i));
+                }
+            }
+        }
+        for (u, v) in edges {
+            self.add_edge(u, v, EdgeRule::Mpush);
+        }
+    }
+
+    /// `Eserial`, applied last and repeated to a fixed point (§3.2.1):
+    /// for events of the same single-consumer queue, `End(e1) ⇒ Begin(e2)`
+    /// whenever `Create(e1) ⇒ Create(e2)`.
+    fn apply_eserial_fixed_point(&mut self) {
+        #[derive(Debug)]
+        struct Ev {
+            create: usize,
+            begin: usize,
+            end: Option<usize>,
+        }
+        // events grouped by single-consumer queue
+        let mut by_queue: BTreeMap<(u32, String), BTreeMap<EventId, Ev>> = BTreeMap::new();
+        for (i, r) in self.trace.records().iter().enumerate() {
+            let event = match r.kind {
+                OpKind::EventCreate { event }
+                | OpKind::EventBegin { event }
+                | OpKind::EventEnd { event } => event,
+                _ => continue,
+            };
+            let Some((node, queue)) = self.trace.event_queue(event.0) else {
+                continue;
+            };
+            let single = self
+                .trace
+                .queue_info(*node, queue)
+                .is_some_and(|q| q.is_single_consumer());
+            if !single {
+                continue;
+            }
+            let key = (node.0, queue.to_owned());
+            let slot = by_queue.entry(key).or_default();
+            match r.kind {
+                OpKind::EventCreate { .. } => {
+                    slot.entry(event).or_insert(Ev {
+                        create: i,
+                        begin: usize::MAX,
+                        end: None,
+                    });
+                }
+                OpKind::EventBegin { .. } => {
+                    if let Some(ev) = slot.get_mut(&event) {
+                        ev.begin = i;
+                    }
+                }
+                OpKind::EventEnd { .. } => {
+                    if let Some(ev) = slot.get_mut(&event) {
+                        ev.end = Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        loop {
+            let mut added = false;
+            for events in by_queue.values() {
+                let evs: Vec<&Ev> = events
+                    .values()
+                    .filter(|e| e.begin != usize::MAX && e.end.is_some())
+                    .collect();
+                for e1 in &evs {
+                    for e2 in &evs {
+                        let end1 = e1.end.expect("filtered");
+                        if end1 >= e2.begin {
+                            continue; // edges must go forward in seq order
+                        }
+                        if self.edges[end1]
+                            .iter()
+                            .any(|&(t, _)| t as usize == e2.begin)
+                        {
+                            continue;
+                        }
+                        let c1c2 = e1.create != e2.create && self.reach.get(e1.create, e2.create);
+                        if c1c2 {
+                            self.add_edge(end1, e2.begin, EdgeRule::Eserial);
+                            added = true;
+                        }
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+            self.recompute_reach();
+        }
+    }
+
+    /// Reverse sweep: every edge goes from a smaller to a larger index, so
+    /// processing vertices in decreasing order makes each reachable set the
+    /// union of its successors' sets plus the successors themselves.
+    fn recompute_reach(&mut self) {
+        let n = self.trace.len();
+        // drop the previous matrix first: holding both would double peak
+        // memory and defeat the budget check in `build`
+        self.reach = BitMatrix::new(0);
+        let mut reach = BitMatrix::new(n);
+        for i in (0..n).rev() {
+            // collect first to avoid holding a borrow on edges
+            let succs: Vec<usize> = self.edges[i].iter().map(|&(t, _)| t as usize).collect();
+            for s in succs {
+                reach.set(i, s);
+                reach.or_row_into(s, i);
+            }
+        }
+        self.reach = reach;
+    }
+}
+
+#[cfg(test)]
+mod tests;

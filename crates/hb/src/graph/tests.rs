@@ -1,0 +1,378 @@
+use dcatch_model::{FuncId, NodeId, StmtId};
+use dcatch_trace::{
+    CallStack, EventId, ExecCtx, HandlerKind, MemLoc, MemSpace, MsgId, OpKind, QueueInfo, Record,
+    RpcId, TaskId, TraceSet,
+};
+
+use super::{EdgeRule, HbAnalysis, HbConfig, HbError};
+
+fn task(node: u32, index: u32) -> TaskId {
+    TaskId {
+        node: NodeId(node),
+        index,
+    }
+}
+
+fn rec(seq: u64, t: TaskId, ctx: ExecCtx, kind: OpKind) -> Record {
+    Record {
+        seq,
+        task: t,
+        ctx,
+        kind,
+        stack: CallStack(vec![StmtId {
+            func: FuncId(0),
+            idx: seq as u32,
+        }]),
+    }
+}
+
+fn mem(seq: u64, t: TaskId, ctx: ExecCtx, object: &str, write: bool) -> Record {
+    let loc = MemLoc {
+        space: MemSpace::Heap,
+        node: t.node,
+        object: object.to_owned(),
+        key: None,
+    };
+    let kind = if write {
+        OpKind::MemWrite { loc, value: None }
+    } else {
+        OpKind::MemRead { loc, value: None }
+    };
+    rec(seq, t, ctx, kind)
+}
+
+fn build(records: Vec<Record>) -> HbAnalysis {
+    let trace: TraceSet = records.into_iter().collect();
+    HbAnalysis::build(trace, &HbConfig::default()).unwrap()
+}
+
+#[test]
+fn program_order_chains_regular_thread_records() {
+    let t0 = task(0, 0);
+    let t1 = task(0, 1);
+    let a = build(vec![
+        mem(0, t0, ExecCtx::Regular, "x", true),
+        mem(1, t0, ExecCtx::Regular, "x", false),
+        mem(2, t1, ExecCtx::Regular, "x", true),
+    ]);
+    assert!(a.happens_before(0, 1));
+    assert!(!a.happens_before(1, 0));
+    assert!(a.concurrent(0, 2));
+    assert!(a.concurrent(1, 2));
+}
+
+#[test]
+fn pnreg_separates_handler_instances_on_the_same_thread() {
+    let w = task(0, 0);
+    let h1 = ExecCtx::Handler {
+        kind: HandlerKind::Event,
+        instance: 1,
+    };
+    let h2 = ExecCtx::Handler {
+        kind: HandlerKind::Event,
+        instance: 2,
+    };
+    let a = build(vec![
+        mem(0, w, h1, "x", true),
+        mem(1, w, h1, "y", true),
+        mem(2, w, h2, "x", false),
+    ]);
+    assert!(a.happens_before(0, 1)); // same instance
+    assert!(a.concurrent(0, 2)); // different instances, same thread
+    assert!(a.concurrent(1, 2));
+}
+
+#[test]
+fn fork_and_join_edges() {
+    let parent = task(0, 0);
+    let child = task(0, 1);
+    let a = build(vec![
+        mem(0, parent, ExecCtx::Regular, "before", true),
+        rec(1, parent, ExecCtx::Regular, OpKind::ThreadCreate { child }),
+        rec(2, child, ExecCtx::Regular, OpKind::ThreadBegin),
+        mem(3, child, ExecCtx::Regular, "inchild", true),
+        rec(4, child, ExecCtx::Regular, OpKind::ThreadEnd),
+        rec(5, parent, ExecCtx::Regular, OpKind::ThreadJoin { child }),
+        mem(6, parent, ExecCtx::Regular, "after", true),
+    ]);
+    assert!(a.happens_before(0, 3)); // before-write ⇒ child work
+    assert!(a.happens_before(3, 6)); // child work ⇒ after-join
+    assert!(a.happens_before(1, 2));
+    assert!(a.happens_before(4, 5));
+}
+
+#[test]
+fn rpc_edges_order_caller_and_callee() {
+    let caller = task(0, 0);
+    let worker = task(1, 0);
+    let hctx = ExecCtx::Handler {
+        kind: HandlerKind::Rpc,
+        instance: 1,
+    };
+    let rpc = RpcId(9);
+    let a = build(vec![
+        mem(0, caller, ExecCtx::Regular, "arg", true),
+        rec(1, caller, ExecCtx::Regular, OpKind::RpcCreate { rpc }),
+        rec(2, worker, hctx, OpKind::RpcBegin { rpc }),
+        mem(3, worker, hctx, "served", true),
+        rec(4, worker, hctx, OpKind::RpcEnd { rpc }),
+        rec(5, caller, ExecCtx::Regular, OpKind::RpcJoin { rpc }),
+        mem(6, caller, ExecCtx::Regular, "result", true),
+    ]);
+    assert!(a.happens_before(0, 3));
+    assert!(a.happens_before(3, 6));
+}
+
+#[test]
+fn socket_edge_orders_send_before_handler() {
+    let sender = task(0, 0);
+    let handler = task(1, 0);
+    let hctx = ExecCtx::Handler {
+        kind: HandlerKind::Socket,
+        instance: 1,
+    };
+    let msg = MsgId(3);
+    let a = build(vec![
+        mem(0, sender, ExecCtx::Regular, "payload", true),
+        rec(1, sender, ExecCtx::Regular, OpKind::SocketSend { msg }),
+        rec(2, handler, hctx, OpKind::SocketRecv { msg }),
+        mem(3, handler, hctx, "received", true),
+    ]);
+    assert!(a.happens_before(0, 3));
+    // but nothing orders the handler back to the sender
+    assert!(!a.happens_before(3, 1));
+}
+
+#[test]
+fn push_edge_pairs_update_with_matching_version() {
+    let writer = task(0, 0);
+    let watcher = task(1, 0);
+    let wctx = ExecCtx::Handler {
+        kind: HandlerKind::ZkWatcher,
+        instance: 1,
+    };
+    let a = build(vec![
+        rec(
+            0,
+            writer,
+            ExecCtx::Regular,
+            OpKind::ZkUpdate {
+                path: "/r".into(),
+                version: 1,
+            },
+        ),
+        rec(
+            1,
+            writer,
+            ExecCtx::Regular,
+            OpKind::ZkUpdate {
+                path: "/r".into(),
+                version: 2,
+            },
+        ),
+        rec(
+            2,
+            watcher,
+            wctx,
+            OpKind::ZkPushed {
+                path: "/r".into(),
+                version: 1,
+            },
+        ),
+        mem(3, watcher, wctx, "observed", true),
+    ]);
+    assert!(a.happens_before(0, 3)); // v1 update ⇒ v1 notification handler
+    assert!(!a.happens_before(1, 2)); // v2 update does not order the v1 push
+}
+
+#[test]
+fn eenq_orders_enqueue_before_handling() {
+    let producer = task(0, 0);
+    let worker = task(0, 1);
+    let hctx = ExecCtx::Handler {
+        kind: HandlerKind::Event,
+        instance: 1,
+    };
+    let e = EventId(5);
+    let mut trace: TraceSet = vec![
+        mem(0, producer, ExecCtx::Regular, "setup", true),
+        rec(1, producer, ExecCtx::Regular, OpKind::EventCreate { event: e }),
+        rec(2, worker, hctx, OpKind::EventBegin { event: e }),
+        mem(3, worker, hctx, "handled", true),
+        rec(4, worker, hctx, OpKind::EventEnd { event: e }),
+    ]
+    .into_iter()
+    .collect();
+    trace.register_queue(NodeId(0), "q", QueueInfo { consumers: 1 });
+    trace.register_event(e.0, NodeId(0), "q");
+    let a = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+    assert!(a.happens_before(0, 3));
+}
+
+/// Two events enqueued in order by one thread onto a single-consumer
+/// queue: Eserial orders the first handler's end before the second's
+/// begin, so the handler bodies are ordered.
+#[test]
+fn eserial_orders_single_consumer_handlers() {
+    let producer = task(0, 0);
+    let worker = task(0, 1);
+    let h1 = ExecCtx::Handler {
+        kind: HandlerKind::Event,
+        instance: 1,
+    };
+    let h2 = ExecCtx::Handler {
+        kind: HandlerKind::Event,
+        instance: 2,
+    };
+    let (e1, e2) = (EventId(1), EventId(2));
+    let make = |consumers: u32| {
+        let mut trace: TraceSet = vec![
+            rec(0, producer, ExecCtx::Regular, OpKind::EventCreate { event: e1 }),
+            rec(1, producer, ExecCtx::Regular, OpKind::EventCreate { event: e2 }),
+            rec(2, worker, h1, OpKind::EventBegin { event: e1 }),
+            mem(3, worker, h1, "state", true),
+            rec(4, worker, h1, OpKind::EventEnd { event: e1 }),
+            rec(5, worker, h2, OpKind::EventBegin { event: e2 }),
+            mem(6, worker, h2, "state", false),
+            rec(7, worker, h2, OpKind::EventEnd { event: e2 }),
+        ]
+        .into_iter()
+        .collect::<TraceSet>();
+        trace.register_queue(NodeId(0), "q", QueueInfo { consumers });
+        trace.register_event(e1.0, NodeId(0), "q");
+        trace.register_event(e2.0, NodeId(0), "q");
+        trace
+    };
+    let single = HbAnalysis::build(make(1), &HbConfig::default()).unwrap();
+    assert!(single.happens_before(3, 6), "Eserial must order the bodies");
+
+    let multi = HbAnalysis::build(make(2), &HbConfig::default()).unwrap();
+    assert!(multi.concurrent(3, 6), "multi-consumer handlers are concurrent");
+
+    let mut cfg = HbConfig::default();
+    cfg.apply_eserial = false;
+    let disabled = HbAnalysis::build(make(1), &cfg).unwrap();
+    assert!(disabled.concurrent(3, 6));
+}
+
+/// Eserial fixed point: e3 is created *inside* e2's handler, so
+/// `Create(e1) ⇒ Create(e3)` only holds after the first Eserial round adds
+/// `End(e1) ⇒ Begin(e2)`.
+#[test]
+fn eserial_reaches_a_fixed_point_across_rounds() {
+    let producer = task(0, 0);
+    let worker = task(0, 1);
+    let hctx = |i| ExecCtx::Handler {
+        kind: HandlerKind::Event,
+        instance: i,
+    };
+    let (e1, e2, e3) = (EventId(1), EventId(2), EventId(3));
+    let mut trace: TraceSet = vec![
+        rec(0, producer, ExecCtx::Regular, OpKind::EventCreate { event: e1 }),
+        rec(1, producer, ExecCtx::Regular, OpKind::EventCreate { event: e2 }),
+        rec(2, worker, hctx(1), OpKind::EventBegin { event: e1 }),
+        mem(3, worker, hctx(1), "a", true),
+        rec(4, worker, hctx(1), OpKind::EventEnd { event: e1 }),
+        rec(5, worker, hctx(2), OpKind::EventBegin { event: e2 }),
+        rec(6, worker, hctx(2), OpKind::EventCreate { event: e3 }),
+        rec(7, worker, hctx(2), OpKind::EventEnd { event: e2 }),
+        rec(8, worker, hctx(3), OpKind::EventBegin { event: e3 }),
+        mem(9, worker, hctx(3), "a", false),
+        rec(10, worker, hctx(3), OpKind::EventEnd { event: e3 }),
+    ]
+    .into_iter()
+    .collect();
+    trace.register_queue(NodeId(0), "q", QueueInfo { consumers: 1 });
+    for e in [e1, e2, e3] {
+        trace.register_event(e.0, NodeId(0), "q");
+    }
+    let a = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+    assert!(
+        a.happens_before(3, 9),
+        "fixed point must order e1's body before e3's body"
+    );
+}
+
+#[test]
+fn explain_returns_a_rule_chain() {
+    let parent = task(0, 0);
+    let child = task(0, 1);
+    let a = build(vec![
+        mem(0, parent, ExecCtx::Regular, "w", true),
+        rec(1, parent, ExecCtx::Regular, OpKind::ThreadCreate { child }),
+        rec(2, child, ExecCtx::Regular, OpKind::ThreadBegin),
+        mem(3, child, ExecCtx::Regular, "r", false),
+    ]);
+    let chain = a.explain(0, 3).expect("path exists");
+    let rules: Vec<EdgeRule> = chain.iter().map(|&(_, r)| r).collect();
+    assert_eq!(
+        rules,
+        vec![EdgeRule::Program, EdgeRule::Fork, EdgeRule::Program]
+    );
+    assert!(a.explain(3, 0).is_none());
+}
+
+#[test]
+fn add_edges_and_rebuild_orders_previously_concurrent_records() {
+    let t0 = task(0, 0);
+    let t1 = task(0, 1);
+    let mut a = build(vec![
+        mem(0, t0, ExecCtx::Regular, "x", true),
+        mem(1, t1, ExecCtx::Regular, "x", false),
+        mem(2, t1, ExecCtx::Regular, "y", true),
+    ]);
+    assert!(a.concurrent(0, 1));
+    a.add_edges_and_rebuild(&[(0, 1)]);
+    assert!(a.happens_before(0, 1));
+    assert!(a.happens_before(0, 2)); // transitively via t1's program order
+}
+
+#[test]
+fn memory_budget_is_enforced() {
+    let t0 = task(0, 0);
+    let records: Vec<Record> = (0..100)
+        .map(|i| mem(i, t0, ExecCtx::Regular, "x", false))
+        .collect();
+    let trace: TraceSet = records.into_iter().collect();
+    let cfg = HbConfig {
+        memory_budget_bytes: 16,
+        apply_eserial: true,
+    };
+    match HbAnalysis::build(trace, &cfg) {
+        Err(HbError::OutOfMemory { needed, budget }) => {
+            assert!(needed > budget);
+        }
+        other => panic!("expected OOM, got {:?}", other.map(|a| a.vertex_count())),
+    }
+}
+
+#[test]
+fn edge_and_vertex_counts() {
+    let t0 = task(0, 0);
+    let a = build(vec![
+        mem(0, t0, ExecCtx::Regular, "x", true),
+        mem(1, t0, ExecCtx::Regular, "x", false),
+    ]);
+    assert_eq!(a.vertex_count(), 2);
+    assert_eq!(a.edge_count(), 1);
+    assert_eq!(a.successors(0).count(), 1);
+    assert_eq!(a.predecessors(1).len(), 1);
+}
+
+#[test]
+fn dot_export_contains_clusters_and_labelled_edges() {
+    let parent = task(0, 0);
+    let child = task(0, 1);
+    let a = build(vec![
+        rec(0, parent, ExecCtx::Regular, OpKind::ThreadCreate { child }),
+        rec(1, child, ExecCtx::Regular, OpKind::ThreadBegin),
+    ]);
+    let dot = a.to_dot(100);
+    assert!(dot.starts_with("digraph hb {"));
+    assert!(dot.contains("cluster_n0.t0"));
+    assert!(dot.contains("cluster_n0.t1"));
+    assert!(dot.contains("label=\"Fork\""));
+    // the vertex cap truncates output
+    let capped = a.to_dot(1);
+    assert!(!capped.contains("v0 -> v1"));
+}

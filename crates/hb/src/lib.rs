@@ -1,0 +1,44 @@
+//! The DCatch happens-before model and graph (paper §2 and §3.2).
+//!
+//! This crate turns a `dcatch-trace` [`TraceSet`](dcatch_trace::TraceSet)
+//! into a happens-before DAG and answers concurrency queries on it. The
+//! edges implement the full MTEP rule set:
+//!
+//! | rule | causality |
+//! |------|-----------|
+//! | `Mrpc`    | `Create(r,n1) ⇒ Begin(r,n2)`, `End(r,n2) ⇒ Join(r,n1)` |
+//! | `Msoc`    | `Send(m,n1) ⇒ Recv(m,n2)` |
+//! | `Mpush`   | `Update(s,n1) ⇒ Pushed(s,n2)` (ZooKeeper watchers) |
+//! | `Tfork`   | `Create(t) ⇒ Begin(t)` |
+//! | `Tjoin`   | `End(t) ⇒ Join(t)` |
+//! | `Eenq`    | `Create(e) ⇒ Begin(e)` |
+//! | `Eserial` | `End(e1) ⇒ Begin(e2)` for single-consumer FIFO queues when `Create(e1) ⇒ Create(e2)`, applied last, to a fixed point |
+//! | `Preg`    | program order in regular threads |
+//! | `Pnreg`   | program order *within* one handler instance only |
+//!
+//! (`Mpull`, the pull-based custom synchronization rule, needs program
+//! analysis plus a focused second run and lives in `dcatch-detect`; it
+//! feeds extra edges back into this graph via
+//! [`HbAnalysis::add_edges_and_rebuild`].)
+//!
+//! Reachability uses the bit-array reachable-set algorithm DCatch borrows
+//! from event-driven race detection (§3.2.2): every HB edge in a trace
+//! points from a smaller to a larger sequence number, so one reverse sweep
+//! computes each vertex's reachable set and concurrency checks become
+//! constant-time bit lookups. The memory this takes is quadratic in the
+//! trace length — which is exactly why DCatch's *selective* tracing
+//! matters, and why the unselective baseline of Table 8 runs out of memory
+//! ([`HbError::OutOfMemory`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ablation;
+mod bitmatrix;
+mod graph;
+mod vectorclock;
+
+pub use ablation::{apply_ablation, Ablation};
+pub use bitmatrix::BitMatrix;
+pub use graph::{EdgeRule, HbAnalysis, HbConfig, HbError};
+pub use vectorclock::VectorClocks;

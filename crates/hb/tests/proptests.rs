@@ -1,0 +1,284 @@
+//! Property tests for the HB graph: the bit-matrix reachable sets must
+//! agree with a naive DFS transitive closure, and concurrency must be
+//! symmetric and irreflexive, on arbitrary generated traces.
+
+use proptest::prelude::*;
+
+use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig};
+use dcatch_model::{FuncId, NodeId, StmtId};
+use dcatch_trace::{
+    CallStack, EventId, ExecCtx, HandlerKind, MemLoc, MemSpace, MsgId, OpKind, QueueInfo, Record,
+    RpcId, TaskId, TraceSet,
+};
+
+/// A compact description of a random but *well-formed* trace: a set of
+/// tasks emitting accesses, with matched create/begin pairs for threads,
+/// events, RPCs, and sockets.
+#[derive(Debug, Clone)]
+enum Op {
+    Access { task: u8, object: u8, write: bool },
+    SpawnPair { parent: u8, child: u8 },
+    EventPair { producer: u8, worker: u8 },
+    RpcPair { caller: u8, worker: u8 },
+    SocketPair { sender: u8, handler: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 0u8..4, any::<bool>())
+            .prop_map(|(task, object, write)| Op::Access { task, object, write }),
+        (0u8..6, 0u8..6).prop_map(|(parent, child)| Op::SpawnPair { parent, child }),
+        (0u8..6, 0u8..6).prop_map(|(producer, worker)| Op::EventPair { producer, worker }),
+        (0u8..6, 0u8..6).prop_map(|(caller, worker)| Op::RpcPair { caller, worker }),
+        (0u8..6, 0u8..6).prop_map(|(sender, handler)| Op::SocketPair { sender, handler }),
+    ]
+}
+
+fn task(i: u8) -> TaskId {
+    TaskId {
+        node: NodeId(u32::from(i) % 3),
+        index: u32::from(i),
+    }
+}
+
+/// Builds a well-formed trace from the op script. Creates happen at the
+/// position of the op; the matching begin/recv/etc. is appended at the end
+/// (so every cause precedes its effect in sequence order).
+fn build_trace(ops: &[Op]) -> TraceSet {
+    let mut records: Vec<Record> = Vec::new();
+    let mut tail: Vec<Record> = Vec::new();
+    let mut seq = 0u64;
+    let mut next_id = 0u64;
+    let mut rec = |seq: &mut u64, t: TaskId, ctx: ExecCtx, kind: OpKind| -> Record {
+        let r = Record {
+            seq: *seq,
+            task: t,
+            ctx,
+            kind,
+            stack: CallStack(vec![StmtId {
+                func: FuncId(u32::from(t.index)),
+                idx: *seq as u32,
+            }]),
+        };
+        *seq += 1;
+        r
+    };
+    let mut queue_registered = false;
+    let mut trace = TraceSet::new();
+    for op in ops {
+        match *op {
+            Op::Access { task: t, object, write } => {
+                let loc = MemLoc {
+                    space: MemSpace::Heap,
+                    node: task(t).node,
+                    object: format!("obj{object}"),
+                    key: None,
+                };
+                let kind = if write {
+                    OpKind::MemWrite { loc, value: None }
+                } else {
+                    OpKind::MemRead { loc, value: None }
+                };
+                records.push(rec(&mut seq, task(t), ExecCtx::Regular, kind));
+            }
+            Op::SpawnPair { parent, child } => {
+                let child_task = task(child.wrapping_add(100));
+                records.push(rec(
+                    &mut seq,
+                    task(parent),
+                    ExecCtx::Regular,
+                    OpKind::ThreadCreate { child: child_task },
+                ));
+                tail.push(rec(&mut seq, child_task, ExecCtx::Regular, OpKind::ThreadBegin));
+            }
+            Op::EventPair { producer, worker } => {
+                let e = EventId(next_id);
+                next_id += 1;
+                records.push(rec(
+                    &mut seq,
+                    task(producer),
+                    ExecCtx::Regular,
+                    OpKind::EventCreate { event: e },
+                ));
+                let ctx = ExecCtx::Handler {
+                    kind: HandlerKind::Event,
+                    instance: e.0,
+                };
+                tail.push(rec(&mut seq, task(worker.wrapping_add(50)), ctx, OpKind::EventBegin { event: e }));
+                tail.push(rec(&mut seq, task(worker.wrapping_add(50)), ctx, OpKind::EventEnd { event: e }));
+                if !queue_registered {
+                    trace.register_queue(NodeId(0), "q", QueueInfo { consumers: 1 });
+                    queue_registered = true;
+                }
+                trace.register_event(e.0, NodeId(0), "q");
+            }
+            Op::RpcPair { caller, worker } => {
+                let r = RpcId(next_id);
+                next_id += 1;
+                records.push(rec(
+                    &mut seq,
+                    task(caller),
+                    ExecCtx::Regular,
+                    OpKind::RpcCreate { rpc: r },
+                ));
+                let ctx = ExecCtx::Handler {
+                    kind: HandlerKind::Rpc,
+                    instance: r.0,
+                };
+                tail.push(rec(&mut seq, task(worker.wrapping_add(70)), ctx, OpKind::RpcBegin { rpc: r }));
+                tail.push(rec(&mut seq, task(worker.wrapping_add(70)), ctx, OpKind::RpcEnd { rpc: r }));
+            }
+            Op::SocketPair { sender, handler } => {
+                let m = MsgId(next_id);
+                next_id += 1;
+                records.push(rec(
+                    &mut seq,
+                    task(sender),
+                    ExecCtx::Regular,
+                    OpKind::SocketSend { msg: m },
+                ));
+                let ctx = ExecCtx::Handler {
+                    kind: HandlerKind::Socket,
+                    instance: m.0,
+                };
+                tail.push(rec(&mut seq, task(handler.wrapping_add(90)), ctx, OpKind::SocketRecv { msg: m }));
+            }
+        }
+    }
+    // re-sequence the tail after the main body
+    for mut r in records.into_iter().chain(tail.into_iter()) {
+        r.seq = trace.len() as u64;
+        trace.push(r);
+    }
+    trace
+}
+
+/// Naive transitive closure by DFS over the edge lists.
+fn dfs_closure(hb: &HbAnalysis) -> Vec<Vec<bool>> {
+    let n = hb.vertex_count();
+    let mut out = vec![vec![false; n]; n];
+    for start in 0..n {
+        let mut stack: Vec<usize> = hb.successors(start).map(|(t, _)| t).collect();
+        while let Some(v) = stack.pop() {
+            if !out[start][v] {
+                out[start][v] = true;
+                stack.extend(hb.successors(v).map(|(t, _)| t));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The constant-time bit-matrix queries agree with ground-truth DFS.
+    #[test]
+    fn reachability_matches_dfs_closure(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let trace = build_trace(&ops);
+        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        let truth = dfs_closure(&hb);
+        let n = hb.vertex_count();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    hb.happens_before(a, b),
+                    a != b && truth[a][b],
+                    "hb({}, {}) mismatch", a, b
+                );
+            }
+        }
+    }
+
+    /// Concurrency is symmetric, irreflexive, and exclusive with ordering.
+    #[test]
+    fn concurrency_laws(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let trace = build_trace(&ops);
+        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        let n = hb.vertex_count();
+        for a in 0..n {
+            prop_assert!(!hb.concurrent(a, a));
+            for b in 0..n {
+                prop_assert_eq!(hb.concurrent(a, b), hb.concurrent(b, a));
+                if hb.happens_before(a, b) || hb.happens_before(b, a) {
+                    prop_assert!(!hb.concurrent(a, b));
+                }
+            }
+        }
+    }
+
+    /// Every HB edge points forward in sequence order (the DAG invariant
+    /// the reverse reachability sweep relies on).
+    #[test]
+    fn edges_are_seq_monotone(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let trace = build_trace(&ops);
+        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        for v in 0..hb.vertex_count() {
+            for (s, _) in hb.successors(v) {
+                prop_assert!(hb.trace().records()[v].seq <= hb.trace().records()[s].seq);
+            }
+        }
+    }
+
+    /// Ablations only manipulate the targeted record category: the `None`
+    /// ablation is the identity, and every ablation yields a sub-multiset
+    /// of the records.
+    #[test]
+    fn ablations_shrink_traces(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let trace = build_trace(&ops);
+        let full = apply_ablation(&trace, Ablation::None);
+        prop_assert_eq!(full.records().len(), trace.records().len());
+        for a in Ablation::TABLE9 {
+            let ablated = apply_ablation(&trace, a);
+            prop_assert!(ablated.len() <= trace.len());
+        }
+    }
+
+    /// `explain` returns a genuine chain: consecutive hops are edges and it
+    /// connects a to b.
+    #[test]
+    fn explain_returns_valid_chains(ops in proptest::collection::vec(arb_op(), 1..30)) {
+        let trace = build_trace(&ops);
+        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        let n = hb.vertex_count();
+        for a in 0..n.min(10) {
+            for b in 0..n.min(10) {
+                if let Some(chain) = hb.explain(a, b) {
+                    prop_assert!(hb.happens_before(a, b));
+                    let mut cur = a;
+                    for (next, _) in chain {
+                        prop_assert!(
+                            hb.successors(cur).any(|(t, _)| t == next),
+                            "hop {} -> {} is not an edge", cur, next
+                        );
+                        cur = next;
+                    }
+                    prop_assert_eq!(cur, b);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The vector-clock baseline (paper §3.2.2's "too slow" alternative)
+    /// agrees with the bit-matrix reachable sets on arbitrary traces.
+    #[test]
+    fn vector_clocks_agree_with_bit_matrix(ops in proptest::collection::vec(arb_op(), 1..35)) {
+        let trace = build_trace(&ops);
+        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        let vc = dcatch_hb::VectorClocks::compute(&hb);
+        let n = hb.vertex_count();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    hb.happens_before(a, b),
+                    vc.happens_before(a, b),
+                    "vc disagreement at ({}, {})", a, b
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! Fluent builders for constructing IR programs.
+//!
+//! Applications construct a [`Program`] through [`ProgramBuilder::func`],
+//! which hands a [`BlockBuilder`] to a closure. Statement ids are assigned
+//! in the order statements are pushed (preorder), and loop ids are
+//! program-global, so ids are stable across builds of the same source.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::func::{Func, FuncKind};
+use crate::program::{FuncId, Program, StmtId};
+use crate::stmt::{LoopId, Stmt, StmtKind};
+
+/// Errors detected while building a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two functions share the same name.
+    DuplicateFunction(String),
+    /// `Program::validate` found problems (joined report).
+    Invalid(Vec<String>),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateFunction(name) => {
+                write!(f, "duplicate function definition: `{name}`")
+            }
+            BuildError::Invalid(problems) => {
+                write!(f, "program failed validation: {}", problems.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a [`Program`] function by function.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    funcs: Vec<Func>,
+    names: HashSet<String>,
+    next_loop: u32,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Defines a function. The closure receives a [`BlockBuilder`] for the
+    /// function body.
+    pub fn func(
+        &mut self,
+        name: impl Into<String>,
+        params: &[&str],
+        kind: FuncKind,
+        body: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> &mut Self {
+        let name = name.into();
+        if !self.names.insert(name.clone()) {
+            self.duplicate.get_or_insert(name.clone());
+        }
+        let func_id = FuncId(self.funcs.len() as u32);
+        let mut counter = 0u32;
+        let mut bb = BlockBuilder {
+            func: func_id,
+            counter: &mut counter,
+            next_loop: &mut self.next_loop,
+            stmts: Vec::new(),
+        };
+        body(&mut bb);
+        let stmts = bb.stmts;
+        self.funcs.push(Func {
+            name,
+            params: params.iter().map(|p| (*p).to_owned()).collect(),
+            kind,
+            body: stmts,
+        });
+        self
+    }
+
+    /// Finishes the program, validating it.
+    pub fn build(self) -> Result<Program, BuildError> {
+        if let Some(name) = self.duplicate {
+            return Err(BuildError::DuplicateFunction(name));
+        }
+        let program = Program::from_funcs(self.funcs);
+        let problems = program.validate();
+        if problems.is_empty() {
+            Ok(program)
+        } else {
+            Err(BuildError::Invalid(problems))
+        }
+    }
+}
+
+/// Appends statements to one block (a function body or a nested branch).
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    func: FuncId,
+    counter: &'a mut u32,
+    next_loop: &'a mut u32,
+    stmts: Vec<Stmt>,
+}
+
+impl<'a> BlockBuilder<'a> {
+    fn next_id(&mut self) -> StmtId {
+        let id = StmtId {
+            func: self.func,
+            idx: *self.counter,
+        };
+        *self.counter += 1;
+        id
+    }
+
+    fn push(&mut self, kind: StmtKind) -> StmtId {
+        let id = self.next_id();
+        self.stmts.push(Stmt { id, kind });
+        id
+    }
+
+    fn subblock(&mut self, body: impl FnOnce(&mut BlockBuilder<'_>)) -> Vec<Stmt> {
+        let mut bb = BlockBuilder {
+            func: self.func,
+            counter: self.counter,
+            next_loop: self.next_loop,
+            stmts: Vec::new(),
+        };
+        body(&mut bb);
+        bb.stmts
+    }
+
+    // ---- data ----------------------------------------------------------
+
+    /// `local = expr`.
+    pub fn assign(&mut self, local: &str, expr: Expr) -> StmtId {
+        self.push(StmtKind::Assign {
+            local: local.to_owned(),
+            expr,
+        })
+    }
+
+    /// `local = <object>` (shared cell read).
+    pub fn read(&mut self, local: &str, object: &str) -> StmtId {
+        self.push(StmtKind::Read {
+            local: local.to_owned(),
+            object: object.to_owned(),
+        })
+    }
+
+    /// `<object> = value` (shared cell write).
+    pub fn write(&mut self, object: &str, value: Expr) -> StmtId {
+        self.push(StmtKind::Write {
+            object: object.to_owned(),
+            value,
+        })
+    }
+
+    /// `map.put(key, value)`.
+    pub fn map_put(&mut self, map: &str, key: Expr, value: Expr) -> StmtId {
+        self.push(StmtKind::MapPut {
+            map: map.to_owned(),
+            key,
+            value,
+        })
+    }
+
+    /// `local = map.get(key)`.
+    pub fn map_get(&mut self, local: &str, map: &str, key: Expr) -> StmtId {
+        self.push(StmtKind::MapGet {
+            local: local.to_owned(),
+            map: map.to_owned(),
+            key,
+        })
+    }
+
+    /// `map.remove(key)`.
+    pub fn map_remove(&mut self, map: &str, key: Expr) -> StmtId {
+        self.push(StmtKind::MapRemove {
+            map: map.to_owned(),
+            key,
+        })
+    }
+
+    /// `local = map.containsKey(key)`.
+    pub fn map_contains(&mut self, local: &str, map: &str, key: Expr) -> StmtId {
+        self.push(StmtKind::MapContains {
+            local: local.to_owned(),
+            map: map.to_owned(),
+            key,
+        })
+    }
+
+    /// `list.add(value)`.
+    pub fn list_add(&mut self, list: &str, value: Expr) -> StmtId {
+        self.push(StmtKind::ListAdd {
+            list: list.to_owned(),
+            value,
+        })
+    }
+
+    /// `list.remove(value)`.
+    pub fn list_remove(&mut self, list: &str, value: Expr) -> StmtId {
+        self.push(StmtKind::ListRemove {
+            list: list.to_owned(),
+            value,
+        })
+    }
+
+    /// `local = list.isEmpty()`.
+    pub fn list_is_empty(&mut self, local: &str, list: &str) -> StmtId {
+        self.push(StmtKind::ListIsEmpty {
+            local: local.to_owned(),
+            list: list.to_owned(),
+        })
+    }
+
+    /// `local = list.contains(value)`.
+    pub fn list_contains(&mut self, local: &str, list: &str, value: Expr) -> StmtId {
+        self.push(StmtKind::ListContains {
+            local: local.to_owned(),
+            list: list.to_owned(),
+            value,
+        })
+    }
+
+    // ---- control -------------------------------------------------------
+
+    /// `if cond { then_body }`.
+    pub fn if_(&mut self, cond: Expr, then_body: impl FnOnce(&mut BlockBuilder<'_>)) -> StmtId {
+        self.if_else(cond, then_body, |_| {})
+    }
+
+    /// `if cond { then_body } else { else_body }`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_body: impl FnOnce(&mut BlockBuilder<'_>),
+        else_body: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> StmtId {
+        let id = self.next_id();
+        let then_body = self.subblock(then_body);
+        let else_body = self.subblock(else_body);
+        self.stmts.push(Stmt {
+            id,
+            kind: StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            },
+        });
+        id
+    }
+
+    /// `while cond { body }`.
+    pub fn while_(&mut self, cond: Expr, body: impl FnOnce(&mut BlockBuilder<'_>)) -> StmtId {
+        self.while_impl(cond, false, body)
+    }
+
+    /// A retry/polling loop: `while cond { body }` flagged as a candidate
+    /// hang site (its exit is a failure instruction; spinning past the
+    /// interpreter's budget reports a hang).
+    pub fn retry_while(
+        &mut self,
+        cond: Expr,
+        body: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> StmtId {
+        self.while_impl(cond, true, body)
+    }
+
+    fn while_impl(
+        &mut self,
+        cond: Expr,
+        retry: bool,
+        body: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> StmtId {
+        let id = self.next_id();
+        let loop_id = LoopId(*self.next_loop);
+        *self.next_loop += 1;
+        let body = self.subblock(body);
+        self.stmts.push(Stmt {
+            id,
+            kind: StmtKind::While {
+                loop_id,
+                cond,
+                body,
+                retry,
+            },
+        });
+        id
+    }
+
+    /// `local = func(args…)`.
+    pub fn call(&mut self, local: &str, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::Call {
+            local: Some(local.to_owned()),
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// `func(args…)` discarding the result.
+    pub fn call_void(&mut self, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::Call {
+            local: None,
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// `return expr`.
+    pub fn ret(&mut self, expr: Expr) -> StmtId {
+        self.push(StmtKind::Return { expr: Some(expr) })
+    }
+
+    /// `return` (unit).
+    pub fn ret_unit(&mut self) -> StmtId {
+        self.push(StmtKind::Return { expr: None })
+    }
+
+    // ---- concurrency ----------------------------------------------------
+
+    /// `local = spawn func(args…)` keeping the handle for `join`.
+    pub fn spawn(&mut self, local: &str, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::Spawn {
+            local: Some(local.to_owned()),
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// `spawn func(args…)` discarding the handle.
+    pub fn spawn_detached(&mut self, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::Spawn {
+            local: None,
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// `join(handle)`.
+    pub fn join(&mut self, handle: Expr) -> StmtId {
+        self.push(StmtKind::Join { handle })
+    }
+
+    /// Enqueues `func(args…)` onto `queue` of the current node.
+    pub fn enqueue(&mut self, queue: &str, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::Enqueue {
+            queue: queue.to_owned(),
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// Acquires the node-local lock `lock`.
+    pub fn lock(&mut self, lock: &str) -> StmtId {
+        self.push(StmtKind::Lock {
+            lock: lock.to_owned(),
+        })
+    }
+
+    /// Releases the node-local lock `lock`.
+    pub fn unlock(&mut self, lock: &str) -> StmtId {
+        self.push(StmtKind::Unlock {
+            lock: lock.to_owned(),
+        })
+    }
+
+    // ---- distribution ---------------------------------------------------
+
+    /// `local = rpc node.func(args…)` (blocking).
+    pub fn rpc(&mut self, local: &str, node: Expr, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::RpcCall {
+            local: Some(local.to_owned()),
+            node,
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// `rpc node.func(args…)` discarding the result (still blocking).
+    pub fn rpc_void(&mut self, node: Expr, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::RpcCall {
+            local: None,
+            node,
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// Sends an asynchronous message handled by `func` on `node`.
+    pub fn socket_send(&mut self, node: Expr, func: &str, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::SocketSend {
+            node,
+            func: func.to_owned(),
+            args,
+        })
+    }
+
+    /// Creates a zknode (non-exclusive: overwrites silently).
+    pub fn zk_create(&mut self, path: Expr, data: Expr) -> StmtId {
+        self.push(StmtKind::ZkCreate {
+            path,
+            data,
+            exclusive: false,
+        })
+    }
+
+    /// Creates a zknode, throwing if it already exists.
+    pub fn zk_create_exclusive(&mut self, path: Expr, data: Expr) -> StmtId {
+        self.push(StmtKind::ZkCreate {
+            path,
+            data,
+            exclusive: true,
+        })
+    }
+
+    /// Sets zknode data, throwing NoNode if absent.
+    pub fn zk_set_data(&mut self, path: Expr, data: Expr) -> StmtId {
+        self.push(StmtKind::ZkSetData { path, data })
+    }
+
+    /// Deletes a zknode, throwing NoNode if absent.
+    pub fn zk_delete(&mut self, path: Expr) -> StmtId {
+        self.push(StmtKind::ZkDelete { path })
+    }
+
+    /// `local = getData(path)`, throwing NoNode if absent.
+    pub fn zk_get_data(&mut self, local: &str, path: Expr) -> StmtId {
+        self.push(StmtKind::ZkGetData {
+            local: local.to_owned(),
+            path,
+        })
+    }
+
+    /// `local = exists(path)`.
+    pub fn zk_exists(&mut self, local: &str, path: Expr) -> StmtId {
+        self.push(StmtKind::ZkExists {
+            local: local.to_owned(),
+            path,
+        })
+    }
+
+    // ---- failure & misc --------------------------------------------------
+
+    /// Hard abort with a message.
+    pub fn abort(&mut self, msg: &str) -> StmtId {
+        self.push(StmtKind::Abort {
+            msg: msg.to_owned(),
+        })
+    }
+
+    /// Severe logged error (failure instruction).
+    pub fn log_fatal(&mut self, msg: &str) -> StmtId {
+        self.push(StmtKind::LogFatal {
+            msg: msg.to_owned(),
+        })
+    }
+
+    /// Benign warning (not a failure instruction).
+    pub fn log_warn(&mut self, msg: &str) -> StmtId {
+        self.push(StmtKind::LogWarn {
+            msg: msg.to_owned(),
+        })
+    }
+
+    /// Throws an uncatchable exception.
+    pub fn throw(&mut self, kind: &str) -> StmtId {
+        self.push(StmtKind::Throw {
+            kind: kind.to_owned(),
+        })
+    }
+
+    /// Sleeps for `ticks` scheduler steps.
+    pub fn sleep(&mut self, ticks: Expr) -> StmtId {
+        self.push(StmtKind::Sleep { ticks })
+    }
+
+    /// Yields the scheduler.
+    pub fn yield_(&mut self) -> StmtId {
+        self.push(StmtKind::Yield)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> StmtId {
+        self.push(StmtKind::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::StmtKind;
+
+    #[test]
+    fn preorder_ids_cover_nested_blocks() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            b.assign("x", Expr::val(0)); // idx 0
+            b.if_(Expr::local("x"), |b| {
+                b.nop(); // idx 2
+            }); // if gets idx 1
+            b.while_(Expr::val(true), |b| {
+                b.yield_(); // idx 4
+            }); // while gets idx 3
+        });
+        let p = pb.build().unwrap();
+        let (fid, f) = p.func_by_name("f").unwrap();
+        assert_eq!(f.body[0].id.idx, 0);
+        assert_eq!(f.body[1].id.idx, 1);
+        assert_eq!(f.body[2].id.idx, 3);
+        assert_eq!(p.stmt_count(), 5);
+        // nested ids resolvable
+        assert!(p.stmt(StmtId { func: fid, idx: 4 }).is_some());
+    }
+
+    #[test]
+    fn loop_ids_are_program_global() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("a", &[], FuncKind::Regular, |b| {
+            b.while_(Expr::val(false), |_| {});
+        });
+        pb.func("b", &[], FuncKind::Regular, |b| {
+            b.retry_while(Expr::val(false), |_| {});
+        });
+        let p = pb.build().unwrap();
+        let mut loops = Vec::new();
+        p.for_each_stmt(|_, s| {
+            if let StmtKind::While { loop_id, .. } = &s.kind {
+                loops.push(loop_id.0);
+            }
+        });
+        loops.sort_unstable();
+        assert_eq!(loops, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_function_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |_| {});
+        pb.func("f", &[], FuncKind::Regular, |_| {});
+        assert!(matches!(
+            pb.build(),
+            Err(BuildError::DuplicateFunction(name)) if name == "f"
+        ));
+    }
+
+    #[test]
+    fn invalid_program_reports_validation_problems() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            b.rpc_void(Expr::SelfNode, "no_such_rpc", vec![]);
+        });
+        match pb.build() {
+            Err(BuildError::Invalid(problems)) => {
+                assert!(problems[0].contains("no_such_rpc"));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+}

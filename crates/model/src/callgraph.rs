@@ -1,0 +1,150 @@
+//! Call graph over a [`Program`].
+//!
+//! Edges cover every invocation mechanism of the IR: direct calls, thread
+//! spawns, event enqueues, RPC calls, and socket sends. Selective tracing
+//! (paper §3.1.1) is computed from this graph: the traced region is the set
+//! of handler functions plus functions that perform inter-node
+//! communication, closed under callees.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::program::{FuncId, Program};
+use crate::stmt::StmtKind;
+
+/// How one function invokes another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// Synchronous intra-thread `Call`.
+    Call,
+    /// `Spawn` of a thread body.
+    Spawn,
+    /// `Enqueue` of an event handler.
+    Enqueue,
+    /// `RpcCall` of an RPC function (crosses nodes).
+    Rpc,
+    /// `SocketSend` to a message handler (crosses nodes).
+    Socket,
+}
+
+/// A static call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// callee lists per function.
+    callees: BTreeMap<FuncId, BTreeSet<(FuncId, EdgeKind)>>,
+    /// caller lists per function.
+    callers: BTreeMap<FuncId, BTreeSet<(FuncId, EdgeKind)>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn build(program: &Program) -> CallGraph {
+        let mut callees: BTreeMap<FuncId, BTreeSet<(FuncId, EdgeKind)>> = BTreeMap::new();
+        let mut callers: BTreeMap<FuncId, BTreeSet<(FuncId, EdgeKind)>> = BTreeMap::new();
+        program.for_each_stmt(|fid, s| {
+            let target = match &s.kind {
+                StmtKind::Call { func, .. } => Some((func, EdgeKind::Call)),
+                StmtKind::Spawn { func, .. } => Some((func, EdgeKind::Spawn)),
+                StmtKind::Enqueue { func, .. } => Some((func, EdgeKind::Enqueue)),
+                StmtKind::RpcCall { func, .. } => Some((func, EdgeKind::Rpc)),
+                StmtKind::SocketSend { func, .. } => Some((func, EdgeKind::Socket)),
+                _ => None,
+            };
+            if let Some((name, kind)) = target {
+                if let Some(tid) = program.func_id(name) {
+                    callees.entry(fid).or_default().insert((tid, kind));
+                    callers.entry(tid).or_default().insert((fid, kind));
+                }
+            }
+        });
+        CallGraph { callees, callers }
+    }
+
+    /// Functions `f` invokes, with the invocation kind.
+    pub fn callees(&self, f: FuncId) -> impl Iterator<Item = (FuncId, EdgeKind)> + '_ {
+        self.callees.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Functions that invoke `f`, with the invocation kind.
+    pub fn callers(&self, f: FuncId) -> impl Iterator<Item = (FuncId, EdgeKind)> + '_ {
+        self.callers.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Functions reachable from `seeds` through *synchronous* `Call` edges
+    /// only (the "callees" closure the selective tracer uses; spawned
+    /// threads and handlers are separate tracing roots, not callees).
+    pub fn call_closure(&self, seeds: impl IntoIterator<Item = FuncId>) -> BTreeSet<FuncId> {
+        let mut seen: BTreeSet<FuncId> = seeds.into_iter().collect();
+        let mut queue: VecDeque<FuncId> = seen.iter().copied().collect();
+        while let Some(f) = queue.pop_front() {
+            for (callee, kind) in self.callees(f) {
+                if kind == EdgeKind::Call && seen.insert(callee) {
+                    queue.push_back(callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::expr::Expr;
+    use crate::func::FuncKind;
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.call_void("helper", vec![]);
+            b.spawn_detached("worker", vec![]);
+            b.rpc_void(Expr::SelfNode, "serve", vec![]);
+        });
+        pb.func("helper", &[], FuncKind::Regular, |b| {
+            b.call_void("leaf", vec![]);
+        });
+        pb.func("leaf", &[], FuncKind::Regular, |_| {});
+        pb.func("worker", &[], FuncKind::Regular, |_| {});
+        pb.func("serve", &[], FuncKind::RpcHandler, |b| {
+            b.call_void("leaf", vec![]);
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn edges_have_the_right_kinds() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let main = p.func_id("main").unwrap();
+        let kinds: Vec<EdgeKind> = cg.callees(main).map(|(_, k)| k).collect();
+        assert!(kinds.contains(&EdgeKind::Call));
+        assert!(kinds.contains(&EdgeKind::Spawn));
+        assert!(kinds.contains(&EdgeKind::Rpc));
+    }
+
+    #[test]
+    fn callers_are_inverse_of_callees() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let leaf = p.func_id("leaf").unwrap();
+        let callers: BTreeSet<FuncId> = cg.callers(leaf).map(|(f, _)| f).collect();
+        assert_eq!(
+            callers,
+            [p.func_id("helper").unwrap(), p.func_id("serve").unwrap()]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn call_closure_follows_only_synchronous_calls() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let closure = cg.call_closure([p.func_id("main").unwrap()]);
+        assert!(closure.contains(&p.func_id("helper").unwrap()));
+        assert!(closure.contains(&p.func_id("leaf").unwrap()));
+        // spawned threads and rpc handlers are NOT callees
+        assert!(!closure.contains(&p.func_id("worker").unwrap()));
+        assert!(!closure.contains(&p.func_id("serve").unwrap()));
+    }
+}

@@ -1,0 +1,378 @@
+//! Intra-procedural control/data dependence.
+//!
+//! This is the PDG-style analysis the paper builds with WALA (§4.2). For
+//! each function we compute a conservative, flow-insensitive *influence*
+//! relation between statements:
+//!
+//! * **data**: `u` defines a local that `v` uses;
+//! * **control**: `v` is nested inside the `If`/`While` statement `u`;
+//! * **heap (intra-procedural)**: `u` writes a shared object that `v`
+//!   reads within the same function.
+//!
+//! Queries then ask for the forward closure of a statement (or of a
+//! parameter) and whether it contains a failure instruction or a `Return`.
+//! The inter-procedural one-level caller/callee composition (paper §4.2)
+//! lives in `dcatch-prune`, built from these per-function answers.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::failure::{failure_instructions_with, FailureInstr, FailureSpec};
+use crate::program::{FuncId, Program, StmtId};
+use crate::stmt::{Stmt, StmtKind};
+
+/// Dependence summary for one function.
+#[derive(Debug, Clone)]
+pub struct FuncDependence {
+    func: FuncId,
+    /// Number of statements (preorder indices `0..n`).
+    n: usize,
+    /// Influence adjacency: `edges[u]` = statements directly influenced by `u`.
+    edges: Vec<Vec<u32>>,
+    /// Preorder index → does the statement use this local (for params).
+    uses: Vec<Vec<String>>,
+    /// Indices of `Return` statements.
+    returns: Vec<u32>,
+    /// Failure instructions in this function (preorder indices).
+    failures: Vec<(u32, FailureInstr)>,
+    /// Preorder indices of reads per shared object name.
+    object_reads: HashMap<String, Vec<u32>>,
+    /// Preorder indices of writes per shared object name.
+    object_writes: HashMap<String, Vec<u32>>,
+}
+
+/// Whole-program dependence: one [`FuncDependence`] per function.
+#[derive(Debug, Clone)]
+pub struct DependenceAnalysis {
+    funcs: Vec<FuncDependence>,
+}
+
+impl DependenceAnalysis {
+    /// Runs the analysis over every function of `program` with the
+    /// default failure specification.
+    pub fn new(program: &Program) -> DependenceAnalysis {
+        DependenceAnalysis::with_spec(program, &FailureSpec::default())
+    }
+
+    /// Runs the analysis with a custom failure specification (§4.1: "this
+    /// list is configurable").
+    pub fn with_spec(program: &Program, spec: &FailureSpec) -> DependenceAnalysis {
+        let all_failures = failure_instructions_with(program, spec);
+        let funcs = (0..program.len())
+            .map(|i| {
+                let fid = FuncId(i as u32);
+                FuncDependence::build(program, fid, &all_failures)
+            })
+            .collect();
+        DependenceAnalysis { funcs }
+    }
+
+    /// The summary for `func`.
+    pub fn func(&self, func: FuncId) -> &FuncDependence {
+        &self.funcs[func.index()]
+    }
+}
+
+/// Flattened view of a statement used while building edges.
+struct Flat<'p> {
+    stmt: &'p Stmt,
+    /// Preorder indices of enclosing `If`/`While` statements.
+    control_parents: Vec<u32>,
+}
+
+impl FuncDependence {
+    fn build(program: &Program, func: FuncId, all_failures: &[FailureInstr]) -> FuncDependence {
+        let f = program.func(func);
+        // Flatten preorder with control-parent stacks.
+        let mut flats: Vec<Flat<'_>> = Vec::new();
+        fn visit<'p>(block: &'p [Stmt], parents: &mut Vec<u32>, out: &mut Vec<Flat<'p>>) {
+            for s in block {
+                out.push(Flat {
+                    stmt: s,
+                    control_parents: parents.clone(),
+                });
+                if !s.blocks().is_empty() {
+                    parents.push(s.id.idx);
+                    for b in s.blocks() {
+                        visit(b, parents, out);
+                    }
+                    parents.pop();
+                }
+            }
+        }
+        visit(&f.body, &mut Vec::new(), &mut flats);
+        // Preorder index == position (builder guarantees this); sort defensively.
+        flats.sort_by_key(|fl| fl.stmt.id.idx);
+        let n = flats.len();
+
+        let mut defs_of_local: HashMap<&str, Vec<u32>> = HashMap::new();
+        let mut uses_of_local: HashMap<&str, Vec<u32>> = HashMap::new();
+        let mut object_reads: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut object_writes: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut uses: Vec<Vec<String>> = vec![Vec::new(); n];
+        let mut returns = Vec::new();
+        let mut failures = Vec::new();
+
+        for fl in &flats {
+            let idx = fl.stmt.id.idx;
+            if let Some(d) = fl.stmt.def_local() {
+                defs_of_local.entry(d).or_default().push(idx);
+            }
+            for u in fl.stmt.used_locals() {
+                uses_of_local.entry(u).or_default().push(idx);
+                uses[idx as usize].push(u.to_owned());
+            }
+            if let Some(o) = fl.stmt.reads_object() {
+                object_reads.entry(o.to_owned()).or_default().push(idx);
+            }
+            if let Some(o) = fl.stmt.writes_object() {
+                object_writes.entry(o.to_owned()).or_default().push(idx);
+            }
+            if matches!(fl.stmt.kind, StmtKind::Return { .. }) {
+                returns.push(idx);
+            }
+            if let Some(fi) = all_failures.iter().find(|fi| fi.stmt == fl.stmt.id) {
+                failures.push((idx, *fi));
+            }
+        }
+
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // data: def -> use
+        for (local, def_idxs) in &defs_of_local {
+            if let Some(use_idxs) = uses_of_local.get(local) {
+                for &d in def_idxs {
+                    for &u in use_idxs {
+                        if d != u {
+                            edges[d as usize].push(u);
+                        }
+                    }
+                }
+            }
+        }
+        // control: If/While -> nested
+        for fl in &flats {
+            for &p in &fl.stmt_control_parents() {
+                edges[p as usize].push(fl.stmt.id.idx);
+            }
+        }
+        // heap, intra-procedural: write(o) -> read(o)
+        for (obj, writes) in &object_writes {
+            if let Some(reads) = object_reads.get(obj) {
+                for &w in writes {
+                    for &r in reads {
+                        if w != r {
+                            edges[w as usize].push(r);
+                        }
+                    }
+                }
+            }
+        }
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+
+        FuncDependence {
+            func,
+            n,
+            edges,
+            uses,
+            returns,
+            failures,
+            object_reads,
+            object_writes,
+        }
+    }
+
+    /// The function this summary describes.
+    pub fn func_id(&self) -> FuncId {
+        self.func
+    }
+
+    /// Forward influence closure starting from the given preorder indices
+    /// (the start set is included).
+    pub fn closure(&self, start: impl IntoIterator<Item = u32>) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for s in start {
+            if (s as usize) < self.n && !seen[s as usize] {
+                seen[s as usize] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Closure starting from one statement.
+    pub fn closure_from_stmt(&self, stmt: StmtId) -> Vec<bool> {
+        debug_assert_eq!(stmt.func, self.func);
+        self.closure([stmt.idx])
+    }
+
+    /// Closure starting from every statement that *uses* the local `name`
+    /// (the entry point for parameter taint).
+    pub fn closure_from_local(&self, name: &str) -> Vec<bool> {
+        let start: Vec<u32> = (0..self.n as u32)
+            .filter(|&i| self.uses[i as usize].iter().any(|u| u == name))
+            .collect();
+        self.closure(start)
+    }
+
+    /// Whether the function's return value may depend on `stmt`.
+    pub fn return_depends_on_stmt(&self, stmt: StmtId) -> bool {
+        let c = self.closure_from_stmt(stmt);
+        self.returns.iter().any(|&r| c[r as usize])
+    }
+
+    /// Whether the function's return value may depend on the local `name`
+    /// (e.g. a parameter, or an RPC-result local).
+    pub fn return_depends_on_local(&self, name: &str) -> bool {
+        let c = self.closure_from_local(name);
+        self.returns.iter().any(|&r| c[r as usize])
+    }
+
+    /// Failure instructions reachable (by influence) from `stmt`.
+    pub fn failures_from_stmt(&self, stmt: StmtId) -> Vec<FailureInstr> {
+        let c = self.closure_from_stmt(stmt);
+        self.failures_in(&c)
+    }
+
+    /// Failure instructions reachable from uses of local `name`.
+    pub fn failures_from_local(&self, name: &str) -> Vec<FailureInstr> {
+        let c = self.closure_from_local(name);
+        self.failures_in(&c)
+    }
+
+    fn failures_in(&self, closure: &[bool]) -> Vec<FailureInstr> {
+        self.failures
+            .iter()
+            .filter(|(idx, _)| closure[*idx as usize])
+            .map(|(_, fi)| *fi)
+            .collect()
+    }
+
+    /// Preorder indices of statements reading the shared object `name`.
+    pub fn reads_of_object(&self, name: &str) -> &[u32] {
+        self.object_reads.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Preorder indices of statements writing the shared object `name`.
+    pub fn writes_of_object(&self, name: &str) -> &[u32] {
+        self.object_writes.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// All failure instructions of this function.
+    pub fn failures(&self) -> impl Iterator<Item = FailureInstr> + '_ {
+        self.failures.iter().map(|(_, fi)| *fi)
+    }
+
+    /// Number of statements in the function.
+    pub fn stmt_count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Flat<'_> {
+    fn stmt_control_parents(&self) -> Vec<u32> {
+        self.control_parents.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::expr::Expr;
+    use crate::failure::FailureKind;
+    use crate::func::FuncKind;
+
+    /// `get_task`-style function: the MR-3274 RPC whose return feeds a
+    /// remote retry loop.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("get_task", &["jid"], FuncKind::RpcHandler, |b| {
+            b.map_get("t", "jMap", Expr::local("jid")); // 0: read
+            b.ret(Expr::local("t")); // 1
+        });
+        pb.func("check", &["flag"], FuncKind::Regular, |b| {
+            b.if_(Expr::local("flag"), |b| {
+                b.abort("fatal"); // 1
+            }); // 0
+            b.log_warn("ok"); // 2
+        });
+        pb.func("reader", &[], FuncKind::Regular, |b| {
+            b.read("status", "state"); // 0
+            b.if_(Expr::local("status").eq(Expr::val("bad")), |b| {
+                b.log_fatal("corrupt"); // 2
+            }); // 1
+            b.write("audit_log", Expr::val("seen")); // 3: does not affect failure
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn return_depends_on_shared_read() {
+        let p = program();
+        let da = DependenceAnalysis::new(&p);
+        let (fid, _) = p.func_by_name("get_task").unwrap();
+        let d = da.func(fid);
+        assert!(d.return_depends_on_stmt(StmtId { func: fid, idx: 0 }));
+        assert!(d.return_depends_on_local("jid"));
+    }
+
+    #[test]
+    fn control_dependence_reaches_failure_through_param() {
+        let p = program();
+        let da = DependenceAnalysis::new(&p);
+        let (fid, _) = p.func_by_name("check").unwrap();
+        let d = da.func(fid);
+        let fails = d.failures_from_local("flag");
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].kind, FailureKind::Abort);
+    }
+
+    #[test]
+    fn data_dependence_from_read_to_fatal_log() {
+        let p = program();
+        let da = DependenceAnalysis::new(&p);
+        let (fid, _) = p.func_by_name("reader").unwrap();
+        let d = da.func(fid);
+        let fails = d.failures_from_stmt(StmtId { func: fid, idx: 0 });
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].kind, FailureKind::FatalLog);
+        // the trailing write influences nothing failure-related
+        assert!(d.failures_from_stmt(StmtId { func: fid, idx: 3 }).is_empty());
+    }
+
+    #[test]
+    fn object_read_write_indices() {
+        let p = program();
+        let da = DependenceAnalysis::new(&p);
+        let (fid, _) = p.func_by_name("reader").unwrap();
+        let d = da.func(fid);
+        assert_eq!(d.reads_of_object("state"), &[0]);
+        assert_eq!(d.writes_of_object("audit_log"), &[3]);
+        assert!(d.reads_of_object("absent").is_empty());
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            b.assign("x", Expr::local("y")); // 0
+            b.assign("y", Expr::local("x")); // 1 (cycle)
+        });
+        let p = pb.build().unwrap();
+        let da = DependenceAnalysis::new(&p);
+        let (fid, _) = p.func_by_name("f").unwrap();
+        let c = da.func(fid).closure_from_stmt(StmtId { func: fid, idx: 0 });
+        assert!(c[0] && c[1]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Side-effect-free expressions.
+//!
+//! Expressions may only read function-local variables and constants.
+//! Every access to *shared* state (heap objects, zknodes) is a statement,
+//! never an expression — that is what lets the tracer observe every shared
+//! memory access and lets the dependence analysis treat statements as the
+//! unit of def/use.
+
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Equality on values.
+    Eq,
+    /// Inequality on values.
+    Ne,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Logical and (short-circuit semantics are not needed: operands are pure).
+    And,
+    /// Logical or.
+    Or,
+    /// String concatenation (operands rendered via their key form).
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation (uses truthiness).
+    Not,
+    /// Integer negation.
+    Neg,
+}
+
+/// A pure expression over locals and constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant value.
+    Const(Value),
+    /// Read of a function-local variable (parameters included).
+    Local(String),
+    /// The node the current task is running on, as a [`Value::Node`].
+    SelfNode,
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant expression from anything convertible to a [`Value`].
+    pub fn val(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// Reference to the local variable `name`.
+    pub fn local(name: impl Into<String>) -> Expr {
+        Expr::Local(name.into())
+    }
+
+    /// The unit constant.
+    pub fn unit() -> Expr {
+        Expr::Const(Value::Unit)
+    }
+
+    /// The null constant.
+    pub fn null() -> Expr {
+        Expr::Const(Value::Null)
+    }
+
+    /// Logical negation of `self`.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(other))
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(other))
+    }
+
+    /// `self || other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Or, Box::new(self), Box::new(other))
+    }
+
+    /// String-concatenates `self` with `other`.
+    pub fn concat(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Concat, Box::new(self), Box::new(other))
+    }
+
+    /// Collects the names of all locals this expression reads into `out`.
+    pub fn collect_locals<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Const(_) | Expr::SelfNode => {}
+            Expr::Local(name) => out.push(name),
+            Expr::Unary(_, e) => e.collect_locals(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_locals(out);
+                b.collect_locals(out);
+            }
+        }
+    }
+
+    /// Returns the locals this expression reads.
+    pub fn used_locals(&self) -> Vec<&str> {
+        let mut v = Vec::new();
+        self.collect_locals(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_locals_in_nested_expressions() {
+        let e = Expr::local("a")
+            .add(Expr::val(1))
+            .eq(Expr::local("b").not());
+        let mut locals = e.used_locals();
+        locals.sort_unstable();
+        assert_eq!(locals, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn constants_have_no_locals() {
+        assert!(Expr::val(3).used_locals().is_empty());
+        assert!(Expr::SelfNode.used_locals().is_empty());
+    }
+}

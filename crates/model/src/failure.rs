@@ -1,0 +1,159 @@
+//! Failure instruction identification (paper §4.1).
+//!
+//! DCatch treats as *failure instructions*: aborts/exits, severe log
+//! statements (`Log.fatal`/`Log.error`), throws of uncatchable exceptions,
+//! and the exits of retry/polling loops (infinite-loop hangs). This module
+//! enumerates them statically so the pruning stage (`dcatch-prune`) can ask
+//! whether a candidate access can influence any of them.
+
+use crate::program::{Program, StmtId};
+use crate::stmt::{LoopId, StmtKind};
+
+/// Category of a failure instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// `Abort` — system abort/exit (`System.exit`).
+    Abort,
+    /// `LogFatal` — severe error printed (`Log::fatal`, `Log::error`).
+    FatalLog,
+    /// `Throw` — uncatchable exception.
+    Throw,
+    /// Exit of a retry loop — a potential infinite-loop hang.
+    LoopExit(LoopId),
+}
+
+/// A failure instruction: where and what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailureInstr {
+    /// The statement acting as the failure instruction. For
+    /// [`FailureKind::LoopExit`] this is the `While` statement itself.
+    pub stmt: StmtId,
+    /// Failure category.
+    pub kind: FailureKind,
+}
+
+/// Which statements count as failure instructions.
+///
+/// "This list is configurable, allowing future DCatch extension to detect
+/// DCbugs with different failures" (§4.1). The default matches the
+/// paper's prototype: aborts/exits, severe logs, uncatchable throws
+/// (including raced ZooKeeper operations), and retry-loop exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// `Abort` statements (`System.exit`).
+    pub aborts: bool,
+    /// `LogFatal` statements (`Log::fatal`/`Log::error`).
+    pub fatal_logs: bool,
+    /// `Throw` statements and throwing ZooKeeper operations.
+    pub throws: bool,
+    /// Exits of retry/polling loops (infinite-loop hangs).
+    pub loop_exits: bool,
+    /// Additionally treat `LogWarn` as a failure — useful for hunting the
+    /// "severe but silent" bugs the paper's false-negative discussion
+    /// (§7.2) notes the default configuration misses.
+    pub warns: bool,
+}
+
+impl Default for FailureSpec {
+    fn default() -> FailureSpec {
+        FailureSpec {
+            aborts: true,
+            fatal_logs: true,
+            throws: true,
+            loop_exits: true,
+            warns: false,
+        }
+    }
+}
+
+impl FailureSpec {
+    /// A spec additionally counting warnings (widest net, most false
+    /// positives kept).
+    pub fn including_warnings() -> FailureSpec {
+        FailureSpec {
+            warns: true,
+            ..FailureSpec::default()
+        }
+    }
+}
+
+/// Enumerates all failure instructions in `program` under the default
+/// [`FailureSpec`].
+pub fn failure_instructions(program: &Program) -> Vec<FailureInstr> {
+    failure_instructions_with(program, &FailureSpec::default())
+}
+
+/// Enumerates failure instructions under a custom [`FailureSpec`].
+pub fn failure_instructions_with(program: &Program, spec: &FailureSpec) -> Vec<FailureInstr> {
+    let mut out = Vec::new();
+    program.for_each_stmt(|_, s| {
+        let kind = match &s.kind {
+            StmtKind::Abort { .. } if spec.aborts => Some(FailureKind::Abort),
+            StmtKind::LogFatal { .. } if spec.fatal_logs => Some(FailureKind::FatalLog),
+            StmtKind::LogWarn { .. } if spec.warns => Some(FailureKind::FatalLog),
+            StmtKind::Throw { .. } if spec.throws => Some(FailureKind::Throw),
+            // ZooKeeper operations that throw KeeperException (NoNode /
+            // NodeExists) when raced — the failure sites of HB-4729-style
+            // crashes. "If a failure instruction is inside a catch block,
+            // we also consider the corresponding exception throw
+            // instruction as a failure instruction" (§4.1); our IR has no
+            // catch, so the throwing call site itself is the failure.
+            StmtKind::ZkSetData { .. }
+            | StmtKind::ZkDelete { .. }
+            | StmtKind::ZkGetData { .. }
+            | StmtKind::ZkCreate {
+                exclusive: true, ..
+            } if spec.throws => Some(FailureKind::Throw),
+            StmtKind::While {
+                loop_id,
+                retry: true,
+                ..
+            } if spec.loop_exits => Some(FailureKind::LoopExit(*loop_id)),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            out.push(FailureInstr { stmt: s.id, kind });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::expr::Expr;
+    use crate::func::FuncKind;
+
+    #[test]
+    fn finds_all_four_failure_kinds() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            b.abort("boom");
+            b.log_fatal("bad");
+            b.log_warn("fine"); // not a failure instruction
+            b.throw("RuntimeException");
+            b.retry_while(Expr::val(true), |b| {
+                b.yield_();
+            });
+            b.while_(Expr::val(false), |_| {}); // non-retry: not a failure
+        });
+        let p = pb.build().unwrap();
+        let fails = failure_instructions(&p);
+        let kinds: Vec<FailureKind> = fails.iter().map(|f| f.kind).collect();
+        assert_eq!(fails.len(), 4);
+        assert!(kinds.contains(&FailureKind::Abort));
+        assert!(kinds.contains(&FailureKind::FatalLog));
+        assert!(kinds.contains(&FailureKind::Throw));
+        assert!(matches!(
+            kinds.iter().find(|k| matches!(k, FailureKind::LoopExit(_))),
+            Some(FailureKind::LoopExit(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_has_no_failures() {
+        let p = ProgramBuilder::new().build().unwrap();
+        assert!(failure_instructions(&p).is_empty());
+    }
+}

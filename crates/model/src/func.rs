@@ -1,0 +1,63 @@
+//! Functions and their roles.
+
+use crate::stmt::Stmt;
+
+/// The role a function plays, which determines how it can be invoked and
+/// whether accesses inside it are traced under selective tracing
+/// (paper §3.1.1: RPC functions, socket handlers, event handlers, and
+/// their callees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncKind {
+    /// An ordinary function: callable via `Call`, runnable as a thread body
+    /// via `Spawn`, or usable as a node's entry point.
+    Regular,
+    /// An RPC function, invoked remotely via `RpcCall`
+    /// (Hadoop `VersionedProtocol`-style).
+    RpcHandler,
+    /// An event handler, invoked via `Enqueue` on an event queue
+    /// (`EventHandler::handle`-style).
+    EventHandler,
+    /// A socket-message handler, invoked via `SocketSend`
+    /// (Cassandra `IVerbHandler`-style).
+    SocketHandler,
+    /// A ZooKeeper watcher callback, fired when a watched zknode changes
+    /// (`Watcher::process`-style). Receives `(path, data)` arguments.
+    ZkWatcher,
+}
+
+impl FuncKind {
+    /// Whether this kind is one of the asynchronous-handler kinds, whose
+    /// bodies get non-regular program order ([`Rule
+    /// Pnreg`](https://dl.acm.org/doi/10.1145/3037697.3037735), paper §2.2)
+    /// and are roots of selective tracing.
+    pub fn is_handler(self) -> bool {
+        !matches!(self, FuncKind::Regular)
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Unique function name.
+    pub name: String,
+    /// Parameter names, bound as locals on entry.
+    pub params: Vec<String>,
+    /// The function's role.
+    pub kind: FuncKind,
+    /// Statement tree.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_kinds() {
+        assert!(!FuncKind::Regular.is_handler());
+        assert!(FuncKind::RpcHandler.is_handler());
+        assert!(FuncKind::EventHandler.is_handler());
+        assert!(FuncKind::SocketHandler.is_handler());
+        assert!(FuncKind::ZkWatcher.is_handler());
+    }
+}

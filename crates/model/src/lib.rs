@@ -1,0 +1,54 @@
+//! Program representation and static analysis for DCatch-RS.
+//!
+//! This crate plays the role that Java bytecode plus the WALA analysis
+//! framework played in the original DCatch system (Liu et al., ASPLOS '17):
+//! it defines the intermediate representation (IR) in which the miniature
+//! distributed applications are written, and provides the static analyses
+//! that DCatch's pruning and triggering stages need — a call graph,
+//! intra-procedural control/data dependence, inter-procedural (one-level
+//! caller/callee) dependence, RPC return-value dependence, and failure
+//! instruction identification (paper §4.1).
+//!
+//! The same [`Program`] value is interpreted by the `dcatch-sim` crate at
+//! run time, so the static analyses and the dynamic traces refer to the
+//! exact same [`StmtId`]s — a single source of truth, just as bytecode is
+//! for WALA and Javassist.
+//!
+//! # Example
+//!
+//! ```
+//! use dcatch_model::{ProgramBuilder, FuncKind, Expr};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! pb.func("get_task", &["jid"], FuncKind::RpcHandler, |b| {
+//!     b.map_get("t", "jMap", Expr::local("jid"));
+//!     b.ret(Expr::local("t"));
+//! });
+//! let program = pb.build().unwrap();
+//! assert!(program.func_by_name("get_task").is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod build;
+mod callgraph;
+mod dependence;
+mod expr;
+mod failure;
+mod func;
+mod program;
+mod stmt;
+mod value;
+
+pub use build::{BlockBuilder, BuildError, ProgramBuilder};
+pub use callgraph::{CallGraph, EdgeKind};
+pub use dependence::{DependenceAnalysis, FuncDependence};
+pub use expr::{BinOp, Expr, UnOp};
+pub use failure::{
+    failure_instructions, failure_instructions_with, FailureInstr, FailureKind, FailureSpec,
+};
+pub use func::{Func, FuncKind};
+pub use program::{FuncId, Program, StmtId};
+pub use stmt::{LoopId, Stmt, StmtKind};
+pub use value::{NodeId, Value};

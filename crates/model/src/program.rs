@@ -1,0 +1,230 @@
+//! Whole-program container and static identities.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::func::{Func, FuncKind};
+use crate::stmt::{walk_block, Stmt, StmtKind};
+
+/// Identifier of a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static identity of a statement: function plus preorder index within it.
+///
+/// This is the "static instruction" the paper counts unique bug reports by
+/// (Table 4's `#Static Ins. Pair`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Preorder index of the statement within the function body.
+    pub idx: u32,
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}:{}", self.func.0, self.idx)
+    }
+}
+
+/// A complete program: the unit the simulator interprets and the static
+/// analyses inspect.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    funcs: Vec<Func>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl Program {
+    /// Builds a program from finished functions. Prefer
+    /// [`ProgramBuilder`](crate::ProgramBuilder).
+    pub(crate) fn from_funcs(funcs: Vec<Func>) -> Program {
+        let by_name = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+            .collect();
+        Program { funcs, by_name }
+    }
+
+    /// All functions, indexable by [`FuncId`].
+    pub fn funcs(&self) -> &[Func] {
+        &self.funcs
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this program.
+    pub fn func(&self, id: FuncId) -> &Func {
+        &self.funcs[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &Func)> {
+        self.by_name.get(name).map(|&id| (id, self.func(id)))
+    }
+
+    /// The id of the named function, if present.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Finds the statement with the given id, searching the tree.
+    pub fn stmt(&self, id: StmtId) -> Option<&Stmt> {
+        let func = self.funcs.get(id.func.index())?;
+        let mut found = None;
+        walk_block(&func.body, &mut |s: &Stmt| {
+            if s.id == id {
+                found = Some(s);
+            }
+        });
+        found
+    }
+
+    /// Visits every statement of every function, preorder.
+    pub fn for_each_stmt<'a>(&'a self, mut visit: impl FnMut(FuncId, &'a Stmt)) {
+        for (i, f) in self.funcs.iter().enumerate() {
+            let fid = FuncId(i as u32);
+            walk_block(&f.body, &mut |s| visit(fid, s));
+        }
+    }
+
+    /// Total number of statements across all functions.
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_stmt(|_, _| n += 1);
+        n
+    }
+
+    /// Checks static well-formedness: every `Call`/`Spawn`/`Enqueue`/
+    /// `RpcCall`/`SocketSend` target exists and has a compatible
+    /// [`FuncKind`]. Returns a list of human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        self.for_each_stmt(|fid, s| {
+            let here = || format!("{} (in `{}`)", s.id, self.func(fid).name);
+            let check = |name: &str, want: &[FuncKind], what: &str, problems: &mut Vec<String>| {
+                match self.func_by_name(name) {
+                    None => problems.push(format!("{}: {what} target `{name}` undefined", here())),
+                    Some((_, f)) if !want.contains(&f.kind) => problems.push(format!(
+                        "{}: {what} target `{name}` has kind {:?}, expected one of {want:?}",
+                        here(),
+                        f.kind
+                    )),
+                    _ => {}
+                }
+            };
+            match &s.kind {
+                StmtKind::Call { func, .. } => {
+                    // Any kind is callable directly (handlers may share helpers),
+                    // but the callee must exist.
+                    if self.func_by_name(func).is_none() {
+                        problems.push(format!("{}: call target `{func}` undefined", here()));
+                    }
+                }
+                StmtKind::Spawn { func, .. } => {
+                    check(func, &[FuncKind::Regular], "spawn", &mut problems)
+                }
+                StmtKind::Enqueue { func, .. } => check(
+                    func,
+                    &[FuncKind::EventHandler],
+                    "enqueue",
+                    &mut problems,
+                ),
+                StmtKind::RpcCall { func, .. } => {
+                    check(func, &[FuncKind::RpcHandler], "rpc", &mut problems)
+                }
+                StmtKind::SocketSend { func, .. } => check(
+                    func,
+                    &[FuncKind::SocketHandler],
+                    "socket send",
+                    &mut problems,
+                ),
+                _ => {}
+            }
+        });
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::expr::Expr;
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.assign("x", Expr::val(1));
+            b.call_void("helper", vec![Expr::local("x")]);
+        });
+        pb.func("helper", &["v"], FuncKind::Regular, |b| {
+            b.write("cell", Expr::local("v"));
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let p = sample();
+        let (id, f) = p.func_by_name("helper").unwrap();
+        assert_eq!(f.name, "helper");
+        assert_eq!(p.func(id).params, vec!["v".to_owned()]);
+        assert!(p.func_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn stmt_lookup_and_count() {
+        let p = sample();
+        assert_eq!(p.stmt_count(), 3);
+        let (fid, _) = p.func_by_name("main").unwrap();
+        let s = p.stmt(StmtId { func: fid, idx: 0 }).unwrap();
+        assert!(matches!(s.kind, StmtKind::Assign { .. }));
+        assert!(p.stmt(StmtId { func: fid, idx: 99 }).is_none());
+    }
+
+    #[test]
+    fn validate_flags_undefined_and_miskinded_targets() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.call_void("missing", vec![]);
+            b.spawn_detached("handler", vec![]);
+        });
+        pb.func("handler", &[], FuncKind::EventHandler, |b| {
+            b.nop();
+        });
+        match pb.build() {
+            Err(crate::build::BuildError::Invalid(problems)) => {
+                assert_eq!(problems.len(), 2, "{problems:?}");
+                assert!(problems[0].contains("missing"));
+                assert!(problems[1].contains("spawn"));
+            }
+            other => panic!("expected validation failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_clean_program() {
+        assert!(sample().validate().is_empty());
+    }
+}

@@ -1,0 +1,411 @@
+//! Statements of the IR.
+//!
+//! Statements are the unit of execution, tracing, and dependence analysis.
+//! Every statement carries a [`StmtId`](crate::StmtId) assigned by the
+//! [`ProgramBuilder`](crate::ProgramBuilder) in preorder, which is the
+//! "static instruction" identity the paper counts bug reports by.
+
+use crate::expr::Expr;
+use crate::program::StmtId;
+
+/// Identifier of a loop within a program, unique across functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+/// A statement: its static id plus its kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Static identity of this statement.
+    pub id: StmtId,
+    /// What the statement does.
+    pub kind: StmtKind,
+}
+
+/// The kinds of IR statements.
+///
+/// Grouped as in DESIGN.md: data, control, concurrency, distribution,
+/// failure, and miscellaneous. Shared-state statements (everything that
+/// names an object) are the only way to touch the heap, which is what the
+/// run-time tracer records as memory accesses (paper §3.1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    // ---- data ----------------------------------------------------------
+    /// `local = expr` — pure local computation.
+    Assign {
+        /// Destination local.
+        local: String,
+        /// Pure right-hand side.
+        expr: Expr,
+    },
+    /// `local = <obj>` — read a shared cell into a local.
+    Read {
+        /// Destination local.
+        local: String,
+        /// Name of the shared cell on the executing node.
+        object: String,
+    },
+    /// `<obj> = expr` — write a shared cell.
+    Write {
+        /// Name of the shared cell on the executing node.
+        object: String,
+        /// Value to store.
+        value: Expr,
+    },
+    /// `map.put(key, value)`.
+    MapPut {
+        /// Shared map name.
+        map: String,
+        /// Key expression.
+        key: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `local = map.get(key)` — yields [`Value::Null`](crate::Value::Null)
+    /// when the key is absent (like Java's `Map::get`).
+    MapGet {
+        /// Destination local.
+        local: String,
+        /// Shared map name.
+        map: String,
+        /// Key expression.
+        key: Expr,
+    },
+    /// `map.remove(key)`.
+    MapRemove {
+        /// Shared map name.
+        map: String,
+        /// Key expression.
+        key: Expr,
+    },
+    /// `local = map.containsKey(key)`.
+    MapContains {
+        /// Destination local.
+        local: String,
+        /// Shared map name.
+        map: String,
+        /// Key expression.
+        key: Expr,
+    },
+    /// `list.add(value)` — collection-level write.
+    ListAdd {
+        /// Shared list name.
+        list: String,
+        /// Element to append.
+        value: Expr,
+    },
+    /// `list.remove(value)` — removes the first equal element.
+    ListRemove {
+        /// Shared list name.
+        list: String,
+        /// Element to remove.
+        value: Expr,
+    },
+    /// `local = list.isEmpty()` — collection-level read.
+    ListIsEmpty {
+        /// Destination local.
+        local: String,
+        /// Shared list name.
+        list: String,
+    },
+    /// `local = list.contains(value)`.
+    ListContains {
+        /// Destination local.
+        local: String,
+        /// Shared list name.
+        list: String,
+        /// Element searched for.
+        value: Expr,
+    },
+
+    // ---- control -------------------------------------------------------
+    /// Two-armed conditional.
+    If {
+        /// Condition (truthiness).
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// Loop while `cond` is truthy. `retry` loops are candidate hang sites:
+    /// a retry loop spinning past the interpreter's iteration budget is
+    /// reported as a hang failure, and its *exit* is a failure instruction
+    /// for the pruning stage (paper §4.1, "infinite loops").
+    While {
+        /// Loop identity (stable across runs).
+        loop_id: LoopId,
+        /// Continuation condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Whether this is a retry/polling loop.
+        retry: bool,
+    },
+    /// `local = call(func, args…)` — synchronous intra-thread call.
+    Call {
+        /// Destination local for the return value, if kept.
+        local: Option<String>,
+        /// Callee function name.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Return from the current function.
+    Return {
+        /// Returned expression (unit if absent).
+        expr: Option<Expr>,
+    },
+
+    // ---- concurrency ----------------------------------------------------
+    /// Spawn a new thread on the current node running `func(args…)`.
+    Spawn {
+        /// Local receiving the thread handle, if kept.
+        local: Option<String>,
+        /// Thread body function.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Block until the thread whose handle is `handle` terminates.
+    Join {
+        /// Expression evaluating to a thread handle.
+        handle: Expr,
+    },
+    /// Enqueue an event onto a named FIFO queue of the current node.
+    Enqueue {
+        /// Event queue name (declared in the topology).
+        queue: String,
+        /// Handler function run when the event is dispatched.
+        func: String,
+        /// Event payload expressions.
+        args: Vec<Expr>,
+    },
+    /// Acquire the named (node-local, non-reentrant) lock.
+    Lock {
+        /// Lock name.
+        lock: String,
+    },
+    /// Release the named lock.
+    Unlock {
+        /// Lock name.
+        lock: String,
+    },
+
+    // ---- distribution ---------------------------------------------------
+    /// Blocking remote procedure call: run `func(args…)` on node `node`
+    /// and store the result. Models Hadoop/HBase `VersionedProtocol` RPCs.
+    RpcCall {
+        /// Local receiving the RPC result, if kept.
+        local: Option<String>,
+        /// Target node expression (must evaluate to a `Value::Node`).
+        node: Expr,
+        /// RPC function name (must have [`FuncKind::RpcHandler`](crate::FuncKind)).
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Fire-and-forget message: deliver `func(args…)` asynchronously on
+    /// `node`. Models Cassandra/ZooKeeper socket messaging.
+    SocketSend {
+        /// Target node expression.
+        node: Expr,
+        /// Message handler name (must have [`FuncKind::SocketHandler`](crate::FuncKind)).
+        func: String,
+        /// Message payload expressions.
+        args: Vec<Expr>,
+    },
+    /// Create a zknode (fails with NoNode-style throw if it exists and
+    /// `exclusive`). Traced as a ZooKeeper `Update` *and* a memory write.
+    ZkCreate {
+        /// zknode path expression.
+        path: Expr,
+        /// Initial data.
+        data: Expr,
+        /// Whether creation of an existing path throws.
+        exclusive: bool,
+    },
+    /// Set the data of an existing zknode; throws if absent.
+    ZkSetData {
+        /// zknode path expression.
+        path: Expr,
+        /// New data.
+        data: Expr,
+    },
+    /// Delete a zknode; throws NoNode if absent (the HB-4729 crash path).
+    ZkDelete {
+        /// zknode path expression.
+        path: Expr,
+    },
+    /// `local = getData(path)`; throws NoNode if absent.
+    ZkGetData {
+        /// Destination local.
+        local: String,
+        /// zknode path expression.
+        path: Expr,
+    },
+    /// `local = exists(path)` — never throws.
+    ZkExists {
+        /// Destination local.
+        local: String,
+        /// zknode path expression.
+        path: Expr,
+    },
+
+    // ---- failure --------------------------------------------------------
+    /// Hard process abort (e.g. `System.exit`). A failure instruction.
+    Abort {
+        /// Diagnostic message.
+        msg: String,
+    },
+    /// `Log.fatal`/`Log.error` — severe logged error. A failure instruction.
+    LogFatal {
+        /// Diagnostic message.
+        msg: String,
+    },
+    /// `Log.warn`/`Log.debug` — handled, benign. *Not* a failure instruction.
+    LogWarn {
+        /// Diagnostic message.
+        msg: String,
+    },
+    /// Throw an uncatchable exception (e.g. `RuntimeException`). A failure
+    /// instruction; terminates the enclosing task.
+    Throw {
+        /// Exception kind name.
+        kind: String,
+    },
+
+    // ---- misc -----------------------------------------------------------
+    /// Sleep for `ticks` scheduler steps. Models the natural latency that
+    /// keeps the buggy interleaving rare in correct runs.
+    Sleep {
+        /// Number of scheduler ticks (expression, evaluated once).
+        ticks: Expr,
+    },
+    /// Voluntarily yield the scheduler.
+    Yield,
+    /// No operation (placeholder / annotation).
+    Nop,
+}
+
+impl Stmt {
+    /// The local variable this statement defines, if any.
+    pub fn def_local(&self) -> Option<&str> {
+        match &self.kind {
+            StmtKind::Assign { local, .. }
+            | StmtKind::Read { local, .. }
+            | StmtKind::MapGet { local, .. }
+            | StmtKind::MapContains { local, .. }
+            | StmtKind::ListIsEmpty { local, .. }
+            | StmtKind::ListContains { local, .. }
+            | StmtKind::ZkGetData { local, .. }
+            | StmtKind::ZkExists { local, .. } => Some(local),
+            StmtKind::Call { local, .. }
+            | StmtKind::Spawn { local, .. }
+            | StmtKind::RpcCall { local, .. } => local.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// All expressions this statement evaluates (excluding nested blocks).
+    pub fn exprs(&self) -> Vec<&Expr> {
+        match &self.kind {
+            StmtKind::Assign { expr, .. } => vec![expr],
+            StmtKind::Write { value, .. }
+            | StmtKind::ListAdd { value, .. }
+            | StmtKind::ListRemove { value, .. } => vec![value],
+            StmtKind::MapPut { key, value, .. } => vec![key, value],
+            StmtKind::MapGet { key, .. }
+            | StmtKind::MapRemove { key, .. }
+            | StmtKind::MapContains { key, .. } => vec![key],
+            StmtKind::ListContains { value, .. } => vec![value],
+            StmtKind::If { cond, .. } => vec![cond],
+            StmtKind::While { cond, .. } => vec![cond],
+            StmtKind::Call { args, .. }
+            | StmtKind::Spawn { args, .. }
+            | StmtKind::Enqueue { args, .. } => args.iter().collect(),
+            StmtKind::Return { expr } => expr.iter().collect(),
+            StmtKind::Join { handle } => vec![handle],
+            StmtKind::RpcCall { node, args, .. } | StmtKind::SocketSend { node, args, .. } => {
+                let mut v = vec![node];
+                v.extend(args.iter());
+                v
+            }
+            StmtKind::ZkCreate { path, data, .. } | StmtKind::ZkSetData { path, data } => {
+                vec![path, data]
+            }
+            StmtKind::ZkDelete { path }
+            | StmtKind::ZkGetData { path, .. }
+            | StmtKind::ZkExists { path, .. } => vec![path],
+            StmtKind::Sleep { ticks } => vec![ticks],
+            StmtKind::Read { .. }
+            | StmtKind::ListIsEmpty { .. }
+            | StmtKind::Lock { .. }
+            | StmtKind::Unlock { .. }
+            | StmtKind::Abort { .. }
+            | StmtKind::LogFatal { .. }
+            | StmtKind::LogWarn { .. }
+            | StmtKind::Throw { .. }
+            | StmtKind::Yield
+            | StmtKind::Nop => vec![],
+        }
+    }
+
+    /// Locals used (read) by this statement's expressions.
+    pub fn used_locals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for e in self.exprs() {
+            e.collect_locals(&mut out);
+        }
+        out
+    }
+
+    /// The shared object this statement reads, if any: `(name, is_keyed)`.
+    pub fn reads_object(&self) -> Option<&str> {
+        match &self.kind {
+            StmtKind::Read { object, .. } => Some(object),
+            StmtKind::MapGet { map, .. } | StmtKind::MapContains { map, .. } => Some(map),
+            StmtKind::ListIsEmpty { list, .. } | StmtKind::ListContains { list, .. } => Some(list),
+            _ => None,
+        }
+    }
+
+    /// The shared object this statement writes, if any.
+    pub fn writes_object(&self) -> Option<&str> {
+        match &self.kind {
+            StmtKind::Write { object, .. } => Some(object),
+            StmtKind::MapPut { map, .. } | StmtKind::MapRemove { map, .. } => Some(map),
+            StmtKind::ListAdd { list, .. } | StmtKind::ListRemove { list, .. } => Some(list),
+            _ => None,
+        }
+    }
+
+    /// Nested statement blocks, for tree walks.
+    pub fn blocks(&self) -> Vec<&[Stmt]> {
+        match &self.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body.as_slice(), else_body.as_slice()],
+            StmtKind::While { body, .. } => vec![body.as_slice()],
+            _ => vec![],
+        }
+    }
+
+    /// Visits this statement and all statements nested within it, preorder.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Stmt)) {
+        visit(self);
+        for block in self.blocks() {
+            for s in block {
+                s.walk(visit);
+            }
+        }
+    }
+}
+
+/// Visits every statement of a block, preorder.
+pub(crate) fn walk_block<'a>(block: &'a [Stmt], visit: &mut impl FnMut(&'a Stmt)) {
+    for s in block {
+        s.walk(visit);
+    }
+}

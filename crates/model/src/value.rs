@@ -1,0 +1,195 @@
+//! Run-time values of the IR.
+
+use std::fmt;
+
+/// Identifier of a node (machine) in the simulated distributed system.
+///
+/// Nodes are the unit of distribution: each node has its own heap, event
+/// queues, locks, and RPC server. `NodeId` is assigned by the topology in
+/// declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A dynamically typed IR value.
+///
+/// The IR is deliberately small: integers, booleans, strings, node
+/// references, thread handles, the unit value, and an explicit `Null`
+/// (the result of a failed map lookup, mirroring Java's `null` which is
+/// central to several of the reproduced bugs, e.g. MR-3274's
+/// `jMap.get(jID)` returning `null` after `remove`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// The unit value (result of statements that return nothing).
+    #[default]
+    Unit,
+    /// Absent value; what `MapGet` yields for a missing key.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string.
+    Str(String),
+    /// Reference to a node of the topology.
+    Node(NodeId),
+    /// Handle to a spawned thread, used by `Join`.
+    Thread(u64),
+    /// An immutable list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Interprets the value as a boolean.
+    ///
+    /// `Null` and `Unit` are falsy; integers are truthy when non-zero;
+    /// everything else is truthy. This mirrors the loose truthiness the
+    /// miniature applications rely on in retry loops
+    /// (`while (!getTask(jID))`).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Unit | Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Node(_) | Value::Thread(_) => true,
+            Value::List(l) => !l.is_empty(),
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the node payload, if this is a `Node`.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Value::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as a map/zk key. All scalar values have a stable
+    /// key form so maps keyed by ints and strings behave deterministically.
+    pub fn key_string(&self) -> String {
+        match self {
+            Value::Unit => "()".to_owned(),
+            Value::Null => "null".to_owned(),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Node(n) => n.to_string(),
+            Value::Thread(t) => format!("t{t}"),
+            Value::List(l) => {
+                let parts: Vec<String> = l.iter().map(Value::key_string).collect();
+                format!("[{}]", parts.join(","))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<NodeId> for Value {
+    fn from(v: NodeId) -> Self {
+        Value::Node(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Unit.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(Value::Node(NodeId(0)).truthy());
+        assert!(!Value::List(vec![]).truthy());
+    }
+
+    #[test]
+    fn key_strings_are_stable() {
+        assert_eq!(Value::Int(42).key_string(), "42");
+        assert_eq!(Value::Str("abc".into()).key_string(), "abc");
+        assert_eq!(Value::Node(NodeId(2)).key_string(), "n2");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Bool(true)]).key_string(),
+            "[1,true]"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(NodeId(1)), Value::Node(NodeId(1)));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Node(NodeId(3)).as_node(), Some(NodeId(3)));
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Additional static-analysis tests: call-graph shapes, dependence
+//! corner cases, failure-instruction coverage, and builder properties.
+
+use dcatch_model::{
+    failure_instructions, CallGraph, DependenceAnalysis, EdgeKind, Expr, FailureKind, FuncKind,
+    ProgramBuilder, StmtId, StmtKind,
+};
+use proptest::prelude::*;
+
+#[test]
+fn recursive_call_closure_terminates() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("a", &[], FuncKind::Regular, |b| {
+        b.call_void("b", vec![]);
+    });
+    pb.func("b", &[], FuncKind::Regular, |b| {
+        b.call_void("a", vec![]);
+    });
+    let p = pb.build().unwrap();
+    let cg = CallGraph::build(&p);
+    let closure = cg.call_closure([p.func_id("a").unwrap()]);
+    assert_eq!(closure.len(), 2);
+}
+
+#[test]
+fn call_graph_distinguishes_edge_kinds_to_the_same_target() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.call_void("w", vec![]);
+        b.spawn_detached("w", vec![]);
+    });
+    pb.func("w", &[], FuncKind::Regular, |_| {});
+    let p = pb.build().unwrap();
+    let cg = CallGraph::build(&p);
+    let kinds: Vec<EdgeKind> = cg.callees(p.func_id("main").unwrap()).map(|(_, k)| k).collect();
+    assert!(kinds.contains(&EdgeKind::Call));
+    assert!(kinds.contains(&EdgeKind::Spawn));
+}
+
+#[test]
+fn return_dependence_through_chained_locals() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("f", &[], FuncKind::Regular, |b| {
+        b.read("a", "source"); // 0
+        b.assign("b", Expr::local("a").add(Expr::val(1))); // 1
+        b.assign("c", Expr::local("b")); // 2
+        b.ret(Expr::local("c")); // 3
+    });
+    let p = pb.build().unwrap();
+    let da = DependenceAnalysis::new(&p);
+    let fid = p.func_id("f").unwrap();
+    assert!(da.func(fid).return_depends_on_stmt(StmtId { func: fid, idx: 0 }));
+}
+
+#[test]
+fn return_independent_of_unrelated_read() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("f", &[], FuncKind::Regular, |b| {
+        b.read("a", "ignored"); // 0
+        b.read("b", "used"); // 1
+        b.ret(Expr::local("b")); // 2
+    });
+    let p = pb.build().unwrap();
+    let da = DependenceAnalysis::new(&p);
+    let fid = p.func_id("f").unwrap();
+    assert!(!da.func(fid).return_depends_on_stmt(StmtId { func: fid, idx: 0 }));
+    assert!(da.func(fid).return_depends_on_stmt(StmtId { func: fid, idx: 1 }));
+}
+
+#[test]
+fn nested_control_dependence_reaches_failures() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("f", &["p"], FuncKind::Regular, |b| {
+        b.if_(Expr::local("p"), |b| {
+            b.if_(Expr::local("p").eq(Expr::val(2)), |b| {
+                b.abort("deep");
+            });
+        });
+    });
+    let p = pb.build().unwrap();
+    let da = DependenceAnalysis::new(&p);
+    let fid = p.func_id("f").unwrap();
+    let fails = da.func(fid).failures_from_local("p");
+    assert_eq!(fails.len(), 1);
+    assert_eq!(fails[0].kind, FailureKind::Abort);
+}
+
+#[test]
+fn zk_throwing_ops_are_failure_instructions() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("f", &[], FuncKind::Regular, |b| {
+        b.zk_delete(Expr::val("/a")); // Throw
+        b.zk_set_data(Expr::val("/a"), Expr::val(1)); // Throw
+        b.zk_get_data("d", Expr::val("/a")); // Throw
+        b.zk_create_exclusive(Expr::val("/a"), Expr::val(1)); // Throw
+        b.zk_create(Expr::val("/a"), Expr::val(1)); // NOT (non-exclusive)
+        b.zk_exists("e", Expr::val("/a")); // NOT
+    });
+    let p = pb.build().unwrap();
+    let fails = failure_instructions(&p);
+    assert_eq!(fails.len(), 4, "{fails:?}");
+    assert!(fails.iter().all(|f| f.kind == FailureKind::Throw));
+}
+
+#[test]
+fn stmt_accessors_cover_all_shared_ops() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("f", &[], FuncKind::Regular, |b| {
+        b.map_contains("c", "m", Expr::val("k"));
+        b.list_is_empty("e", "l");
+        b.list_contains("h", "l", Expr::val(1));
+        b.list_remove("l", Expr::val(1));
+    });
+    let p = pb.build().unwrap();
+    let mut reads = 0;
+    let mut writes = 0;
+    p.for_each_stmt(|_, s| {
+        if s.reads_object().is_some() {
+            reads += 1;
+        }
+        if s.writes_object().is_some() {
+            writes += 1;
+        }
+    });
+    assert_eq!(reads, 3);
+    assert_eq!(writes, 1);
+}
+
+#[test]
+fn validate_rejects_enqueue_of_non_event_handler() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.enqueue("q", "not_a_handler", vec![]);
+    });
+    pb.func("not_a_handler", &[], FuncKind::Regular, |_| {});
+    assert!(pb.build().is_err());
+}
+
+#[test]
+fn validate_rejects_socket_send_to_rpc_handler() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.socket_send(Expr::SelfNode, "serve", vec![]);
+    });
+    pb.func("serve", &[], FuncKind::RpcHandler, |b| {
+        b.ret(Expr::val(1));
+    });
+    assert!(pb.build().is_err());
+}
+
+proptest! {
+    /// Closure is monotone: a larger start set never reaches fewer
+    /// statements.
+    #[test]
+    fn closure_is_monotone(seed_stmts in proptest::collection::vec(0u32..12, 1..4)) {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            b.read("a", "x");
+            b.assign("c", Expr::local("a"));
+            b.if_(Expr::local("c"), |b| {
+                b.write("y", Expr::local("c"));
+                b.read("d", "y");
+            });
+            b.assign("e", Expr::local("d"));
+            b.ret(Expr::local("e"));
+            b.nop();
+            b.read("z", "x");
+            b.assign("w", Expr::local("z"));
+            b.log_warn("tail");
+            b.nop();
+        });
+        let p = pb.build().unwrap();
+        let da = DependenceAnalysis::new(&p);
+        let fd = da.func(p.func_id("f").unwrap());
+        let small = fd.closure(seed_stmts[..1].iter().copied());
+        let big = fd.closure(seed_stmts.iter().copied());
+        for i in 0..small.len() {
+            if small[i] {
+                prop_assert!(big[i], "bigger start set lost stmt {}", i);
+            }
+        }
+        // and the start set is always included
+        let again = fd.closure(seed_stmts.iter().copied());
+        for &s in &seed_stmts {
+            if (s as usize) < again.len() {
+                prop_assert!(again[s as usize]);
+            }
+        }
+    }
+
+    /// Builder preorder ids are dense and unique regardless of nesting.
+    #[test]
+    fn builder_ids_are_dense(depth in 1u32..5, width in 1u32..4) {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            fn nest(b: &mut dcatch_model::BlockBuilder<'_>, depth: u32, width: u32) {
+                for _ in 0..width {
+                    b.nop();
+                }
+                if depth > 0 {
+                    b.if_(Expr::val(true), |b| nest(b, depth - 1, width));
+                }
+            }
+            nest(b, depth, width);
+        });
+        let p = pb.build().unwrap();
+        let mut ids = Vec::new();
+        p.for_each_stmt(|_, s| ids.push(s.id.idx));
+        ids.sort_unstable();
+        for (expected, got) in ids.iter().enumerate() {
+            prop_assert_eq!(*got as usize, expected, "ids must be dense");
+        }
+    }
+}
+
+#[test]
+fn stmt_kind_exposes_nested_blocks() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("f", &[], FuncKind::Regular, |b| {
+        b.if_else(
+            Expr::val(true),
+            |b| {
+                b.nop();
+            },
+            |b| {
+                b.nop();
+                b.nop();
+            },
+        );
+    });
+    let p = pb.build().unwrap();
+    let (fid, f) = p.func_by_name("f").unwrap();
+    let _ = fid;
+    let StmtKind::If {
+        then_body,
+        else_body,
+        ..
+    } = &f.body[0].kind
+    else {
+        panic!("expected if");
+    };
+    assert_eq!(then_body.len(), 1);
+    assert_eq!(else_body.len(), 2);
+    assert_eq!(f.body[0].blocks().len(), 2);
+}

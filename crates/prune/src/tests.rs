@@ -1,0 +1,286 @@
+use dcatch_detect::find_candidates;
+use dcatch_hb::{HbAnalysis, HbConfig};
+use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
+use dcatch_sim::{SimConfig, Topology, World};
+
+use super::{Impact, Pruner};
+
+fn candidates_of(p: &Program, topo: &Topology) -> dcatch_detect::CandidateSet {
+    let run = World::run_once(p, topo, SimConfig::default().with_full_tracing()).unwrap();
+    let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+    find_candidates(&hb)
+}
+
+/// Race on `status` where the reader crashes on the bad value (intra-
+/// procedural impact) and race on `metrics` that feeds nothing: the first
+/// survives pruning, the second is pruned.
+#[test]
+fn intra_procedural_impact_separates_harmful_from_harmless() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("mutator", vec![]);
+        b.read("m", "metrics"); // read, then ignore
+        b.read("s", "status");
+        b.if_(Expr::local("s").eq(Expr::val("bad")), |b| {
+            b.throw("IllegalStateException");
+        });
+    });
+    pb.func("mutator", &[], FuncKind::Regular, |b| {
+        b.write("status", Expr::val("bad"));
+        b.write("metrics", Expr::val(1));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let candidates = candidates_of(&p, &topo);
+    assert_eq!(candidates.static_pair_count(), 2, "{candidates:#?}");
+
+    let pruner = Pruner::new(&p);
+    let (kept, pruned, stats) = pruner.prune(candidates);
+    assert_eq!(stats.before_static, 2);
+    assert_eq!(stats.after_static, 1);
+    assert_eq!(kept.candidates[0].object(), "status");
+    assert_eq!(pruned[0].object(), "metrics");
+}
+
+/// The access's impact flows through the *caller*: a helper returns the
+/// read value, and the caller aborts on it.
+#[test]
+fn caller_return_value_impact_is_found() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("mutator", vec![]);
+        b.call("v", "fetch", vec![]);
+        b.if_(Expr::local("v").eq(Expr::val("corrupt")), |b| {
+            b.abort("corrupt state");
+        });
+    });
+    pb.func("fetch", &[], FuncKind::Regular, |b| {
+        b.read("x", "state");
+        b.ret(Expr::local("x"));
+    });
+    pb.func("mutator", &[], FuncKind::Regular, |b| {
+        b.write("state", Expr::val("corrupt"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let candidates = candidates_of(&p, &topo);
+    assert_eq!(candidates.static_pair_count(), 1);
+
+    let pruner = Pruner::new(&p);
+    let c = &candidates.candidates[0];
+    let read_side = if c.rep.0.is_write { &c.rep.1 } else { &c.rep.0 };
+    let impacts = pruner.impact_of(read_side);
+    assert!(
+        impacts.iter().any(|i| matches!(i, Impact::LocalCaller { .. })),
+        "{impacts:?}"
+    );
+    let (kept, _, _) = pruner.prune(candidates);
+    assert_eq!(kept.static_pair_count(), 1);
+}
+
+/// The access's impact flows into a *callee*: the read value is passed as
+/// an argument and the callee throws on it.
+#[test]
+fn callee_argument_impact_is_found() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("mutator", vec![]);
+        b.read("x", "state");
+        b.call_void("check", vec![Expr::local("x")]);
+    });
+    pb.func("check", &["v"], FuncKind::Regular, |b| {
+        b.if_(Expr::local("v").eq(Expr::val("corrupt")), |b| {
+            b.throw("RuntimeException");
+        });
+    });
+    pb.func("mutator", &[], FuncKind::Regular, |b| {
+        b.write("state", Expr::val("corrupt"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let candidates = candidates_of(&p, &topo);
+    let pruner = Pruner::new(&p);
+    let c = &candidates.candidates[0];
+    let read_side = if c.rep.0.is_write { &c.rep.1 } else { &c.rep.0 };
+    let impacts = pruner.impact_of(read_side);
+    assert!(
+        impacts.iter().any(|i| matches!(i, Impact::LocalCallee { .. })),
+        "{impacts:?}"
+    );
+}
+
+/// Distributed impact (the MR-3274 pattern): the AM-side `jMap` accesses
+/// matter only because the NM-side retry loop (a hang failure site)
+/// depends on the `get_task` RPC's return value.
+#[test]
+fn distributed_rpc_impact_keeps_the_mapreduce_bug() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("register", &["jid"], FuncKind::EventHandler, |b| {
+        b.map_put("jMap", Expr::local("jid"), Expr::val("task"));
+    });
+    pb.func("unregister", &["jid"], FuncKind::EventHandler, |b| {
+        b.map_remove("jMap", Expr::local("jid"));
+    });
+    pb.func("get_task", &["jid"], FuncKind::RpcHandler, |b| {
+        b.map_get("t", "jMap", Expr::local("jid"));
+        b.ret(Expr::local("t"));
+    });
+    pb.func("am_main", &[], FuncKind::Regular, |b| {
+        b.enqueue("dispatch", "register", vec![Expr::val("j1")]);
+        b.sleep(Expr::val(50));
+        b.enqueue("dispatch", "unregister", vec![Expr::val("j1")]);
+    });
+    pb.func("nm_main", &["am"], FuncKind::Regular, |b| {
+        b.assign("done", Expr::val(false));
+        b.retry_while(Expr::local("done").not(), |b| {
+            b.rpc("t", Expr::local("am"), "get_task", vec![Expr::val("j1")]);
+            b.assign("done", Expr::local("t").ne(Expr::null()));
+        });
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    let am = {
+        let mut nb = topo.node("am");
+        nb.entry("am_main", vec![]).queue("dispatch", 1);
+        nb.id()
+    };
+    topo.node("nm").entry("nm_main", vec![Value::Node(am)]);
+
+    let candidates = candidates_of(&p, &topo);
+    // at least the get/remove pair must be a candidate
+    let pruner = Pruner::new(&p);
+    let get_remove = candidates
+        .candidates
+        .iter()
+        .find(|c| c.object() == "jMap")
+        .expect("jMap candidate");
+    let read_side = if get_remove.rep.0.is_write {
+        &get_remove.rep.1
+    } else {
+        &get_remove.rep.0
+    };
+    let impacts = pruner.impact_of(read_side);
+    assert!(
+        impacts
+            .iter()
+            .any(|i| matches!(i, Impact::Distributed { .. })),
+        "the NM retry loop must make the AM read impactful: {impacts:?}"
+    );
+}
+
+/// Accesses only feeding benign warnings are pruned (paper §7.2: pruned
+/// candidates "would lead to exceptions... well handled with only warning
+/// or debugging messages").
+#[test]
+fn warn_only_impact_is_pruned() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("mutator", vec![]);
+        b.read("s", "gossip_state");
+        b.if_(Expr::local("s").eq(Expr::val("stale")), |b| {
+            b.log_warn("stale gossip state, will be cured by next round");
+        });
+    });
+    pb.func("mutator", &[], FuncKind::Regular, |b| {
+        b.write("gossip_state", Expr::val("stale"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let candidates = candidates_of(&p, &topo);
+    assert_eq!(candidates.static_pair_count(), 1);
+    let pruner = Pruner::new(&p);
+    let (kept, pruned, _) = pruner.prune(candidates);
+    assert_eq!(kept.static_pair_count(), 0);
+    assert_eq!(pruned.len(), 1);
+}
+
+/// ZK-1144 shape: the racing write's failure site is a retry loop in a
+/// *sibling thread*, reachable only through a shared object — the
+/// heap-mediated channel must keep it.
+#[test]
+fn heap_mediated_impact_keeps_sibling_thread_hang() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("follower_main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("waiter", vec![]);
+        b.sleep(Expr::val(5));
+        b.write("request_processor", Expr::val("ready"));
+    });
+    pb.func("on_packet", &["m"], FuncKind::SocketHandler, |b| {
+        b.read("rp", "request_processor");
+        b.if_(Expr::local("rp").ne(Expr::null()), |b| {
+            b.write("session_established", Expr::val(true));
+        });
+    });
+    pb.func("waiter", &[], FuncKind::Regular, |b| {
+        b.assign("ok", Expr::val(false));
+        b.retry_while(Expr::local("ok").not(), |b| {
+            b.read("s", "session_established");
+            b.assign("ok", Expr::local("s"));
+        });
+    });
+    pb.func("peer_main", &["f"], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(30));
+        b.socket_send(Expr::local("f"), "on_packet", vec![Expr::val("sync")]);
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    let f = {
+        let mut nb = topo.node("follower");
+        nb.entry("follower_main", vec![]);
+        nb.id()
+    };
+    topo.node("leader")
+        .entry("peer_main", vec![dcatch_model::Value::Node(f)]);
+
+    let candidates = candidates_of(&p, &topo);
+    let pruner = Pruner::new(&p);
+    let c = candidates
+        .candidates
+        .iter()
+        .find(|c| c.object() == "request_processor")
+        .expect("request_processor candidate");
+    let read_side = if c.rep.0.is_write { &c.rep.1 } else { &c.rep.0 };
+    let impacts = pruner.impact_of(read_side);
+    assert!(
+        impacts
+            .iter()
+            .any(|i| matches!(i, Impact::HeapMediated { .. })),
+        "{impacts:?}"
+    );
+}
+
+/// §4.1: the failure-instruction list is configurable. With warnings
+/// counted as failures, the warn-only gossip race is kept instead of
+/// pruned; with fatal logs disabled, the hint-delivery race is pruned.
+#[test]
+fn failure_spec_is_configurable() {
+    use dcatch_model::FailureSpec;
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("mutator2", vec![]);
+        b.read("s", "gossip2");
+        b.if_(Expr::local("s").eq(Expr::val("stale")), |b| {
+            b.log_warn("anti-entropy will fix it");
+        });
+    });
+    pb.func("mutator2", &[], FuncKind::Regular, |b| {
+        b.write("gossip2", Expr::val("stale"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let candidates = candidates_of(&p, &topo);
+    assert_eq!(candidates.static_pair_count(), 1);
+
+    let strict = Pruner::new(&p);
+    let (kept, _, _) = strict.prune(candidates.clone());
+    assert_eq!(kept.static_pair_count(), 0, "warn-only impact pruned by default");
+
+    let wide = Pruner::with_spec(&p, &FailureSpec::including_warnings());
+    let (kept, _, _) = wide.prune(candidates);
+    assert_eq!(kept.static_pair_count(), 1, "warnings kept under the wide spec");
+}

@@ -1,0 +1,515 @@
+//! Compilation of the statement tree into a flat instruction stream.
+//!
+//! Structured control flow (`If`, `While`) becomes branch/jump
+//! instructions so the interpreter can execute exactly one instruction per
+//! scheduler step with a plain program counter — the granularity at which
+//! interleavings (and therefore races) are explored.
+
+use std::fmt;
+
+use dcatch_model::{
+    Expr, Func, FuncId, FuncKind, LoopId, Program, Stmt, StmtId, StmtKind,
+};
+
+/// One flat instruction: the operation plus the source statement it came
+/// from (trace records carry the statement id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Source statement.
+    pub stmt: StmtId,
+    /// Operation.
+    pub op: Op,
+}
+
+/// Flattened operations. Most mirror [`StmtKind`] 1:1; control flow is
+/// lowered to [`Op::LoopHead`], [`Op::Branch`], and [`Op::Jump`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields mirror StmtKind, documented there
+pub enum Op {
+    Assign { local: String, expr: Expr },
+    Read { local: String, object: String },
+    Write { object: String, value: Expr },
+    MapPut { map: String, key: Expr, value: Expr },
+    MapGet { local: String, map: String, key: Expr },
+    MapRemove { map: String, key: Expr },
+    MapContains { local: String, map: String, key: Expr },
+    ListAdd { list: String, value: Expr },
+    ListRemove { list: String, value: Expr },
+    ListIsEmpty { local: String, list: String },
+    ListContains { local: String, list: String, value: Expr },
+
+    /// Jump to `target` when `cond` is falsy (compiled `If`).
+    Branch { cond: Expr, target: usize },
+    /// Unconditional jump.
+    Jump { target: usize },
+    /// Marks entry into a loop activation (resets its iteration counter).
+    LoopEnter { loop_id: LoopId, retry: bool },
+    /// Evaluates the loop condition: falsy ⇒ jump to `exit` (which holds
+    /// the [`Op::LoopExit`]); truthy ⇒ fall through into the body, after
+    /// bumping the iteration counter against the retry budget.
+    LoopHead {
+        loop_id: LoopId,
+        retry: bool,
+        cond: Expr,
+        exit: usize,
+    },
+    /// Marks loop exit (anchor for inferred loop-synchronization HB edges).
+    LoopExit { loop_id: LoopId, retry: bool },
+
+    Call { local: Option<String>, func: FuncId, args: Vec<Expr> },
+    Return { expr: Option<Expr> },
+
+    Spawn { local: Option<String>, func: FuncId, args: Vec<Expr> },
+    Join { handle: Expr },
+    Enqueue { queue: String, func: FuncId, args: Vec<Expr> },
+    Lock { lock: String },
+    Unlock { lock: String },
+
+    RpcCall { local: Option<String>, node: Expr, func: FuncId, args: Vec<Expr> },
+    SocketSend { node: Expr, func: FuncId, args: Vec<Expr> },
+    ZkCreate { path: Expr, data: Expr, exclusive: bool },
+    ZkSetData { path: Expr, data: Expr },
+    ZkDelete { path: Expr },
+    ZkGetData { local: String, path: Expr },
+    ZkExists { local: String, path: Expr },
+
+    Abort { msg: String },
+    LogFatal { msg: String },
+    LogWarn { msg: String },
+    Throw { kind: String },
+
+    Sleep { ticks: Expr },
+    Yield,
+    Nop,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFunc {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Function role.
+    pub kind: FuncKind,
+    /// Flat instruction stream.
+    pub instrs: Vec<Instr>,
+}
+
+/// A compiled program: all functions flattened, indexable by [`FuncId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    funcs: Vec<CompiledFunc>,
+}
+
+/// Compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CompiledProgram {
+    /// Compiles every function of `program`.
+    pub fn compile(program: &Program) -> Result<CompiledProgram, CompileError> {
+        let funcs = program
+            .funcs()
+            .iter()
+            .map(|f| compile_func(program, f))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledProgram { funcs })
+    }
+
+    /// The compiled form of `func`.
+    pub fn func(&self, func: FuncId) -> &CompiledFunc {
+        &self.funcs[func.index()]
+    }
+
+    /// All compiled functions.
+    pub fn funcs(&self) -> &[CompiledFunc] {
+        &self.funcs
+    }
+}
+
+fn resolve(program: &Program, name: &str) -> Result<FuncId, CompileError> {
+    program.func_id(name).ok_or_else(|| CompileError {
+        message: format!("unresolved function `{name}`"),
+    })
+}
+
+fn compile_func(program: &Program, f: &Func) -> Result<CompiledFunc, CompileError> {
+    let mut instrs = Vec::new();
+    compile_block(program, &f.body, &mut instrs)?;
+    // implicit unit return at end
+    let end_stmt = instrs
+        .last()
+        .map(|i| i.stmt)
+        .unwrap_or(StmtId {
+            func: program.func_id(&f.name).unwrap_or(FuncId(0)),
+            idx: 0,
+        });
+    instrs.push(Instr {
+        stmt: end_stmt,
+        op: Op::Return { expr: None },
+    });
+    Ok(CompiledFunc {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        kind: f.kind,
+        instrs,
+    })
+}
+
+fn compile_block(
+    program: &Program,
+    block: &[Stmt],
+    out: &mut Vec<Instr>,
+) -> Result<(), CompileError> {
+    for s in block {
+        compile_stmt(program, s, out)?;
+    }
+    Ok(())
+}
+
+fn compile_stmt(program: &Program, s: &Stmt, out: &mut Vec<Instr>) -> Result<(), CompileError> {
+    let push = |out: &mut Vec<Instr>, op: Op| {
+        out.push(Instr { stmt: s.id, op });
+    };
+    match &s.kind {
+        StmtKind::Assign { local, expr } => push(
+            out,
+            Op::Assign {
+                local: local.clone(),
+                expr: expr.clone(),
+            },
+        ),
+        StmtKind::Read { local, object } => push(
+            out,
+            Op::Read {
+                local: local.clone(),
+                object: object.clone(),
+            },
+        ),
+        StmtKind::Write { object, value } => push(
+            out,
+            Op::Write {
+                object: object.clone(),
+                value: value.clone(),
+            },
+        ),
+        StmtKind::MapPut { map, key, value } => push(
+            out,
+            Op::MapPut {
+                map: map.clone(),
+                key: key.clone(),
+                value: value.clone(),
+            },
+        ),
+        StmtKind::MapGet { local, map, key } => push(
+            out,
+            Op::MapGet {
+                local: local.clone(),
+                map: map.clone(),
+                key: key.clone(),
+            },
+        ),
+        StmtKind::MapRemove { map, key } => push(
+            out,
+            Op::MapRemove {
+                map: map.clone(),
+                key: key.clone(),
+            },
+        ),
+        StmtKind::MapContains { local, map, key } => push(
+            out,
+            Op::MapContains {
+                local: local.clone(),
+                map: map.clone(),
+                key: key.clone(),
+            },
+        ),
+        StmtKind::ListAdd { list, value } => push(
+            out,
+            Op::ListAdd {
+                list: list.clone(),
+                value: value.clone(),
+            },
+        ),
+        StmtKind::ListRemove { list, value } => push(
+            out,
+            Op::ListRemove {
+                list: list.clone(),
+                value: value.clone(),
+            },
+        ),
+        StmtKind::ListIsEmpty { local, list } => push(
+            out,
+            Op::ListIsEmpty {
+                local: local.clone(),
+                list: list.clone(),
+            },
+        ),
+        StmtKind::ListContains { local, list, value } => push(
+            out,
+            Op::ListContains {
+                local: local.clone(),
+                list: list.clone(),
+                value: value.clone(),
+            },
+        ),
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let branch_at = out.len();
+            push(out, Op::Nop); // placeholder for Branch
+            compile_block(program, then_body, out)?;
+            if else_body.is_empty() {
+                let end = out.len();
+                out[branch_at].op = Op::Branch {
+                    cond: cond.clone(),
+                    target: end,
+                };
+            } else {
+                let jump_at = out.len();
+                push(out, Op::Nop); // placeholder for Jump over else
+                let else_start = out.len();
+                compile_block(program, else_body, out)?;
+                let end = out.len();
+                out[branch_at].op = Op::Branch {
+                    cond: cond.clone(),
+                    target: else_start,
+                };
+                out[jump_at].op = Op::Jump { target: end };
+            }
+        }
+        StmtKind::While {
+            loop_id,
+            cond,
+            body,
+            retry,
+        } => {
+            push(
+                out,
+                Op::LoopEnter {
+                    loop_id: *loop_id,
+                    retry: *retry,
+                },
+            );
+            let head_at = out.len();
+            push(out, Op::Nop); // placeholder for LoopHead
+            compile_block(program, body, out)?;
+            let jump_back_at = out.len();
+            push(out, Op::Jump { target: head_at });
+            let exit_at = out.len();
+            push(
+                out,
+                Op::LoopExit {
+                    loop_id: *loop_id,
+                    retry: *retry,
+                },
+            );
+            out[head_at].op = Op::LoopHead {
+                loop_id: *loop_id,
+                retry: *retry,
+                cond: cond.clone(),
+                exit: exit_at,
+            };
+            debug_assert!(matches!(out[jump_back_at].op, Op::Jump { .. }));
+        }
+        StmtKind::Call { local, func, args } => {
+            let func = resolve(program, func)?;
+            push(
+                out,
+                Op::Call {
+                    local: local.clone(),
+                    func,
+                    args: args.clone(),
+                },
+            );
+        }
+        StmtKind::Return { expr } => push(out, Op::Return { expr: expr.clone() }),
+        StmtKind::Spawn { local, func, args } => {
+            let func = resolve(program, func)?;
+            push(
+                out,
+                Op::Spawn {
+                    local: local.clone(),
+                    func,
+                    args: args.clone(),
+                },
+            );
+        }
+        StmtKind::Join { handle } => push(
+            out,
+            Op::Join {
+                handle: handle.clone(),
+            },
+        ),
+        StmtKind::Enqueue { queue, func, args } => {
+            let func = resolve(program, func)?;
+            push(
+                out,
+                Op::Enqueue {
+                    queue: queue.clone(),
+                    func,
+                    args: args.clone(),
+                },
+            );
+        }
+        StmtKind::Lock { lock } => push(out, Op::Lock { lock: lock.clone() }),
+        StmtKind::Unlock { lock } => push(out, Op::Unlock { lock: lock.clone() }),
+        StmtKind::RpcCall {
+            local,
+            node,
+            func,
+            args,
+        } => {
+            let func = resolve(program, func)?;
+            push(
+                out,
+                Op::RpcCall {
+                    local: local.clone(),
+                    node: node.clone(),
+                    func,
+                    args: args.clone(),
+                },
+            );
+        }
+        StmtKind::SocketSend { node, func, args } => {
+            let func = resolve(program, func)?;
+            push(
+                out,
+                Op::SocketSend {
+                    node: node.clone(),
+                    func,
+                    args: args.clone(),
+                },
+            );
+        }
+        StmtKind::ZkCreate {
+            path,
+            data,
+            exclusive,
+        } => push(
+            out,
+            Op::ZkCreate {
+                path: path.clone(),
+                data: data.clone(),
+                exclusive: *exclusive,
+            },
+        ),
+        StmtKind::ZkSetData { path, data } => push(
+            out,
+            Op::ZkSetData {
+                path: path.clone(),
+                data: data.clone(),
+            },
+        ),
+        StmtKind::ZkDelete { path } => push(out, Op::ZkDelete { path: path.clone() }),
+        StmtKind::ZkGetData { local, path } => push(
+            out,
+            Op::ZkGetData {
+                local: local.clone(),
+                path: path.clone(),
+            },
+        ),
+        StmtKind::ZkExists { local, path } => push(
+            out,
+            Op::ZkExists {
+                local: local.clone(),
+                path: path.clone(),
+            },
+        ),
+        StmtKind::Abort { msg } => push(out, Op::Abort { msg: msg.clone() }),
+        StmtKind::LogFatal { msg } => push(out, Op::LogFatal { msg: msg.clone() }),
+        StmtKind::LogWarn { msg } => push(out, Op::LogWarn { msg: msg.clone() }),
+        StmtKind::Throw { kind } => push(out, Op::Throw { kind: kind.clone() }),
+        StmtKind::Sleep { ticks } => push(
+            out,
+            Op::Sleep {
+                ticks: ticks.clone(),
+            },
+        ),
+        StmtKind::Yield => push(out, Op::Yield),
+        StmtKind::Nop => push(out, Op::Nop),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcatch_model::ProgramBuilder;
+
+    #[test]
+    fn if_else_targets_are_correct() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            b.if_else(
+                Expr::local("c"),
+                |b| {
+                    b.assign("x", Expr::val(1));
+                },
+                |b| {
+                    b.assign("x", Expr::val(2));
+                },
+            );
+            b.assign("y", Expr::val(3));
+        });
+        let p = pb.build().unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let f = cp.func(p.func_id("f").unwrap());
+        // 0: Branch(c, else_start) 1: x=1 2: Jump(end) 3: x=2 4: y=3 5: Return
+        match &f.instrs[0].op {
+            Op::Branch { target, .. } => assert_eq!(*target, 3),
+            other => panic!("expected branch, got {other:?}"),
+        }
+        match &f.instrs[2].op {
+            Op::Jump { target } => assert_eq!(*target, 4),
+            other => panic!("expected jump, got {other:?}"),
+        }
+        assert!(matches!(f.instrs[5].op, Op::Return { .. }));
+    }
+
+    #[test]
+    fn while_loop_structure() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |b| {
+            b.retry_while(Expr::local("go"), |b| {
+                b.yield_();
+            });
+        });
+        let p = pb.build().unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let f = cp.func(p.func_id("f").unwrap());
+        // 0: LoopEnter 1: LoopHead(exit=4) 2: Yield 3: Jump(1) 4: LoopExit 5: Return
+        assert!(matches!(f.instrs[0].op, Op::LoopEnter { retry: true, .. }));
+        match &f.instrs[1].op {
+            Op::LoopHead { exit, .. } => assert_eq!(*exit, 4),
+            other => panic!("expected loop head, got {other:?}"),
+        }
+        assert!(matches!(f.instrs[3].op, Op::Jump { target: 1 }));
+        assert!(matches!(f.instrs[4].op, Op::LoopExit { .. }));
+    }
+
+    #[test]
+    fn empty_function_still_returns() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", &[], FuncKind::Regular, |_| {});
+        let p = pb.build().unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let f = cp.func(p.func_id("f").unwrap());
+        assert_eq!(f.instrs.len(), 1);
+        assert!(matches!(f.instrs[0].op, Op::Return { expr: None }));
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulation configuration.
+
+use std::collections::BTreeSet;
+
+use dcatch_trace::TracingMode;
+
+/// Focused value-tracing configuration for the loop-synchronization
+/// analysis' second run (paper §3.2.1: "we will then run the targeted
+/// software again, tracing only such `r`s and all writes that touch the
+/// same object").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FocusConfig {
+    /// Shared object names whose accesses are traced *with values*.
+    /// All other memory accesses are dropped from the focused trace.
+    pub objects: BTreeSet<String>,
+}
+
+impl FocusConfig {
+    /// Focus on the given object names.
+    pub fn on(objects: impl IntoIterator<Item = impl Into<String>>) -> FocusConfig {
+        FocusConfig {
+            objects: objects.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// Knobs of one simulated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Scheduler seed; same seed ⇒ identical execution and trace.
+    pub seed: u64,
+    /// Memory-access tracing policy (paper §3.1.1 vs Table 8 baseline).
+    pub tracing: TracingMode,
+    /// Whether to produce a trace at all (triggering re-runs may disable).
+    pub trace_enabled: bool,
+    /// Focused value-tracing (second run of loop-sync analysis).
+    pub focus: Option<FocusConfig>,
+    /// Global step budget; exceeding it reports a hang.
+    pub max_steps: u64,
+    /// Iterations a single retry-loop activation may spin before the run
+    /// declares a livelock hang (the MR-3274 `getTask` loop).
+    pub retry_loop_budget: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            seed: 0xDCA7C4,
+            tracing: TracingMode::Selective,
+            trace_enabled: true,
+            focus: None,
+            max_steps: 2_000_000,
+            retry_loop_budget: 200,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Same configuration with full (unselective) memory tracing.
+    pub fn with_full_tracing(mut self) -> SimConfig {
+        self.tracing = TracingMode::Full;
+        self
+    }
+
+    /// Same configuration with focused value tracing enabled.
+    pub fn with_focus(mut self, focus: FocusConfig) -> SimConfig {
+        self.focus = Some(focus);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::default()
+            .with_seed(7)
+            .with_full_tracing()
+            .with_focus(FocusConfig::on(["jMap"]));
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.tracing, TracingMode::Full);
+        assert!(c.focus.unwrap().objects.contains("jMap"));
+    }
+}

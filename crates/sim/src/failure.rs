@@ -1,0 +1,103 @@
+//! Run-time failures and logs.
+
+use std::fmt;
+
+use dcatch_model::{LoopId, NodeId, StmtId};
+use dcatch_trace::TaskId;
+
+/// Category of a run-time failure, matching the failure patterns of the
+/// paper's Table 3 (explicit errors and hangs, local or distributed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunFailureKind {
+    /// `Abort` executed (system abort/exit).
+    Abort,
+    /// `LogFatal` executed (severe error printed).
+    FatalLog,
+    /// Uncatchable exception thrown by `Throw` or a ZooKeeper NoNode /
+    /// NodeExists error. The payload is the exception kind.
+    UncaughtThrow(String),
+    /// A retry loop exceeded its iteration budget (livelock hang).
+    RetryLoopHang(LoopId),
+    /// Global hang: tasks blocked with nothing left to deliver or run.
+    Deadlock,
+    /// The global step budget was exhausted.
+    StepBudgetExhausted,
+}
+
+impl fmt::Display for RunFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunFailureKind::Abort => write!(f, "abort"),
+            RunFailureKind::FatalLog => write!(f, "fatal log"),
+            RunFailureKind::UncaughtThrow(k) => write!(f, "uncaught {k}"),
+            RunFailureKind::RetryLoopHang(l) => write!(f, "retry-loop hang (loop {})", l.0),
+            RunFailureKind::Deadlock => write!(f, "deadlock"),
+            RunFailureKind::StepBudgetExhausted => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+/// One observed failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Failure category.
+    pub kind: RunFailureKind,
+    /// Node the failure occurred on (for deadlocks: the first blocked node).
+    pub node: NodeId,
+    /// Task that failed, when attributable.
+    pub task: Option<TaskId>,
+    /// Statement at which the failure fired, when attributable.
+    pub stmt: Option<StmtId>,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.node, self.kind, self.msg)
+    }
+}
+
+/// Severity of a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// `LogWarn` — handled, benign.
+    Warn,
+    /// `LogFatal` — severe.
+    Fatal,
+}
+
+/// One log line emitted during the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLine {
+    /// Severity.
+    pub level: LogLevel,
+    /// Node that logged.
+    pub node: NodeId,
+    /// Task that logged.
+    pub task: TaskId,
+    /// Message text.
+    pub msg: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let f = Failure {
+            kind: RunFailureKind::UncaughtThrow("NoNodeException".into()),
+            node: NodeId(1),
+            task: None,
+            stmt: None,
+            msg: "delete of absent znode".into(),
+        };
+        assert_eq!(f.to_string(), "[n1] uncaught NoNodeException: delete of absent znode");
+        assert_eq!(RunFailureKind::Deadlock.to_string(), "deadlock");
+        assert_eq!(
+            RunFailureKind::RetryLoopHang(LoopId(3)).to_string(),
+            "retry-loop hang (loop 3)"
+        );
+    }
+}

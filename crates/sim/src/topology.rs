@@ -1,0 +1,232 @@
+//! Deployment topology: nodes, entry points, event queues, RPC worker
+//! pools, and ZooKeeper watchers.
+
+use dcatch_model::{NodeId, Program, Value};
+
+/// An event queue of a node. All queues are FIFO with a single dispatching
+/// path; `consumers` is the number of handler worker threads, which
+/// decides whether `Eserial` applies downstream (paper §2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSpec {
+    /// Queue name, referenced by `Enqueue` statements.
+    pub name: String,
+    /// Number of handler worker threads (1 = single-consumer).
+    pub consumers: u32,
+}
+
+/// A ZooKeeper watcher subscription: when any zknode whose path starts
+/// with `path_prefix` changes, `handler` (a `FuncKind::ZkWatcher`
+/// function) runs on `node` with arguments `(path, data)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatcherSpec {
+    /// Subscribing node.
+    pub node: NodeId,
+    /// Path prefix filter.
+    pub path_prefix: String,
+    /// Watcher callback function name.
+    pub handler: String,
+}
+
+/// One node of the deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Human-readable role name ("AM", "NM", "HMaster"…).
+    pub name: String,
+    /// Entry threads started at boot: (function, args).
+    pub entries: Vec<(String, Vec<Value>)>,
+    /// Event queues.
+    pub queues: Vec<QueueSpec>,
+    /// RPC server worker threads.
+    pub rpc_workers: u32,
+    /// Socket message-handling worker threads (Cassandra stage /
+    /// ZooKeeper cnxn threads). Long-lived, like the real systems —
+    /// which is what makes the paper's socket-ablation effects (merged
+    /// program order on message threads, §7.4) reproducible.
+    pub socket_workers: u32,
+}
+
+/// The whole deployment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Topology {
+    /// Nodes in id order.
+    pub nodes: Vec<NodeSpec>,
+    /// Watcher subscriptions.
+    pub watchers: Vec<WatcherSpec>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a node and returns a builder handle for it.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeBuilder<'_> {
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            entries: Vec::new(),
+            queues: Vec::new(),
+            rpc_workers: 2,
+            socket_workers: 2,
+        });
+        let idx = self.nodes.len() - 1;
+        NodeBuilder {
+            topo: self,
+            node: idx,
+        }
+    }
+
+    /// The id of the node named `name`.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Registers a watcher subscription.
+    pub fn watch(
+        &mut self,
+        node: NodeId,
+        path_prefix: impl Into<String>,
+        handler: impl Into<String>,
+    ) -> &mut Self {
+        self.watchers.push(WatcherSpec {
+            node,
+            path_prefix: path_prefix.into(),
+            handler: handler.into(),
+        });
+        self
+    }
+
+    /// Checks the topology against a program: entry/watcher functions must
+    /// exist with the right kinds, queue names must be unique per node.
+    pub fn validate(&self, program: &Program) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (f, _) in &n.entries {
+                match program.func_by_name(f) {
+                    None => problems.push(format!("node {i} entry `{f}` undefined")),
+                    Some((_, func)) if func.kind != dcatch_model::FuncKind::Regular => {
+                        problems.push(format!("node {i} entry `{f}` must be a Regular function"))
+                    }
+                    _ => {}
+                }
+            }
+            let mut names: Vec<&str> = n.queues.iter().map(|q| q.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            if names.len() != n.queues.len() {
+                problems.push(format!("node {i} has duplicate queue names"));
+            }
+            for q in &n.queues {
+                if q.consumers == 0 {
+                    problems.push(format!("node {i} queue `{}` needs ≥1 consumer", q.name));
+                }
+            }
+        }
+        for w in &self.watchers {
+            if w.node.index() >= self.nodes.len() {
+                problems.push(format!("watcher on unknown node {}", w.node));
+            }
+            match program.func_by_name(&w.handler) {
+                None => problems.push(format!("watcher handler `{}` undefined", w.handler)),
+                Some((_, f)) if f.kind != dcatch_model::FuncKind::ZkWatcher => problems.push(
+                    format!("watcher handler `{}` must have kind ZkWatcher", w.handler),
+                ),
+                _ => {}
+            }
+        }
+        problems
+    }
+}
+
+/// Fluent handle for configuring one node.
+#[derive(Debug)]
+pub struct NodeBuilder<'a> {
+    topo: &'a mut Topology,
+    node: usize,
+}
+
+impl NodeBuilder<'_> {
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        NodeId(self.node as u32)
+    }
+
+    /// Adds an entry thread started at boot.
+    pub fn entry(&mut self, func: impl Into<String>, args: Vec<Value>) -> &mut Self {
+        self.topo.nodes[self.node].entries.push((func.into(), args));
+        self
+    }
+
+    /// Adds an event queue with `consumers` handler threads.
+    pub fn queue(&mut self, name: impl Into<String>, consumers: u32) -> &mut Self {
+        self.topo.nodes[self.node].queues.push(QueueSpec {
+            name: name.into(),
+            consumers,
+        });
+        self
+    }
+
+    /// Sets the RPC server worker-pool size.
+    pub fn rpc_workers(&mut self, workers: u32) -> &mut Self {
+        self.topo.nodes[self.node].rpc_workers = workers;
+        self
+    }
+
+    /// Sets the socket message-handling worker-pool size.
+    pub fn socket_workers(&mut self, workers: u32) -> &mut Self {
+        self.topo.nodes[self.node].socket_workers = workers;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcatch_model::{FuncKind, ProgramBuilder};
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut t = Topology::new();
+        let a = t.node("a").id();
+        let b = t.node("b").id();
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert_eq!(t.node_id("b"), Some(NodeId(1)));
+        assert_eq!(t.node_id("c"), None);
+    }
+
+    #[test]
+    fn validate_catches_bad_entries_and_watchers() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |_| {});
+        pb.func("watch", &["path", "data"], FuncKind::ZkWatcher, |_| {});
+        pb.func("handler", &["e"], FuncKind::EventHandler, |_| {});
+        let p = pb.build().unwrap();
+
+        let mut t = Topology::new();
+        let n = {
+            let mut nb = t.node("x");
+            nb.entry("main", vec![]).entry("missing", vec![]);
+            nb.entry("handler", vec![]); // wrong kind
+            nb.queue("q", 0); // zero consumers
+            nb.id()
+        };
+        t.watch(n, "/r", "watch");
+        t.watch(NodeId(9), "/r", "main"); // bad node + wrong kind
+        let problems = t.validate(&p);
+        assert_eq!(problems.len(), 5, "{problems:?}");
+    }
+
+    #[test]
+    fn validate_clean() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |_| {});
+        let p = pb.build().unwrap();
+        let mut t = Topology::new();
+        t.node("x").entry("main", vec![]).queue("q", 1);
+        assert!(t.validate(&p).is_empty());
+    }
+}

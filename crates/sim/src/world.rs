@@ -1,0 +1,1749 @@
+//! The simulated world: nodes, tasks, network, ZooKeeper service, and the
+//! deterministic step engine.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dcatch_model::{
+    BinOp, Expr, FuncId, LoopId, NodeId, Program, UnOp, Value,
+};
+use dcatch_trace::{
+    CallStack, EventId, ExecCtx, HandlerKind, LockRef, MemLoc, MemSpace, MsgId, OpKind, QueueInfo,
+    Record, RpcId, TaskId, TracedFunctions, TracingMode, TraceSet,
+};
+
+use crate::compile::{CompiledProgram, Op};
+use crate::config::SimConfig;
+use crate::failure::{Failure, LogLevel, LogLine, RunFailureKind};
+use crate::gate::{Gate, GateDecision, GateEvent, NoGate, StallAction};
+use crate::topology::Topology;
+
+/// Error preventing a run from starting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Description (validation or compilation problems).
+    pub message: String,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot run simulation: {}", self.message)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Everything a finished run produced.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The execution trace.
+    pub trace: TraceSet,
+    /// Observed failures, in occurrence order.
+    pub failures: Vec<Failure>,
+    /// Log lines.
+    pub logs: Vec<LogLine>,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Whether the run reached quiescence without deadlock/budget failures.
+    pub completed: bool,
+    /// Whether an installed gate gave up coordinating (the requested
+    /// ordering was infeasible — a "serial" verdict for triggering).
+    pub gate_abandoned: bool,
+}
+
+impl RunResult {
+    /// Whether the run had no failures at all.
+    pub fn is_correct(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tasks
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TaskKind {
+    /// Entry thread declared in the topology.
+    Entry,
+    /// Thread created by `Spawn`.
+    Thread,
+    /// Dedicated worker consuming one event queue.
+    EventWorker { queue: String },
+    /// Worker of the node's RPC server pool.
+    RpcWorker,
+    /// Worker of the node's socket message-handling pool.
+    SocketWorker,
+    /// The node's ZooKeeper-watcher notification thread.
+    WatcherWorker,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TaskState {
+    Runnable,
+    /// Worker with no work (daemons only).
+    Idle,
+    Sleeping { until: u64 },
+    BlockedJoin { handle: u64 },
+    BlockedRpc { rpc: u64 },
+    BlockedLock { lock: String },
+    HeldByGate,
+    Done,
+    Killed,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    pc: usize,
+    locals: BTreeMap<String, Value>,
+    /// Caller-side local receiving this frame's return value.
+    ret_local: Option<String>,
+    /// The `Call` statement that created this frame (None for the root).
+    call_site: Option<dcatch_model::StmtId>,
+}
+
+/// What a worker is currently handling, so the matching End record and
+/// reply can be produced when the handler function returns.
+#[derive(Debug, Clone)]
+enum HandlerJob {
+    Event { event: EventId },
+    Rpc { rpc: RpcId, caller: usize },
+    Socket,
+    Watcher,
+}
+
+#[derive(Debug)]
+struct Task {
+    id: TaskId,
+    node: NodeId,
+    kind: TaskKind,
+    state: TaskState,
+    frames: Vec<Frame>,
+    ctx: ExecCtx,
+    begun: bool,
+    /// Thread handle for `Join`.
+    handle: u64,
+    /// Local awaiting an RPC reply.
+    rpc_ret_local: Option<String>,
+    /// Current handler job (workers).
+    job: Option<HandlerJob>,
+    /// Value produced by the last `Return` that emptied the frame stack.
+    last_return: Value,
+    /// Per-loop iteration counters of the *current activation*.
+    loop_iters: BTreeMap<LoopId, u32>,
+}
+
+// ---------------------------------------------------------------------------
+// network & services
+
+#[derive(Debug, Clone)]
+enum Message {
+    RpcRequest {
+        rpc: RpcId,
+        target: NodeId,
+        func: FuncId,
+        args: Vec<Value>,
+        caller: usize,
+    },
+    RpcReply {
+        rpc: RpcId,
+        caller: usize,
+        value: Value,
+    },
+    Socket {
+        msg: MsgId,
+        target: NodeId,
+        func: FuncId,
+        args: Vec<Value>,
+    },
+    ZkNotify {
+        target: NodeId,
+        handler: FuncId,
+        path: String,
+        version: u64,
+        data: Value,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum HeapObj {
+    Cell(Value),
+    Map(BTreeMap<String, Value>),
+    List(Vec<Value>),
+}
+
+#[derive(Debug, Default, Clone)]
+struct LockState {
+    holder: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingEvent {
+    event: EventId,
+    func: FuncId,
+    args: Vec<Value>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRpc {
+    rpc: RpcId,
+    func: FuncId,
+    args: Vec<Value>,
+    caller: usize,
+}
+
+#[derive(Debug, Clone)]
+struct PendingSocket {
+    msg: MsgId,
+    func: FuncId,
+    args: Vec<Value>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingNotify {
+    handler: FuncId,
+    path: String,
+    version: u64,
+    data: Value,
+}
+
+#[derive(Debug, Default)]
+struct ZkStore {
+    /// path → data (present zknodes only).
+    data: BTreeMap<String, Value>,
+    /// path → last version ever (survives deletion, for notification pairing).
+    versions: BTreeMap<String, u64>,
+}
+
+// ---------------------------------------------------------------------------
+// world
+
+/// The simulation state and step engine. Most callers use
+/// [`World::run_once`] or [`World::run_with_gate`].
+pub struct World<'g> {
+    cp: CompiledProgram,
+    topo: Topology,
+    config: SimConfig,
+    traced: TracedFunctions,
+
+    rng: StdRng,
+    step: u64,
+    seq: u64,
+
+    tasks: Vec<Task>,
+    heaps: Vec<BTreeMap<String, HeapObj>>,
+    locks: Vec<BTreeMap<String, LockState>>,
+    /// Lock waiters: (node, lock) → task indices.
+    lock_waiters: BTreeMap<(u32, String), Vec<usize>>,
+    queues: Vec<BTreeMap<String, VecDeque<PendingEvent>>>,
+    rpc_pending: Vec<VecDeque<PendingRpc>>,
+    socket_pending: Vec<VecDeque<PendingSocket>>,
+    notify_pending: Vec<VecDeque<PendingNotify>>,
+    net: Vec<Message>,
+    zk: ZkStore,
+
+    trace: TraceSet,
+    failures: Vec<Failure>,
+    logs: Vec<LogLine>,
+    gate: &'g mut dyn Gate,
+    gate_abandoned: bool,
+
+    next_event: u64,
+    next_rpc: u64,
+    next_msg: u64,
+    next_instance: u64,
+    next_handle: u64,
+    task_counters: Vec<u32>,
+}
+
+enum Action {
+    RunTask(usize),
+    Deliver(usize),
+}
+
+/// Aftermath of executing one instruction.
+enum Flow {
+    /// Advance to the next instruction.
+    Next,
+    /// Jump to an absolute pc.
+    Goto(usize),
+    /// Stay at the same pc (task blocked; instruction re-executes later).
+    Stay,
+    /// Control already adjusted (call/return) — do nothing.
+    Handled,
+    /// Task was killed.
+    Dead,
+}
+
+impl<'g> World<'g> {
+    /// Runs `program` on `topo` with the default (no-op) gate.
+    pub fn run_once(
+        program: &Program,
+        topo: &Topology,
+        config: SimConfig,
+    ) -> Result<RunResult, RunError> {
+        let mut gate = NoGate;
+        World::run_with_gate(program, topo, config, &mut gate)
+    }
+
+    /// Runs `program` on `topo`, consulting `gate` before and after every
+    /// statement (the triggering module's controller).
+    pub fn run_with_gate(
+        program: &Program,
+        topo: &Topology,
+        config: SimConfig,
+        gate: &'g mut dyn Gate,
+    ) -> Result<RunResult, RunError> {
+        let problems = topo.validate(program);
+        if !problems.is_empty() {
+            return Err(RunError {
+                message: problems.join("; "),
+            });
+        }
+        let cp = CompiledProgram::compile(program).map_err(|e| RunError {
+            message: e.to_string(),
+        })?;
+        let traced = TracedFunctions::compute(program);
+        let mut world = World {
+            cp,
+            topo: topo.clone(),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            traced,
+            step: 0,
+            seq: 0,
+            tasks: Vec::new(),
+            heaps: vec![BTreeMap::new(); topo.nodes.len()],
+            locks: vec![BTreeMap::new(); topo.nodes.len()],
+            lock_waiters: BTreeMap::new(),
+            queues: vec![BTreeMap::new(); topo.nodes.len()],
+            rpc_pending: vec![VecDeque::new(); topo.nodes.len()],
+            socket_pending: vec![VecDeque::new(); topo.nodes.len()],
+            notify_pending: vec![VecDeque::new(); topo.nodes.len()],
+            net: Vec::new(),
+            zk: ZkStore::default(),
+            trace: TraceSet::new(),
+            failures: Vec::new(),
+            logs: Vec::new(),
+            gate,
+            gate_abandoned: false,
+            next_event: 0,
+            next_rpc: 0,
+            next_msg: 0,
+            next_instance: 0,
+            next_handle: 0,
+            task_counters: vec![0; topo.nodes.len()],
+        };
+        world.boot();
+        world.run_loop();
+        Ok(world.finish())
+    }
+
+    fn boot(&mut self) {
+        for (i, nspec) in self.topo.nodes.clone().iter().enumerate() {
+            let node = NodeId(i as u32);
+            for q in &nspec.queues {
+                self.queues[i].insert(q.name.clone(), VecDeque::new());
+                self.trace
+                    .register_queue(node, q.name.clone(), QueueInfo {
+                        consumers: q.consumers,
+                    });
+                for _ in 0..q.consumers {
+                    self.new_task(
+                        node,
+                        TaskKind::EventWorker {
+                            queue: q.name.clone(),
+                        },
+                        TaskState::Idle,
+                        None,
+                    );
+                }
+            }
+            for _ in 0..nspec.rpc_workers {
+                self.new_task(node, TaskKind::RpcWorker, TaskState::Idle, None);
+            }
+            for _ in 0..nspec.socket_workers {
+                self.new_task(node, TaskKind::SocketWorker, TaskState::Idle, None);
+            }
+            if self.topo.watchers.iter().any(|w| w.node == node) {
+                self.new_task(node, TaskKind::WatcherWorker, TaskState::Idle, None);
+            }
+            for (func, args) in &nspec.entries {
+                let fid = self
+                    .cp
+                    .funcs()
+                    .iter()
+                    .position(|f| &f.name == func)
+                    .expect("validated entry");
+                let fid = FuncId(fid as u32);
+                let t = self.new_task(node, TaskKind::Entry, TaskState::Runnable, None);
+                let frame = self.make_frame(fid, args.clone(), None, None);
+                self.tasks[t].frames.push(frame);
+            }
+        }
+    }
+
+    fn new_task(
+        &mut self,
+        node: NodeId,
+        kind: TaskKind,
+        state: TaskState,
+        ctx: Option<ExecCtx>,
+    ) -> usize {
+        let index = self.task_counters[node.index()];
+        self.task_counters[node.index()] += 1;
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.tasks.push(Task {
+            id: TaskId { node, index },
+            node,
+            kind,
+            state,
+            frames: Vec::new(),
+            ctx: ctx.unwrap_or(ExecCtx::Regular),
+            begun: false,
+            handle,
+            rpc_ret_local: None,
+            job: None,
+            last_return: Value::Unit,
+            loop_iters: BTreeMap::new(),
+        });
+        self.tasks.len() - 1
+    }
+
+    fn make_frame(
+        &self,
+        func: FuncId,
+        args: Vec<Value>,
+        ret_local: Option<String>,
+        call_site: Option<dcatch_model::StmtId>,
+    ) -> Frame {
+        let cf = self.cp.func(func);
+        let mut locals = BTreeMap::new();
+        for (p, a) in cf.params.iter().zip(args) {
+            locals.insert(p.clone(), a);
+        }
+        Frame {
+            func,
+            pc: 0,
+            locals,
+            ret_local,
+            call_site,
+        }
+    }
+
+    // -- tracing helpers ---------------------------------------------------
+
+    fn stack_of(&self, t: usize) -> CallStack {
+        let task = &self.tasks[t];
+        let mut ids = Vec::new();
+        for f in &task.frames {
+            if let Some(site) = f.call_site {
+                ids.push(site);
+            }
+        }
+        if let Some(top) = task.frames.last() {
+            let cf = self.cp.func(top.func);
+            if top.pc < cf.instrs.len() {
+                ids.push(cf.instrs[top.pc].stmt);
+            }
+        }
+        CallStack(ids)
+    }
+
+    fn emit(&mut self, t: usize, kind: OpKind) {
+        if !self.config.trace_enabled {
+            return;
+        }
+        let stack = self.stack_of(t);
+        let task = &self.tasks[t];
+        let rec = Record {
+            seq: self.seq,
+            task: task.id,
+            ctx: task.ctx,
+            kind,
+            stack,
+        };
+        self.seq += 1;
+        self.trace.push(rec);
+    }
+
+    /// Whether a memory access in the current top frame of `t` is traced,
+    /// and whether its value should be recorded.
+    fn mem_trace_policy(&self, t: usize, object: &str) -> (bool, bool) {
+        if !self.config.trace_enabled {
+            return (false, false);
+        }
+        if let Some(focus) = &self.config.focus {
+            return (focus.objects.contains(object), true);
+        }
+        match self.config.tracing {
+            TracingMode::Full => (true, false),
+            TracingMode::Selective => {
+                let traced = self.tasks[t]
+                    .frames
+                    .last()
+                    .is_some_and(|f| self.traced.contains(f.func));
+                (traced, false)
+            }
+        }
+    }
+
+    fn emit_mem(&mut self, t: usize, write: bool, loc: MemLoc, value: &Value) {
+        let (trace_it, with_value) = self.mem_trace_policy(t, &loc.object);
+        if !trace_it {
+            return;
+        }
+        let value = with_value.then(|| value.key_string());
+        let kind = if write {
+            OpKind::MemWrite { loc, value }
+        } else {
+            OpKind::MemRead { loc, value }
+        };
+        self.emit(t, kind);
+    }
+
+    // -- failure helpers ----------------------------------------------------
+
+    fn fail(&mut self, t: usize, kind: RunFailureKind, msg: impl Into<String>) {
+        let task = &self.tasks[t];
+        let stmt = task.frames.last().and_then(|f| {
+            let cf = self.cp.func(f.func);
+            cf.instrs.get(f.pc).map(|i| i.stmt)
+        });
+        self.failures.push(Failure {
+            kind,
+            node: task.node,
+            task: Some(task.id),
+            stmt,
+            msg: msg.into(),
+        });
+    }
+
+    fn kill(&mut self, t: usize, kind: RunFailureKind, msg: impl Into<String>) {
+        self.fail(t, kind, msg);
+        self.tasks[t].state = TaskState::Killed;
+        self.release_locks_of(t);
+        self.wake_joiners(t);
+    }
+
+    fn release_locks_of(&mut self, t: usize) {
+        let node = self.tasks[t].node.index();
+        let mut released = Vec::new();
+        for (name, l) in self.locks[node].iter_mut() {
+            if l.holder == Some(t) {
+                l.holder = None;
+                released.push(name.clone());
+            }
+        }
+        for name in released {
+            self.wake_lock_waiters(self.tasks[t].node, &name);
+        }
+    }
+
+    fn wake_lock_waiters(&mut self, node: NodeId, lock: &str) {
+        if let Some(ws) = self.lock_waiters.remove(&(node.0, lock.to_owned())) {
+            for w in ws {
+                if matches!(self.tasks[w].state, TaskState::BlockedLock { .. }) {
+                    self.tasks[w].state = TaskState::Runnable;
+                }
+            }
+        }
+    }
+
+    fn wake_joiners(&mut self, finished: usize) {
+        let handle = self.tasks[finished].handle;
+        for i in 0..self.tasks.len() {
+            if matches!(&self.tasks[i].state, TaskState::BlockedJoin { handle: h } if *h == handle)
+            {
+                self.tasks[i].state = TaskState::Runnable;
+            }
+        }
+    }
+
+    // -- main loop -----------------------------------------------------------
+
+    fn run_loop(&mut self) {
+        loop {
+            if self.step >= self.config.max_steps {
+                self.failures.push(Failure {
+                    kind: RunFailureKind::StepBudgetExhausted,
+                    node: NodeId(0),
+                    task: None,
+                    stmt: None,
+                    msg: format!("exceeded {} steps", self.config.max_steps),
+                });
+                return;
+            }
+            // wake sleepers
+            let now = self.step;
+            for task in &mut self.tasks {
+                if matches!(task.state, TaskState::Sleeping { until } if until <= now) {
+                    task.state = TaskState::Runnable;
+                }
+            }
+            // poll gate releases
+            for i in 0..self.tasks.len() {
+                if self.tasks[i].state == TaskState::HeldByGate
+                    && self.gate.is_released(self.tasks[i].id)
+                {
+                    self.tasks[i].state = TaskState::Runnable;
+                }
+            }
+            let actions = self.collect_actions();
+            if actions.is_empty() {
+                if let Some(min_wake) = self
+                    .tasks
+                    .iter()
+                    .filter_map(|t| match t.state {
+                        TaskState::Sleeping { until } => Some(until),
+                        _ => None,
+                    })
+                    .min()
+                {
+                    self.step = min_wake;
+                    continue;
+                }
+                let held: Vec<TaskId> = self
+                    .tasks
+                    .iter()
+                    .filter(|t| t.state == TaskState::HeldByGate)
+                    .map(|t| t.id)
+                    .collect();
+                if !held.is_empty() {
+                    match self.gate.on_stall(&held) {
+                        StallAction::Release(ids) => {
+                            for id in ids {
+                                if let Some(i) = self.tasks.iter().position(|t| t.id == id) {
+                                    if self.tasks[i].state == TaskState::HeldByGate {
+                                        self.tasks[i].state = TaskState::Runnable;
+                                    }
+                                }
+                            }
+                        }
+                        StallAction::Abandon => {
+                            self.gate_abandoned = true;
+                            for t in &mut self.tasks {
+                                if t.state == TaskState::HeldByGate {
+                                    t.state = TaskState::Runnable;
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                self.detect_quiescence_outcome();
+                return;
+            }
+            let pick = self.rng.gen_range(0..actions.len());
+            match actions[pick] {
+                Action::RunTask(i) => self.run_task_step(i),
+                Action::Deliver(m) => self.deliver(m),
+            }
+            self.step += 1;
+        }
+    }
+
+    fn collect_actions(&self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            match &t.state {
+                TaskState::Runnable => actions.push(Action::RunTask(i)),
+                TaskState::Idle => match &t.kind {
+                    TaskKind::EventWorker { queue } => {
+                        if self.queues[t.node.index()]
+                            .get(queue)
+                            .is_some_and(|q| !q.is_empty())
+                        {
+                            actions.push(Action::RunTask(i));
+                        }
+                    }
+                    TaskKind::RpcWorker => {
+                        if !self.rpc_pending[t.node.index()].is_empty() {
+                            actions.push(Action::RunTask(i));
+                        }
+                    }
+                    TaskKind::SocketWorker => {
+                        if !self.socket_pending[t.node.index()].is_empty() {
+                            actions.push(Action::RunTask(i));
+                        }
+                    }
+                    TaskKind::WatcherWorker => {
+                        if !self.notify_pending[t.node.index()].is_empty() {
+                            actions.push(Action::RunTask(i));
+                        }
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        for m in 0..self.net.len() {
+            actions.push(Action::Deliver(m));
+        }
+        actions
+    }
+
+    fn detect_quiescence_outcome(&mut self) {
+        let blocked: Vec<usize> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    t.state,
+                    TaskState::BlockedJoin { .. }
+                        | TaskState::BlockedRpc { .. }
+                        | TaskState::BlockedLock { .. }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !blocked.is_empty() {
+            let first = blocked[0];
+            let node = self.tasks[first].node;
+            let desc: Vec<String> = blocked
+                .iter()
+                .map(|&i| {
+                    let t = &self.tasks[i];
+                    format!("{} ({:?})", t.id, t.state)
+                })
+                .collect();
+            self.failures.push(Failure {
+                kind: RunFailureKind::Deadlock,
+                node,
+                task: Some(self.tasks[first].id),
+                stmt: None,
+                msg: format!("blocked forever: {}", desc.join(", ")),
+            });
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        let deadlocked = self
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, RunFailureKind::Deadlock | RunFailureKind::StepBudgetExhausted));
+        RunResult {
+            trace: self.trace,
+            failures: self.failures,
+            logs: self.logs,
+            steps: self.step,
+            completed: !deadlocked,
+            gate_abandoned: self.gate_abandoned,
+        }
+    }
+
+    // -- delivery -------------------------------------------------------------
+
+    fn deliver(&mut self, m: usize) {
+        let msg = self.net.remove(m);
+        match msg {
+            Message::RpcRequest {
+                rpc,
+                target,
+                func,
+                args,
+                caller,
+            } => {
+                self.rpc_pending[target.index()].push_back(PendingRpc {
+                    rpc,
+                    func,
+                    args,
+                    caller,
+                });
+            }
+            Message::RpcReply { rpc, caller, value } => {
+                let task = &mut self.tasks[caller];
+                if matches!(task.state, TaskState::BlockedRpc { rpc: r } if r == rpc.0) {
+                    if let (Some(local), Some(frame)) =
+                        (task.rpc_ret_local.take(), task.frames.last_mut())
+                    {
+                        frame.locals.insert(local, value);
+                    } else {
+                        task.rpc_ret_local = None;
+                    }
+                    task.state = TaskState::Runnable;
+                    self.emit(caller, OpKind::RpcJoin { rpc });
+                }
+            }
+            Message::Socket {
+                msg,
+                target,
+                func,
+                args,
+            } => {
+                self.socket_pending[target.index()].push_back(PendingSocket {
+                    msg,
+                    func,
+                    args,
+                });
+            }
+            Message::ZkNotify {
+                target,
+                handler,
+                path,
+                version,
+                data,
+            } => {
+                self.notify_pending[target.index()].push_back(PendingNotify {
+                    handler,
+                    path,
+                    version,
+                    data,
+                });
+            }
+        }
+    }
+
+    // -- task stepping ----------------------------------------------------------
+
+    fn run_task_step(&mut self, t: usize) {
+        // dispatch work to idle workers
+        if self.tasks[t].state == TaskState::Idle {
+            match self.tasks[t].kind.clone() {
+                TaskKind::EventWorker { queue } => self.dispatch_event(t, &queue),
+                TaskKind::RpcWorker => self.dispatch_rpc(t),
+                TaskKind::SocketWorker => self.dispatch_socket(t),
+                TaskKind::WatcherWorker => self.dispatch_notify(t),
+                _ => {}
+            }
+            return;
+        }
+        if self.tasks[t].frames.is_empty() {
+            // nothing to run (shouldn't happen); park the task
+            self.tasks[t].state = TaskState::Done;
+            return;
+        }
+        if !self.tasks[t].begun
+            && matches!(self.tasks[t].kind, TaskKind::Entry | TaskKind::Thread)
+        {
+            self.tasks[t].begun = true;
+            self.emit(t, OpKind::ThreadBegin);
+        }
+        let frame = self.tasks[t].frames.last().expect("frame");
+        let (func, pc) = (frame.func, frame.pc);
+        let instr = self.cp.func(func).instrs[pc].clone();
+
+        // gate consultation
+        let ev = GateEvent {
+            task: self.tasks[t].id,
+            stmt: instr.stmt,
+            stack: self.stack_of(t),
+        };
+        if self.gate.before(&ev) == GateDecision::Hold {
+            self.tasks[t].state = TaskState::HeldByGate;
+            return;
+        }
+
+        let flow = self.exec(t, &instr.op, instr.stmt);
+        match flow {
+            Flow::Next => {
+                if let Some(f) = self.tasks[t].frames.last_mut() {
+                    f.pc += 1;
+                }
+            }
+            Flow::Goto(target) => {
+                if let Some(f) = self.tasks[t].frames.last_mut() {
+                    f.pc = target;
+                }
+            }
+            Flow::Stay | Flow::Handled | Flow::Dead => {}
+        }
+        // confirm only operations that actually executed: a blocked
+        // instruction (Flow::Stay) re-runs later and must not advance the
+        // controller's protocol
+        if !matches!(flow, Flow::Dead | Flow::Stay) {
+            self.gate.after(&ev);
+        }
+    }
+
+    fn dispatch_event(&mut self, t: usize, queue: &str) {
+        let node = self.tasks[t].node.index();
+        let Some(pe) = self.queues[node].get_mut(queue).and_then(VecDeque::pop_front) else {
+            return;
+        };
+        let instance = self.next_instance;
+        self.next_instance += 1;
+        self.tasks[t].ctx = ExecCtx::Handler {
+            kind: HandlerKind::Event,
+            instance,
+        };
+        self.tasks[t].job = Some(HandlerJob::Event { event: pe.event });
+        self.tasks[t].state = TaskState::Runnable;
+        let frame = self.make_frame(pe.func, pe.args, None, None);
+        self.tasks[t].frames.push(frame);
+        self.emit(t, OpKind::EventBegin { event: pe.event });
+    }
+
+    fn dispatch_rpc(&mut self, t: usize) {
+        let node = self.tasks[t].node.index();
+        let Some(pr) = self.rpc_pending[node].pop_front() else {
+            return;
+        };
+        let instance = self.next_instance;
+        self.next_instance += 1;
+        self.tasks[t].ctx = ExecCtx::Handler {
+            kind: HandlerKind::Rpc,
+            instance,
+        };
+        self.tasks[t].job = Some(HandlerJob::Rpc {
+            rpc: pr.rpc,
+            caller: pr.caller,
+        });
+        self.tasks[t].state = TaskState::Runnable;
+        let frame = self.make_frame(pr.func, pr.args, None, None);
+        self.tasks[t].frames.push(frame);
+        self.emit(t, OpKind::RpcBegin { rpc: pr.rpc });
+    }
+
+    fn dispatch_socket(&mut self, t: usize) {
+        let node = self.tasks[t].node.index();
+        let Some(ps) = self.socket_pending[node].pop_front() else {
+            return;
+        };
+        let instance = self.next_instance;
+        self.next_instance += 1;
+        self.tasks[t].ctx = ExecCtx::Handler {
+            kind: HandlerKind::Socket,
+            instance,
+        };
+        self.tasks[t].job = Some(HandlerJob::Socket);
+        self.tasks[t].state = TaskState::Runnable;
+        let frame = self.make_frame(ps.func, ps.args, None, None);
+        self.tasks[t].frames.push(frame);
+        self.emit(t, OpKind::SocketRecv { msg: ps.msg });
+    }
+
+    fn dispatch_notify(&mut self, t: usize) {
+        let node = self.tasks[t].node.index();
+        let Some(pn) = self.notify_pending[node].pop_front() else {
+            return;
+        };
+        let instance = self.next_instance;
+        self.next_instance += 1;
+        self.tasks[t].ctx = ExecCtx::Handler {
+            kind: HandlerKind::ZkWatcher,
+            instance,
+        };
+        self.tasks[t].job = Some(HandlerJob::Watcher);
+        self.tasks[t].state = TaskState::Runnable;
+        let frame = self.make_frame(
+            pn.handler,
+            vec![Value::Str(pn.path.clone()), pn.data],
+            None,
+            None,
+        );
+        self.tasks[t].frames.push(frame);
+        self.emit(
+            t,
+            OpKind::ZkPushed {
+                path: pn.path,
+                version: pn.version,
+            },
+        );
+    }
+
+    /// The task's function body finished with `value`.
+    fn task_body_finished(&mut self, t: usize, value: Value) {
+        self.tasks[t].last_return = value.clone();
+        match self.tasks[t].kind.clone() {
+            TaskKind::Entry | TaskKind::Thread => {
+                self.emit(t, OpKind::ThreadEnd);
+                self.tasks[t].state = TaskState::Done;
+                self.wake_joiners(t);
+            }
+            TaskKind::SocketWorker | TaskKind::WatcherWorker => {
+                self.tasks[t].job = None;
+                self.tasks[t].ctx = ExecCtx::Regular;
+                self.tasks[t].state = TaskState::Idle;
+            }
+            TaskKind::EventWorker { .. } => {
+                if let Some(HandlerJob::Event { event }) = self.tasks[t].job.take() {
+                    self.emit(t, OpKind::EventEnd { event });
+                }
+                self.tasks[t].ctx = ExecCtx::Regular;
+                self.tasks[t].state = TaskState::Idle;
+            }
+            TaskKind::RpcWorker => {
+                if let Some(HandlerJob::Rpc { rpc, caller }) = self.tasks[t].job.take() {
+                    self.emit(t, OpKind::RpcEnd { rpc });
+                    self.net.push(Message::RpcReply { rpc, caller, value });
+                }
+                self.tasks[t].ctx = ExecCtx::Regular;
+                self.tasks[t].state = TaskState::Idle;
+            }
+        }
+    }
+
+    // -- expression evaluation ----------------------------------------------------
+
+    fn eval(&self, t: usize, e: &Expr) -> Result<Value, String> {
+        let frame = self.tasks[t].frames.last().ok_or("no frame")?;
+        self.eval_in(&frame.locals, self.tasks[t].node, e)
+    }
+
+    fn eval_in(
+        &self,
+        locals: &BTreeMap<String, Value>,
+        node: NodeId,
+        e: &Expr,
+    ) -> Result<Value, String> {
+        match e {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Local(name) => locals
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("undefined local `{name}`")),
+            Expr::SelfNode => Ok(Value::Node(node)),
+            Expr::Unary(op, a) => {
+                let a = self.eval_in(locals, node, a)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!a.truthy())),
+                    UnOp::Neg => a
+                        .as_int()
+                        .map(|i| Value::Int(-i))
+                        .ok_or_else(|| "negation of non-integer".to_owned()),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let a = self.eval_in(locals, node, a)?;
+                let b = self.eval_in(locals, node, b)?;
+                let ints = || -> Result<(i64, i64), String> {
+                    match (a.as_int(), b.as_int()) {
+                        (Some(x), Some(y)) => Ok((x, y)),
+                        _ => Err(format!("arithmetic on non-integers ({a}, {b})")),
+                    }
+                };
+                Ok(match op {
+                    BinOp::Add => {
+                        let (x, y) = ints()?;
+                        Value::Int(x.wrapping_add(y))
+                    }
+                    BinOp::Sub => {
+                        let (x, y) = ints()?;
+                        Value::Int(x.wrapping_sub(y))
+                    }
+                    BinOp::Eq => Value::Bool(a == b),
+                    BinOp::Ne => Value::Bool(a != b),
+                    BinOp::Lt => {
+                        let (x, y) = ints()?;
+                        Value::Bool(x < y)
+                    }
+                    BinOp::Le => {
+                        let (x, y) = ints()?;
+                        Value::Bool(x <= y)
+                    }
+                    BinOp::Gt => {
+                        let (x, y) = ints()?;
+                        Value::Bool(x > y)
+                    }
+                    BinOp::Ge => {
+                        let (x, y) = ints()?;
+                        Value::Bool(x >= y)
+                    }
+                    BinOp::And => Value::Bool(a.truthy() && b.truthy()),
+                    BinOp::Or => Value::Bool(a.truthy() || b.truthy()),
+                    BinOp::Concat => Value::Str(format!("{}{}", a.key_string(), b.key_string())),
+                })
+            }
+        }
+    }
+
+    fn eval_or_kill(&mut self, t: usize, e: &Expr) -> Option<Value> {
+        match self.eval(t, e) {
+            Ok(v) => Some(v),
+            Err(msg) => {
+                self.kill(t, RunFailureKind::UncaughtThrow("EvalError".into()), msg);
+                None
+            }
+        }
+    }
+
+    fn eval_node(&mut self, t: usize, e: &Expr) -> Option<NodeId> {
+        let v = self.eval_or_kill(t, e)?;
+        match v.as_node() {
+            Some(n) if n.index() < self.topo.nodes.len() => Some(n),
+            _ => {
+                self.kill(
+                    t,
+                    RunFailureKind::UncaughtThrow("UnknownHostException".into()),
+                    format!("`{v}` is not a node"),
+                );
+                None
+            }
+        }
+    }
+
+    fn set_local(&mut self, t: usize, local: &str, v: Value) {
+        if let Some(f) = self.tasks[t].frames.last_mut() {
+            f.locals.insert(local.to_owned(), v);
+        }
+    }
+
+    fn heap_loc(&self, t: usize, object: &str, key: Option<String>) -> MemLoc {
+        MemLoc {
+            space: MemSpace::Heap,
+            node: self.tasks[t].node,
+            object: object.to_owned(),
+            key,
+        }
+    }
+
+    fn zk_loc(&self, path: &str) -> MemLoc {
+        MemLoc {
+            space: MemSpace::Zk,
+            node: NodeId(0),
+            object: path.to_owned(),
+            key: None,
+        }
+    }
+
+    // -- instruction execution ---------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, t: usize, op: &Op, stmt: dcatch_model::StmtId) -> Flow {
+        match op {
+            Op::Assign { local, expr } => {
+                let Some(v) = self.eval_or_kill(t, expr) else {
+                    return Flow::Dead;
+                };
+                self.set_local(t, local, v);
+                Flow::Next
+            }
+            Op::Read { local, object } => {
+                let node = self.tasks[t].node.index();
+                let v = match self.heaps[node].get(object) {
+                    Some(HeapObj::Cell(v)) => v.clone(),
+                    None => Value::Null,
+                    Some(_) => {
+                        self.kill(
+                            t,
+                            RunFailureKind::UncaughtThrow("ClassCastException".into()),
+                            format!("`{object}` is not a cell"),
+                        );
+                        return Flow::Dead;
+                    }
+                };
+                let loc = self.heap_loc(t, object, None);
+                self.emit_mem(t, false, loc, &v);
+                self.set_local(t, local, v);
+                Flow::Next
+            }
+            Op::Write { object, value } => {
+                let Some(v) = self.eval_or_kill(t, value) else {
+                    return Flow::Dead;
+                };
+                let node = self.tasks[t].node.index();
+                self.heaps[node].insert(object.clone(), HeapObj::Cell(v.clone()));
+                let loc = self.heap_loc(t, object, None);
+                self.emit_mem(t, true, loc, &v);
+                Flow::Next
+            }
+            Op::MapPut { map, key, value } => {
+                let (Some(k), Some(v)) =
+                    (self.eval_or_kill(t, key), self.eval_or_kill(t, value))
+                else {
+                    return Flow::Dead;
+                };
+                let k = k.key_string();
+                let node = self.tasks[t].node.index();
+                let entry = self.heaps[node]
+                    .entry(map.clone())
+                    .or_insert_with(|| HeapObj::Map(BTreeMap::new()));
+                let HeapObj::Map(m) = entry else {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("ClassCastException".into()),
+                        format!("`{map}` is not a map"),
+                    );
+                    return Flow::Dead;
+                };
+                m.insert(k.clone(), v.clone());
+                let loc = self.heap_loc(t, map, Some(k));
+                self.emit_mem(t, true, loc, &v);
+                Flow::Next
+            }
+            Op::MapGet { local, map, key } => {
+                let Some(k) = self.eval_or_kill(t, key) else {
+                    return Flow::Dead;
+                };
+                let k = k.key_string();
+                let node = self.tasks[t].node.index();
+                let v = match self.heaps[node].get(map) {
+                    Some(HeapObj::Map(m)) => m.get(&k).cloned().unwrap_or(Value::Null),
+                    None => Value::Null,
+                    Some(_) => {
+                        self.kill(
+                            t,
+                            RunFailureKind::UncaughtThrow("ClassCastException".into()),
+                            format!("`{map}` is not a map"),
+                        );
+                        return Flow::Dead;
+                    }
+                };
+                let loc = self.heap_loc(t, map, Some(k));
+                self.emit_mem(t, false, loc, &v);
+                self.set_local(t, local, v);
+                Flow::Next
+            }
+            Op::MapRemove { map, key } => {
+                let Some(k) = self.eval_or_kill(t, key) else {
+                    return Flow::Dead;
+                };
+                let k = k.key_string();
+                let node = self.tasks[t].node.index();
+                if let Some(HeapObj::Map(m)) = self.heaps[node].get_mut(map) {
+                    m.remove(&k);
+                }
+                let loc = self.heap_loc(t, map, Some(k));
+                self.emit_mem(t, true, loc, &Value::Null);
+                Flow::Next
+            }
+            Op::MapContains { local, map, key } => {
+                let Some(k) = self.eval_or_kill(t, key) else {
+                    return Flow::Dead;
+                };
+                let k = k.key_string();
+                let node = self.tasks[t].node.index();
+                let present = matches!(
+                    self.heaps[node].get(map),
+                    Some(HeapObj::Map(m)) if m.contains_key(&k)
+                );
+                let loc = self.heap_loc(t, map, Some(k));
+                let v = Value::Bool(present);
+                self.emit_mem(t, false, loc, &v);
+                self.set_local(t, local, v);
+                Flow::Next
+            }
+            Op::ListAdd { list, value } => {
+                let Some(v) = self.eval_or_kill(t, value) else {
+                    return Flow::Dead;
+                };
+                let node = self.tasks[t].node.index();
+                let entry = self.heaps[node]
+                    .entry(list.clone())
+                    .or_insert_with(|| HeapObj::List(Vec::new()));
+                let HeapObj::List(l) = entry else {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("ClassCastException".into()),
+                        format!("`{list}` is not a list"),
+                    );
+                    return Flow::Dead;
+                };
+                l.push(v.clone());
+                let loc = self.heap_loc(t, list, None);
+                self.emit_mem(t, true, loc, &v);
+                Flow::Next
+            }
+            Op::ListRemove { list, value } => {
+                let Some(v) = self.eval_or_kill(t, value) else {
+                    return Flow::Dead;
+                };
+                let node = self.tasks[t].node.index();
+                if let Some(HeapObj::List(l)) = self.heaps[node].get_mut(list) {
+                    if let Some(pos) = l.iter().position(|x| x == &v) {
+                        l.remove(pos);
+                    }
+                }
+                let loc = self.heap_loc(t, list, None);
+                self.emit_mem(t, true, loc, &v);
+                Flow::Next
+            }
+            Op::ListIsEmpty { local, list } => {
+                let node = self.tasks[t].node.index();
+                let empty = match self.heaps[node].get(list) {
+                    Some(HeapObj::List(l)) => l.is_empty(),
+                    _ => true,
+                };
+                let loc = self.heap_loc(t, list, None);
+                let v = Value::Bool(empty);
+                self.emit_mem(t, false, loc, &v);
+                self.set_local(t, local, v);
+                Flow::Next
+            }
+            Op::ListContains { local, list, value } => {
+                let Some(v) = self.eval_or_kill(t, value) else {
+                    return Flow::Dead;
+                };
+                let node = self.tasks[t].node.index();
+                let present = matches!(
+                    self.heaps[node].get(list),
+                    Some(HeapObj::List(l)) if l.contains(&v)
+                );
+                let loc = self.heap_loc(t, list, None);
+                let out = Value::Bool(present);
+                self.emit_mem(t, false, loc, &out);
+                self.set_local(t, local, out);
+                Flow::Next
+            }
+
+            Op::Branch { cond, target } => {
+                let Some(v) = self.eval_or_kill(t, cond) else {
+                    return Flow::Dead;
+                };
+                if v.truthy() {
+                    Flow::Next
+                } else {
+                    Flow::Goto(*target)
+                }
+            }
+            Op::Jump { target } => Flow::Goto(*target),
+            Op::LoopEnter { loop_id, retry } => {
+                self.tasks[t].loop_iters.insert(*loop_id, 0);
+                if *retry {
+                    self.emit(t, OpKind::LoopEnter { loop_id: *loop_id });
+                }
+                Flow::Next
+            }
+            Op::LoopHead {
+                loop_id,
+                retry,
+                cond,
+                exit,
+            } => {
+                let Some(v) = self.eval_or_kill(t, cond) else {
+                    return Flow::Dead;
+                };
+                if !v.truthy() {
+                    return Flow::Goto(*exit);
+                }
+                let iters = self.tasks[t].loop_iters.entry(*loop_id).or_insert(0);
+                *iters += 1;
+                if *retry && *iters > self.config.retry_loop_budget {
+                    self.kill(
+                        t,
+                        RunFailureKind::RetryLoopHang(*loop_id),
+                        format!(
+                            "retry loop {} spun past {} iterations",
+                            loop_id.0, self.config.retry_loop_budget
+                        ),
+                    );
+                    return Flow::Dead;
+                }
+                Flow::Next
+            }
+            Op::LoopExit { loop_id, retry } => {
+                if *retry {
+                    self.emit(t, OpKind::LoopExit { loop_id: *loop_id });
+                }
+                Flow::Next
+            }
+
+            Op::Call { local, func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.eval_or_kill(t, a) {
+                        Some(v) => vals.push(v),
+                        None => return Flow::Dead,
+                    }
+                }
+                // advance caller pc first so return lands after the call
+                if let Some(f) = self.tasks[t].frames.last_mut() {
+                    f.pc += 1;
+                }
+                let frame = self.make_frame(*func, vals, local.clone(), Some(stmt));
+                self.tasks[t].frames.push(frame);
+                Flow::Handled
+            }
+            Op::Return { expr } => {
+                let v = match expr {
+                    Some(e) => match self.eval_or_kill(t, e) {
+                        Some(v) => v,
+                        None => return Flow::Dead,
+                    },
+                    None => Value::Unit,
+                };
+                let finished = self.tasks[t].frames.pop().expect("frame");
+                if self.tasks[t].frames.is_empty() {
+                    self.task_body_finished(t, v);
+                } else if let Some(local) = finished.ret_local {
+                    self.set_local(t, &local, v);
+                }
+                Flow::Handled
+            }
+
+            Op::Spawn { local, func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.eval_or_kill(t, a) {
+                        Some(v) => vals.push(v),
+                        None => return Flow::Dead,
+                    }
+                }
+                let node = self.tasks[t].node;
+                let child = self.new_task(node, TaskKind::Thread, TaskState::Runnable, None);
+                let frame = self.make_frame(*func, vals, None, None);
+                self.tasks[child].frames.push(frame);
+                let child_id = self.tasks[child].id;
+                let handle = self.tasks[child].handle;
+                self.emit(t, OpKind::ThreadCreate { child: child_id });
+                if let Some(local) = local {
+                    self.set_local(t, local, Value::Thread(handle));
+                }
+                Flow::Next
+            }
+            Op::Join { handle } => {
+                let Some(v) = self.eval_or_kill(t, handle) else {
+                    return Flow::Dead;
+                };
+                let Value::Thread(h) = v else {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("ClassCastException".into()),
+                        format!("join of non-thread `{v}`"),
+                    );
+                    return Flow::Dead;
+                };
+                let Some(child) = self.tasks.iter().position(|x| x.handle == h) else {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("IllegalThreadState".into()),
+                        "join of unknown thread",
+                    );
+                    return Flow::Dead;
+                };
+                match self.tasks[child].state {
+                    TaskState::Done | TaskState::Killed => {
+                        let child_id = self.tasks[child].id;
+                        self.emit(t, OpKind::ThreadJoin { child: child_id });
+                        Flow::Next
+                    }
+                    _ => {
+                        self.tasks[t].state = TaskState::BlockedJoin { handle: h };
+                        Flow::Stay
+                    }
+                }
+            }
+            Op::Enqueue { queue, func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.eval_or_kill(t, a) {
+                        Some(v) => vals.push(v),
+                        None => return Flow::Dead,
+                    }
+                }
+                let node = self.tasks[t].node;
+                if !self.queues[node.index()].contains_key(queue) {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("NoSuchQueueException".into()),
+                        format!("queue `{queue}` not declared on {node}"),
+                    );
+                    return Flow::Dead;
+                }
+                let event = EventId(self.next_event);
+                self.next_event += 1;
+                self.emit(t, OpKind::EventCreate { event });
+                self.trace.register_event(event.0, node, queue.clone());
+                self.queues[node.index()]
+                    .get_mut(queue)
+                    .expect("checked")
+                    .push_back(PendingEvent {
+                        event,
+                        func: *func,
+                        args: vals,
+                    });
+                Flow::Next
+            }
+            Op::Lock { lock } => {
+                let node = self.tasks[t].node;
+                let state = self.locks[node.index()].entry(lock.clone()).or_default();
+                match state.holder {
+                    None => {
+                        state.holder = Some(t);
+                        let lr = LockRef {
+                            node,
+                            name: lock.clone(),
+                        };
+                        self.emit(t, OpKind::LockAcquire { lock: lr });
+                        Flow::Next
+                    }
+                    Some(h) if h == t => {
+                        self.kill(
+                            t,
+                            RunFailureKind::UncaughtThrow("IllegalMonitorState".into()),
+                            format!("reentrant acquisition of `{lock}`"),
+                        );
+                        Flow::Dead
+                    }
+                    Some(_) => {
+                        self.lock_waiters
+                            .entry((node.0, lock.clone()))
+                            .or_default()
+                            .push(t);
+                        self.tasks[t].state = TaskState::BlockedLock { lock: lock.clone() };
+                        Flow::Stay
+                    }
+                }
+            }
+            Op::Unlock { lock } => {
+                let node = self.tasks[t].node;
+                let held = self.locks[node.index()]
+                    .get(lock)
+                    .is_some_and(|l| l.holder == Some(t));
+                if !held {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("IllegalMonitorState".into()),
+                        format!("unlock of `{lock}` not held"),
+                    );
+                    return Flow::Dead;
+                }
+                self.locks[node.index()].get_mut(lock).expect("held").holder = None;
+                let lr = LockRef {
+                    node,
+                    name: lock.clone(),
+                };
+                self.emit(t, OpKind::LockRelease { lock: lr });
+                self.wake_lock_waiters(node, lock);
+                Flow::Next
+            }
+
+            Op::RpcCall {
+                local,
+                node,
+                func,
+                args,
+            } => {
+                let Some(target) = self.eval_node(t, node) else {
+                    return Flow::Dead;
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.eval_or_kill(t, a) {
+                        Some(v) => vals.push(v),
+                        None => return Flow::Dead,
+                    }
+                }
+                let rpc = RpcId(self.next_rpc);
+                self.next_rpc += 1;
+                self.emit(t, OpKind::RpcCreate { rpc });
+                self.net.push(Message::RpcRequest {
+                    rpc,
+                    target,
+                    func: *func,
+                    args: vals,
+                    caller: t,
+                });
+                self.tasks[t].rpc_ret_local = local.clone();
+                self.tasks[t].state = TaskState::BlockedRpc { rpc: rpc.0 };
+                // advance pc now; the task resumes after the reply
+                if let Some(f) = self.tasks[t].frames.last_mut() {
+                    f.pc += 1;
+                }
+                Flow::Handled
+            }
+            Op::SocketSend { node, func, args } => {
+                let Some(target) = self.eval_node(t, node) else {
+                    return Flow::Dead;
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.eval_or_kill(t, a) {
+                        Some(v) => vals.push(v),
+                        None => return Flow::Dead,
+                    }
+                }
+                let msg = MsgId(self.next_msg);
+                self.next_msg += 1;
+                self.emit(t, OpKind::SocketSend { msg });
+                self.net.push(Message::Socket {
+                    msg,
+                    target,
+                    func: *func,
+                    args: vals,
+                });
+                Flow::Next
+            }
+
+            Op::ZkCreate {
+                path,
+                data,
+                exclusive,
+            } => {
+                let (Some(p), Some(d)) =
+                    (self.eval_or_kill(t, path), self.eval_or_kill(t, data))
+                else {
+                    return Flow::Dead;
+                };
+                let p = p.key_string();
+                if *exclusive && self.zk.data.contains_key(&p) {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("NodeExistsException".into()),
+                        format!("create of existing znode `{p}`"),
+                    );
+                    return Flow::Dead;
+                }
+                self.zk_write(t, &p, Some(d));
+                Flow::Next
+            }
+            Op::ZkSetData { path, data } => {
+                let (Some(p), Some(d)) =
+                    (self.eval_or_kill(t, path), self.eval_or_kill(t, data))
+                else {
+                    return Flow::Dead;
+                };
+                let p = p.key_string();
+                if !self.zk.data.contains_key(&p) {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("NoNodeException".into()),
+                        format!("setData of absent znode `{p}`"),
+                    );
+                    return Flow::Dead;
+                }
+                self.zk_write(t, &p, Some(d));
+                Flow::Next
+            }
+            Op::ZkDelete { path } => {
+                let Some(p) = self.eval_or_kill(t, path) else {
+                    return Flow::Dead;
+                };
+                let p = p.key_string();
+                if !self.zk.data.contains_key(&p) {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("NoNodeException".into()),
+                        format!("delete of absent znode `{p}`"),
+                    );
+                    return Flow::Dead;
+                }
+                self.zk_write(t, &p, None);
+                Flow::Next
+            }
+            Op::ZkGetData { local, path } => {
+                let Some(p) = self.eval_or_kill(t, path) else {
+                    return Flow::Dead;
+                };
+                let p = p.key_string();
+                let Some(v) = self.zk.data.get(&p).cloned() else {
+                    self.kill(
+                        t,
+                        RunFailureKind::UncaughtThrow("NoNodeException".into()),
+                        format!("getData of absent znode `{p}`"),
+                    );
+                    return Flow::Dead;
+                };
+                let loc = self.zk_loc(&p);
+                self.emit_mem(t, false, loc, &v);
+                self.set_local(t, local, v);
+                Flow::Next
+            }
+            Op::ZkExists { local, path } => {
+                let Some(p) = self.eval_or_kill(t, path) else {
+                    return Flow::Dead;
+                };
+                let p = p.key_string();
+                let v = Value::Bool(self.zk.data.contains_key(&p));
+                let loc = self.zk_loc(&p);
+                self.emit_mem(t, false, loc, &v);
+                self.set_local(t, local, v);
+                Flow::Next
+            }
+
+            Op::Abort { msg } => {
+                self.kill(t, RunFailureKind::Abort, msg.clone());
+                Flow::Dead
+            }
+            Op::LogFatal { msg } => {
+                let task = &self.tasks[t];
+                self.logs.push(LogLine {
+                    level: LogLevel::Fatal,
+                    node: task.node,
+                    task: task.id,
+                    msg: msg.clone(),
+                });
+                self.fail(t, RunFailureKind::FatalLog, msg.clone());
+                Flow::Next
+            }
+            Op::LogWarn { msg } => {
+                let task = &self.tasks[t];
+                self.logs.push(LogLine {
+                    level: LogLevel::Warn,
+                    node: task.node,
+                    task: task.id,
+                    msg: msg.clone(),
+                });
+                Flow::Next
+            }
+            Op::Throw { kind } => {
+                self.kill(
+                    t,
+                    RunFailureKind::UncaughtThrow(kind.clone()),
+                    format!("`{kind}` thrown"),
+                );
+                Flow::Dead
+            }
+
+            Op::Sleep { ticks } => {
+                let Some(v) = self.eval_or_kill(t, ticks) else {
+                    return Flow::Dead;
+                };
+                let n = v.as_int().unwrap_or(0).max(0) as u64;
+                self.tasks[t].state = TaskState::Sleeping {
+                    until: self.step + n,
+                };
+                if let Some(f) = self.tasks[t].frames.last_mut() {
+                    f.pc += 1;
+                }
+                Flow::Handled
+            }
+            Op::Yield | Op::Nop => Flow::Next,
+        }
+    }
+
+    /// Writes (or deletes, `data = None`) a zknode: bumps the version,
+    /// emits the memory write + `ZkUpdate`, and fans out watcher
+    /// notifications.
+    fn zk_write(&mut self, t: usize, path: &str, data: Option<Value>) {
+        let version = self.zk.versions.entry(path.to_owned()).or_insert(0);
+        *version += 1;
+        let version = *version;
+        let stored = match &data {
+            Some(v) => {
+                self.zk.data.insert(path.to_owned(), v.clone());
+                v.clone()
+            }
+            None => {
+                self.zk.data.remove(path);
+                Value::Null
+            }
+        };
+        let loc = self.zk_loc(path);
+        self.emit_mem(t, true, loc, &stored);
+        self.emit(
+            t,
+            OpKind::ZkUpdate {
+                path: path.to_owned(),
+                version,
+            },
+        );
+        for w in self.topo.watchers.clone() {
+            if path.starts_with(&w.path_prefix) {
+                let handler = self
+                    .cp
+                    .funcs()
+                    .iter()
+                    .position(|f| f.name == w.handler)
+                    .map(|i| FuncId(i as u32))
+                    .expect("validated watcher");
+                self.net.push(Message::ZkNotify {
+                    target: w.node,
+                    handler,
+                    path: path.to_owned(),
+                    version,
+                    data: stored.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

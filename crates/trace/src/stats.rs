@@ -1,0 +1,135 @@
+//! Trace record breakdown — the rows of the paper's Table 7.
+
+use std::fmt;
+
+use crate::record::{OpKind, Record};
+
+/// Counts of the major record categories in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total records.
+    pub total: usize,
+    /// Memory accesses (heap + zknode reads/writes).
+    pub mem: usize,
+    /// RPC-related records (create/begin/end/join).
+    pub rpc: usize,
+    /// Socket-related records (send/recv).
+    pub socket: usize,
+    /// Event-related records (create/begin/end).
+    pub event: usize,
+    /// Thread-related records (create/begin/end/join).
+    pub thread: usize,
+    /// Lock records (acquire/release).
+    pub lock: usize,
+    /// ZooKeeper push-synchronization records (update/pushed).
+    pub zk: usize,
+    /// Loop markers.
+    pub loops: usize,
+}
+
+impl TraceStats {
+    /// Computes the breakdown of `records`.
+    pub fn of(records: &[Record]) -> TraceStats {
+        let mut s = TraceStats {
+            total: records.len(),
+            ..TraceStats::default()
+        };
+        for r in records {
+            match &r.kind {
+                OpKind::MemRead { .. } | OpKind::MemWrite { .. } => s.mem += 1,
+                OpKind::RpcCreate { .. }
+                | OpKind::RpcBegin { .. }
+                | OpKind::RpcEnd { .. }
+                | OpKind::RpcJoin { .. } => s.rpc += 1,
+                OpKind::SocketSend { .. } | OpKind::SocketRecv { .. } => s.socket += 1,
+                OpKind::EventCreate { .. }
+                | OpKind::EventBegin { .. }
+                | OpKind::EventEnd { .. } => s.event += 1,
+                OpKind::ThreadCreate { .. }
+                | OpKind::ThreadBegin
+                | OpKind::ThreadEnd
+                | OpKind::ThreadJoin { .. } => s.thread += 1,
+                OpKind::LockAcquire { .. } | OpKind::LockRelease { .. } => s.lock += 1,
+                OpKind::ZkUpdate { .. } | OpKind::ZkPushed { .. } => s.zk += 1,
+                OpKind::LoopEnter { .. } | OpKind::LoopExit { .. } => s.loops += 1,
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={} mem={} rpc={} socket={} event={} thread={} lock={} zk={} loops={}",
+            self.total,
+            self.mem,
+            self.rpc,
+            self.socket,
+            self.event,
+            self.thread,
+            self.lock,
+            self.zk,
+            self.loops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ExecCtx, LockRef, MemLoc, MemSpace, RpcId, TaskId};
+    use crate::record::CallStack;
+    use dcatch_model::NodeId;
+
+    fn rec(kind: OpKind) -> Record {
+        Record {
+            seq: 0,
+            task: TaskId {
+                node: NodeId(0),
+                index: 0,
+            },
+            ctx: ExecCtx::Regular,
+            kind,
+            stack: CallStack::default(),
+        }
+    }
+
+    #[test]
+    fn counts_every_category() {
+        let loc = MemLoc {
+            space: MemSpace::Heap,
+            node: NodeId(0),
+            object: "x".into(),
+            key: None,
+        };
+        let records = vec![
+            rec(OpKind::MemRead {
+                loc: loc.clone(),
+                value: None,
+            }),
+            rec(OpKind::MemWrite { loc, value: None }),
+            rec(OpKind::RpcCreate { rpc: RpcId(1) }),
+            rec(OpKind::ThreadBegin),
+            rec(OpKind::LockAcquire {
+                lock: LockRef {
+                    node: NodeId(0),
+                    name: "l".into(),
+                },
+            }),
+            rec(OpKind::ZkUpdate {
+                path: "/p".into(),
+                version: 1,
+            }),
+        ];
+        let s = TraceStats::of(&records);
+        assert_eq!(s.total, 6);
+        assert_eq!(s.mem, 2);
+        assert_eq!(s.rpc, 1);
+        assert_eq!(s.thread, 1);
+        assert_eq!(s.lock, 1);
+        assert_eq!(s.zk, 1);
+        assert_eq!(s.socket, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the trace record format: `parse ∘ format = id` for
+//! arbitrary records.
+
+use proptest::prelude::*;
+
+use dcatch_model::{FuncId, LoopId, NodeId, StmtId};
+use dcatch_trace::{
+    format_record, parse_record, CallStack, EventId, ExecCtx, HandlerKind, LockRef, MemLoc,
+    MemSpace, MsgId, OpKind, Record, RpcId, TaskId,
+};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // names are sanitized on write (spaces/pipes replaced), so generate
+    // from the clean alphabet the simulator itself uses
+    "[a-zA-Z_/][a-zA-Z0-9_./-]{0,12}".prop_map(|s| s)
+}
+
+fn arb_loc() -> impl Strategy<Value = MemLoc> {
+    (
+        prop_oneof![Just(MemSpace::Heap), Just(MemSpace::Zk)],
+        0u32..4,
+        arb_name(),
+        proptest::option::of(arb_name()),
+    )
+        .prop_map(|(space, node, object, key)| MemLoc {
+            space,
+            node: NodeId(node),
+            object,
+            key,
+        })
+}
+
+fn arb_task() -> impl Strategy<Value = TaskId> {
+    (0u32..4, 0u32..32).prop_map(|(n, i)| TaskId {
+        node: NodeId(n),
+        index: i,
+    })
+}
+
+fn arb_ctx() -> impl Strategy<Value = ExecCtx> {
+    prop_oneof![
+        Just(ExecCtx::Regular),
+        (
+            prop_oneof![
+                Just(HandlerKind::Event),
+                Just(HandlerKind::Rpc),
+                Just(HandlerKind::Socket),
+                Just(HandlerKind::ZkWatcher)
+            ],
+            any::<u64>()
+        )
+            .prop_map(|(kind, instance)| ExecCtx::Handler { kind, instance }),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (arb_loc(), proptest::option::of(arb_name()))
+            .prop_map(|(loc, value)| OpKind::MemRead { loc, value }),
+        (arb_loc(), proptest::option::of(arb_name()))
+            .prop_map(|(loc, value)| OpKind::MemWrite { loc, value }),
+        arb_task().prop_map(|child| OpKind::ThreadCreate { child }),
+        Just(OpKind::ThreadBegin),
+        Just(OpKind::ThreadEnd),
+        arb_task().prop_map(|child| OpKind::ThreadJoin { child }),
+        any::<u64>().prop_map(|e| OpKind::EventCreate { event: EventId(e) }),
+        any::<u64>().prop_map(|e| OpKind::EventBegin { event: EventId(e) }),
+        any::<u64>().prop_map(|e| OpKind::EventEnd { event: EventId(e) }),
+        any::<u64>().prop_map(|r| OpKind::RpcCreate { rpc: RpcId(r) }),
+        any::<u64>().prop_map(|r| OpKind::RpcBegin { rpc: RpcId(r) }),
+        any::<u64>().prop_map(|r| OpKind::RpcEnd { rpc: RpcId(r) }),
+        any::<u64>().prop_map(|r| OpKind::RpcJoin { rpc: RpcId(r) }),
+        any::<u64>().prop_map(|m| OpKind::SocketSend { msg: MsgId(m) }),
+        any::<u64>().prop_map(|m| OpKind::SocketRecv { msg: MsgId(m) }),
+        (arb_name(), any::<u64>()).prop_map(|(path, version)| OpKind::ZkUpdate { path, version }),
+        (arb_name(), any::<u64>()).prop_map(|(path, version)| OpKind::ZkPushed { path, version }),
+        (0u32..4, arb_name()).prop_map(|(n, name)| OpKind::LockAcquire {
+            lock: LockRef {
+                node: NodeId(n),
+                name
+            }
+        }),
+        (0u32..4, arb_name()).prop_map(|(n, name)| OpKind::LockRelease {
+            lock: LockRef {
+                node: NodeId(n),
+                name
+            }
+        }),
+        (0u32..64).prop_map(|l| OpKind::LoopEnter { loop_id: LoopId(l) }),
+        (0u32..64).prop_map(|l| OpKind::LoopExit { loop_id: LoopId(l) }),
+    ]
+}
+
+fn arb_stack() -> impl Strategy<Value = CallStack> {
+    proptest::collection::vec((0u32..16, 0u32..64), 0..5).prop_map(|frames| {
+        CallStack(
+            frames
+                .into_iter()
+                .map(|(f, i)| StmtId {
+                    func: FuncId(f),
+                    idx: i,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn format_roundtrips(
+        seq in any::<u64>(),
+        task in arb_task(),
+        ctx in arb_ctx(),
+        kind in arb_kind(),
+        stack in arb_stack(),
+    ) {
+        let rec = Record { seq, task, ctx, kind, stack };
+        let line = format_record(&rec);
+        let back = parse_record(&line).expect("parses back");
+        prop_assert_eq!(back, rec, "line: {}", line);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(s in "\\PC{0,60}") {
+        let _ = parse_record(&s);
+    }
+
+    #[test]
+    fn conflict_relation_is_symmetric(a in arb_loc(), b in arb_loc()) {
+        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn conflict_relation_is_reflexive(a in arb_loc()) {
+        prop_assert!(a.conflicts_with(&a));
+    }
+}

@@ -1,0 +1,133 @@
+//! Ordering exploration and verdicts.
+//!
+//! For each candidate the driver explores both orders of the racing pair
+//! (paper §5.1: "the controller will keep a record of what ordering has
+//! been explored and will re-start the system several times, until all
+//! ordering permutations... are explored"), then classifies the report the
+//! way §7.1 does: **serial** (never actually concurrent), **benign** (a
+//! true race with no failure), or **harmful** (a true race causing a
+//! failure).
+
+use dcatch_detect::Candidate;
+use dcatch_hb::HbAnalysis;
+use dcatch_model::Program;
+use dcatch_sim::{Failure, SimConfig, Topology, World};
+
+use crate::controller::ControllerGate;
+use crate::placement::{plan_candidate, TriggerPlan};
+
+/// One forced-order experiment.
+#[derive(Debug)]
+pub struct OrderRun {
+    /// Which side (0/1 of the candidate pair) was forced first.
+    pub first: usize,
+    /// Both parties were held concurrently — proof of true concurrency.
+    pub coordinated: bool,
+    /// The full order (both confirms) executed.
+    pub completed: bool,
+    /// The controller gave up on a stall.
+    pub abandoned: bool,
+    /// Failures observed during this run.
+    pub failures: Vec<Failure>,
+    /// Whether this run used the naive direct placement as a fallback.
+    pub used_direct_fallback: bool,
+}
+
+/// The paper's three report categories (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `s` and `t` are not truly concurrent (custom synchronization the HB
+    /// model missed).
+    Serial,
+    /// Truly concurrent, but no forced order produced a failure.
+    BenignRace,
+    /// Truly concurrent and at least one order produced a failure.
+    Harmful,
+}
+
+/// Result of triggering one candidate.
+#[derive(Debug)]
+pub struct TriggerReport {
+    /// Final classification.
+    pub verdict: Verdict,
+    /// The placement plan used.
+    pub plan: TriggerPlan,
+    /// Both order experiments (possibly plus direct-placement fallbacks).
+    pub runs: Vec<OrderRun>,
+}
+
+impl TriggerReport {
+    /// Failures observed across all runs.
+    pub fn failures(&self) -> impl Iterator<Item = &Failure> {
+        self.runs.iter().flat_map(|r| r.failures.iter())
+    }
+}
+
+/// Explores both orders of `candidate` and classifies it.
+///
+/// `config` must be the configuration of the traced run (same seed) so the
+/// controller's placements hit the same dynamic instances. Tracing is
+/// disabled during triggering runs for speed.
+pub fn trigger_candidate(
+    program: &Program,
+    topo: &Topology,
+    config: &SimConfig,
+    candidate: &Candidate,
+    hb: &HbAnalysis,
+) -> TriggerReport {
+    let plan = plan_candidate(candidate, hb);
+    let mut runs = Vec::new();
+    for first in 0..2 {
+        let run = run_order(program, topo, config, &plan, first, false);
+        let coordinated = run.coordinated;
+        runs.push(run);
+        if !coordinated && !plan.is_direct() {
+            // fall back to the naive placement, as the paper does when
+            // comparing against it
+            let direct = TriggerPlan::direct(candidate);
+            runs.push(run_order(program, topo, config, &direct, first, true));
+        }
+    }
+    let coordinated = runs.iter().any(|r| r.coordinated);
+    let failed = runs
+        .iter()
+        .any(|r| r.coordinated && !r.failures.is_empty());
+    let verdict = if !coordinated {
+        Verdict::Serial
+    } else if failed {
+        Verdict::Harmful
+    } else {
+        Verdict::BenignRace
+    };
+    TriggerReport {
+        verdict,
+        plan,
+        runs,
+    }
+}
+
+fn run_order(
+    program: &Program,
+    topo: &Topology,
+    config: &SimConfig,
+    plan: &TriggerPlan,
+    first: usize,
+    used_direct_fallback: bool,
+) -> OrderRun {
+    let mut gate = ControllerGate::new(plan.sides, first);
+    let mut cfg = config.clone();
+    cfg.trace_enabled = false;
+    let result = World::run_with_gate(program, topo, cfg, &mut gate)
+        .expect("triggering re-run must start");
+    OrderRun {
+        first,
+        coordinated: gate.both_requested(),
+        completed: gate.completed(),
+        abandoned: gate.abandoned(),
+        failures: result.failures,
+        used_direct_fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests;

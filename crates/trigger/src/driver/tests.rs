@@ -1,0 +1,224 @@
+use dcatch_detect::find_candidates;
+use dcatch_hb::{HbAnalysis, HbConfig};
+use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder};
+use dcatch_sim::{RunFailureKind, SimConfig, Topology, World};
+
+use super::{trigger_candidate, Verdict};
+use crate::placement::{plan_candidate, PlacementRule};
+
+fn setup(p: &Program, topo: &Topology) -> (SimConfig, HbAnalysis) {
+    let cfg = SimConfig::default().with_seed(42).with_full_tracing();
+    let run = World::run_once(p, topo, cfg.clone()).unwrap();
+    assert!(
+        run.failures.is_empty(),
+        "base run must be correct: {:?}",
+        run.failures
+    );
+    let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+    (cfg, hb)
+}
+
+/// An order violation: the reader aborts when it runs before the writer.
+/// The natural run is correct (the reader sleeps); triggering must force
+/// the bad order and classify the candidate as harmful.
+#[test]
+fn order_violation_is_confirmed_harmful() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("writer", vec![]);
+        b.spawn_detached("reader", vec![]);
+    });
+    pb.func("writer", &[], FuncKind::Regular, |b| {
+        b.write("init", Expr::val(1));
+    });
+    pb.func("reader", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(50)); // natural timing: writer wins
+        b.read("v", "init");
+        b.if_(Expr::local("v").eq(Expr::null()), |b| {
+            b.abort("read uninitialized state");
+        });
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let (cfg, hb) = setup(&p, &topo);
+    let candidates = find_candidates(&hb);
+    let c = candidates
+        .candidates
+        .iter()
+        .find(|c| c.object() == "init")
+        .expect("init candidate");
+
+    let report = trigger_candidate(&p, &topo, &cfg, c, &hb);
+    assert_eq!(report.verdict, Verdict::Harmful, "{report:#?}");
+    assert!(report
+        .failures()
+        .any(|f| matches!(f.kind, RunFailureKind::Abort)));
+    // one of the two orders must be failure-free (the correct one)
+    assert!(report
+        .runs
+        .iter()
+        .any(|r| r.coordinated && r.failures.is_empty()));
+}
+
+/// Two racing writers with no failure impact in either order: a true but
+/// benign race.
+#[test]
+fn harmless_race_is_benign() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("w1", vec![]);
+        b.spawn_detached("w2", vec![]);
+    });
+    pb.func("w1", &[], FuncKind::Regular, |b| {
+        b.write("stat", Expr::val(1));
+    });
+    pb.func("w2", &[], FuncKind::Regular, |b| {
+        b.write("stat", Expr::val(2));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let (cfg, hb) = setup(&p, &topo);
+    let candidates = find_candidates(&hb);
+    let c = &candidates.candidates[0];
+    let report = trigger_candidate(&p, &topo, &cfg, c, &hb);
+    assert_eq!(report.verdict, Verdict::BenignRace, "{report:#?}");
+}
+
+/// Custom synchronization the HB model cannot see (a spin-wait barrier):
+/// the accesses are reported concurrent, but triggering discovers that one
+/// party can never reach its request point while the other is held — the
+/// paper's "serial" report category.
+#[test]
+fn custom_sync_pair_is_classified_serial() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("producer", vec![]);
+        b.spawn_detached("consumer", vec![]);
+    });
+    pb.func("producer", &[], FuncKind::Regular, |b| {
+        b.write("data", Expr::val(7));
+        b.write("flag", Expr::val(true));
+    });
+    pb.func("consumer", &[], FuncKind::Regular, |b| {
+        b.assign("go", Expr::val(false));
+        b.retry_while(Expr::local("go").not(), |b| {
+            b.read("f", "flag");
+            b.assign("go", Expr::local("f"));
+        });
+        b.read("d", "data");
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let (cfg, hb) = setup(&p, &topo);
+    let candidates = find_candidates(&hb);
+    // deliberately skip the loop-sync analysis: the data pair stays a
+    // candidate, as with the paper's unidentified custom synchronization
+    let c = candidates
+        .candidates
+        .iter()
+        .find(|c| c.object() == "data")
+        .expect("data candidate");
+    let report = trigger_candidate(&p, &topo, &cfg, c, &hb);
+    assert_eq!(report.verdict, Verdict::Serial, "{report:#?}");
+}
+
+/// MR-4637 shape: two handlers of one single-consumer queue race. Naive
+/// request points inside the handlers deadlock the dispatch loop; the
+/// placement analysis must move them to the enqueue sites, and the
+/// coordination must then succeed.
+#[test]
+fn single_consumer_queue_placement_moves_to_enqueue_sites() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("committer", vec![]);
+        b.spawn_detached("killer", vec![]);
+    });
+    pb.func("committer", &[], FuncKind::Regular, |b| {
+        b.enqueue("dispatch", "on_commit", vec![]);
+    });
+    pb.func("killer", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(40));
+        b.enqueue("dispatch", "on_kill", vec![]);
+    });
+    pb.func("on_commit", &[], FuncKind::EventHandler, |b| {
+        b.read("s", "attempt_state");
+        b.if_(Expr::local("s").eq(Expr::val("killed")), |b| {
+            b.abort("commit after kill");
+        });
+        b.write("attempt_state", Expr::val("committed"));
+    });
+    pb.func("on_kill", &[], FuncKind::EventHandler, |b| {
+        b.write("attempt_state", Expr::val("killed"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("am").entry("main", vec![]).queue("dispatch", 1);
+    let (cfg, hb) = setup(&p, &topo);
+    let candidates = find_candidates(&hb);
+    let c = candidates
+        .candidates
+        .iter()
+        .find(|c| {
+            c.object() == "attempt_state" && (c.rep.0.is_write != c.rep.1.is_write)
+        })
+        .expect("read/write candidate on attempt_state");
+
+    let plan = plan_candidate(c, &hb);
+    assert!(
+        plan.rules[0].contains(&PlacementRule::EnqueueSite),
+        "{plan:#?}"
+    );
+
+    let report = trigger_candidate(&p, &topo, &cfg, c, &hb);
+    assert!(
+        report.runs.iter().any(|r| r.coordinated),
+        "enqueue-site placement must coordinate: {report:#?}"
+    );
+    assert_eq!(report.verdict, Verdict::Harmful, "{report:#?}");
+}
+
+/// Lock-guarded accesses: request points move before the critical
+/// sections (rule 3), and coordination succeeds instead of deadlocking.
+#[test]
+fn lock_guarded_race_moves_before_critical_section() {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.spawn_detached("t1", vec![]);
+        b.spawn_detached("t2", vec![]);
+    });
+    pb.func("t1", &[], FuncKind::Regular, |b| {
+        b.lock("m");
+        b.write("shared", Expr::val("t1"));
+        b.unlock("m");
+    });
+    pb.func("t2", &[], FuncKind::Regular, |b| {
+        b.sleep(Expr::val(30));
+        b.lock("m");
+        b.read("v", "shared");
+        b.if_(Expr::local("v").eq(Expr::null()), |b| {
+            b.log_fatal("t2 saw uninitialized shared state");
+        });
+        b.unlock("m");
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    let (cfg, hb) = setup(&p, &topo);
+    let candidates = find_candidates(&hb);
+    let c = candidates
+        .candidates
+        .iter()
+        .find(|c| c.object() == "shared")
+        .expect("shared candidate");
+    let plan = plan_candidate(c, &hb);
+    assert!(
+        plan.rules[0].contains(&PlacementRule::CriticalSectionEntry),
+        "{plan:#?}"
+    );
+    let report = trigger_candidate(&p, &topo, &cfg, c, &hb);
+    assert!(report.runs.iter().any(|r| r.coordinated), "{report:#?}");
+    assert_eq!(report.verdict, Verdict::Harmful, "{report:#?}");
+}

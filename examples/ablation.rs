@@ -1,0 +1,33 @@
+//! HB-model ablation study (the paper's Table 9): what happens to the
+//! raw trace-analysis reports when the analyzer ignores event, RPC,
+//! socket, or push-synchronization records. `-n/+m` = n false negatives
+//! (missed pairs) and m false positives (spurious pairs) versus the full
+//! MTEP model.
+//!
+//! Run with: `cargo run --release --example ablation`
+
+use dcatch::{Ablation, Pipeline, PipelineOptions};
+use std::collections::BTreeSet;
+
+fn pairs(b: &dcatch::Benchmark, a: Ablation) -> BTreeSet<(dcatch::StmtId, dcatch::StmtId)> {
+    let mut opts = PipelineOptions::fast();
+    opts.ablation = a;
+    opts.static_pruning = false;
+    opts.loop_sync = false;
+    let r = Pipeline::run(b, &opts).unwrap();
+    r.reports.iter().map(|x| x.candidate.static_pair).collect()
+}
+
+fn main() {
+    for b in dcatch::all_benchmarks() {
+        let full = pairs(&b, Ablation::None);
+        print!("{:8} full={:3}", b.id, full.len());
+        for a in Ablation::TABLE9 {
+            let ab = pairs(&b, a);
+            let fn_ = full.difference(&ab).count();
+            let fp = ab.difference(&full).count();
+            print!(" | {} -{}/+{}", a.label(), fn_, fp);
+        }
+        println!();
+    }
+}

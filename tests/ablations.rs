@@ -1,0 +1,115 @@
+//! HB-model ablations (paper §7.4, Table 9): dropping any rule family
+//! costs accuracy — false positives (pairs wrongly reported concurrent)
+//! and false negatives (pairs wrongly serialized by Rule-Preg fallback).
+
+use std::collections::BTreeSet;
+
+use dcatch::{Ablation, Pipeline, PipelineOptions, StmtId};
+
+fn static_pairs(bench: &dcatch::Benchmark, ablation: Ablation) -> BTreeSet<(StmtId, StmtId)> {
+    let mut opts = PipelineOptions::fast();
+    opts.ablation = ablation;
+    // compare raw trace-analysis output, as the paper does ("the traces are
+    // the same…, except that some trace records are ignored by analyzer")
+    opts.static_pruning = false;
+    opts.loop_sync = false;
+    let report = Pipeline::run(bench, &opts).unwrap();
+    report
+        .reports
+        .iter()
+        .map(|r| r.candidate.static_pair)
+        .collect()
+}
+
+fn diff_counts(bench_id: &str, ablation: Ablation) -> (usize, usize) {
+    let bench = dcatch::benchmark(bench_id).unwrap();
+    let full = static_pairs(&bench, Ablation::None);
+    let ablated = static_pairs(&bench, ablation);
+    let false_negatives = full.difference(&ablated).count();
+    let false_positives = ablated.difference(&full).count();
+    (false_negatives, false_positives)
+}
+
+/// Ignoring RPC records on the RPC-based benchmarks introduces false
+/// positives: pairs ordered only through `Mrpc` look concurrent
+/// (Table 9's HB/MR rows under "RPC").
+#[test]
+fn ignoring_rpc_creates_false_positives_on_hbase() {
+    let (_fn_, fp) = diff_counts("HB-4539", Ablation::IgnoreRpc);
+    assert!(fp > 0, "expected RPC-ablation false positives");
+}
+
+/// Ignoring event records hits MapReduce hardest (the paper observed the
+/// event columns populated only for MR): both false negatives (handlers
+/// collapsed into one thread) and false positives (lost `Eenq`/`Eserial`
+/// ordering).
+#[test]
+fn ignoring_events_distorts_mapreduce() {
+    let (fn_, fp) = diff_counts("MR-4637", Ablation::IgnoreEvent);
+    assert!(
+        fn_ > 0 || fp > 0,
+        "event ablation must change MR results (fn={fn_}, fp={fp})"
+    );
+    let (fn2, fp2) = diff_counts("MR-3274", Ablation::IgnoreEvent);
+    assert!(fn2 > 0 || fp2 > 0, "(fn={fn2}, fp={fp2})");
+}
+
+/// Ignoring push-synchronization records breaks the Figure 3 chain: the
+/// W/R pair ordered through the ZooKeeper watcher becomes a false
+/// positive on HB-4539.
+#[test]
+fn ignoring_push_breaks_the_figure3_ordering() {
+    let (_fn_, fp) = diff_counts("HB-4539", Ablation::IgnorePush);
+    assert!(fp > 0, "expected push-ablation false positives");
+}
+
+/// Ignoring socket records affects the socket-based systems. The paper
+/// notes CA/ZK sometimes dodge extra static-count errors through "two
+/// wrongs make a right" — so assert only that *some* socket benchmark
+/// changes, mirroring Table 9's populated HB/MR socket columns and
+/// footnote 3.
+#[test]
+fn ignoring_sockets_changes_some_socket_benchmark() {
+    let mut changed = false;
+    for id in ["CA-1011", "ZK-1144", "ZK-1270"] {
+        let (fn_, fp) = diff_counts(id, Ablation::IgnoreSocket);
+        if fn_ > 0 || fp > 0 {
+            changed = true;
+        }
+    }
+    assert!(changed, "socket ablation changed nothing anywhere");
+}
+
+/// The full model subsumes each ablation's orderings: rule families only
+/// ever *add* happens-before edges, so every full-model report must also
+/// be found when a rule is ignored **unless** the ablation's Preg
+/// fallback wrongly serialized it — which is exactly the false-negative
+/// mechanism the paper describes.
+#[test]
+fn ablation_false_negatives_come_from_preg_fallback() {
+    for id in ["MR-3274", "MR-4637", "ZK-1144"] {
+        let bench = dcatch::benchmark(id).unwrap();
+        let full = static_pairs(&bench, Ablation::None);
+        for ablation in Ablation::TABLE9 {
+            let ablated = static_pairs(&bench, ablation);
+            // any full-model pair missing under ablation must involve a
+            // handler context the ablation demoted — weaker check: missing
+            // pairs exist only for ablations that demote a handler kind
+            // the benchmark actually uses.
+            let missing = full.difference(&ablated).count();
+            if missing > 0 {
+                // demotion only happens for these mechanisms
+                assert!(
+                    matches!(
+                        ablation,
+                        Ablation::IgnoreEvent
+                            | Ablation::IgnoreRpc
+                            | Ablation::IgnoreSocket
+                            | Ablation::IgnorePush
+                    ),
+                    "{id}: unexplained false negatives under {ablation:?}"
+                );
+            }
+        }
+    }
+}

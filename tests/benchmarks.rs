@@ -1,0 +1,177 @@
+//! End-to-end detection on all seven TaxDC benchmarks: the paper's
+//! headline result (Table 4's "Detected?" column) — DCatch finds the
+//! root-cause DCbug of every benchmark by monitoring a correct run, and
+//! the triggering module confirms it harmful.
+
+use dcatch::{Pipeline, PipelineOptions, Verdict};
+
+/// Paper Table 4: every benchmark's known bug is detected and confirmed.
+#[test]
+fn every_known_bug_is_detected_and_confirmed_harmful() {
+    for bench in dcatch::all_benchmarks() {
+        let report = Pipeline::run(&bench, &PipelineOptions::full())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.id));
+        assert!(
+            report.detected_known_bug,
+            "{}: known bug not confirmed harmful: {:#?}",
+            bench.id,
+            report
+                .reports
+                .iter()
+                .map(|r| (r.object().to_owned(), r.verdict))
+                .collect::<Vec<_>>()
+        );
+        let harmful_known = report
+            .known_bug_reports()
+            .any(|r| r.verdict == Some(Verdict::Harmful));
+        assert!(harmful_known, "{}: no harmful report on a bug object", bench.id);
+    }
+}
+
+/// The final report sets are small and meaningful: every benchmark ends
+/// with between 1 and 10 static reports (the paper reports 1–8 per
+/// benchmark), and the pipeline stage counts only shrink.
+#[test]
+fn report_counts_are_paper_scale_and_monotone() {
+    for bench in dcatch::all_benchmarks() {
+        let report = Pipeline::run(&bench, &PipelineOptions::fast()).unwrap();
+        assert!(report.ta_static >= report.sp_static, "{}", bench.id);
+        assert!(report.sp_static >= report.lp_static, "{}", bench.id);
+        assert!(
+            (1..=10).contains(&report.lp_static),
+            "{}: {} final static reports",
+            bench.id,
+            report.lp_static
+        );
+        assert!(report.ta_static > report.lp_static, "{}: pruning must bite", bench.id);
+    }
+}
+
+/// Static pruning (SP) removes candidates on every benchmark where the
+/// paper's Table 5 shows a reduction, and the loop-sync analysis (LP)
+/// prunes further on the benchmarks built around polling loops.
+#[test]
+fn pruning_stages_match_table_5_shape() {
+    let mut lp_pruned_somewhere = false;
+    for bench in dcatch::all_benchmarks() {
+        let report = Pipeline::run(&bench, &PipelineOptions::fast()).unwrap();
+        assert!(
+            report.sp_static < report.ta_static,
+            "{}: SP pruned nothing ({} → {})",
+            bench.id,
+            report.ta_static,
+            report.sp_static
+        );
+        if report.lp_static < report.sp_static {
+            lp_pruned_somewhere = true;
+        }
+    }
+    assert!(lp_pruned_somewhere, "LP must prune on at least one benchmark");
+}
+
+/// MR-3274 is the paper's running example (Figures 1 and 2): the harmful
+/// get/remove pair survives while the get/put pair is recognized as
+/// pull-based synchronization (Rule-Mpull) and pruned.
+#[test]
+fn mr3274_distinguishes_remove_bug_from_put_synchronization() {
+    let bench = dcatch::benchmark("MR-3274").unwrap();
+    let report = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+    let harmful_jmap = report
+        .reports
+        .iter()
+        .filter(|r| r.object() == "jMap" && r.verdict == Some(Verdict::Harmful))
+        .count();
+    assert!(harmful_jmap >= 1, "the get/remove hang must be confirmed");
+    // the hang is a *distributed* hang: the harmful report's failures
+    // mention the retry loop
+    let hang_confirmed = report
+        .reports
+        .iter()
+        .filter(|r| r.object() == "jMap")
+        .flat_map(|r| r.failures.iter())
+        .any(|f| f.contains("retry-loop hang"));
+    assert!(hang_confirmed, "{:#?}", report.reports);
+}
+
+/// HB-4729 reports multiple zknode races and all of them are harmful
+/// (paper §7.2: "they are all truly harmful").
+#[test]
+fn hb4729_zknode_races_are_harmful() {
+    let bench = dcatch::benchmark("HB-4729").unwrap();
+    let report = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+    let zk_reports: Vec<_> = report
+        .reports
+        .iter()
+        .filter(|r| r.object() == "/unassigned/r2")
+        .collect();
+    assert!(!zk_reports.is_empty());
+    for r in zk_reports {
+        assert_eq!(r.verdict, Some(Verdict::Harmful), "{r:#?}");
+        assert!(
+            r.failures.iter().any(|f| f.contains("NoNode")),
+            "the crash is a NoNodeException: {:?}",
+            r.failures
+        );
+    }
+}
+
+/// ZK-1270's waitForEpoch-style barrier produces serial reports — races
+/// the HB model cannot order but the triggering module proves infeasible
+/// (paper §7.2's serial category).
+#[test]
+fn zk1270_barrier_produces_serial_reports() {
+    let bench = dcatch::benchmark("ZK-1270").unwrap();
+    let report = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+    assert!(
+        report.verdicts.serial_static >= 1,
+        "expected serial reports from the epoch barrier: {:?}",
+        report.verdicts
+    );
+}
+
+/// Benign reports exist (paper Table 4 "Benign" column): true races whose
+/// both orders are harmless.
+#[test]
+fn benign_reports_appear_across_the_suite() {
+    let mut benign_total = 0;
+    for bench in dcatch::all_benchmarks() {
+        let report = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+        benign_total += report.verdicts.benign_static;
+    }
+    assert!(benign_total >= 3, "suite-wide benign count was {benign_total}");
+}
+
+/// Error patterns of the confirmed bugs match Table 3: explicit-error
+/// benchmarks produce aborts/throws/fatal logs, hang benchmarks produce
+/// retry-loop hangs or deadlocks.
+#[test]
+fn confirmed_failures_match_table_3_error_patterns() {
+    use dcatch::ErrorPattern;
+    for bench in dcatch::all_benchmarks() {
+        let report = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+        let failures: Vec<String> = report
+            .known_bug_reports()
+            .filter(|r| r.verdict == Some(Verdict::Harmful))
+            .flat_map(|r| r.failures.iter().cloned())
+            .collect();
+        assert!(!failures.is_empty(), "{}", bench.id);
+        let has_hang = failures
+            .iter()
+            .any(|f| f.contains("hang") || f.contains("deadlock"));
+        let has_explicit = failures.iter().any(|f| {
+            f.contains("abort") || f.contains("uncaught") || f.contains("fatal")
+        });
+        match bench.error {
+            ErrorPattern::LocalHang | ErrorPattern::DistributedHang => {
+                assert!(has_hang, "{}: expected hang, got {failures:?}", bench.id);
+            }
+            ErrorPattern::LocalExplicit | ErrorPattern::DistributedExplicit => {
+                assert!(
+                    has_explicit,
+                    "{}: expected explicit error, got {failures:?}",
+                    bench.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate pipeline behaviour: selective vs full tracing, memory
+//! budgets, determinism, and trace round-trips.
+
+use dcatch::{
+    HbAnalysis, HbConfig, Pipeline, PipelineOptions, SimConfig, TracingMode, World,
+};
+
+/// Selective tracing (paper §3.1.1) produces much smaller traces than
+/// unselective tracing on every benchmark — the Table 8 comparison.
+#[test]
+fn selective_traces_are_smaller_than_full_traces() {
+    for bench in dcatch::all_benchmarks() {
+        let sel = World::run_once(
+            &bench.program,
+            &bench.topology,
+            SimConfig::default().with_seed(bench.seed),
+        )
+        .unwrap();
+        let full = World::run_once(
+            &bench.program,
+            &bench.topology,
+            SimConfig::default().with_seed(bench.seed).with_full_tracing(),
+        )
+        .unwrap();
+        assert!(
+            full.trace.byte_size() > sel.trace.byte_size(),
+            "{}: full {} vs selective {}",
+            bench.id,
+            full.trace.byte_size(),
+            sel.trace.byte_size()
+        );
+    }
+}
+
+/// A tiny memory budget makes the HB analysis fail with OutOfMemory, and
+/// the pipeline reports it as an outcome (Table 8's "Out of Memory" rows)
+/// rather than an error.
+#[test]
+fn oom_is_a_reported_outcome_not_an_error() {
+    let bench = dcatch::benchmark("MR-3274").unwrap();
+    let mut opts = PipelineOptions::fast();
+    opts.tracing = TracingMode::Full;
+    opts.hb = HbConfig {
+        memory_budget_bytes: 1024,
+        apply_eserial: true,
+    };
+    let report = Pipeline::run(&bench, &opts).unwrap();
+    assert!(report.oom.is_some());
+    assert_eq!(report.ta_static, 0);
+}
+
+/// The same seed yields byte-identical traces — the determinism that the
+/// focused re-run and the triggering module both rely on.
+#[test]
+fn traced_runs_are_deterministic() {
+    for bench in dcatch::all_benchmarks() {
+        let cfg = SimConfig::default().with_seed(bench.seed);
+        let a = World::run_once(&bench.program, &bench.topology, cfg.clone()).unwrap();
+        let b = World::run_once(&bench.program, &bench.topology, cfg).unwrap();
+        assert_eq!(
+            a.trace.to_lines(),
+            b.trace.to_lines(),
+            "{}: nondeterministic trace",
+            bench.id
+        );
+    }
+}
+
+/// Trace files round-trip through the on-disk line format.
+#[test]
+fn trace_files_roundtrip() {
+    let bench = dcatch::benchmark("CA-1011").unwrap();
+    let run = World::run_once(
+        &bench.program,
+        &bench.topology,
+        SimConfig::default().with_seed(bench.seed),
+    )
+    .unwrap();
+    for (i, line) in run.trace.to_lines().lines().enumerate() {
+        let rec = dcatch_trace::parse_record(line)
+            .unwrap_or_else(|e| panic!("line {i}: {e}"));
+        assert_eq!(dcatch_trace::format_record(&rec), line);
+    }
+}
+
+/// HB analysis on a real benchmark trace: every edge respects execution
+/// order and the graph is acyclic by construction (seq-ordered edges).
+#[test]
+fn hb_graph_edges_respect_execution_order() {
+    let bench = dcatch::benchmark("HB-4539").unwrap();
+    let run = World::run_once(
+        &bench.program,
+        &bench.topology,
+        SimConfig::default().with_seed(bench.seed),
+    )
+    .unwrap();
+    let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+    for v in 0..hb.vertex_count() {
+        for (succ, _) in hb.successors(v) {
+            let (a, b) = (&hb.trace().records()[v], &hb.trace().records()[succ]);
+            assert!(a.seq <= b.seq, "edge {v}→{succ} goes backwards");
+        }
+    }
+}
+
+/// The Figure 3 chain: on HB-4539's trace, the split-side `list_add` (W)
+/// happens before the watcher's `list_is_empty` (R) through a chain using
+/// thread, RPC, event, and push edges — and the pair is therefore *not*
+/// reported as a candidate.
+#[test]
+fn figure3_chain_orders_w_before_r() {
+    use dcatch::EdgeRule;
+    let bench = dcatch::benchmark("HB-4539").unwrap();
+    let run = World::run_once(
+        &bench.program,
+        &bench.topology,
+        SimConfig::default().with_seed(bench.seed),
+    )
+    .unwrap();
+    let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+    let trace = hb.trace();
+    let w = trace
+        .records()
+        .iter()
+        .position(|r| {
+            r.kind.is_write()
+                && r.kind.mem_loc().is_some_and(|l| l.object == "regionsToOpen")
+        })
+        .expect("W = regionsToOpen.add");
+    let r = trace
+        .records()
+        .iter()
+        .position(|rec| {
+            !rec.kind.is_write()
+                && rec.kind.mem_loc().is_some_and(|l| l.object == "regionsToOpen")
+        })
+        .expect("R = regionsToOpen.isEmpty");
+    assert!(hb.happens_before(w, r), "W must be ordered before R");
+    let chain = hb.explain(w, r).expect("an explain chain exists");
+    let rules: std::collections::BTreeSet<String> =
+        chain.iter().map(|&(_, rule)| format!("{rule:?}")).collect();
+    for needed in ["Fork", "Mrpc", "Eenq", "Mpush"] {
+        assert!(
+            rules.contains(needed),
+            "figure-3 chain must use {needed}; got {rules:?}"
+        );
+    }
+    let _ = EdgeRule::Program;
+}
