@@ -25,18 +25,23 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     let mut pb = ProgramBuilder::new();
 
     // ---- seed: gossip stage ---------------------------------------------
-    pb.func("on_announce", &["from", "token"], FuncKind::SocketHandler, |b| {
-        // record the pending digest, then defer its processing to a
-        // self-addressed message (Cassandra's stage hand-off) — the
-        // `Msoc` rule is what orders this write before `on_digest`'s read
-        b.write("pending_digest", Expr::local("token"));
-        b.socket_send(Expr::SelfNode, "on_digest", vec![]);
-        b.enqueue(
-            "gossip_stage",
-            "apply_gossip",
-            vec![Expr::local("from"), Expr::local("token")],
-        );
-    });
+    pb.func(
+        "on_announce",
+        &["from", "token"],
+        FuncKind::SocketHandler,
+        |b| {
+            // record the pending digest, then defer its processing to a
+            // self-addressed message (Cassandra's stage hand-off) — the
+            // `Msoc` rule is what orders this write before `on_digest`'s read
+            b.write("pending_digest", Expr::local("token"));
+            b.socket_send(Expr::SelfNode, "on_digest", vec![]);
+            b.enqueue(
+                "gossip_stage",
+                "apply_gossip",
+                vec![Expr::local("from"), Expr::local("token")],
+            );
+        },
+    );
     pb.func("on_digest", &[], FuncKind::SocketHandler, |b| {
         b.read("d", "pending_digest");
         b.if_(Expr::local("d").eq(Expr::null()), |b| {
@@ -44,23 +49,38 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
         });
         b.map_put("digest_log", Expr::val("last"), Expr::local("d"));
     });
-    pb.func("apply_gossip", &["from", "token"], FuncKind::EventHandler, |b| {
-        b.map_put("token_map", Expr::local("from"), Expr::local("token"));
-        b.write("ca_phase", Expr::val("LIVE"));
-    });
-    pb.func("on_update", &["from", "token"], FuncKind::SocketHandler, |b| {
-        b.enqueue(
-            "gossip_stage",
-            "apply_update",
-            vec![Expr::local("from"), Expr::local("token")],
-        );
-    });
-    pb.func("apply_update", &["from", "token"], FuncKind::EventHandler, |b| {
-        // the AV window: remove … (gossip-state recomputation) … put
-        b.map_remove("token_map", Expr::local("from"));
-        b.sleep(Expr::val(15));
-        b.map_put("token_map", Expr::local("from"), Expr::local("token"));
-    });
+    pb.func(
+        "apply_gossip",
+        &["from", "token"],
+        FuncKind::EventHandler,
+        |b| {
+            b.map_put("token_map", Expr::local("from"), Expr::local("token"));
+            b.write("ca_phase", Expr::val("LIVE"));
+        },
+    );
+    pb.func(
+        "on_update",
+        &["from", "token"],
+        FuncKind::SocketHandler,
+        |b| {
+            b.enqueue(
+                "gossip_stage",
+                "apply_update",
+                vec![Expr::local("from"), Expr::local("token")],
+            );
+        },
+    );
+    pb.func(
+        "apply_update",
+        &["from", "token"],
+        FuncKind::EventHandler,
+        |b| {
+            // the AV window: remove … (gossip-state recomputation) … put
+            b.map_remove("token_map", Expr::local("from"));
+            b.sleep(Expr::val(15));
+            b.map_put("token_map", Expr::local("from"), Expr::local("token"));
+        },
+    );
 
     // ---- seed: hint delivery ----------------------------------------------
     pb.func("hint_delivery", &["boot"], FuncKind::Regular, |b| {
@@ -117,9 +137,17 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     noise::stats_noise(&mut pb, "gossip", FuncKind::SocketHandler, "gossip_stage");
     pb.func("gossip_heartbeats", &["seed"], FuncKind::Regular, |b| {
         b.sleep(Expr::val(12));
-        b.socket_send(Expr::local("seed"), "gossip_stat_update", vec![Expr::val(1)]);
+        b.socket_send(
+            Expr::local("seed"),
+            "gossip_stat_update",
+            vec![Expr::val(1)],
+        );
         b.sleep(Expr::val(14));
-        b.socket_send(Expr::local("seed"), "gossip_stat_update", vec![Expr::val(2)]);
+        b.socket_send(
+            Expr::local("seed"),
+            "gossip_stat_update",
+            vec![Expr::val(2)],
+        );
     });
     noise::benign_guard(&mut pb, "ca", "gossip_stage");
 

@@ -47,36 +47,53 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     // ---- HRS: open path (Figure 3 steps 4–6) -------------------------------
     pb.func("open_region", &["region"], FuncKind::RpcHandler, |b| {
         // (4) the RPC implementation puts a region-open event into a queue
-        b.enqueue("hrs_events", "region_open_handler", vec![Expr::local("region")]);
+        b.enqueue(
+            "hrs_events",
+            "region_open_handler",
+            vec![Expr::local("region")],
+        );
         b.ret(Expr::val(true));
     });
-    pb.func("region_open_handler", &["region"], FuncKind::EventHandler, |b| {
-        // (5) the event is handled…
-        b.map_put("online_regions", Expr::local("region"), Expr::val(true));
-        // (6) …and the region's zknode status becomes RS_ZK_REGION_OPENED
-        b.zk_create(
-            Expr::val("/region/").concat(Expr::local("region")),
-            Expr::val("RS_ZK_REGION_OPENED"),
-        );
-    });
+    pb.func(
+        "region_open_handler",
+        &["region"],
+        FuncKind::EventHandler,
+        |b| {
+            // (5) the event is handled…
+            b.map_put("online_regions", Expr::local("region"), Expr::val(true));
+            // (6) …and the region's zknode status becomes RS_ZK_REGION_OPENED
+            b.zk_create(
+                Expr::val("/region/").concat(Expr::local("region")),
+                Expr::val("RS_ZK_REGION_OPENED"),
+            );
+        },
+    );
 
     // ---- HMaster: watcher (Figure 3 steps 7–8) ------------------------------
-    pb.func("on_region_state", &["path", "data"], FuncKind::ZkWatcher, |b| {
-        b.if_(Expr::local("data").eq(Expr::val("RS_ZK_REGION_OPENED")), |b| {
-            // (8) R: if (regionsToOpen.isEmpty()) → master crash
-            b.list_is_empty("empty", "regionsToOpen");
-            b.if_else(
-                Expr::local("empty"),
+    pb.func(
+        "on_region_state",
+        &["path", "data"],
+        FuncKind::ZkWatcher,
+        |b| {
+            b.if_(
+                Expr::local("data").eq(Expr::val("RS_ZK_REGION_OPENED")),
                 |b| {
-                    b.throw("IllegalStateException: opened region was not pending");
-                },
-                |b| {
-                    b.list_remove("regionsToOpen", Expr::val("r1"));
-                    b.write("assignment_done", Expr::val(true));
+                    // (8) R: if (regionsToOpen.isEmpty()) → master crash
+                    b.list_is_empty("empty", "regionsToOpen");
+                    b.if_else(
+                        Expr::local("empty"),
+                        |b| {
+                            b.throw("IllegalStateException: opened region was not pending");
+                        },
+                        |b| {
+                            b.list_remove("regionsToOpen", Expr::val("r1"));
+                            b.write("assignment_done", Expr::val(true));
+                        },
+                    );
                 },
             );
-        });
-    });
+        },
+    );
 
     // ---- HMaster: alter-table path (the racing third party) ----------------
     pb.func("alter_table", &[], FuncKind::Regular, |b| {
@@ -99,9 +116,17 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     noise::stats_noise(&mut pb, "hbase", FuncKind::RpcHandler, "master_events");
     pb.func("hrs_load_reporter", &["master"], FuncKind::Regular, |b| {
         b.sleep(Expr::val(20));
-        b.rpc_void(Expr::local("master"), "hbase_stat_update", vec![Expr::val(7)]);
+        b.rpc_void(
+            Expr::local("master"),
+            "hbase_stat_update",
+            vec![Expr::val(7)],
+        );
         b.sleep(Expr::val(25));
-        b.rpc_void(Expr::local("master"), "hbase_stat_update", vec![Expr::val(9)]);
+        b.rpc_void(
+            Expr::local("master"),
+            "hbase_stat_update",
+            vec![Expr::val(9)],
+        );
     });
 
     noise::local_churn(&mut pb, "region_compaction", 45 * i64::from(scale));

@@ -238,9 +238,7 @@ mod tests {
         let ids: Vec<&str> = all.iter().map(|b| b.id).collect();
         assert_eq!(
             ids,
-            vec![
-                "CA-1011", "HB-4539", "HB-4729", "MR-3274", "MR-4637", "ZK-1144", "ZK-1270"
-            ]
+            vec!["CA-1011", "HB-4539", "HB-4729", "MR-3274", "MR-4637", "ZK-1144", "ZK-1270"]
         );
         assert!(benchmark("mr-3274").is_some());
         assert!(benchmark("XX-0000").is_none());

@@ -54,10 +54,15 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
         b.map_get("t", "jMap", Expr::local("jid"));
         b.ret(Expr::local("t"));
     });
-    pb.func("report_progress", &["jid", "pct"], FuncKind::RpcHandler, |b| {
-        b.map_put("progress", Expr::local("jid"), Expr::local("pct"));
-        b.ret(Expr::val(true));
-    });
+    pb.func(
+        "report_progress",
+        &["jid", "pct"],
+        FuncKind::RpcHandler,
+        |b| {
+            b.map_put("progress", Expr::local("jid"), Expr::local("pct"));
+            b.ret(Expr::val(true));
+        },
+    );
     // AM monitor event: reads progress (warn-only → pruned) and the job
     // phase cell (guarded by an impossible crash → a benign report)
     pb.func("am_monitor_check", &[], FuncKind::EventHandler, |b| {
@@ -76,10 +81,18 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     });
 
     // ---- NM ---------------------------------------------------------------
-    pb.func("launch_container", &["jid", "am"], FuncKind::RpcHandler, |b| {
-        b.spawn_detached("container_main", vec![Expr::local("jid"), Expr::local("am")]);
-        b.ret(Expr::val(true));
-    });
+    pb.func(
+        "launch_container",
+        &["jid", "am"],
+        FuncKind::RpcHandler,
+        |b| {
+            b.spawn_detached(
+                "container_main",
+                vec![Expr::local("jid"), Expr::local("am")],
+            );
+            b.ret(Expr::val(true));
+        },
+    );
     pb.func("container_main", &["jid", "am"], FuncKind::Regular, |b| {
         // paper Figure 2: while (!getTask(jID)) {}
         b.assign("done", Expr::val(false));
@@ -136,7 +149,7 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
         let mut nb = topology.node("AM");
         nb.queue("dispatch", 1).rpc_workers(3);
         nb.entry("am_monitor_kicker", vec![]);
-        
+
         nb.id()
     };
     let nm = {
@@ -147,18 +160,15 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     topology.nodes[am.index()]
         .entries
         .push(("commit_wait".to_owned(), vec![Value::Node(nm)]));
-    topology.nodes[nm.index()].entries.push((
-        "nm_acker".to_owned(),
-        vec![Value::Node(am), Value::Int(60)],
-    ));
-    topology.nodes[nm.index()].entries.push((
-        "nm_acker".to_owned(),
-        vec![Value::Node(am), Value::Int(90)],
-    ));
-    topology.node("Client").entry(
-        "client_main",
-        vec![Value::Node(am), Value::Node(nm)],
-    );
+    topology.nodes[nm.index()]
+        .entries
+        .push(("nm_acker".to_owned(), vec![Value::Node(am), Value::Int(60)]));
+    topology.nodes[nm.index()]
+        .entries
+        .push(("nm_acker".to_owned(), vec![Value::Node(am), Value::Int(90)]));
+    topology
+        .node("Client")
+        .entry("client_main", vec![Value::Node(am), Value::Node(nm)]);
 
     topology.nodes[0]
         .entries
@@ -176,7 +186,7 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
         root: RootCause::OrderViolation,
         program,
         topology,
-        seed: 03_274,
+        seed: 3_274,
         bug_objects: vec!["jMap"],
         scale,
         // the harmful pair: get_task's map_get vs unregister_job's

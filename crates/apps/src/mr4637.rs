@@ -58,14 +58,27 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     });
 
     // ---- NM ----------------------------------------------------------------
-    pb.func("nm_start_attempt", &["aid", "am"], FuncKind::RpcHandler, |b| {
-        b.spawn_detached("attempt_runner", vec![Expr::local("aid"), Expr::local("am")]);
-        b.ret(Expr::val(true));
-    });
+    pb.func(
+        "nm_start_attempt",
+        &["aid", "am"],
+        FuncKind::RpcHandler,
+        |b| {
+            b.spawn_detached(
+                "attempt_runner",
+                vec![Expr::local("aid"), Expr::local("am")],
+            );
+            b.ret(Expr::val(true));
+        },
+    );
     pb.func("attempt_runner", &["aid", "am"], FuncKind::Regular, |b| {
         b.assign("got", Expr::val(false));
         b.retry_while(Expr::local("got").not(), |b| {
-            b.rpc("w", Expr::local("am"), "fetch_work", vec![Expr::local("aid")]);
+            b.rpc(
+                "w",
+                Expr::local("am"),
+                "fetch_work",
+                vec![Expr::local("aid")],
+            );
             b.assign("got", Expr::local("w").ne(Expr::null()));
             b.sleep(Expr::val(3));
         });

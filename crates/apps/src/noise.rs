@@ -136,47 +136,56 @@ pub fn quorum_barrier(pb: &mut ProgramBuilder, prefix: &str, via: FuncKind) {
     });
     let done_handler = format!("{prefix}_done");
     pb.func(&done_handler, &["n"], via, |b| {
-        b.map_put(&format!("{prefix}_done_log"), Expr::local("n"), Expr::val(true));
+        b.map_put(
+            &format!("{prefix}_done_log"),
+            Expr::local("n"),
+            Expr::val(true),
+        );
         if matches!(via, FuncKind::RpcHandler) {
             b.ret(Expr::val(true));
         }
     });
-    pb.func(format!("{prefix}_wait"), &["peer"], FuncKind::Regular, move |b| {
-        b.assign("ok", Expr::val(false));
-        b.retry_while(Expr::local("ok").not(), |b| {
-            b.read("c", &count);
-            b.if_else(
-                Expr::local("c").eq(Expr::null()),
-                |b| {
-                    b.assign("ok", Expr::val(false));
-                },
-                |b| {
-                    b.assign(
-                        "ok",
-                        Expr::Binary(
-                            dcatch_model::BinOp::Ge,
-                            Box::new(Expr::local("c")),
-                            Box::new(Expr::val(2)),
-                        ),
-                    );
-                },
-            );
-            b.sleep(Expr::val(2));
-        });
-        b.read("c2", &count);
-        b.if_(Expr::local("c2").eq(Expr::null()), |b| {
-            b.abort("quorum barrier lost its count");
-        });
-        b.if_(Expr::local("c2").lt(Expr::val(2)), |b| {
-            b.abort("quorum barrier released early");
-        });
-        // announce completion (also puts this function in tracing scope)
-        if matches!(via, FuncKind::RpcHandler) {
-            b.rpc_void(Expr::local("peer"), &done_handler, vec![Expr::SelfNode]);
-        } else {
-            b.socket_send(Expr::local("peer"), &done_handler, vec![Expr::SelfNode]);
-        }
-    });
+    pb.func(
+        format!("{prefix}_wait"),
+        &["peer"],
+        FuncKind::Regular,
+        move |b| {
+            b.assign("ok", Expr::val(false));
+            b.retry_while(Expr::local("ok").not(), |b| {
+                b.read("c", &count);
+                b.if_else(
+                    Expr::local("c").eq(Expr::null()),
+                    |b| {
+                        b.assign("ok", Expr::val(false));
+                    },
+                    |b| {
+                        b.assign(
+                            "ok",
+                            Expr::Binary(
+                                dcatch_model::BinOp::Ge,
+                                Box::new(Expr::local("c")),
+                                Box::new(Expr::val(2)),
+                            ),
+                        );
+                    },
+                );
+                b.sleep(Expr::val(2));
+            });
+            b.read("c2", &count);
+            b.if_(Expr::local("c2").eq(Expr::null()), |b| {
+                b.abort("quorum barrier lost its count");
+            });
+            b.if_(Expr::local("c2").lt(Expr::val(2)), |b| {
+                b.abort("quorum barrier released early");
+            });
+            // announce completion (also puts this function in tracing scope)
+            if matches!(via, FuncKind::RpcHandler) {
+                b.rpc_void(Expr::local("peer"), &done_handler, vec![Expr::SelfNode]);
+            } else {
+                b.socket_send(Expr::local("peer"), &done_handler, vec![Expr::SelfNode]);
+            }
+        },
+    );
 }
 
 /// Registers a pure-computation churn thread `name`: `iters` rounds of

@@ -28,7 +28,11 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
         // initialize the request-processing pipeline (the racing write)
         b.write("request_processor", Expr::val("FinalRequestProcessor"));
         // announce readiness to the leader (the connection thread talks)
-        b.socket_send(Expr::local("leader"), "on_follower_ready", vec![Expr::SelfNode]);
+        b.socket_send(
+            Expr::local("leader"),
+            "on_follower_ready",
+            vec![Expr::SelfNode],
+        );
     });
     pb.func("on_follower_ready", &["f"], FuncKind::SocketHandler, |b| {
         b.map_put("ready_followers", Expr::local("f"), Expr::val(true));
@@ -65,16 +69,28 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
         b.write("leader_state", Expr::val("LEADING"));
         // the sync packet normally arrives well after follower startup
         b.sleep(Expr::val(80));
-        b.socket_send(Expr::local("follower"), "on_sync_packet", vec![Expr::val("sync_1")]);
+        b.socket_send(
+            Expr::local("follower"),
+            "on_sync_packet",
+            vec![Expr::val("sync_1")],
+        );
     });
 
     // election statistics noise (pruned by SP) and a benign guard
     noise::stats_noise(&mut pb, "zk1", FuncKind::SocketHandler, "request_queue");
     pb.func("leader_heartbeats", &["follower"], FuncKind::Regular, |b| {
         b.sleep(Expr::val(10));
-        b.socket_send(Expr::local("follower"), "zk1_stat_update", vec![Expr::val(1)]);
+        b.socket_send(
+            Expr::local("follower"),
+            "zk1_stat_update",
+            vec![Expr::val(1)],
+        );
         b.sleep(Expr::val(16));
-        b.socket_send(Expr::local("follower"), "zk1_stat_update", vec![Expr::val(2)]);
+        b.socket_send(
+            Expr::local("follower"),
+            "zk1_stat_update",
+            vec![Expr::val(2)],
+        );
     });
 
     noise::local_churn(&mut pb, "snapshot_serialize", 60 * i64::from(scale));

@@ -103,13 +103,23 @@ pub fn benchmark_scaled(scale: u32) -> Benchmark {
     });
 
     // ---- followers -----------------------------------------------------------
-    pb.func("on_leader_elected", &["leader"], FuncKind::SocketHandler, |b| {
-        b.write("known_leader", Expr::local("leader"));
-    });
-    pb.func("follower2_main", &["leader", "delay"], FuncKind::Regular, |b| {
-        b.sleep(Expr::local("delay"));
-        b.socket_send(Expr::local("leader"), "on_epoch_ack", vec![Expr::SelfNode]);
-    });
+    pb.func(
+        "on_leader_elected",
+        &["leader"],
+        FuncKind::SocketHandler,
+        |b| {
+            b.write("known_leader", Expr::local("leader"));
+        },
+    );
+    pb.func(
+        "follower2_main",
+        &["leader", "delay"],
+        FuncKind::Regular,
+        |b| {
+            b.sleep(Expr::local("delay"));
+            b.socket_send(Expr::local("leader"), "on_epoch_ack", vec![Expr::SelfNode]);
+        },
+    );
 
     noise::stats_noise(&mut pb, "zk2", FuncKind::SocketHandler, "proposal_queue");
     pb.func("follower_heartbeats", &["leader"], FuncKind::Regular, |b| {

@@ -1,82 +1,62 @@
 //! HB-graph construction and reachability cost versus trace size — the
 //! quadratic-memory, near-linear-time behaviour behind paper §3.2.2 and
 //! Table 6's "Trace Analysis" column ("it scales well, roughly linearly,
-//! with the trace size").
+//! with the trace size"). Writes `BENCH_hbgraph.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcatch::{find_candidates, HbAnalysis, HbConfig, SimConfig, VectorClocks, World};
+use dcatch_bench::harness::Harness;
 
-use dcatch::{find_candidates, HbAnalysis, HbConfig, SimConfig, World};
+fn main() {
+    let mut h = Harness::new("hbgraph");
 
-fn hb_build_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hb_build_vs_trace_size");
-    group.sample_size(10);
+    h.group("hb_build_vs_trace_size");
     for scale in [1u32, 4, 8, 16] {
         let bench = dcatch::all_benchmarks_scaled(scale)
             .into_iter()
             .find(|b| b.id == "MR-3274")
             .unwrap();
-        let cfg = SimConfig::default().with_seed(bench.seed).with_full_tracing();
+        let cfg = SimConfig::default()
+            .with_seed(bench.seed)
+            .with_full_tracing();
         let run = World::run_once(&bench.program, &bench.topology, cfg).unwrap();
         let records = run.trace.len();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{records}rec")),
-            &run.trace,
-            |b, trace| {
-                b.iter(|| {
-                    let hb = HbAnalysis::build(trace.clone(), &HbConfig::default()).unwrap();
-                    std::hint::black_box(hb.edge_count())
-                });
-            },
-        );
+        h.bench(&format!("{records}rec"), 10, || {
+            let hb = HbAnalysis::build(run.trace.clone(), &HbConfig::default()).unwrap();
+            hb.edge_count()
+        });
     }
-    group.finish();
-}
 
-fn candidate_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("candidate_detection");
-    group.sample_size(10);
+    h.group("candidate_detection");
     for id in ["MR-3274", "HB-4539", "ZK-1270"] {
         let bench = dcatch::benchmark(id).unwrap();
         let cfg = SimConfig::default().with_seed(bench.seed);
         let run = World::run_once(&bench.program, &bench.topology, cfg).unwrap();
         let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
-        group.bench_function(id, |b| {
-            b.iter(|| std::hint::black_box(find_candidates(&hb).static_pair_count()));
-        });
+        h.bench(id, 10, || find_candidates(&hb).static_pair_count());
     }
-    group.finish();
-}
 
-fn bitset_vs_vector_clocks(c: &mut Criterion) {
-    use dcatch::VectorClocks;
-    let mut group = c.benchmark_group("reachability_index");
-    group.sample_size(10);
+    h.group("reachability_index");
     for scale in [2u32, 8] {
         let bench = dcatch::all_benchmarks_scaled(scale)
             .into_iter()
             .find(|b| b.id == "ZK-1270")
             .unwrap();
-        let cfg = SimConfig::default().with_seed(bench.seed).with_full_tracing();
+        let cfg = SimConfig::default()
+            .with_seed(bench.seed)
+            .with_full_tracing();
         let run = World::run_once(&bench.program, &bench.topology, cfg).unwrap();
         let n = run.trace.len();
         let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
-        group.bench_function(format!("bitset_{n}rec"), |b| {
-            b.iter(|| {
-                // rebuild the whole analysis: graph + bit-matrix sweep
-                let hb2 =
-                    HbAnalysis::build(hb.trace().clone(), &HbConfig::default()).unwrap();
-                std::hint::black_box(hb2.edge_count())
-            });
+        h.bench(&format!("bitset_{n}rec"), 10, || {
+            // rebuild the whole analysis: graph + bit-matrix sweep
+            let hb2 = HbAnalysis::build(hb.trace().clone(), &HbConfig::default()).unwrap();
+            hb2.edge_count()
         });
-        group.bench_function(format!("vector_clocks_{n}rec"), |b| {
-            b.iter(|| {
-                let vc = VectorClocks::compute(&hb);
-                std::hint::black_box(vc.dimensions())
-            });
+        h.bench(&format!("vector_clocks_{n}rec"), 10, || {
+            let vc = VectorClocks::compute(&hb);
+            vc.dimensions()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, hb_build_scaling, candidate_detection, bitset_vs_vector_clocks);
-criterion_main!(benches);
+    h.finish();
+}

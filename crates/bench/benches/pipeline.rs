@@ -1,39 +1,29 @@
 //! End-to-end pipeline cost per benchmark — the aggregate behind Table 6
 //! (tracing + trace analysis + static pruning + loop-sync), and the
-//! triggering module's cost on top.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! triggering module's cost on top. Writes `BENCH_pipeline.json`.
 
 use dcatch::{Pipeline, PipelineOptions};
+use dcatch_bench::harness::Harness;
 
-fn detection_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection_pipeline");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("pipeline");
+
+    h.group("detection_pipeline");
     for bench in dcatch::all_benchmarks() {
-        group.bench_function(bench.id, |b| {
-            b.iter(|| {
-                let r = Pipeline::run(&bench, &PipelineOptions::fast()).unwrap();
-                std::hint::black_box(r.lp_static)
-            });
+        h.bench(bench.id, 10, || {
+            let r = Pipeline::run(&bench, &PipelineOptions::fast()).unwrap();
+            r.lp_static
         });
     }
-    group.finish();
-}
 
-fn full_pipeline_with_triggering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_pipeline_with_triggering");
-    group.sample_size(10);
+    h.group("full_pipeline_with_triggering");
     for id in ["ZK-1144", "HB-4729"] {
         let bench = dcatch::benchmark(id).unwrap();
-        group.bench_function(id, |b| {
-            b.iter(|| {
-                let r = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
-                std::hint::black_box(r.verdicts.total_static())
-            });
+        h.bench(id, 10, || {
+            let r = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+            r.verdicts.total_static()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, detection_pipeline, full_pipeline_with_triggering);
-criterion_main!(benches);
+    h.finish();
+}

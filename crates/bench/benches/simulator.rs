@@ -1,62 +1,48 @@
 //! Simulator throughput and tracing overhead — the substrate cost behind
 //! Table 6's "Base" vs "Tracing" columns (the paper reports 1.9×–5.5×
 //! tracing slowdowns; the simulator's relative overheads are measured
-//! here).
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! here). Writes `BENCH_simulator.json`.
 
 use dcatch::{SimConfig, TracingMode, World};
+use dcatch_bench::harness::Harness;
 
-fn run_modes(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("simulator");
+
     let bench = dcatch::benchmark("MR-3274").unwrap();
-    let mut group = c.benchmark_group("simulator_run_modes");
-    group.sample_size(20);
+    h.group("simulator_run_modes");
 
     let base = {
         let mut cfg = SimConfig::default().with_seed(bench.seed);
         cfg.trace_enabled = false;
         cfg
     };
-    group.bench_function("untraced", |b| {
-        b.iter(|| {
-            let r = World::run_once(&bench.program, &bench.topology, base.clone()).unwrap();
-            std::hint::black_box(r.steps)
-        });
+    h.bench("untraced", 20, || {
+        let r = World::run_once(&bench.program, &bench.topology, base.clone()).unwrap();
+        r.steps
     });
 
     let selective = SimConfig::default().with_seed(bench.seed);
-    group.bench_function("selective_tracing", |b| {
-        b.iter(|| {
-            let r = World::run_once(&bench.program, &bench.topology, selective.clone()).unwrap();
-            std::hint::black_box(r.trace.len())
-        });
+    h.bench("selective_tracing", 20, || {
+        let r = World::run_once(&bench.program, &bench.topology, selective.clone()).unwrap();
+        r.trace.len()
     });
 
     let mut full = SimConfig::default().with_seed(bench.seed);
     full.tracing = TracingMode::Full;
-    group.bench_function("full_tracing", |b| {
-        b.iter(|| {
-            let r = World::run_once(&bench.program, &bench.topology, full.clone()).unwrap();
-            std::hint::black_box(r.trace.len())
-        });
+    h.bench("full_tracing", 20, || {
+        let r = World::run_once(&bench.program, &bench.topology, full.clone()).unwrap();
+        r.trace.len()
     });
-    group.finish();
-}
 
-fn all_benchmarks_traced(c: &mut Criterion) {
-    let mut group = c.benchmark_group("traced_run");
-    group.sample_size(20);
+    h.group("traced_run");
     for bench in dcatch::all_benchmarks() {
         let cfg = SimConfig::default().with_seed(bench.seed);
-        group.bench_function(bench.id, |b| {
-            b.iter(|| {
-                let r = World::run_once(&bench.program, &bench.topology, cfg.clone()).unwrap();
-                std::hint::black_box(r.trace.len())
-            });
+        h.bench(bench.id, 20, || {
+            let r = World::run_once(&bench.program, &bench.topology, cfg.clone()).unwrap();
+            r.trace.len()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, run_modes, all_benchmarks_traced);
-criterion_main!(benches);
+    h.finish();
+}

@@ -27,7 +27,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["App", "Sync. RPC", "Async. Socket", "Custom Protocol", "Sync. Threads", "Async. Events"],
+            &[
+                "App",
+                "Sync. RPC",
+                "Async. Socket",
+                "Custom Protocol",
+                "Sync. Threads",
+                "Async. Events"
+            ],
             &rows
         )
     );

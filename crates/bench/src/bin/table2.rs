@@ -47,6 +47,9 @@ fn main() {
     println!("Table 2: HB-related tracing (symbols as defined in paper §2)\n");
     println!(
         "{}",
-        render_table(&["Operation", "Rules fed", "Observed in suite traces"], &table)
+        render_table(
+            &["Operation", "Rules fed", "Observed in suite traces"],
+            &table
+        )
     );
 }

@@ -10,7 +10,11 @@ fn main() {
         .map(|b| {
             vec![
                 b.id.to_owned(),
-                format!("{} stmts / {} nodes", b.program.stmt_count(), b.topology.nodes.len()),
+                format!(
+                    "{} stmts / {} nodes",
+                    b.program.stmt_count(),
+                    b.topology.nodes.len()
+                ),
                 b.workload.to_owned(),
                 b.symptom.to_owned(),
                 b.error.abbrev().to_owned(),

@@ -44,8 +44,14 @@ fn main() {
         "{}",
         render_table(
             &[
-                "BugID", "Detected?", "Bug(st)", "Benign(st)", "Serial(st)", "Bug(cs)",
-                "Benign(cs)", "Serial(cs)"
+                "BugID",
+                "Detected?",
+                "Bug(st)",
+                "Benign(st)",
+                "Serial(st)",
+                "Bug(cs)",
+                "Benign(cs)",
+                "Serial(cs)"
             ],
             &rows
         )

@@ -25,7 +25,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["BugID", "TA(st)", "TA+SP(st)", "TA+SP+LP(st)", "TA(cs)", "TA+SP(cs)", "TA+SP+LP(cs)"],
+            &[
+                "BugID",
+                "TA(st)",
+                "TA+SP(st)",
+                "TA+SP+LP(st)",
+                "TA(cs)",
+                "TA+SP(cs)",
+                "TA+SP+LP(cs)"
+            ],
             &rows
         )
     );

@@ -33,7 +33,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["BugID", "Base", "Tracing", "TraceAnalysis", "StaticPruning", "LoopSync", "TraceSize"],
+            &[
+                "BugID",
+                "Base",
+                "Tracing",
+                "TraceAnalysis",
+                "StaticPruning",
+                "LoopSync",
+                "TraceSize"
+            ],
             &rows
         )
     );

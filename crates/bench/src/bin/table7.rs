@@ -34,7 +34,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["BugID", "Total", "Mem", "RPC/Socket", "Event", "Thread", "Lock", "ZkPush", "Loop"],
+            &[
+                "BugID",
+                "Total",
+                "Mem",
+                "RPC/Socket",
+                "Event",
+                "Thread",
+                "Lock",
+                "ZkPush",
+                "Loop"
+            ],
             &rows
         )
     );

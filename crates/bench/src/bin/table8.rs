@@ -6,9 +6,7 @@
 
 use std::time::Instant;
 
-use dcatch::{
-    find_candidates, HbAnalysis, HbConfig, SimConfig, TracingMode, World,
-};
+use dcatch::{find_candidates, HbAnalysis, HbConfig, SimConfig, TracingMode, World};
 use dcatch_bench::{fmt_bytes, fmt_duration, render_table, MEASURE_SCALE, TABLE8_BUDGET};
 
 fn main() {
@@ -46,14 +44,17 @@ fn main() {
         ]);
     }
     println!("Table 8: full memory tracing results (scale {scale},");
-    println!(
-        "reachability budget {})\n",
-        fmt_bytes(TABLE8_BUDGET)
-    );
+    println!("reachability budget {})\n", fmt_bytes(TABLE8_BUDGET));
     println!(
         "{}",
         render_table(
-            &["BugID", "TraceSize", "Records", "TracingTime", "TraceAnalysisTime"],
+            &[
+                "BugID",
+                "TraceSize",
+                "Records",
+                "TracingTime",
+                "TraceAnalysisTime"
+            ],
             &rows
         )
     );

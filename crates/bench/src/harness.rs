@@ -1,0 +1,189 @@
+//! A minimal micro-benchmark harness (the build is offline, so there is
+//! no external benchmarking framework). Each `[[bench]]` target sets
+//! `harness = false` and drives this module from its `main`.
+//!
+//! Measurements are grouped (`group` → named entries), printed as an
+//! aligned table, and optionally written as a versioned JSON document via
+//! the `dcatch-obs` emitter so results can be diffed across commits.
+
+use std::time::{Duration, Instant};
+
+use dcatch_obs::Json;
+
+/// Schema version of the `BENCH_*.json` documents.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One measured entry: `samples` timed runs after one warm-up run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Entry name within its group.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Arithmetic mean over samples.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+/// A named set of measurements, rendered together.
+#[derive(Debug, Default)]
+pub struct Group {
+    name: String,
+    entries: Vec<Measurement>,
+}
+
+/// Collects groups of measurements for one bench target.
+#[derive(Debug, Default)]
+pub struct Harness {
+    bench: String,
+    groups: Vec<Group>,
+}
+
+impl Harness {
+    /// New harness for the bench target `bench` ("pipeline", …).
+    pub fn new(bench: &str) -> Harness {
+        Harness {
+            bench: bench.to_owned(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Starts a new measurement group.
+    pub fn group(&mut self, name: &str) {
+        self.groups.push(Group {
+            name: name.to_owned(),
+            entries: Vec::new(),
+        });
+    }
+
+    /// Runs `f` once to warm up, then `samples` timed times, recording the
+    /// stats under `name` in the current group.
+    pub fn bench<T>(&mut self, name: &str, samples: u32, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        let mut times = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        let min = times.iter().copied().min().unwrap_or_default();
+        let max = times.iter().copied().max().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / samples.max(1);
+        let m = Measurement {
+            name: name.to_owned(),
+            samples,
+            min,
+            mean,
+            max,
+        };
+        if self.groups.is_empty() {
+            self.group("default");
+        }
+        self.groups
+            .last_mut()
+            .expect("group exists")
+            .entries
+            .push(m);
+    }
+
+    /// Renders every group as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for g in &self.groups {
+            out.push_str(&format!("\n{} ({})\n", g.name, self.bench));
+            let rows: Vec<Vec<String>> = g
+                .entries
+                .iter()
+                .map(|m| {
+                    vec![
+                        m.name.clone(),
+                        crate::fmt_duration(m.min),
+                        crate::fmt_duration(m.mean),
+                        crate::fmt_duration(m.max),
+                        m.samples.to_string(),
+                    ]
+                })
+                .collect();
+            out.push_str(&crate::render_table(
+                &["entry", "min", "mean", "max", "samples"],
+                &rows,
+            ));
+        }
+        out
+    }
+
+    /// Versioned JSON document with every measurement, for diffing runs.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::UInt(BENCH_SCHEMA_VERSION)),
+            ("bench", Json::Str(self.bench.clone())),
+            (
+                "groups",
+                Json::Arr(
+                    self.groups
+                        .iter()
+                        .map(|g| {
+                            Json::obj([
+                                ("name", Json::Str(g.name.clone())),
+                                (
+                                    "entries",
+                                    Json::Arr(g.entries.iter().map(measurement_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Prints the tables and writes `BENCH_<bench>.json` next to the
+    /// current working directory (the repo root under `cargo bench`).
+    pub fn finish(&self) {
+        println!("{}", self.render());
+        let path = format!("BENCH_{}.json", self.bench);
+        match std::fs::write(&path, self.to_json().to_pretty()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
+fn measurement_json(m: &Measurement) -> Json {
+    Json::obj([
+        ("name", Json::Str(m.name.clone())),
+        ("samples", Json::UInt(u64::from(m.samples))),
+        ("min_ns", Json::UInt(m.min.as_nanos() as u64)),
+        ("mean_ns", Json::UInt(m.mean.as_nanos() as u64)),
+        ("max_ns", Json::UInt(m.max.as_nanos() as u64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_records_and_serializes() {
+        let mut h = Harness::new("unit");
+        h.group("g");
+        h.bench("noop", 3, || 1 + 1);
+        let doc = h.to_json();
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        let groups = doc.get("groups").unwrap().as_arr().unwrap();
+        assert_eq!(groups.len(), 1);
+        let entries = groups[0].get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries[0].get("name").unwrap().as_str(), Some("noop"));
+        assert_eq!(entries[0].get("samples").unwrap().as_u64(), Some(3));
+        // mean lies between min and max
+        let min = entries[0].get("min_ns").unwrap().as_u64().unwrap();
+        let mean = entries[0].get("mean_ns").unwrap().as_u64().unwrap();
+        let max = entries[0].get("max_ns").unwrap().as_u64().unwrap();
+        assert!(min <= mean && mean <= max);
+        // the rendered table mentions the entry
+        assert!(h.render().contains("noop"));
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! One binary per table of the paper's evaluation section (§7): run
 //! `cargo run --release -p dcatch-bench --bin table<N>` to regenerate the
-//! corresponding table on the miniature benchmark suite. The criterion
-//! benches (`cargo bench -p dcatch-bench`) measure the performance
-//! characteristics behind Table 6 and the scalability claims of §3.2.2.
+//! corresponding table on the miniature benchmark suite. The bench
+//! targets (`cargo bench -p dcatch-bench`, driven by [`harness`]) measure
+//! the performance characteristics behind Table 6 and the scalability
+//! claims of §3.2.2, and write `BENCH_<name>.json` result documents.
 //!
 //! Absolute numbers differ from the paper — the substrate is a
 //! deterministic simulator on one machine, not instrumented JVM clusters —
@@ -13,6 +14,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use std::time::Duration;
 

@@ -3,13 +3,15 @@
 //! ```text
 //! dcatch list
 //! dcatch detect <BUG-ID|all> [options]
+//! dcatch stats   <BUG-ID> [--full-tracing] [--scale N] [--seed N] [--json]
 //! dcatch trace   <BUG-ID> [--full-tracing] [--out FILE]
 //! dcatch explain <BUG-ID> <OBJECT>
 //! ```
 //!
 //! `explain` prints, for the named shared object, which access pairs the
 //! HB analysis orders (with the rule chain, à la the paper's Figure 3)
-//! and which it reports as concurrent.
+//! and which it reports as concurrent. `stats` prints the Table-7 trace
+//! record breakdown for one benchmark's correct run.
 //!
 //! Detect options:
 //!   --scale N        workload scale factor (default 1)
@@ -20,27 +22,38 @@
 //!   --no-trigger     skip the triggering module
 //!   --ablation K     ignore one HB rule family: event|rpc|socket|push
 //!   --budget BYTES   HB reachability memory budget
+//!   --json           emit the versioned machine-readable run report
+//!   --out FILE       write the JSON report to FILE instead of stdout
+//!   --metrics        print per-run counter deltas (human mode)
+//!   --verbose        stream span enter/exit lines to stderr
+//!
+//! Unknown flags are rejected with an error instead of being silently
+//! ignored.
 
 use std::process::ExitCode;
 
 use dcatch::{
-    Ablation, HbConfig, Pipeline, PipelineOptions, SimConfig, TracingMode, Verdict, World,
+    Ablation, HbConfig, Pipeline, PipelineOptions, SimConfig, TraceStats, TracingMode, Verdict,
+    World,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
+            if let Err(e) = check_flags(&args[1..], &[], &[]) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
             list();
             ExitCode::SUCCESS
         }
         Some("detect") => detect(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("explain") => explain(&args[1..]),
         _ => {
-            eprintln!(
-                "usage: dcatch <list|detect|trace|explain> …  (see --help in the README)"
-            );
+            eprintln!("usage: dcatch <list|detect|stats|trace|explain> …  (see the README)");
             ExitCode::FAILURE
         }
     }
@@ -60,20 +73,67 @@ fn list() {
     }
 }
 
+/// Validates that every `--flag` in `args` is known: `flags` take no
+/// value, `valued` consume the next argument. Positional arguments (the
+/// BUG-ID etc.) are stripped by callers before this runs.
+fn check_flags(args: &[String], flags: &[&str], valued: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if flags.contains(&a) {
+            i += 1;
+        } else if valued.contains(&a) {
+            if i + 1 >= args.len() {
+                return Err(format!("flag `{a}` requires a value"));
+            }
+            i += 2;
+        } else if a.starts_with('-') {
+            return Err(format!("unknown flag `{a}` — see the usage in the README"));
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    Ok(())
+}
+
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+/// Value of `name`, parsed; a present-but-malformed value is an error
+/// rather than being silently ignored.
+fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let v = args
+        .get(i + 1)
+        .ok_or_else(|| format!("flag `{name}` requires a value"))?;
+    v.parse()
+        .map(Some)
+        .map_err(|_| format!("invalid value `{v}` for `{name}`"))
+}
+
+fn opt_str<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
 }
+
+const DETECT_FLAGS: &[&str] = &[
+    "--full-tracing",
+    "--no-prune",
+    "--no-loop-sync",
+    "--no-trigger",
+    "--json",
+    "--metrics",
+    "--verbose",
+];
+const DETECT_VALUED: &[&str] = &["--scale", "--seed", "--ablation", "--budget", "--out"];
 
 fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
     let mut opts = PipelineOptions::full();
-    opts.seed = opt(args, "--seed");
+    opts.seed = opt(args, "--seed")?;
     if flag(args, "--full-tracing") {
         opts.tracing = TracingMode::Full;
     }
@@ -86,17 +146,13 @@ fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
     if flag(args, "--no-trigger") {
         opts.triggering = false;
     }
-    if let Some(budget) = opt::<usize>(args, "--budget") {
+    if let Some(budget) = opt::<usize>(args, "--budget")? {
         opts.hb = HbConfig {
             memory_budget_bytes: budget,
             apply_eserial: true,
         };
     }
-    if let Some(k) = args
-        .iter()
-        .position(|a| a == "--ablation")
-        .and_then(|i| args.get(i + 1))
-    {
+    if let Some(k) = opt_str(args, "--ablation") {
         opts.ablation = match k.as_str() {
             "event" => Ablation::IgnoreEvent,
             "rpc" => Ablation::IgnoreRpc,
@@ -119,12 +175,38 @@ fn benchmarks_for(id: &str, scale: u32) -> Vec<dcatch::Benchmark> {
     }
 }
 
+/// Writes a JSON document to `--out FILE` or stdout.
+fn emit_json(doc: &dcatch_obs::Json, out: Option<&String>) -> Result<(), String> {
+    let text = doc.to_pretty();
+    match out {
+        Some(path) => {
+            std::fs::write(path, text.as_bytes()).map_err(|e| format!("cannot write {path}: {e}"))
+        }
+        None => {
+            // ignore EPIPE so `dcatch … --json | head` exits quietly
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{text}");
+            Ok(())
+        }
+    }
+}
+
 fn detect(args: &[String]) -> ExitCode {
     let Some(id) = args.first() else {
         eprintln!("usage: dcatch detect <BUG-ID|all> [options]");
         return ExitCode::FAILURE;
     };
-    let scale = opt(args, "--scale").unwrap_or(1);
+    if let Err(e) = check_flags(&args[1..], DETECT_FLAGS, DETECT_VALUED) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let scale = match opt(args, "--scale") {
+        Ok(s) => s.unwrap_or(1),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let benches = benchmarks_for(id, scale);
     if benches.is_empty() {
         eprintln!("unknown benchmark `{id}` — try `dcatch list`");
@@ -137,53 +219,41 @@ fn detect(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let json = flag(args, "--json");
+    let show_metrics = flag(args, "--metrics");
+    if flag(args, "--verbose") {
+        dcatch_obs::trace::set_verbose(true);
+    }
     let mut ok = true;
+    let mut reports = Vec::new();
     for b in benches {
-        println!("== {} ({}) ==", b.id, b.system.name());
+        if !json {
+            println!("== {} ({}) ==", b.id, b.system.name());
+        }
         match Pipeline::run(&b, &opts) {
             Ok(r) => {
-                if let Some(oom) = &r.oom {
-                    println!("  trace: {} records; {oom}", r.trace_stats.total);
-                    continue;
+                if !json {
+                    print_report(&r, &opts, show_metrics, &mut ok);
+                } else if opts.triggering && r.oom.is_none() && !r.detected_known_bug {
+                    ok = false;
                 }
-                println!(
-                    "  candidates: TA {} → +SP {} → +LP {} (callstack: {}/{}/{})",
-                    r.ta_static, r.sp_static, r.lp_static, r.ta_stacks, r.sp_stacks, r.lp_stacks
-                );
-                for rep in &r.reports {
-                    let verdict = match rep.verdict {
-                        Some(Verdict::Harmful) => "HARMFUL",
-                        Some(Verdict::BenignRace) => "benign",
-                        Some(Verdict::Serial) => "serial",
-                        None => "candidate",
-                    };
-                    println!(
-                        "  [{verdict:9}] {} × {}  on `{}`{}",
-                        rep.candidate.static_pair.0,
-                        rep.candidate.static_pair.1,
-                        rep.object(),
-                        if rep.known_bug_object { "  (known bug)" } else { "" }
-                    );
-                    for f in &rep.failures {
-                        println!("      {f}");
-                    }
-                }
-                if opts.triggering {
-                    println!(
-                        "  known bug {}",
-                        if r.detected_known_bug {
-                            "CONFIRMED HARMFUL"
-                        } else {
-                            ok = false;
-                            "NOT confirmed"
-                        }
-                    );
-                }
+                reports.push(r);
             }
             Err(e) => {
                 ok = false;
-                println!("  error: {e}");
+                if json {
+                    eprintln!("{}: {e}", b.id);
+                } else {
+                    println!("  error: {e}");
+                }
             }
+        }
+    }
+    if json {
+        let doc = dcatch::report_json::run_report(&reports);
+        if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
     }
     if ok {
@@ -193,17 +263,167 @@ fn detect(args: &[String]) -> ExitCode {
     }
 }
 
-fn trace(args: &[String]) -> ExitCode {
+fn print_report(
+    r: &dcatch::BenchmarkReport,
+    opts: &PipelineOptions,
+    show_metrics: bool,
+    ok: &mut bool,
+) {
+    if let Some(oom) = &r.oom {
+        println!("  trace: {} records; {oom}", r.trace_stats.total);
+        return;
+    }
+    println!(
+        "  candidates: TA {} → +SP {} → +LP {} (callstack: {}/{}/{})",
+        r.ta_static, r.sp_static, r.lp_static, r.ta_stacks, r.sp_stacks, r.lp_stacks
+    );
+    for rep in &r.reports {
+        let verdict = match rep.verdict {
+            Some(Verdict::Harmful) => "HARMFUL",
+            Some(Verdict::BenignRace) => "benign",
+            Some(Verdict::Serial) => "serial",
+            None => "candidate",
+        };
+        println!(
+            "  [{verdict:9}] {} × {}  on `{}`{}",
+            rep.candidate.static_pair.0,
+            rep.candidate.static_pair.1,
+            rep.object(),
+            if rep.known_bug_object {
+                "  (known bug)"
+            } else {
+                ""
+            }
+        );
+        for f in &rep.failures {
+            println!("      {f}");
+        }
+    }
+    if opts.triggering {
+        println!(
+            "  known bug {}",
+            if r.detected_known_bug {
+                "CONFIRMED HARMFUL"
+            } else {
+                *ok = false;
+                "NOT confirmed"
+            }
+        );
+    }
+    if show_metrics {
+        println!("  metrics:");
+        for (name, value) in &r.metrics.counters {
+            println!("    {name:40} {value}");
+        }
+        for (name, value) in &r.metrics.gauges {
+            println!("    {name:40} {value} (gauge)");
+        }
+    }
+}
+
+fn stats(args: &[String]) -> ExitCode {
     let Some(id) = args.first() else {
-        eprintln!("usage: dcatch trace <BUG-ID> [--full-tracing] [--out FILE]");
+        eprintln!("usage: dcatch stats <BUG-ID> [--full-tracing] [--scale N] [--seed N] [--json]");
         return ExitCode::FAILURE;
     };
-    let scale = opt(args, "--scale").unwrap_or(1);
+    if let Err(e) = check_flags(
+        &args[1..],
+        &["--full-tracing", "--json"],
+        &["--scale", "--seed", "--out"],
+    ) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let (scale, seed) = match (opt(args, "--scale"), opt(args, "--seed")) {
+        (Ok(s), Ok(seed)) => (s.unwrap_or(1), seed),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(b) = benchmarks_for(id, scale).into_iter().next() else {
         eprintln!("unknown benchmark `{id}` — try `dcatch list`");
         return ExitCode::FAILURE;
     };
-    let mut cfg = SimConfig::default().with_seed(opt(args, "--seed").unwrap_or(b.seed));
+    let mut cfg = SimConfig::default().with_seed(seed.unwrap_or(b.seed));
+    if flag(args, "--full-tracing") {
+        cfg.tracing = TracingMode::Full;
+    }
+    let run = match World::run_once(&b.program, &b.topology, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = TraceStats::of(run.trace.records());
+    let bytes = run.trace.to_lines().len();
+    if flag(args, "--json") {
+        let doc = dcatch_obs::Json::obj([
+            (
+                "schema_version",
+                dcatch_obs::Json::UInt(dcatch::report_json::SCHEMA_VERSION),
+            ),
+            ("id", dcatch_obs::Json::Str(b.id.to_string())),
+            ("bytes", dcatch_obs::Json::UInt(bytes as u64)),
+            ("stats", dcatch::report_json::trace_stats_json(&s)),
+        ]);
+        if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Table-7 style breakdown
+    println!("{}: {} trace records, {} bytes", b.id, s.total, bytes);
+    let rows: &[(&str, usize)] = &[
+        ("memory accesses", s.mem),
+        ("rpc", s.rpc),
+        ("socket", s.socket),
+        ("event", s.event),
+        ("thread", s.thread),
+        ("lock", s.lock),
+        ("zookeeper push", s.zk),
+        ("loop markers", s.loops),
+    ];
+    for (label, count) in rows {
+        let pct = if s.total == 0 {
+            0.0
+        } else {
+            100.0 * *count as f64 / s.total as f64
+        };
+        println!("  {label:16} {count:8}  ({pct:5.1}%)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn trace(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!(
+            "usage: dcatch trace <BUG-ID> [--full-tracing] [--scale N] [--seed N] [--out FILE]"
+        );
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = check_flags(
+        &args[1..],
+        &["--full-tracing"],
+        &["--scale", "--seed", "--out"],
+    ) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let (scale, seed) = match (opt(args, "--scale"), opt(args, "--seed")) {
+        (Ok(s), Ok(seed)) => (s.unwrap_or(1), seed),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(b) = benchmarks_for(id, scale).into_iter().next() else {
+        eprintln!("unknown benchmark `{id}` — try `dcatch list`");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = SimConfig::default().with_seed(seed.unwrap_or(b.seed));
     if flag(args, "--full-tracing") {
         cfg.tracing = TracingMode::Full;
     }
@@ -215,11 +435,7 @@ fn trace(args: &[String]) -> ExitCode {
         }
     };
     let lines = run.trace.to_lines();
-    if let Some(path) = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-    {
+    if let Some(path) = opt_str(args, "--out") {
         if let Err(e) = std::fs::write(path, &lines) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -240,6 +456,10 @@ fn explain(args: &[String]) -> ExitCode {
         eprintln!("usage: dcatch explain <BUG-ID> <OBJECT>");
         return ExitCode::FAILURE;
     };
+    if let Err(e) = check_flags(&args[2..], &[], &[]) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     let Some(b) = benchmarks_for(id, 1).into_iter().next() else {
         eprintln!("unknown benchmark `{id}` — try `dcatch list`");
         return ExitCode::FAILURE;
@@ -264,20 +484,14 @@ fn explain(args: &[String]) -> ExitCode {
         .records()
         .iter()
         .enumerate()
-        .filter(|(_, r)| {
-            r.kind.mem_loc().is_some_and(|l| l.object == *object)
-        })
+        .filter(|(_, r)| r.kind.mem_loc().is_some_and(|l| l.object == *object))
         .map(|(i, _)| i)
         .collect();
     if accesses.is_empty() {
         eprintln!("no traced accesses to `{object}` in {id}'s correct run");
         return ExitCode::FAILURE;
     }
-    println!(
-        "{}: {} traced accesses to `{object}`",
-        b.id,
-        accesses.len()
-    );
+    println!("{}: {} traced accesses to `{object}`", b.id, accesses.len());
     for (p, &i) in accesses.iter().enumerate() {
         for &j in &accesses[p + 1..] {
             let (a, z) = (i.min(j), i.max(j));

@@ -36,6 +36,7 @@
 
 mod pipeline;
 mod report;
+pub mod report_json;
 
 pub use pipeline::{Pipeline, PipelineError, PipelineOptions};
 pub use report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
@@ -53,10 +54,6 @@ pub use dcatch_hb::{
 };
 pub use dcatch_model::{Expr, FailureSpec, FuncKind, Program, ProgramBuilder, StmtId, Value};
 pub use dcatch_prune::{Impact, PruneStats, Pruner};
-pub use dcatch_sim::{
-    Failure, FocusConfig, RunFailureKind, RunResult, SimConfig, Topology, World,
-};
+pub use dcatch_sim::{Failure, FocusConfig, RunFailureKind, RunResult, SimConfig, Topology, World};
 pub use dcatch_trace::{TraceSet, TraceStats, TracingMode};
-pub use dcatch_trigger::{
-    plan_candidate, trigger_candidate, TriggerPlan, TriggerReport, Verdict,
-};
+pub use dcatch_trigger::{plan_candidate, trigger_candidate, TriggerPlan, TriggerReport, Verdict};

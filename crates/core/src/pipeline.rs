@@ -1,7 +1,6 @@
 //! The end-to-end DCatch pipeline.
 
 use std::fmt;
-use std::time::Instant;
 
 use dcatch_apps::Benchmark;
 use dcatch_detect::{analyze_loop_sync, find_candidates, CandidateSet};
@@ -113,28 +112,49 @@ pub struct Pipeline;
 
 impl Pipeline {
     /// Runs the configured pipeline stages on one benchmark.
+    ///
+    /// Brackets the run in a span capture and a metrics snapshot, so the
+    /// returned report carries a per-run timing tree and per-run counter
+    /// deltas even when many benchmarks run in one process. Stage timings
+    /// are derived from the captured tree (single source of truth).
     pub fn run(
         bench: &Benchmark,
         opts: &PipelineOptions,
     ) -> Result<BenchmarkReport, PipelineError> {
+        let metrics_before = dcatch_obs::metrics::snapshot();
+        dcatch_obs::trace::begin_capture(&format!("pipeline.{}", bench.id));
+        let result = Pipeline::run_stages(bench, opts);
+        let spans = dcatch_obs::trace::end_capture();
+        let metrics = dcatch_obs::metrics::snapshot().delta_since(&metrics_before);
+        result.map(|mut report| {
+            report.timings = StageTimings::from_spans(&spans);
+            report.metrics = metrics;
+            report.spans = spans;
+            report
+        })
+    }
+
+    fn run_stages(
+        bench: &Benchmark,
+        opts: &PipelineOptions,
+    ) -> Result<BenchmarkReport, PipelineError> {
         let seed = opts.seed.unwrap_or(bench.seed);
-        let mut timings = StageTimings::default();
 
         // ---- base run (untraced) ----------------------------------------
         if opts.measure_base {
             let mut cfg = SimConfig::default().with_seed(seed);
             cfg.trace_enabled = false;
-            let t0 = Instant::now();
+            let _span = dcatch_obs::span!("pipeline.base");
             World::run_once(&bench.program, &bench.topology, cfg)?;
-            timings.base = t0.elapsed();
         }
 
         // ---- traced run ---------------------------------------------------
         let mut cfg = SimConfig::default().with_seed(seed);
         cfg.tracing = opts.tracing;
-        let t0 = Instant::now();
-        let run = World::run_once(&bench.program, &bench.topology, cfg.clone())?;
-        timings.tracing = t0.elapsed();
+        let run = {
+            let _span = dcatch_obs::span!("pipeline.tracing");
+            World::run_once(&bench.program, &bench.topology, cfg.clone())?
+        };
         if !run.failures.is_empty() {
             return Err(PipelineError::TracedRunFailed(format!(
                 "{:?}",
@@ -146,7 +166,7 @@ impl Pipeline {
 
         // ---- HB graph + candidates -----------------------------------------
         let analyzed = apply_ablation(&run.trace, opts.ablation);
-        let t0 = Instant::now();
+        let ta_span = dcatch_obs::span!("pipeline.trace_analysis");
         let mut hb = match HbAnalysis::build(analyzed, &opts.hb) {
             Ok(hb) => hb,
             Err(e @ HbError::OutOfMemory { .. }) => {
@@ -163,13 +183,17 @@ impl Pipeline {
                     reports: Vec::new(),
                     verdicts: VerdictCounts::default(),
                     detected_known_bug: false,
-                    timings,
+                    // timings/metrics/spans are placeholders; `run` fills
+                    // them from the capture on every path
+                    timings: StageTimings::default(),
                     oom: Some(e),
+                    metrics: dcatch_obs::MetricsSnapshot::default(),
+                    spans: dcatch_obs::SpanNode::default(),
                 });
             }
         };
         let mut candidates = find_candidates(&hb);
-        timings.trace_analysis = t0.elapsed();
+        drop(ta_span);
         let (ta_static, ta_stacks) = (
             candidates.static_pair_count(),
             candidates.callstack_pair_count(),
@@ -178,10 +202,9 @@ impl Pipeline {
         // ---- static pruning --------------------------------------------------
         let pruner = Pruner::new(&bench.program);
         if opts.static_pruning {
-            let t0 = Instant::now();
+            let _span = dcatch_obs::span!("pipeline.static_pruning");
             let (kept, _pruned, _stats) = pruner.prune(candidates);
             candidates = kept;
-            timings.static_pruning = t0.elapsed();
         }
         let (sp_static, sp_stacks) = (
             candidates.static_pair_count(),
@@ -190,7 +213,7 @@ impl Pipeline {
 
         // ---- loop/pull synchronization analysis ------------------------------
         if opts.loop_sync {
-            let t0 = Instant::now();
+            let _span = dcatch_obs::span!("pipeline.loop_sync");
             let program = &bench.program;
             let topo = &bench.topology;
             let base_cfg = cfg.clone();
@@ -210,7 +233,6 @@ impl Pipeline {
                 let (kept, _, _) = pruner.prune(candidates);
                 candidates = kept;
             }
-            timings.loop_sync = t0.elapsed();
         }
         let (lp_static, lp_stacks) = (
             candidates.static_pair_count(),
@@ -221,22 +243,20 @@ impl Pipeline {
         let mut reports = Vec::new();
         let mut verdicts = VerdictCounts::default();
         let mut detected_known_bug = false;
-        let t0 = Instant::now();
+        let trig_span = opts
+            .triggering
+            .then(|| dcatch_obs::span!("pipeline.triggering"));
         for candidate in take_candidates(candidates) {
             let impacts = {
                 let mut v = pruner.impact_of(&candidate.rep.0);
                 v.extend(pruner.impact_of(&candidate.rep.1));
                 v
             };
-            let known = bench
-                .bug_objects
-                .iter()
-                .any(|o| candidate.object() == *o);
+            let known = bench.bug_objects.iter().any(|o| candidate.object() == *o);
             let (verdict, failures) = if opts.triggering {
                 let report =
                     trigger_candidate(&bench.program, &bench.topology, &cfg, &candidate, &hb);
-                let failures: Vec<String> =
-                    report.failures().map(|f| f.to_string()).collect();
+                let failures: Vec<String> = report.failures().map(|f| f.to_string()).collect();
                 // Attribution: holding a request point can starve unrelated
                 // paths and surface *other* bugs' failures. A candidate is
                 // only confirmed harmful by failures its own static impact
@@ -273,9 +293,7 @@ impl Pipeline {
                 known_bug_object: known,
             });
         }
-        if opts.triggering {
-            timings.triggering = t0.elapsed();
-        }
+        drop(trig_span);
 
         Ok(BenchmarkReport {
             id: bench.id.to_owned(),
@@ -290,8 +308,10 @@ impl Pipeline {
             reports,
             verdicts,
             detected_known_bug,
-            timings,
+            timings: StageTimings::default(),
             oom: None,
+            metrics: dcatch_obs::MetricsSnapshot::default(),
+            spans: dcatch_obs::SpanNode::default(),
         })
     }
 }

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use dcatch_detect::Candidate;
 use dcatch_hb::HbError;
+use dcatch_obs::{MetricsSnapshot, SpanNode};
 use dcatch_prune::Impact;
 use dcatch_trace::TraceStats;
 use dcatch_trigger::Verdict;
@@ -25,6 +26,22 @@ pub struct StageTimings {
     pub loop_sync: Duration,
     /// Triggering all surviving candidates (not part of Table 6).
     pub triggering: Duration,
+}
+
+impl StageTimings {
+    /// Extracts the Table-6 stage durations from a captured span tree (the
+    /// `pipeline.*` spans opened by [`crate::Pipeline::run`]). Stages that
+    /// did not run stay at zero.
+    pub fn from_spans(spans: &SpanNode) -> StageTimings {
+        StageTimings {
+            base: spans.duration_of("pipeline.base"),
+            tracing: spans.duration_of("pipeline.tracing"),
+            trace_analysis: spans.duration_of("pipeline.trace_analysis"),
+            static_pruning: spans.duration_of("pipeline.static_pruning"),
+            loop_sync: spans.duration_of("pipeline.loop_sync"),
+            triggering: spans.duration_of("pipeline.triggering"),
+        }
+    }
 }
 
 /// Verdict tallies in the paper's two counting granularities
@@ -115,6 +132,10 @@ pub struct BenchmarkReport {
     /// Set when HB analysis ran out of memory (Table 8's full-tracing
     /// "Out of Memory" outcome); all counts are then zero.
     pub oom: Option<HbError>,
+    /// Per-run metric deltas (counters incremented by this run only).
+    pub metrics: MetricsSnapshot,
+    /// Captured span tree for this run; stage timings are derived from it.
+    pub spans: SpanNode,
 }
 
 impl BenchmarkReport {

@@ -1,0 +1,188 @@
+//! Versioned machine-readable run reports.
+//!
+//! `dcatch detect <ID|all> --json` and the bench harness emit the same
+//! document, built here from [`BenchmarkReport`]s with the hand-rolled
+//! serializer in `dcatch-obs` (no external JSON dependency — the build is
+//! offline). The schema is versioned so downstream tooling can diff run
+//! reports across commits; bump [`SCHEMA_VERSION`] on breaking changes and
+//! describe the layout in DESIGN.md's "Observability" section.
+//!
+//! Document layout (schema version 1):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "tool": "dcatch-rs",
+//!   "benchmarks": [
+//!     {
+//!       "id": "MR-3274",
+//!       "oom": null | "<message>",
+//!       "trace": { "bytes": …, "stats": { "total": …, "mem": …, … } },
+//!       "candidates": { "ta_static": …, …, "lp_stacks": … },
+//!       "verdicts": { "harmful_static": …, …, "total_stacks": … },
+//!       "detected_known_bug": true,
+//!       "timings_ns": { "base": …, …, "triggering": … },
+//!       "spans": { "name": …, "total_ns": …, "count": …, "children": […] },
+//!       "metrics": { "counters": {…}, "gauges": {…}, "histograms": {…} }
+//!     }, …
+//!   ]
+//! }
+//! ```
+
+use dcatch_obs::metrics::HistogramSnapshot;
+use dcatch_obs::{Json, MetricsSnapshot, SpanNode};
+use dcatch_trace::TraceStats;
+
+use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
+
+/// Version of the run-report document layout. Bump on breaking changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Builds the versioned top-level run report for a set of benchmark runs.
+pub fn run_report(reports: &[BenchmarkReport]) -> Json {
+    Json::obj([
+        ("schema_version", Json::UInt(SCHEMA_VERSION)),
+        ("tool", Json::Str("dcatch-rs".to_owned())),
+        (
+            "benchmarks",
+            Json::Arr(reports.iter().map(benchmark_json).collect()),
+        ),
+    ])
+}
+
+/// One benchmark's section of the run report.
+pub fn benchmark_json(r: &BenchmarkReport) -> Json {
+    Json::obj([
+        ("id", Json::Str(r.id.clone())),
+        (
+            "oom",
+            match &r.oom {
+                Some(e) => Json::Str(e.to_string()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "trace",
+            Json::obj([
+                ("bytes", Json::UInt(r.trace_bytes as u64)),
+                ("stats", trace_stats_json(&r.trace_stats)),
+            ]),
+        ),
+        (
+            "candidates",
+            Json::obj([
+                ("ta_static", Json::UInt(r.ta_static as u64)),
+                ("ta_stacks", Json::UInt(r.ta_stacks as u64)),
+                ("sp_static", Json::UInt(r.sp_static as u64)),
+                ("sp_stacks", Json::UInt(r.sp_stacks as u64)),
+                ("lp_static", Json::UInt(r.lp_static as u64)),
+                ("lp_stacks", Json::UInt(r.lp_stacks as u64)),
+            ]),
+        ),
+        ("verdicts", verdicts_json(&r.verdicts)),
+        ("detected_known_bug", Json::Bool(r.detected_known_bug)),
+        ("timings_ns", timings_json(&r.timings)),
+        ("spans", span_json(&r.spans)),
+        ("metrics", metrics_json(&r.metrics)),
+    ])
+}
+
+/// Table-7 record breakdown.
+pub fn trace_stats_json(s: &TraceStats) -> Json {
+    Json::obj([
+        ("total", Json::UInt(s.total as u64)),
+        ("mem", Json::UInt(s.mem as u64)),
+        ("rpc", Json::UInt(s.rpc as u64)),
+        ("socket", Json::UInt(s.socket as u64)),
+        ("event", Json::UInt(s.event as u64)),
+        ("thread", Json::UInt(s.thread as u64)),
+        ("lock", Json::UInt(s.lock as u64)),
+        ("zk", Json::UInt(s.zk as u64)),
+        ("loops", Json::UInt(s.loops as u64)),
+    ])
+}
+
+fn verdicts_json(v: &VerdictCounts) -> Json {
+    Json::obj([
+        ("harmful_static", Json::UInt(v.bug_static as u64)),
+        ("benign_static", Json::UInt(v.benign_static as u64)),
+        ("serial_static", Json::UInt(v.serial_static as u64)),
+        ("harmful_stacks", Json::UInt(v.bug_stacks as u64)),
+        ("benign_stacks", Json::UInt(v.benign_stacks as u64)),
+        ("serial_stacks", Json::UInt(v.serial_stacks as u64)),
+        ("total_static", Json::UInt(v.total_static() as u64)),
+        ("total_stacks", Json::UInt(v.total_stacks() as u64)),
+    ])
+}
+
+fn timings_json(t: &StageTimings) -> Json {
+    let ns = |d: std::time::Duration| Json::UInt(d.as_nanos() as u64);
+    Json::obj([
+        ("base", ns(t.base)),
+        ("tracing", ns(t.tracing)),
+        ("trace_analysis", ns(t.trace_analysis)),
+        ("static_pruning", ns(t.static_pruning)),
+        ("loop_sync", ns(t.loop_sync)),
+        ("triggering", ns(t.triggering)),
+    ])
+}
+
+/// Serializes a captured span tree.
+pub fn span_json(s: &SpanNode) -> Json {
+    Json::obj([
+        ("name", Json::Str(s.name.clone())),
+        ("total_ns", Json::UInt(s.total.as_nanos() as u64)),
+        ("count", Json::UInt(s.count)),
+        (
+            "children",
+            Json::Arr(s.children.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+/// Serializes a metrics snapshot (or per-run delta).
+pub fn metrics_json(m: &MetricsSnapshot) -> Json {
+    Json::obj([
+        ("counters", Json::from_map(&m.counters)),
+        ("gauges", Json::from_map(&m.gauges)),
+        (
+            "histograms",
+            Json::Obj(
+                m.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), histogram_json(h)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::obj([
+        (
+            "boundaries",
+            Json::Arr(h.boundaries.iter().map(|&b| Json::UInt(b)).collect()),
+        ),
+        (
+            "buckets",
+            Json::Arr(h.buckets.iter().map(|&b| Json::UInt(b)).collect()),
+        ),
+        ("sum", Json::UInt(h.sum)),
+        ("count", Json::UInt(h.count)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_list_still_carries_version() {
+        let doc = run_report(&[]);
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("benchmarks").unwrap().as_arr().unwrap().len(), 0);
+        // round-trips through the parser
+        let back = dcatch_obs::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(back, doc);
+    }
+}

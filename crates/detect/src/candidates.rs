@@ -92,6 +92,7 @@ fn canonical(a: StmtId, b: StmtId) -> (StmtId, StmtId) {
 /// groups (different tasks, or different handler instances of one task),
 /// and the HB graph orders them in neither direction.
 pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
+    let _span = dcatch_obs::span!("detect.scan");
     let trace = hb.trace();
     // group record indices by object name (heap objects and zknodes share
     // the namespace keyed by space+object)
@@ -171,9 +172,12 @@ pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
             }
         }
     }
-    CandidateSet {
+    let set = CandidateSet {
         candidates: agg.into_values().collect(),
-    }
+    };
+    dcatch_obs::counter!("detect_candidates_found_total").add(set.static_pair_count() as u64);
+    dcatch_obs::counter!("detect_stack_pairs_found_total").add(set.callstack_pair_count() as u64);
+    set
 }
 
 #[cfg(test)]

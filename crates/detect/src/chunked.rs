@@ -82,10 +82,7 @@ pub fn find_candidates_chunked(
             c.rep.1.index += start;
         }
         for c in found.candidates {
-            match merged
-                .iter_mut()
-                .find(|m| m.static_pair == c.static_pair)
-            {
+            match merged.iter_mut().find(|m| m.static_pair == c.static_pair) {
                 Some(m) => {
                     m.dynamic_count += c.dynamic_count;
                     m.stack_pairs.extend(c.stack_pairs);
@@ -129,10 +126,7 @@ mod tests {
         let (chunked, stats) =
             find_candidates_chunked(&trace, &HbConfig::default(), trace.len()).unwrap();
         assert_eq!(stats.chunks, 1);
-        assert_eq!(
-            chunked.static_pair_count(),
-            whole.static_pair_count()
-        );
+        assert_eq!(chunked.static_pair_count(), whole.static_pair_count());
     }
 
     #[test]
@@ -145,7 +139,10 @@ mod tests {
             memory_budget_bytes: budget,
             apply_eserial: true,
         };
-        assert!(HbAnalysis::build(trace.clone(), &cfg).is_err(), "whole trace must OOM");
+        assert!(
+            HbAnalysis::build(trace.clone(), &cfg).is_err(),
+            "whole trace must OOM"
+        );
         let (found, stats) = find_candidates_chunked(&trace, &cfg, n / 4).unwrap();
         assert!(stats.chunks >= 3);
         assert!(stats.peak_matrix_bytes <= budget);
@@ -160,8 +157,7 @@ mod tests {
         // no pair can be co-resident, so nothing is reported — the
         // documented false-negative trade-off
         let trace = racy_trace();
-        let (found, _) =
-            find_candidates_chunked(&trace, &HbConfig::default(), 1).unwrap();
+        let (found, _) = find_candidates_chunked(&trace, &HbConfig::default(), 1).unwrap();
         assert_eq!(found.static_pair_count(), 0);
     }
 

@@ -24,9 +24,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dcatch_hb::HbAnalysis;
-use dcatch_model::{
-    DependenceAnalysis, FuncKind, LoopId, Program, Stmt, StmtId, StmtKind,
-};
+use dcatch_model::{DependenceAnalysis, FuncKind, LoopId, Program, Stmt, StmtId, StmtKind};
 use dcatch_trace::{OpKind, TaskId, TraceSet};
 
 use crate::candidates::{find_candidates, CandidateSet};
@@ -66,12 +64,12 @@ pub fn analyze_loop_sync(
     candidates: CandidateSet,
     rerun: &mut dyn FnMut(&BTreeSet<String>) -> TraceSet,
 ) -> (CandidateSet, LoopSyncResult) {
+    let _span = dcatch_obs::span!("detect.loopsync");
     let polled = find_polled_reads(program, &candidates);
     if polled.is_empty() {
         return (candidates, LoopSyncResult::default());
     }
-    let focused_objects: BTreeSet<String> =
-        polled.iter().map(|p| p.object.clone()).collect();
+    let focused_objects: BTreeSet<String> = polled.iter().map(|p| p.object.clone()).collect();
     let focused = rerun(&focused_objects);
 
     // map (task, tag, stmt-or-loop, ordinal) → original index
@@ -80,8 +78,10 @@ pub fn analyze_loop_sync(
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut sync_write_stmts: BTreeMap<StmtId, BTreeSet<StmtId>> = BTreeMap::new();
 
-    let loops_of_interest: BTreeSet<LoopId> =
-        polled.iter().flat_map(|p| p.loops.iter().copied()).collect();
+    let loops_of_interest: BTreeSet<LoopId> = polled
+        .iter()
+        .flat_map(|p| p.loops.iter().copied())
+        .collect();
     let read_stmts: BTreeSet<StmtId> = polled.iter().map(|p| p.read).collect();
 
     let records = focused.records();
@@ -90,7 +90,7 @@ pub fn analyze_loop_sync(
     for r in records {
         match occ_key(r) {
             Some(k) => {
-                let ord = focus_ordinals.entry(k.clone()).or_insert(0);
+                let ord = focus_ordinals.entry(k).or_insert(0);
                 let this = *ord;
                 *ord += 1;
                 keyed.push(Some((k, this)));
@@ -128,20 +128,24 @@ pub fn analyze_loop_sync(
         let read_loc = records[read_idx].kind.mem_loc().expect("mem read");
         // the write that provided that value
         let Some((w_idx, w_stmt, w_task)) =
-            records[..read_idx].iter().enumerate().rev().find_map(|(j, c)| {
-                let OpKind::MemWrite {
-                    loc,
-                    value: Some(v),
-                } = &c.kind
-                else {
-                    return None;
-                };
-                if loc.conflicts_with(read_loc) && *v == value {
-                    Some((j, c.stmt()?, c.task))
-                } else {
-                    None
-                }
-            })
+            records[..read_idx]
+                .iter()
+                .enumerate()
+                .rev()
+                .find_map(|(j, c)| {
+                    let OpKind::MemWrite {
+                        loc,
+                        value: Some(v),
+                    } = &c.kind
+                    else {
+                        return None;
+                    };
+                    if loc.conflicts_with(read_loc) && *v == value {
+                        Some((j, c.stmt()?, c.task))
+                    } else {
+                        None
+                    }
+                })
         else {
             continue;
         };
@@ -153,7 +157,10 @@ pub fn analyze_loop_sync(
         if let (Some(w_orig), Some(exit_orig)) = (to_original(w_idx), to_original(i)) {
             edges.push((w_orig, exit_orig));
         }
-        sync_write_stmts.entry(read_stmt).or_default().insert(w_stmt);
+        sync_write_stmts
+            .entry(read_stmt)
+            .or_default()
+            .insert(w_stmt);
     }
 
     if edges.is_empty() && sync_write_stmts.is_empty() {
@@ -167,7 +174,11 @@ pub fn analyze_loop_sync(
     let mut sync_pairs = BTreeSet::new();
     for (read, writes) in &sync_write_stmts {
         for w in writes {
-            let key = if *read <= *w { (*read, *w) } else { (*w, *read) };
+            let key = if *read <= *w {
+                (*read, *w)
+            } else {
+                (*w, *read)
+            };
             sync_pairs.insert(key);
         }
     }
@@ -176,6 +187,8 @@ pub fn analyze_loop_sync(
     let pruned = candidates
         .static_pair_count()
         .saturating_sub(updated.static_pair_count());
+    dcatch_obs::counter!("detect_loopsync_edges_total").add(edges.len() as u64);
+    dcatch_obs::counter!("detect_loopsync_pruned_total").add(pruned as u64);
     let result = LoopSyncResult {
         edges,
         sync_pairs,
@@ -209,11 +222,7 @@ fn find_polled_reads(program: &Program, candidates: &CandidateSet) -> Vec<Polled
         let fd = deps.func(read.func);
         let closure = fd.closure_from_stmt(read);
         for_each_retry_while(program, read.func, |w_stmt, loop_id| {
-            if closure
-                .get(w_stmt.idx as usize)
-                .copied()
-                .unwrap_or(false)
-            {
+            if closure.get(w_stmt.idx as usize).copied().unwrap_or(false) {
                 loops.push(loop_id);
             }
         });
@@ -253,7 +262,11 @@ fn find_polled_reads(program: &Program, candidates: &CandidateSet) -> Vec<Polled
     out
 }
 
-fn for_each_retry_while(program: &Program, func: dcatch_model::FuncId, mut f: impl FnMut(StmtId, LoopId)) {
+fn for_each_retry_while(
+    program: &Program,
+    func: dcatch_model::FuncId,
+    mut f: impl FnMut(StmtId, LoopId),
+) {
     fn walk(block: &[Stmt], f: &mut impl FnMut(StmtId, LoopId)) {
         for s in block {
             if let StmtKind::While {

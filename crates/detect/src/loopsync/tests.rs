@@ -5,15 +5,19 @@ use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
 use dcatch_sim::{FocusConfig, SimConfig, Topology, World};
 use dcatch_trace::TraceSet;
 
-use crate::candidates::find_candidates;
 use super::analyze_loop_sync;
+use crate::candidates::find_candidates;
 
 const SEED: u64 = 1234;
 
 fn traced_run(p: &Program, topo: &Topology) -> TraceSet {
-    World::run_once(p, topo, SimConfig::default().with_seed(SEED).with_full_tracing())
-        .unwrap()
-        .trace
+    World::run_once(
+        p,
+        topo,
+        SimConfig::default().with_seed(SEED).with_full_tracing(),
+    )
+    .unwrap()
+    .trace
 }
 
 fn rerun_fn<'a>(
@@ -63,10 +67,7 @@ fn distributed_pull_sync_is_recognized_and_pruned() {
     let candidates = find_candidates(&hb);
     // the polling get/put pair must initially be reported as concurrent
     assert!(
-        candidates
-            .candidates
-            .iter()
-            .any(|c| c.object() == "jMap"),
+        candidates.candidates.iter().any(|c| c.object() == "jMap"),
         "{candidates:#?}"
     );
     let before = candidates.static_pair_count();
@@ -117,8 +118,14 @@ fn local_while_loop_sync_prunes_flag_and_downstream_pairs() {
     let mut rerun = rerun_fn(&p, &topo);
     let (after, result) = analyze_loop_sync(&p, &mut hb, candidates, &mut rerun);
     assert!(!result.edges.is_empty());
-    assert!(!has("flag", &after), "sync idiom must be pruned: {after:#?}");
-    assert!(!has("data", &after), "downstream pair must be ordered: {after:#?}");
+    assert!(
+        !has("flag", &after),
+        "sync idiom must be pruned: {after:#?}"
+    );
+    assert!(
+        !has("data", &after),
+        "downstream pair must be ordered: {after:#?}"
+    );
     assert!(result.pruned_static_pairs >= 2);
 }
 

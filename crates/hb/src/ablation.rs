@@ -131,7 +131,11 @@ mod tests {
             instance: 1,
         };
         let trace: TraceSet = vec![
-            rec(0, ExecCtx::Regular, OpKind::EventCreate { event: EventId(1) }),
+            rec(
+                0,
+                ExecCtx::Regular,
+                OpKind::EventCreate { event: EventId(1) },
+            ),
             rec(1, hctx, OpKind::EventBegin { event: EventId(1) }),
             rec(2, hctx, OpKind::ThreadBegin), // stand-in body record
         ]
@@ -148,15 +152,18 @@ mod tests {
             kind: HandlerKind::Rpc,
             instance: 2,
         };
-        let trace: TraceSet = vec![rec(0, rpc_ctx, OpKind::ThreadBegin)].into_iter().collect();
+        let trace: TraceSet = vec![rec(0, rpc_ctx, OpKind::ThreadBegin)]
+            .into_iter()
+            .collect();
         let ablated = apply_ablation(&trace, Ablation::IgnoreEvent);
         assert_eq!(ablated.records()[0].ctx, rpc_ctx);
     }
 
     #[test]
     fn none_is_identity() {
-        let trace: TraceSet =
-            vec![rec(0, ExecCtx::Regular, OpKind::ThreadBegin)].into_iter().collect();
+        let trace: TraceSet = vec![rec(0, ExecCtx::Regular, OpKind::ThreadBegin)]
+            .into_iter()
+            .collect();
         let same = apply_ablation(&trace, Ablation::None);
         assert_eq!(same.records(), trace.records());
     }

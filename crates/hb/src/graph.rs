@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use dcatch_obs::{counter, gauge};
 use dcatch_trace::{EventId, ExecCtx, OpKind, TaskId, TraceSet};
 
 use crate::bitmatrix::BitMatrix;
@@ -90,14 +91,18 @@ pub struct HbAnalysis {
 impl HbAnalysis {
     /// Builds the HB graph of `trace` and computes reachable sets.
     pub fn build(trace: TraceSet, config: &HbConfig) -> Result<HbAnalysis, HbError> {
+        let _span = dcatch_obs::span!("hb.build");
         let n = trace.len();
         let needed = BitMatrix::estimated_bytes(n);
+        gauge!("hb_reach_bytes_peak").set_max(needed as u64);
         if needed > config.memory_budget_bytes {
+            counter!("hb_oom_total").inc();
             return Err(HbError::OutOfMemory {
                 needed,
                 budget: config.memory_budget_bytes,
             });
         }
+        counter!("hb_nodes_total").add(n as u64);
         let mut a = HbAnalysis {
             trace,
             edges: vec![Vec::new(); n],
@@ -114,6 +119,7 @@ impl HbAnalysis {
         if config.apply_eserial {
             a.apply_eserial_fixed_point();
         }
+        counter!("hb_edges_total").add(a.edge_count as u64);
         Ok(a)
     }
 
@@ -200,7 +206,8 @@ impl HbAnalysis {
     pub fn to_dot(&self, max_vertices: usize) -> String {
         use std::fmt::Write as _;
         let n = self.trace.len().min(max_vertices);
-        let mut out = String::from("digraph hb {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n");
+        let mut out =
+            String::from("digraph hb {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n");
         let mut by_task: BTreeMap<_, Vec<usize>> = BTreeMap::new();
         for (i, r) in self.trace.records().iter().take(n).enumerate() {
             by_task.entry(r.task).or_default().push(i);
@@ -469,6 +476,7 @@ impl HbAnalysis {
             }
         }
         loop {
+            counter!("hb_eserial_iterations_total").inc();
             let mut added = false;
             for events in by_queue.values() {
                 let evs: Vec<&Ev> = events
@@ -506,6 +514,8 @@ impl HbAnalysis {
     /// processing vertices in decreasing order makes each reachable set the
     /// union of its successors' sets plus the successors themselves.
     fn recompute_reach(&mut self) {
+        let _span = dcatch_obs::span!("hb.reach");
+        counter!("hb_reach_recomputes_total").inc();
         let n = self.trace.len();
         // drop the previous matrix first: holding both would double peak
         // memory and defeat the budget check in `build`

@@ -196,7 +196,12 @@ fn eenq_orders_enqueue_before_handling() {
     let e = EventId(5);
     let mut trace: TraceSet = vec![
         mem(0, producer, ExecCtx::Regular, "setup", true),
-        rec(1, producer, ExecCtx::Regular, OpKind::EventCreate { event: e }),
+        rec(
+            1,
+            producer,
+            ExecCtx::Regular,
+            OpKind::EventCreate { event: e },
+        ),
         rec(2, worker, hctx, OpKind::EventBegin { event: e }),
         mem(3, worker, hctx, "handled", true),
         rec(4, worker, hctx, OpKind::EventEnd { event: e }),
@@ -227,8 +232,18 @@ fn eserial_orders_single_consumer_handlers() {
     let (e1, e2) = (EventId(1), EventId(2));
     let make = |consumers: u32| {
         let mut trace: TraceSet = vec![
-            rec(0, producer, ExecCtx::Regular, OpKind::EventCreate { event: e1 }),
-            rec(1, producer, ExecCtx::Regular, OpKind::EventCreate { event: e2 }),
+            rec(
+                0,
+                producer,
+                ExecCtx::Regular,
+                OpKind::EventCreate { event: e1 },
+            ),
+            rec(
+                1,
+                producer,
+                ExecCtx::Regular,
+                OpKind::EventCreate { event: e2 },
+            ),
             rec(2, worker, h1, OpKind::EventBegin { event: e1 }),
             mem(3, worker, h1, "state", true),
             rec(4, worker, h1, OpKind::EventEnd { event: e1 }),
@@ -247,10 +262,15 @@ fn eserial_orders_single_consumer_handlers() {
     assert!(single.happens_before(3, 6), "Eserial must order the bodies");
 
     let multi = HbAnalysis::build(make(2), &HbConfig::default()).unwrap();
-    assert!(multi.concurrent(3, 6), "multi-consumer handlers are concurrent");
+    assert!(
+        multi.concurrent(3, 6),
+        "multi-consumer handlers are concurrent"
+    );
 
-    let mut cfg = HbConfig::default();
-    cfg.apply_eserial = false;
+    let cfg = HbConfig {
+        apply_eserial: false,
+        ..HbConfig::default()
+    };
     let disabled = HbAnalysis::build(make(1), &cfg).unwrap();
     assert!(disabled.concurrent(3, 6));
 }
@@ -268,8 +288,18 @@ fn eserial_reaches_a_fixed_point_across_rounds() {
     };
     let (e1, e2, e3) = (EventId(1), EventId(2), EventId(3));
     let mut trace: TraceSet = vec![
-        rec(0, producer, ExecCtx::Regular, OpKind::EventCreate { event: e1 }),
-        rec(1, producer, ExecCtx::Regular, OpKind::EventCreate { event: e2 }),
+        rec(
+            0,
+            producer,
+            ExecCtx::Regular,
+            OpKind::EventCreate { event: e1 },
+        ),
+        rec(
+            1,
+            producer,
+            ExecCtx::Regular,
+            OpKind::EventCreate { event: e2 },
+        ),
         rec(2, worker, hctx(1), OpKind::EventBegin { event: e1 }),
         mem(3, worker, hctx(1), "a", true),
         rec(4, worker, hctx(1), OpKind::EventEnd { event: e1 }),

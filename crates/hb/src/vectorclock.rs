@@ -37,6 +37,7 @@ impl VectorClocks {
     /// handler instance and each RPC invocation gets its own dimension,
     /// exactly the growth the paper warns about.
     pub fn compute(hb: &HbAnalysis) -> VectorClocks {
+        let _span = dcatch_obs::span!("hb.vectorclock");
         let records = hb.trace().records();
         let n = records.len();
         let mut dims: BTreeMap<(TaskId, ExecCtx), usize> = BTreeMap::new();
@@ -65,6 +66,9 @@ impl VectorClocks {
                 preds[s].push(v);
             }
         }
+        dcatch_obs::counter!("hb_vc_allocations_total").add(n as u64);
+        dcatch_obs::counter!("hb_vc_joins_total")
+            .add(preds.iter().map(Vec::len).sum::<usize>() as u64);
         for v in 0..n {
             let (before, rest) = clocks.split_at_mut(v);
             let clock = &mut rest[0];

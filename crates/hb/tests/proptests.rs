@@ -1,11 +1,14 @@
 //! Property tests for the HB graph: the bit-matrix reachable sets must
 //! agree with a naive DFS transitive closure, and concurrency must be
 //! symmetric and irreflexive, on arbitrary generated traces.
-
-use proptest::prelude::*;
+//!
+//! Generators are driven by the in-repo deterministic PRNG
+//! (`dcatch_obs::SmallRng`); each test runs a fixed number of seeded
+//! cases and reports the failing case seed on assert.
 
 use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig};
 use dcatch_model::{FuncId, NodeId, StmtId};
+use dcatch_obs::SmallRng;
 use dcatch_trace::{
     CallStack, EventId, ExecCtx, HandlerKind, MemLoc, MemSpace, MsgId, OpKind, QueueInfo, Record,
     RpcId, TaskId, TraceSet,
@@ -23,15 +26,36 @@ enum Op {
     SocketPair { sender: u8, handler: u8 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..6, 0u8..4, any::<bool>())
-            .prop_map(|(task, object, write)| Op::Access { task, object, write }),
-        (0u8..6, 0u8..6).prop_map(|(parent, child)| Op::SpawnPair { parent, child }),
-        (0u8..6, 0u8..6).prop_map(|(producer, worker)| Op::EventPair { producer, worker }),
-        (0u8..6, 0u8..6).prop_map(|(caller, worker)| Op::RpcPair { caller, worker }),
-        (0u8..6, 0u8..6).prop_map(|(sender, handler)| Op::SocketPair { sender, handler }),
-    ]
+fn arb_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(5) {
+        0 => Op::Access {
+            task: rng.gen_range(6) as u8,
+            object: rng.gen_range(4) as u8,
+            write: rng.gen_bool(),
+        },
+        1 => Op::SpawnPair {
+            parent: rng.gen_range(6) as u8,
+            child: rng.gen_range(6) as u8,
+        },
+        2 => Op::EventPair {
+            producer: rng.gen_range(6) as u8,
+            worker: rng.gen_range(6) as u8,
+        },
+        3 => Op::RpcPair {
+            caller: rng.gen_range(6) as u8,
+            worker: rng.gen_range(6) as u8,
+        },
+        _ => Op::SocketPair {
+            sender: rng.gen_range(6) as u8,
+            handler: rng.gen_range(6) as u8,
+        },
+    }
+}
+
+/// `min..max` ops, at least one.
+fn arb_ops(rng: &mut SmallRng, max: usize) -> Vec<Op> {
+    let len = 1 + rng.gen_range(max - 1);
+    (0..len).map(|_| arb_op(rng)).collect()
 }
 
 fn task(i: u8) -> TaskId {
@@ -49,14 +73,14 @@ fn build_trace(ops: &[Op]) -> TraceSet {
     let mut tail: Vec<Record> = Vec::new();
     let mut seq = 0u64;
     let mut next_id = 0u64;
-    let mut rec = |seq: &mut u64, t: TaskId, ctx: ExecCtx, kind: OpKind| -> Record {
+    let rec = |seq: &mut u64, t: TaskId, ctx: ExecCtx, kind: OpKind| -> Record {
         let r = Record {
             seq: *seq,
             task: t,
             ctx,
             kind,
             stack: CallStack(vec![StmtId {
-                func: FuncId(u32::from(t.index)),
+                func: FuncId(t.index),
                 idx: *seq as u32,
             }]),
         };
@@ -67,7 +91,11 @@ fn build_trace(ops: &[Op]) -> TraceSet {
     let mut trace = TraceSet::new();
     for op in ops {
         match *op {
-            Op::Access { task: t, object, write } => {
+            Op::Access {
+                task: t,
+                object,
+                write,
+            } => {
                 let loc = MemLoc {
                     space: MemSpace::Heap,
                     node: task(t).node,
@@ -89,7 +117,12 @@ fn build_trace(ops: &[Op]) -> TraceSet {
                     ExecCtx::Regular,
                     OpKind::ThreadCreate { child: child_task },
                 ));
-                tail.push(rec(&mut seq, child_task, ExecCtx::Regular, OpKind::ThreadBegin));
+                tail.push(rec(
+                    &mut seq,
+                    child_task,
+                    ExecCtx::Regular,
+                    OpKind::ThreadBegin,
+                ));
             }
             Op::EventPair { producer, worker } => {
                 let e = EventId(next_id);
@@ -104,8 +137,18 @@ fn build_trace(ops: &[Op]) -> TraceSet {
                     kind: HandlerKind::Event,
                     instance: e.0,
                 };
-                tail.push(rec(&mut seq, task(worker.wrapping_add(50)), ctx, OpKind::EventBegin { event: e }));
-                tail.push(rec(&mut seq, task(worker.wrapping_add(50)), ctx, OpKind::EventEnd { event: e }));
+                tail.push(rec(
+                    &mut seq,
+                    task(worker.wrapping_add(50)),
+                    ctx,
+                    OpKind::EventBegin { event: e },
+                ));
+                tail.push(rec(
+                    &mut seq,
+                    task(worker.wrapping_add(50)),
+                    ctx,
+                    OpKind::EventEnd { event: e },
+                ));
                 if !queue_registered {
                     trace.register_queue(NodeId(0), "q", QueueInfo { consumers: 1 });
                     queue_registered = true;
@@ -125,8 +168,18 @@ fn build_trace(ops: &[Op]) -> TraceSet {
                     kind: HandlerKind::Rpc,
                     instance: r.0,
                 };
-                tail.push(rec(&mut seq, task(worker.wrapping_add(70)), ctx, OpKind::RpcBegin { rpc: r }));
-                tail.push(rec(&mut seq, task(worker.wrapping_add(70)), ctx, OpKind::RpcEnd { rpc: r }));
+                tail.push(rec(
+                    &mut seq,
+                    task(worker.wrapping_add(70)),
+                    ctx,
+                    OpKind::RpcBegin { rpc: r },
+                ));
+                tail.push(rec(
+                    &mut seq,
+                    task(worker.wrapping_add(70)),
+                    ctx,
+                    OpKind::RpcEnd { rpc: r },
+                ));
             }
             Op::SocketPair { sender, handler } => {
                 let m = MsgId(next_id);
@@ -141,12 +194,17 @@ fn build_trace(ops: &[Op]) -> TraceSet {
                     kind: HandlerKind::Socket,
                     instance: m.0,
                 };
-                tail.push(rec(&mut seq, task(handler.wrapping_add(90)), ctx, OpKind::SocketRecv { msg: m }));
+                tail.push(rec(
+                    &mut seq,
+                    task(handler.wrapping_add(90)),
+                    ctx,
+                    OpKind::SocketRecv { msg: m },
+                ));
             }
         }
     }
     // re-sequence the tail after the main body
-    for mut r in records.into_iter().chain(tail.into_iter()) {
+    for mut r in records.into_iter().chain(tail) {
         r.seq = trace.len() as u64;
         trace.push(r);
     }
@@ -157,11 +215,11 @@ fn build_trace(ops: &[Op]) -> TraceSet {
 fn dfs_closure(hb: &HbAnalysis) -> Vec<Vec<bool>> {
     let n = hb.vertex_count();
     let mut out = vec![vec![false; n]; n];
-    for start in 0..n {
+    for (start, row) in out.iter_mut().enumerate() {
         let mut stack: Vec<usize> = hb.successors(start).map(|(t, _)| t).collect();
         while let Some(v) = stack.pop() {
-            if !out[start][v] {
-                out[start][v] = true;
+            if !row[v] {
+                row[v] = true;
                 stack.extend(hb.successors(v).map(|(t, _)| t));
             }
         }
@@ -169,114 +227,126 @@ fn dfs_closure(hb: &HbAnalysis) -> Vec<Vec<bool>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The constant-time bit-matrix queries agree with ground-truth DFS.
-    #[test]
-    fn reachability_matches_dfs_closure(ops in proptest::collection::vec(arb_op(), 1..40)) {
-        let trace = build_trace(&ops);
+/// The constant-time bit-matrix queries agree with ground-truth DFS.
+#[test]
+fn reachability_matches_dfs_closure() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xB17 ^ case);
+        let trace = build_trace(&arb_ops(&mut rng, 40));
         let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
         let truth = dfs_closure(&hb);
-        let n = hb.vertex_count();
-        for a in 0..n {
-            for b in 0..n {
-                prop_assert_eq!(
+        for (a, row) in truth.iter().enumerate() {
+            for (b, &reachable) in row.iter().enumerate() {
+                assert_eq!(
                     hb.happens_before(a, b),
-                    a != b && truth[a][b],
-                    "hb({}, {}) mismatch", a, b
+                    a != b && reachable,
+                    "case {case}: hb({a}, {b}) mismatch"
                 );
             }
         }
     }
+}
 
-    /// Concurrency is symmetric, irreflexive, and exclusive with ordering.
-    #[test]
-    fn concurrency_laws(ops in proptest::collection::vec(arb_op(), 1..40)) {
-        let trace = build_trace(&ops);
+/// Concurrency is symmetric, irreflexive, and exclusive with ordering.
+#[test]
+fn concurrency_laws() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC02 ^ case);
+        let trace = build_trace(&arb_ops(&mut rng, 40));
         let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
         let n = hb.vertex_count();
         for a in 0..n {
-            prop_assert!(!hb.concurrent(a, a));
+            assert!(!hb.concurrent(a, a), "case {case}");
             for b in 0..n {
-                prop_assert_eq!(hb.concurrent(a, b), hb.concurrent(b, a));
+                assert_eq!(hb.concurrent(a, b), hb.concurrent(b, a), "case {case}");
                 if hb.happens_before(a, b) || hb.happens_before(b, a) {
-                    prop_assert!(!hb.concurrent(a, b));
-                }
-            }
-        }
-    }
-
-    /// Every HB edge points forward in sequence order (the DAG invariant
-    /// the reverse reachability sweep relies on).
-    #[test]
-    fn edges_are_seq_monotone(ops in proptest::collection::vec(arb_op(), 1..40)) {
-        let trace = build_trace(&ops);
-        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
-        for v in 0..hb.vertex_count() {
-            for (s, _) in hb.successors(v) {
-                prop_assert!(hb.trace().records()[v].seq <= hb.trace().records()[s].seq);
-            }
-        }
-    }
-
-    /// Ablations only manipulate the targeted record category: the `None`
-    /// ablation is the identity, and every ablation yields a sub-multiset
-    /// of the records.
-    #[test]
-    fn ablations_shrink_traces(ops in proptest::collection::vec(arb_op(), 1..40)) {
-        let trace = build_trace(&ops);
-        let full = apply_ablation(&trace, Ablation::None);
-        prop_assert_eq!(full.records().len(), trace.records().len());
-        for a in Ablation::TABLE9 {
-            let ablated = apply_ablation(&trace, a);
-            prop_assert!(ablated.len() <= trace.len());
-        }
-    }
-
-    /// `explain` returns a genuine chain: consecutive hops are edges and it
-    /// connects a to b.
-    #[test]
-    fn explain_returns_valid_chains(ops in proptest::collection::vec(arb_op(), 1..30)) {
-        let trace = build_trace(&ops);
-        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
-        let n = hb.vertex_count();
-        for a in 0..n.min(10) {
-            for b in 0..n.min(10) {
-                if let Some(chain) = hb.explain(a, b) {
-                    prop_assert!(hb.happens_before(a, b));
-                    let mut cur = a;
-                    for (next, _) in chain {
-                        prop_assert!(
-                            hb.successors(cur).any(|(t, _)| t == next),
-                            "hop {} -> {} is not an edge", cur, next
-                        );
-                        cur = next;
-                    }
-                    prop_assert_eq!(cur, b);
+                    assert!(!hb.concurrent(a, b), "case {case}");
                 }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Every HB edge points forward in sequence order (the DAG invariant
+/// the reverse reachability sweep relies on).
+#[test]
+fn edges_are_seq_monotone() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5E9 ^ case);
+        let trace = build_trace(&arb_ops(&mut rng, 40));
+        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        for v in 0..hb.vertex_count() {
+            for (s, _) in hb.successors(v) {
+                assert!(
+                    hb.trace().records()[v].seq <= hb.trace().records()[s].seq,
+                    "case {case}"
+                );
+            }
+        }
+    }
+}
 
-    /// The vector-clock baseline (paper §3.2.2's "too slow" alternative)
-    /// agrees with the bit-matrix reachable sets on arbitrary traces.
-    #[test]
-    fn vector_clocks_agree_with_bit_matrix(ops in proptest::collection::vec(arb_op(), 1..35)) {
-        let trace = build_trace(&ops);
+/// Ablations only manipulate the targeted record category: the `None`
+/// ablation is the identity, and every ablation yields a sub-multiset
+/// of the records.
+#[test]
+fn ablations_shrink_traces() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xAB1A ^ case);
+        let trace = build_trace(&arb_ops(&mut rng, 40));
+        let full = apply_ablation(&trace, Ablation::None);
+        assert_eq!(full.records().len(), trace.records().len(), "case {case}");
+        for a in Ablation::TABLE9 {
+            let ablated = apply_ablation(&trace, a);
+            assert!(ablated.len() <= trace.len(), "case {case}");
+        }
+    }
+}
+
+/// `explain` returns a genuine chain: consecutive hops are edges and it
+/// connects a to b.
+#[test]
+fn explain_returns_valid_chains() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xE59 ^ case);
+        let trace = build_trace(&arb_ops(&mut rng, 30));
+        let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        let n = hb.vertex_count();
+        for a in 0..n.min(10) {
+            for b in 0..n.min(10) {
+                if let Some(chain) = hb.explain(a, b) {
+                    assert!(hb.happens_before(a, b), "case {case}");
+                    let mut cur = a;
+                    for (next, _) in chain {
+                        assert!(
+                            hb.successors(cur).any(|(t, _)| t == next),
+                            "case {case}: hop {cur} -> {next} is not an edge"
+                        );
+                        cur = next;
+                    }
+                    assert_eq!(cur, b, "case {case}");
+                }
+            }
+        }
+    }
+}
+
+/// The vector-clock baseline (paper §3.2.2's "too slow" alternative)
+/// agrees with the bit-matrix reachable sets on arbitrary traces.
+#[test]
+fn vector_clocks_agree_with_bit_matrix() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7C ^ case);
+        let trace = build_trace(&arb_ops(&mut rng, 35));
         let hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
         let vc = dcatch_hb::VectorClocks::compute(&hb);
         let n = hb.vertex_count();
         for a in 0..n {
             for b in 0..n {
-                prop_assert_eq!(
+                assert_eq!(
                     hb.happens_before(a, b),
                     vc.happens_before(a, b),
-                    "vc disagreement at ({}, {})", a, b
+                    "case {case}: vc disagreement at ({a}, {b})"
                 );
             }
         }

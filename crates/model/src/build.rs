@@ -265,11 +265,7 @@ impl<'a> BlockBuilder<'a> {
     /// A retry/polling loop: `while cond { body }` flagged as a candidate
     /// hang site (its exit is a failure instruction; spinning past the
     /// interpreter's budget reports a hang).
-    pub fn retry_while(
-        &mut self,
-        cond: Expr,
-        body: impl FnOnce(&mut BlockBuilder<'_>),
-    ) -> StmtId {
+    pub fn retry_while(&mut self, cond: Expr, body: impl FnOnce(&mut BlockBuilder<'_>)) -> StmtId {
         self.while_impl(cond, true, body)
     }
 

@@ -348,7 +348,9 @@ mod tests {
         assert_eq!(fails.len(), 1);
         assert_eq!(fails[0].kind, FailureKind::FatalLog);
         // the trailing write influences nothing failure-related
-        assert!(d.failures_from_stmt(StmtId { func: fid, idx: 3 }).is_empty());
+        assert!(d
+            .failures_from_stmt(StmtId { func: fid, idx: 3 })
+            .is_empty());
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl Expr {
     }
 
     /// Logical negation of `self`.
+    #[allow(clippy::should_implement_trait)] // builds IR, not arithmetic
     pub fn not(self) -> Expr {
         Expr::Unary(UnOp::Not, Box::new(self))
     }
@@ -116,11 +117,13 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)] // builds IR, not arithmetic
     pub fn add(self, other: Expr) -> Expr {
         Expr::Binary(BinOp::Add, Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)] // builds IR, not arithmetic
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Binary(BinOp::Sub, Box::new(self), Box::new(other))
     }

@@ -122,8 +122,10 @@ impl Program {
         let mut problems = Vec::new();
         self.for_each_stmt(|fid, s| {
             let here = || format!("{} (in `{}`)", s.id, self.func(fid).name);
-            let check = |name: &str, want: &[FuncKind], what: &str, problems: &mut Vec<String>| {
-                match self.func_by_name(name) {
+            let check =
+                |name: &str, want: &[FuncKind], what: &str, problems: &mut Vec<String>| match self
+                    .func_by_name(name)
+                {
                     None => problems.push(format!("{}: {what} target `{name}` undefined", here())),
                     Some((_, f)) if !want.contains(&f.kind) => problems.push(format!(
                         "{}: {what} target `{name}` has kind {:?}, expected one of {want:?}",
@@ -131,25 +133,20 @@ impl Program {
                         f.kind
                     )),
                     _ => {}
-                }
-            };
+                };
             match &s.kind {
-                StmtKind::Call { func, .. } => {
+                StmtKind::Call { func, .. }
                     // Any kind is callable directly (handlers may share helpers),
                     // but the callee must exist.
-                    if self.func_by_name(func).is_none() {
+                    if self.func_by_name(func).is_none() => {
                         problems.push(format!("{}: call target `{func}` undefined", here()));
                     }
-                }
                 StmtKind::Spawn { func, .. } => {
                     check(func, &[FuncKind::Regular], "spawn", &mut problems)
                 }
-                StmtKind::Enqueue { func, .. } => check(
-                    func,
-                    &[FuncKind::EventHandler],
-                    "enqueue",
-                    &mut problems,
-                ),
+                StmtKind::Enqueue { func, .. } => {
+                    check(func, &[FuncKind::EventHandler], "enqueue", &mut problems)
+                }
                 StmtKind::RpcCall { func, .. } => {
                     check(func, &[FuncKind::RpcHandler], "rpc", &mut problems)
                 }

@@ -1,0 +1,433 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//!
+//! Metric *names* are interned once in a global table; metric *values*
+//! live in thread-local storage. The hot path of an increment is therefore
+//! a thread-local vector index plus an integer add — no locks, no atomic
+//! contention — which keeps the always-on instrumentation invisible in
+//! the criterion-style benches, and lets parallel test threads observe
+//! independent values.
+//!
+//! Call sites cache their handle in a local `static`, so interning happens
+//! once per call site per process:
+//!
+//! ```
+//! let c = dcatch_obs::counter!("sim_events_dispatched_total");
+//! c.inc();
+//! assert!(dcatch_obs::metrics::snapshot().counter("sim_events_dispatched_total") >= 1);
+//! ```
+//!
+//! Naming convention (see DESIGN.md): `layer_noun_total` for counters,
+//! `layer_noun` for gauges, `layer_noun_unit` for histograms.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Kind discriminator used by the global name table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+struct NameTable {
+    /// name → (kind, slot id within that kind's value space).
+    ids: BTreeMap<&'static str, (Kind, u32)>,
+    counters: Vec<&'static str>,
+    gauges: Vec<&'static str>,
+    histograms: Vec<(&'static str, &'static [u64])>,
+}
+
+fn table() -> &'static Mutex<NameTable> {
+    static TABLE: OnceLock<Mutex<NameTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(NameTable {
+            ids: BTreeMap::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        })
+    })
+}
+
+thread_local! {
+    static COUNTERS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static GAUGES: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Per histogram: bucket counts (one per boundary + overflow), sum, count.
+    static HISTS: RefCell<Vec<HistCells>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Debug, Clone, Default)]
+struct HistCells {
+    buckets: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    id: u32,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(self, n: u64) {
+        COUNTERS.with_borrow_mut(|v| {
+            let i = self.id as usize;
+            if i >= v.len() {
+                v.resize(i + 1, 0);
+            }
+            v[i] += n;
+        });
+    }
+
+    /// Current value on this thread.
+    pub fn get(self) -> u64 {
+        COUNTERS.with_borrow(|v| v.get(self.id as usize).copied().unwrap_or(0))
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge {
+    id: u32,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(self, value: u64) {
+        GAUGES.with_borrow_mut(|v| {
+            let i = self.id as usize;
+            if i >= v.len() {
+                v.resize(i + 1, 0);
+            }
+            v[i] = value;
+        });
+    }
+
+    /// Sets the gauge to `value` if it exceeds the current reading.
+    pub fn set_max(self, value: u64) {
+        GAUGES.with_borrow_mut(|v| {
+            let i = self.id as usize;
+            if i >= v.len() {
+                v.resize(i + 1, 0);
+            }
+            v[i] = v[i].max(value);
+        });
+    }
+
+    /// Current value on this thread.
+    pub fn get(self) -> u64 {
+        GAUGES.with_borrow(|v| v.get(self.id as usize).copied().unwrap_or(0))
+    }
+}
+
+/// A histogram with fixed bucket boundaries (cumulative-style buckets:
+/// `buckets[i]` counts observations `<= boundary[i]`, plus one overflow
+/// bucket).
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    id: u32,
+    boundaries: &'static [u64],
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(self, value: u64) {
+        HISTS.with_borrow_mut(|v| {
+            let i = self.id as usize;
+            if i >= v.len() {
+                v.resize(i + 1, HistCells::default());
+            }
+            let cells = &mut v[i];
+            if cells.buckets.is_empty() {
+                cells.buckets = vec![0; self.boundaries.len() + 1];
+            }
+            let slot = self
+                .boundaries
+                .iter()
+                .position(|&b| value <= b)
+                .unwrap_or(self.boundaries.len());
+            cells.buckets[slot] += 1;
+            cells.sum += value;
+            cells.count += 1;
+        });
+    }
+
+    /// The bucket boundaries this histogram was registered with.
+    pub fn boundaries(self) -> &'static [u64] {
+        self.boundaries
+    }
+}
+
+/// Interns (or retrieves) the counter named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> Counter {
+    let mut t = table().lock().expect("metrics name table");
+    if let Some(&(kind, id)) = t.ids.get(name) {
+        assert!(kind == Kind::Counter, "`{name}` is not a counter");
+        return Counter { id };
+    }
+    let id = t.counters.len() as u32;
+    t.counters.push(name);
+    t.ids.insert(name, (Kind::Counter, id));
+    Counter { id }
+}
+
+/// Interns (or retrieves) the gauge named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut t = table().lock().expect("metrics name table");
+    if let Some(&(kind, id)) = t.ids.get(name) {
+        assert!(kind == Kind::Gauge, "`{name}` is not a gauge");
+        return Gauge { id };
+    }
+    let id = t.gauges.len() as u32;
+    t.gauges.push(name);
+    t.ids.insert(name, (Kind::Gauge, id));
+    Gauge { id }
+}
+
+/// Interns (or retrieves) the histogram named `name` with the given fixed
+/// bucket boundaries.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str, boundaries: &'static [u64]) -> Histogram {
+    let mut t = table().lock().expect("metrics name table");
+    if let Some(&(kind, id)) = t.ids.get(name) {
+        assert!(kind == Kind::Histogram, "`{name}` is not a histogram");
+        let boundaries = t.histograms[id as usize].1;
+        return Histogram { id, boundaries };
+    }
+    let id = t.histograms.len() as u32;
+    t.histograms.push((name, boundaries));
+    t.ids.insert(name, (Kind::Histogram, id));
+    Histogram { id, boundaries }
+}
+
+/// Caches a [`Counter`](metrics::Counter) handle per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Caches a [`Gauge`](metrics::Gauge) handle per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::metrics::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Caches a [`Histogram`](metrics::Histogram) handle per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $boundaries:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::histogram($name, $boundaries))
+    }};
+}
+
+/// Point-in-time reading of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Upper bucket boundaries (the last bucket in `buckets` is overflow).
+    pub boundaries: Vec<u64>,
+    /// Per-bucket observation counts (`boundaries.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Point-in-time reading of every registered metric on this thread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram name → reading.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The change in counters (and histograms) since `earlier`, with
+    /// gauges carried over at their current reading. Zero-valued counters
+    /// are kept so the report always names every registered metric.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let e = earlier.histograms.get(k);
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| {
+                        b.saturating_sub(e.and_then(|e| e.buckets.get(i)).copied().unwrap_or(0))
+                    })
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        boundaries: h.boundaries.clone(),
+                        buckets,
+                        sum: h.sum.saturating_sub(e.map_or(0, |e| e.sum)),
+                        count: h.count.saturating_sub(e.map_or(0, |e| e.count)),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+/// Reads every registered metric's current value on this thread.
+pub fn snapshot() -> MetricsSnapshot {
+    let t = table().lock().expect("metrics name table");
+    let counters = COUNTERS.with_borrow(|v| {
+        t.counters
+            .iter()
+            .enumerate()
+            .map(|(i, name)| ((*name).to_owned(), v.get(i).copied().unwrap_or(0)))
+            .collect()
+    });
+    let gauges = GAUGES.with_borrow(|v| {
+        t.gauges
+            .iter()
+            .enumerate()
+            .map(|(i, name)| ((*name).to_owned(), v.get(i).copied().unwrap_or(0)))
+            .collect()
+    });
+    let histograms = HISTS.with_borrow(|v| {
+        t.histograms
+            .iter()
+            .enumerate()
+            .map(|(i, (name, boundaries))| {
+                let cells = v.get(i).cloned().unwrap_or_default();
+                let mut buckets = cells.buckets;
+                if buckets.is_empty() {
+                    buckets = vec![0; boundaries.len() + 1];
+                }
+                (
+                    (*name).to_owned(),
+                    HistogramSnapshot {
+                        boundaries: boundaries.to_vec(),
+                        buckets,
+                        sum: cells.sum,
+                        count: cells.count,
+                    },
+                )
+            })
+            .collect()
+    });
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = counter("test_obs_counter_total");
+        let before = snapshot().counter("test_obs_counter_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        assert_eq!(snapshot().counter("test_obs_counter_total"), before + 5);
+    }
+
+    #[test]
+    fn gauges_last_value_wins() {
+        let g = gauge("test_obs_gauge");
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.set_max(2);
+        assert_eq!(g.get(), 3);
+        g.set_max(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = histogram("test_obs_hist", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let s = snapshot();
+        let hs = &s.histograms["test_obs_hist"];
+        assert_eq!(hs.buckets, vec![1, 1, 1]);
+        assert_eq!(hs.sum, 555);
+        assert_eq!(hs.count, 3);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_only() {
+        let c = counter("test_obs_delta_total");
+        let g = gauge("test_obs_delta_gauge");
+        c.add(3);
+        g.set(11);
+        let a = snapshot();
+        c.add(2);
+        g.set(13);
+        let b = snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.counter("test_obs_delta_total"), 2);
+        assert_eq!(d.gauge("test_obs_delta_gauge"), 13);
+    }
+
+    #[test]
+    fn macro_handles_are_stable() {
+        let a = crate::counter!("test_obs_macro_total");
+        let b = crate::counter!("test_obs_macro_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), b.get());
+    }
+}

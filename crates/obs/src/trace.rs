@@ -1,0 +1,297 @@
+//! Span tracing: RAII guards building a hierarchical timing tree.
+//!
+//! The pipeline brackets each benchmark run with [`begin_capture`] /
+//! [`end_capture`]; in between, any layer may open a span:
+//!
+//! ```
+//! dcatch_obs::trace::begin_capture("demo");
+//! {
+//!     let _g = dcatch_obs::span!("hb.build");
+//!     // … work …
+//! }
+//! let tree = dcatch_obs::trace::end_capture();
+//! assert_eq!(tree.children[0].name, "hb.build");
+//! ```
+//!
+//! Outside a capture, [`span!`](crate::span!) returns a no-op guard whose
+//! whole cost is one thread-local flag read — observability off by default
+//! adds no measurable overhead. Sibling spans with the same name aggregate
+//! (`count` increments, durations sum), so per-candidate loops don't
+//! explode the tree.
+//!
+//! Span naming convention: `layer.verb` (`sim.run`, `hb.build`,
+//! `detect.scan`, `prune.static`, `trigger.order`). See DESIGN.md.
+//!
+//! With [`set_verbose`] enabled, every span enter/exit also prints a line
+//! to stderr (`dcatch detect … --verbose`).
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// One node of the captured span tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (`layer.verb`).
+    pub name: String,
+    /// Total time spent in all activations of this span at this position.
+    pub total: Duration,
+    /// Number of activations aggregated into this node.
+    pub count: u64,
+    /// Nested spans.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(name: &str) -> SpanNode {
+        SpanNode {
+            name: name.to_owned(),
+            total: Duration::ZERO,
+            count: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Finds a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Finds a node anywhere in the subtree by name (pre-order).
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Total duration of the named subtree node, or zero when absent.
+    pub fn duration_of(&self, name: &str) -> Duration {
+        self.find(name).map_or(Duration::ZERO, |n| n.total)
+    }
+
+    /// Renders the tree as an indented text block (for `--verbose` and
+    /// debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let ms = self.total.as_secs_f64() * 1000.0;
+        let _ = writeln!(
+            out,
+            "{:indent$}{} {:.3}ms ×{}",
+            "",
+            self.name,
+            ms,
+            self.count,
+            indent = depth * 2
+        );
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+struct Tracer {
+    /// Root of the capture in progress; `None` when no capture is active.
+    root: Option<SpanNode>,
+    /// Path of child indices from the root to the currently open span.
+    stack: Vec<usize>,
+    verbose: bool,
+    started: Option<Instant>,
+}
+
+thread_local! {
+    static TRACER: RefCell<Tracer> = const {
+        RefCell::new(Tracer {
+            root: None,
+            stack: Vec::new(),
+            verbose: false,
+            started: None,
+        })
+    };
+}
+
+/// Starts a capture on this thread, discarding any capture in progress.
+pub fn begin_capture(label: &str) {
+    TRACER.with_borrow_mut(|t| {
+        let mut root = SpanNode::new(label);
+        root.count = 1;
+        t.root = Some(root);
+        t.stack.clear();
+        t.started = Some(Instant::now());
+    });
+}
+
+/// Ends the capture and returns the finished timing tree. Open spans that
+/// have not been dropped yet are left with their partial totals. Returns
+/// an empty tree when no capture was active.
+pub fn end_capture() -> SpanNode {
+    TRACER.with_borrow_mut(|t| {
+        let mut root = t.root.take().unwrap_or_else(|| SpanNode::new("(none)"));
+        if let Some(started) = t.started.take() {
+            root.total = started.elapsed();
+        }
+        t.stack.clear();
+        root
+    })
+}
+
+/// Whether a capture is currently active on this thread.
+pub fn capturing() -> bool {
+    TRACER.with_borrow(|t| t.root.is_some())
+}
+
+/// Enables or disables printing of span enter/exit lines to stderr.
+pub fn set_verbose(on: bool) {
+    TRACER.with_borrow_mut(|t| t.verbose = on);
+}
+
+/// RAII guard for one span activation. Created by [`span`] or the
+/// [`span!`](crate::span!) macro.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    /// `None` when no capture was active at entry (no-op guard).
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    depth: usize,
+}
+
+/// Opens a span named `name`. No-op (one thread-local read) outside a
+/// capture.
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = TRACER.with_borrow_mut(|t| {
+        let root = t.root.as_mut()?;
+        // descend to the open node, then find-or-create the child
+        let mut node = root;
+        for &i in &t.stack {
+            node = &mut node.children[i];
+        }
+        let idx = match node.children.iter().position(|c| c.name == name) {
+            Some(i) => i,
+            None => {
+                node.children.push(SpanNode::new(name));
+                node.children.len() - 1
+            }
+        };
+        t.stack.push(idx);
+        let depth = t.stack.len();
+        if t.verbose {
+            eprintln!("{:indent$}▶ {name}", "", indent = depth * 2);
+        }
+        Some(ActiveSpan {
+            name,
+            start: Instant::now(),
+            depth,
+        })
+    });
+    SpanGuard { active }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed = active.start.elapsed();
+        TRACER.with_borrow_mut(|t| {
+            if t.verbose {
+                eprintln!(
+                    "{:indent$}◀ {} {:.3}ms",
+                    "",
+                    active.name,
+                    elapsed.as_secs_f64() * 1000.0,
+                    indent = active.depth * 2
+                );
+            }
+            let Some(root) = t.root.as_mut() else {
+                return; // capture ended while the span was open
+            };
+            // the guard may be dropped after inner spans already popped;
+            // only pop when our frame is still the innermost one
+            if t.stack.len() != active.depth {
+                return;
+            }
+            let idx = t.stack.pop().expect("span stack");
+            let mut node = root;
+            for &i in &t.stack {
+                node = &mut node.children[i];
+            }
+            let node = &mut node.children[idx];
+            node.total += elapsed;
+            node.count += 1;
+        });
+    }
+}
+
+/// Opens a span guard: `let _g = dcatch_obs::span!("hb.build");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_a_tree() {
+        begin_capture("run");
+        {
+            let _a = span("stage.a");
+            {
+                let _inner = span("stage.a.inner");
+            }
+        }
+        {
+            let _b = span("stage.b");
+        }
+        let tree = end_capture();
+        assert_eq!(tree.name, "run");
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].name, "stage.a");
+        assert_eq!(tree.children[0].children[0].name, "stage.a.inner");
+        assert_eq!(tree.children[1].name, "stage.b");
+        assert!(tree.find("stage.a.inner").is_some());
+    }
+
+    #[test]
+    fn sibling_spans_with_same_name_aggregate() {
+        begin_capture("run");
+        for _ in 0..3 {
+            let _g = span("loop.iter");
+        }
+        let tree = end_capture();
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].count, 3);
+    }
+
+    #[test]
+    fn spans_outside_capture_are_noops() {
+        assert!(!capturing());
+        let g = span("orphan");
+        drop(g);
+        begin_capture("run");
+        let tree = end_capture();
+        assert!(tree.children.is_empty());
+    }
+
+    #[test]
+    fn capture_reset_discards_previous_tree() {
+        begin_capture("first");
+        let _g = span("x");
+        begin_capture("second");
+        let tree = end_capture();
+        assert_eq!(tree.name, "second");
+        assert!(tree.children.is_empty());
+    }
+}

@@ -141,18 +141,37 @@ impl<'p> Pruner<'p> {
         self.local_callee(site, &mut impacts);
         self.heap_mediated(site, &mut impacts);
         self.distributed(site, &mut impacts);
+        for imp in &impacts {
+            match imp {
+                Impact::LocalIntra { .. } => {
+                    dcatch_obs::counter!("prune_impact_local_intra_total").inc()
+                }
+                Impact::LocalCaller { .. } => {
+                    dcatch_obs::counter!("prune_impact_local_caller_total").inc()
+                }
+                Impact::LocalCallee { .. } => {
+                    dcatch_obs::counter!("prune_impact_local_callee_total").inc()
+                }
+                Impact::HeapMediated { .. } => {
+                    dcatch_obs::counter!("prune_impact_heap_mediated_total").inc()
+                }
+                Impact::Distributed { .. } => {
+                    dcatch_obs::counter!("prune_impact_distributed_total").inc()
+                }
+            }
+        }
         impacts
     }
 
     /// Whether either side of `candidate` has any failure impact.
     pub fn candidate_impacted(&self, candidate: &Candidate) -> bool {
-        !self.impact_of(&candidate.rep.0).is_empty()
-            || !self.impact_of(&candidate.rep.1).is_empty()
+        !self.impact_of(&candidate.rep.0).is_empty() || !self.impact_of(&candidate.rep.1).is_empty()
     }
 
     /// Prunes the candidate set, returning survivors, pruned candidates,
     /// and counts.
     pub fn prune(&self, candidates: CandidateSet) -> (CandidateSet, Vec<Candidate>, PruneStats) {
+        let _span = dcatch_obs::span!("prune.static");
         let mut stats = PruneStats {
             before_static: candidates.static_pair_count(),
             before_stacks: candidates.callstack_pair_count(),
@@ -165,6 +184,8 @@ impl<'p> Pruner<'p> {
         let kept = CandidateSet { candidates: kept };
         stats.after_static = kept.static_pair_count();
         stats.after_stacks = kept.callstack_pair_count();
+        dcatch_obs::counter!("prune_candidates_pruned_total").add(pruned.len() as u64);
+        dcatch_obs::counter!("prune_candidates_kept_total").add(kept.static_pair_count() as u64);
         (kept, pruned, stats)
     }
 

@@ -73,7 +73,9 @@ fn caller_return_value_impact_is_found() {
     let read_side = if c.rep.0.is_write { &c.rep.1 } else { &c.rep.0 };
     let impacts = pruner.impact_of(read_side);
     assert!(
-        impacts.iter().any(|i| matches!(i, Impact::LocalCaller { .. })),
+        impacts
+            .iter()
+            .any(|i| matches!(i, Impact::LocalCaller { .. })),
         "{impacts:?}"
     );
     let (kept, _, _) = pruner.prune(candidates);
@@ -107,7 +109,9 @@ fn callee_argument_impact_is_found() {
     let read_side = if c.rep.0.is_write { &c.rep.1 } else { &c.rep.0 };
     let impacts = pruner.impact_of(read_side);
     assert!(
-        impacts.iter().any(|i| matches!(i, Impact::LocalCallee { .. })),
+        impacts
+            .iter()
+            .any(|i| matches!(i, Impact::LocalCallee { .. })),
         "{impacts:?}"
     );
 }
@@ -278,9 +282,17 @@ fn failure_spec_is_configurable() {
 
     let strict = Pruner::new(&p);
     let (kept, _, _) = strict.prune(candidates.clone());
-    assert_eq!(kept.static_pair_count(), 0, "warn-only impact pruned by default");
+    assert_eq!(
+        kept.static_pair_count(),
+        0,
+        "warn-only impact pruned by default"
+    );
 
     let wide = Pruner::with_spec(&p, &FailureSpec::including_warnings());
     let (kept, _, _) = wide.prune(candidates);
-    assert_eq!(kept.static_pair_count(), 1, "warnings kept under the wide spec");
+    assert_eq!(
+        kept.static_pair_count(),
+        1,
+        "warnings kept under the wide spec"
+    );
 }

@@ -7,9 +7,7 @@
 
 use std::fmt;
 
-use dcatch_model::{
-    Expr, Func, FuncId, FuncKind, LoopId, Program, Stmt, StmtId, StmtKind,
-};
+use dcatch_model::{Expr, Func, FuncId, FuncKind, LoopId, Program, Stmt, StmtId, StmtKind};
 
 /// One flat instruction: the operation plus the source statement it came
 /// from (trace records carry the statement id).
@@ -26,24 +24,69 @@ pub struct Instr {
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // fields mirror StmtKind, documented there
 pub enum Op {
-    Assign { local: String, expr: Expr },
-    Read { local: String, object: String },
-    Write { object: String, value: Expr },
-    MapPut { map: String, key: Expr, value: Expr },
-    MapGet { local: String, map: String, key: Expr },
-    MapRemove { map: String, key: Expr },
-    MapContains { local: String, map: String, key: Expr },
-    ListAdd { list: String, value: Expr },
-    ListRemove { list: String, value: Expr },
-    ListIsEmpty { local: String, list: String },
-    ListContains { local: String, list: String, value: Expr },
+    Assign {
+        local: String,
+        expr: Expr,
+    },
+    Read {
+        local: String,
+        object: String,
+    },
+    Write {
+        object: String,
+        value: Expr,
+    },
+    MapPut {
+        map: String,
+        key: Expr,
+        value: Expr,
+    },
+    MapGet {
+        local: String,
+        map: String,
+        key: Expr,
+    },
+    MapRemove {
+        map: String,
+        key: Expr,
+    },
+    MapContains {
+        local: String,
+        map: String,
+        key: Expr,
+    },
+    ListAdd {
+        list: String,
+        value: Expr,
+    },
+    ListRemove {
+        list: String,
+        value: Expr,
+    },
+    ListIsEmpty {
+        local: String,
+        list: String,
+    },
+    ListContains {
+        local: String,
+        list: String,
+        value: Expr,
+    },
 
     /// Jump to `target` when `cond` is falsy (compiled `If`).
-    Branch { cond: Expr, target: usize },
+    Branch {
+        cond: Expr,
+        target: usize,
+    },
     /// Unconditional jump.
-    Jump { target: usize },
+    Jump {
+        target: usize,
+    },
     /// Marks entry into a loop activation (resets its iteration counter).
-    LoopEnter { loop_id: LoopId, retry: bool },
+    LoopEnter {
+        loop_id: LoopId,
+        retry: bool,
+    },
     /// Evaluates the loop condition: falsy ⇒ jump to `exit` (which holds
     /// the [`Op::LoopExit`]); truthy ⇒ fall through into the body, after
     /// bumping the iteration counter against the retry budget.
@@ -54,31 +97,88 @@ pub enum Op {
         exit: usize,
     },
     /// Marks loop exit (anchor for inferred loop-synchronization HB edges).
-    LoopExit { loop_id: LoopId, retry: bool },
+    LoopExit {
+        loop_id: LoopId,
+        retry: bool,
+    },
 
-    Call { local: Option<String>, func: FuncId, args: Vec<Expr> },
-    Return { expr: Option<Expr> },
+    Call {
+        local: Option<String>,
+        func: FuncId,
+        args: Vec<Expr>,
+    },
+    Return {
+        expr: Option<Expr>,
+    },
 
-    Spawn { local: Option<String>, func: FuncId, args: Vec<Expr> },
-    Join { handle: Expr },
-    Enqueue { queue: String, func: FuncId, args: Vec<Expr> },
-    Lock { lock: String },
-    Unlock { lock: String },
+    Spawn {
+        local: Option<String>,
+        func: FuncId,
+        args: Vec<Expr>,
+    },
+    Join {
+        handle: Expr,
+    },
+    Enqueue {
+        queue: String,
+        func: FuncId,
+        args: Vec<Expr>,
+    },
+    Lock {
+        lock: String,
+    },
+    Unlock {
+        lock: String,
+    },
 
-    RpcCall { local: Option<String>, node: Expr, func: FuncId, args: Vec<Expr> },
-    SocketSend { node: Expr, func: FuncId, args: Vec<Expr> },
-    ZkCreate { path: Expr, data: Expr, exclusive: bool },
-    ZkSetData { path: Expr, data: Expr },
-    ZkDelete { path: Expr },
-    ZkGetData { local: String, path: Expr },
-    ZkExists { local: String, path: Expr },
+    RpcCall {
+        local: Option<String>,
+        node: Expr,
+        func: FuncId,
+        args: Vec<Expr>,
+    },
+    SocketSend {
+        node: Expr,
+        func: FuncId,
+        args: Vec<Expr>,
+    },
+    ZkCreate {
+        path: Expr,
+        data: Expr,
+        exclusive: bool,
+    },
+    ZkSetData {
+        path: Expr,
+        data: Expr,
+    },
+    ZkDelete {
+        path: Expr,
+    },
+    ZkGetData {
+        local: String,
+        path: Expr,
+    },
+    ZkExists {
+        local: String,
+        path: Expr,
+    },
 
-    Abort { msg: String },
-    LogFatal { msg: String },
-    LogWarn { msg: String },
-    Throw { kind: String },
+    Abort {
+        msg: String,
+    },
+    LogFatal {
+        msg: String,
+    },
+    LogWarn {
+        msg: String,
+    },
+    Throw {
+        kind: String,
+    },
 
-    Sleep { ticks: Expr },
+    Sleep {
+        ticks: Expr,
+    },
     Yield,
     Nop,
 }
@@ -149,13 +249,10 @@ fn compile_func(program: &Program, f: &Func) -> Result<CompiledFunc, CompileErro
     let mut instrs = Vec::new();
     compile_block(program, &f.body, &mut instrs)?;
     // implicit unit return at end
-    let end_stmt = instrs
-        .last()
-        .map(|i| i.stmt)
-        .unwrap_or(StmtId {
-            func: program.func_id(&f.name).unwrap_or(FuncId(0)),
-            idx: 0,
-        });
+    let end_stmt = instrs.last().map(|i| i.stmt).unwrap_or(StmtId {
+        func: program.func_id(&f.name).unwrap_or(FuncId(0)),
+        idx: 0,
+    });
     instrs.push(Instr {
         stmt: end_stmt,
         op: Op::Return { expr: None },

@@ -93,7 +93,10 @@ mod tests {
             stmt: None,
             msg: "delete of absent znode".into(),
         };
-        assert_eq!(f.to_string(), "[n1] uncaught NoNodeException: delete of absent znode");
+        assert_eq!(
+            f.to_string(),
+            "[n1] uncaught NoNodeException: delete of absent znode"
+        );
         assert_eq!(RunFailureKind::Deadlock.to_string(), "deadlock");
         assert_eq!(
             RunFailureKind::RetryLoopHang(LoopId(3)).to_string(),

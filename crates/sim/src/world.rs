@@ -4,15 +4,13 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dcatch_obs::counter;
+use dcatch_obs::rng::SmallRng;
 
-use dcatch_model::{
-    BinOp, Expr, FuncId, LoopId, NodeId, Program, UnOp, Value,
-};
+use dcatch_model::{BinOp, Expr, FuncId, LoopId, NodeId, Program, UnOp, Value};
 use dcatch_trace::{
     CallStack, EventId, ExecCtx, HandlerKind, LockRef, MemLoc, MemSpace, MsgId, OpKind, QueueInfo,
-    Record, RpcId, TaskId, TracedFunctions, TracingMode, TraceSet,
+    Record, RpcId, TaskId, TraceSet, TracedFunctions, TracingMode,
 };
 
 use crate::compile::{CompiledProgram, Op};
@@ -85,10 +83,18 @@ enum TaskState {
     Runnable,
     /// Worker with no work (daemons only).
     Idle,
-    Sleeping { until: u64 },
-    BlockedJoin { handle: u64 },
-    BlockedRpc { rpc: u64 },
-    BlockedLock { lock: String },
+    Sleeping {
+        until: u64,
+    },
+    BlockedJoin {
+        handle: u64,
+    },
+    BlockedRpc {
+        rpc: u64,
+    },
+    BlockedLock {
+        lock: String,
+    },
     HeldByGate,
     Done,
     Killed,
@@ -229,7 +235,7 @@ pub struct World<'g> {
     config: SimConfig,
     traced: TracedFunctions,
 
-    rng: StdRng,
+    rng: SmallRng,
     step: u64,
     seq: u64,
 
@@ -310,7 +316,7 @@ impl<'g> World<'g> {
         let mut world = World {
             cp,
             topo: topo.clone(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: SmallRng::seed_from_u64(config.seed),
             config,
             traced,
             step: 0,
@@ -337,6 +343,8 @@ impl<'g> World<'g> {
             next_handle: 0,
             task_counters: vec![0; topo.nodes.len()],
         };
+        let _span = dcatch_obs::span!("sim.run");
+        counter!("sim_runs_total").inc();
         world.boot();
         world.run_loop();
         Ok(world.finish())
@@ -347,10 +355,13 @@ impl<'g> World<'g> {
             let node = NodeId(i as u32);
             for q in &nspec.queues {
                 self.queues[i].insert(q.name.clone(), VecDeque::new());
-                self.trace
-                    .register_queue(node, q.name.clone(), QueueInfo {
+                self.trace.register_queue(
+                    node,
+                    q.name.clone(),
+                    QueueInfo {
                         consumers: q.consumers,
-                    });
+                    },
+                );
                 for _ in 0..q.consumers {
                     self.new_task(
                         node,
@@ -469,6 +480,7 @@ impl<'g> World<'g> {
         };
         self.seq += 1;
         self.trace.push(rec);
+        counter!("sim_trace_records_total").inc();
     }
 
     /// Whether a memory access in the current top frame of `t` is traced,
@@ -567,6 +579,7 @@ impl<'g> World<'g> {
     // -- main loop -----------------------------------------------------------
 
     fn run_loop(&mut self) {
+        let mut last_task: Option<usize> = None;
         loop {
             if self.step >= self.config.max_steps {
                 self.failures.push(Failure {
@@ -604,6 +617,7 @@ impl<'g> World<'g> {
                     })
                     .min()
                 {
+                    counter!("sim_clock_advances_total").add(min_wake.saturating_sub(self.step));
                     self.step = min_wake;
                     continue;
                 }
@@ -638,12 +652,19 @@ impl<'g> World<'g> {
                 self.detect_quiescence_outcome();
                 return;
             }
-            let pick = self.rng.gen_range(0..actions.len());
+            let pick = self.rng.gen_range(actions.len());
             match actions[pick] {
-                Action::RunTask(i) => self.run_task_step(i),
+                Action::RunTask(i) => {
+                    if last_task.is_some_and(|prev| prev != i) {
+                        counter!("sim_context_switches_total").inc();
+                    }
+                    last_task = Some(i);
+                    self.run_task_step(i);
+                }
                 Action::Deliver(m) => self.deliver(m),
             }
             self.step += 1;
+            counter!("sim_steps_total").inc();
         }
     }
 
@@ -653,28 +674,21 @@ impl<'g> World<'g> {
             match &t.state {
                 TaskState::Runnable => actions.push(Action::RunTask(i)),
                 TaskState::Idle => match &t.kind {
-                    TaskKind::EventWorker { queue } => {
+                    TaskKind::EventWorker { queue }
                         if self.queues[t.node.index()]
                             .get(queue)
-                            .is_some_and(|q| !q.is_empty())
-                        {
-                            actions.push(Action::RunTask(i));
-                        }
+                            .is_some_and(|q| !q.is_empty()) =>
+                    {
+                        actions.push(Action::RunTask(i));
                     }
-                    TaskKind::RpcWorker => {
-                        if !self.rpc_pending[t.node.index()].is_empty() {
-                            actions.push(Action::RunTask(i));
-                        }
+                    TaskKind::RpcWorker if !self.rpc_pending[t.node.index()].is_empty() => {
+                        actions.push(Action::RunTask(i));
                     }
-                    TaskKind::SocketWorker => {
-                        if !self.socket_pending[t.node.index()].is_empty() {
-                            actions.push(Action::RunTask(i));
-                        }
+                    TaskKind::SocketWorker if !self.socket_pending[t.node.index()].is_empty() => {
+                        actions.push(Action::RunTask(i));
                     }
-                    TaskKind::WatcherWorker => {
-                        if !self.notify_pending[t.node.index()].is_empty() {
-                            actions.push(Action::RunTask(i));
-                        }
+                    TaskKind::WatcherWorker if !self.notify_pending[t.node.index()].is_empty() => {
+                        actions.push(Action::RunTask(i));
                     }
                     _ => {}
                 },
@@ -723,10 +737,12 @@ impl<'g> World<'g> {
     }
 
     fn finish(self) -> RunResult {
-        let deadlocked = self
-            .failures
-            .iter()
-            .any(|f| matches!(f.kind, RunFailureKind::Deadlock | RunFailureKind::StepBudgetExhausted));
+        let deadlocked = self.failures.iter().any(|f| {
+            matches!(
+                f.kind,
+                RunFailureKind::Deadlock | RunFailureKind::StepBudgetExhausted
+            )
+        });
         RunResult {
             trace: self.trace,
             failures: self.failures,
@@ -741,6 +757,7 @@ impl<'g> World<'g> {
 
     fn deliver(&mut self, m: usize) {
         let msg = self.net.remove(m);
+        counter!("sim_messages_delivered_total").inc();
         match msg {
             Message::RpcRequest {
                 rpc,
@@ -768,6 +785,7 @@ impl<'g> World<'g> {
                     }
                     task.state = TaskState::Runnable;
                     self.emit(caller, OpKind::RpcJoin { rpc });
+                    counter!("sim_rpcs_completed_total").inc();
                 }
             }
             Message::Socket {
@@ -776,11 +794,7 @@ impl<'g> World<'g> {
                 func,
                 args,
             } => {
-                self.socket_pending[target.index()].push_back(PendingSocket {
-                    msg,
-                    func,
-                    args,
-                });
+                self.socket_pending[target.index()].push_back(PendingSocket { msg, func, args });
             }
             Message::ZkNotify {
                 target,
@@ -818,8 +832,7 @@ impl<'g> World<'g> {
             self.tasks[t].state = TaskState::Done;
             return;
         }
-        if !self.tasks[t].begun
-            && matches!(self.tasks[t].kind, TaskKind::Entry | TaskKind::Thread)
+        if !self.tasks[t].begun && matches!(self.tasks[t].kind, TaskKind::Entry | TaskKind::Thread)
         {
             self.tasks[t].begun = true;
             self.emit(t, OpKind::ThreadBegin);
@@ -863,7 +876,10 @@ impl<'g> World<'g> {
 
     fn dispatch_event(&mut self, t: usize, queue: &str) {
         let node = self.tasks[t].node.index();
-        let Some(pe) = self.queues[node].get_mut(queue).and_then(VecDeque::pop_front) else {
+        let Some(pe) = self.queues[node]
+            .get_mut(queue)
+            .and_then(VecDeque::pop_front)
+        else {
             return;
         };
         let instance = self.next_instance;
@@ -877,6 +893,7 @@ impl<'g> World<'g> {
         let frame = self.make_frame(pe.func, pe.args, None, None);
         self.tasks[t].frames.push(frame);
         self.emit(t, OpKind::EventBegin { event: pe.event });
+        counter!("sim_events_dispatched_total").inc();
     }
 
     fn dispatch_rpc(&mut self, t: usize) {
@@ -1144,8 +1161,7 @@ impl<'g> World<'g> {
                 Flow::Next
             }
             Op::MapPut { map, key, value } => {
-                let (Some(k), Some(v)) =
-                    (self.eval_or_kill(t, key), self.eval_or_kill(t, value))
+                let (Some(k), Some(v)) = (self.eval_or_kill(t, key), self.eval_or_kill(t, value))
                 else {
                     return Flow::Dead;
                 };
@@ -1522,6 +1538,7 @@ impl<'g> World<'g> {
                 }
                 let rpc = RpcId(self.next_rpc);
                 self.next_rpc += 1;
+                counter!("sim_rpcs_issued_total").inc();
                 self.emit(t, OpKind::RpcCreate { rpc });
                 self.net.push(Message::RpcRequest {
                     rpc,
@@ -1566,8 +1583,7 @@ impl<'g> World<'g> {
                 data,
                 exclusive,
             } => {
-                let (Some(p), Some(d)) =
-                    (self.eval_or_kill(t, path), self.eval_or_kill(t, data))
+                let (Some(p), Some(d)) = (self.eval_or_kill(t, path), self.eval_or_kill(t, data))
                 else {
                     return Flow::Dead;
                 };
@@ -1584,8 +1600,7 @@ impl<'g> World<'g> {
                 Flow::Next
             }
             Op::ZkSetData { path, data } => {
-                let (Some(p), Some(d)) =
-                    (self.eval_or_kill(t, path), self.eval_or_kill(t, data))
+                let (Some(p), Some(d)) = (self.eval_or_kill(t, path), self.eval_or_kill(t, data))
                 else {
                     return Flow::Dead;
                 };

@@ -1,4 +1,4 @@
-use dcatch_model::{Expr, FuncKind, NodeId, ProgramBuilder, Program, Value};
+use dcatch_model::{Expr, FuncKind, NodeId, Program, ProgramBuilder, Value};
 
 use crate::config::SimConfig;
 use crate::failure::RunFailureKind;
@@ -126,7 +126,10 @@ fn socket_send_spawns_handler_on_target() {
     // the handler wrote on the receiver node
     let wrote_on_receiver = r.trace.records().iter().any(|rec| {
         rec.kind.is_write()
-            && rec.kind.mem_loc().is_some_and(|l| l.node == receiver && l.object == "last_msg")
+            && rec
+                .kind
+                .mem_loc()
+                .is_some_and(|l| l.node == receiver && l.object == "last_msg")
     });
     assert!(wrote_on_receiver);
 }
@@ -442,15 +445,9 @@ fn multi_consumer_queue_handles_events_concurrently() {
         let r = World::run_once(&p, &topo, SimConfig::default().with_seed(seed)).unwrap();
         assert!(r.failures.is_empty());
         // check final value via trace: last write to n_done
-        let last = r
-            .trace
-            .records()
-            .iter()
-            .rev()
-            .find(|rec| {
-                rec.kind.is_write()
-                    && rec.kind.mem_loc().is_some_and(|l| l.object == "n_done")
-            });
+        let last = r.trace.records().iter().rev().find(|rec| {
+            rec.kind.is_write() && rec.kind.mem_loc().is_some_and(|l| l.object == "n_done")
+        });
         let _ = last;
         lost = true; // concurrency exercised; detailed value check in detect tests
         if lost {

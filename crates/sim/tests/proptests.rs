@@ -1,10 +1,13 @@
 //! Property tests for the simulator: arbitrary (well-formed) programs
 //! never crash the interpreter, runs are deterministic per seed, and the
 //! emitted traces satisfy structural invariants.
-
-use proptest::prelude::*;
+//!
+//! Generators are driven by the in-repo deterministic PRNG
+//! (`dcatch_obs::SmallRng`); each test runs a fixed number of seeded
+//! cases and reports the failing case seed on assert.
 
 use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
+use dcatch_obs::SmallRng;
 use dcatch_sim::{SimConfig, Topology, World};
 use dcatch_trace::OpKind;
 
@@ -31,32 +34,61 @@ enum Gen {
     Yield,
 }
 
-fn arb_gen(depth: u32) -> impl Strategy<Value = Gen> {
-    let leaf = prop_oneof![
-        (0u8..4, -5i64..5).prop_map(|(o, v)| Gen::Write(o, v)),
-        (0u8..4).prop_map(Gen::Read),
-        (0u8..3, 0u8..3, -5i64..5).prop_map(|(m, k, v)| Gen::MapPut(m, k, v)),
-        (0u8..3, 0u8..3).prop_map(|(m, k)| Gen::MapGet(m, k)),
-        (0u8..3, -5i64..5).prop_map(|(l, v)| Gen::ListAdd(l, v)),
-        (0u8..3).prop_map(Gen::CallHelper),
-        (0u8..3).prop_map(Gen::SpawnWorker),
-        (0u8..3).prop_map(Gen::Enqueue),
-        (0u8..3).prop_map(Gen::Rpc),
-        (0u8..3).prop_map(Gen::Send),
-        (0u8..20).prop_map(Gen::Sleep),
-        Just(Gen::Warn),
-        Just(Gen::Yield),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            (-2i64..2, proptest::collection::vec(inner.clone(), 0..4))
-                .prop_map(|(c, body)| Gen::If(c, body)),
-            (1u8..4, proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(n, body)| Gen::BoundedLoop(n, body)),
-            (0u8..2, proptest::collection::vec(inner, 0..3))
-                .prop_map(|(l, body)| Gen::Critical(l, body)),
-        ]
-    })
+fn small_val(rng: &mut SmallRng) -> i64 {
+    rng.gen_range_i64(-5, 5)
+}
+
+fn arb_leaf(rng: &mut SmallRng) -> Gen {
+    match rng.gen_range(13) {
+        0 => Gen::Write(rng.gen_range(4) as u8, small_val(rng)),
+        1 => Gen::Read(rng.gen_range(4) as u8),
+        2 => Gen::MapPut(
+            rng.gen_range(3) as u8,
+            rng.gen_range(3) as u8,
+            small_val(rng),
+        ),
+        3 => Gen::MapGet(rng.gen_range(3) as u8, rng.gen_range(3) as u8),
+        4 => Gen::ListAdd(rng.gen_range(3) as u8, small_val(rng)),
+        5 => Gen::CallHelper(rng.gen_range(3) as u8),
+        6 => Gen::SpawnWorker(rng.gen_range(3) as u8),
+        7 => Gen::Enqueue(rng.gen_range(3) as u8),
+        8 => Gen::Rpc(rng.gen_range(3) as u8),
+        9 => Gen::Send(rng.gen_range(3) as u8),
+        10 => Gen::Sleep(rng.gen_range(20) as u8),
+        11 => Gen::Warn,
+        _ => Gen::Yield,
+    }
+}
+
+fn arb_gen(rng: &mut SmallRng, depth: u32) -> Gen {
+    // at depth 0 only leaves; otherwise mix in the three recursive forms
+    if depth == 0 || rng.gen_range(4) != 0 {
+        return arb_leaf(rng);
+    }
+    match rng.gen_range(3) {
+        0 => {
+            let body = arb_body(rng, depth - 1, 4);
+            Gen::If(rng.gen_range_i64(-2, 2), body)
+        }
+        1 => {
+            let body = arb_body(rng, depth - 1, 3);
+            Gen::BoundedLoop(1 + rng.gen_range(3) as u8, body)
+        }
+        _ => {
+            let body = arb_body(rng, depth - 1, 3);
+            Gen::Critical(rng.gen_range(2) as u8, body)
+        }
+    }
+}
+
+fn arb_body(rng: &mut SmallRng, depth: u32, max_len: usize) -> Vec<Gen> {
+    let len = rng.gen_range(max_len);
+    (0..len).map(|_| arb_gen(rng, depth)).collect()
+}
+
+fn arb_ops(rng: &mut SmallRng, depth: u32, max_len: usize) -> Vec<Gen> {
+    let len = rng.gen_range(max_len);
+    (0..len).map(|_| arb_gen(rng, depth)).collect()
 }
 
 fn emit(b: &mut dcatch_model::BlockBuilder<'_>, g: &Gen, fresh: &mut u32) {
@@ -226,52 +258,53 @@ fn emit_no_reentrant(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Arbitrary generated programs run to completion without failures:
-    /// the interpreter has no panics and the generated IR is failure-free
-    /// by construction.
-    #[test]
-    fn generated_programs_run_cleanly(
-        ops in proptest::collection::vec(arb_gen(3), 0..12),
-        seed in 0u64..1000,
-    ) {
+/// Arbitrary generated programs run to completion without failures:
+/// the interpreter has no panics and the generated IR is failure-free
+/// by construction.
+#[test]
+fn generated_programs_run_cleanly() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ case);
+        let ops = arb_ops(&mut rng, 3, 12);
+        let seed = rng.next_u64() % 1000;
         let (program, topo) = build_program(&ops);
         let run = World::run_once(&program, &topo, SimConfig::default().with_seed(seed))
             .expect("run starts");
-        prop_assert!(run.failures.is_empty(), "{:?}", run.failures);
-        prop_assert!(run.completed);
+        assert!(run.failures.is_empty(), "case {case}: {:?}", run.failures);
+        assert!(run.completed, "case {case}");
     }
+}
 
-    /// Same seed ⇒ byte-identical trace; sequence numbers strictly
-    /// increase.
-    #[test]
-    fn runs_are_deterministic_and_seq_ordered(
-        ops in proptest::collection::vec(arb_gen(2), 0..10),
-        seed in 0u64..1000,
-    ) {
+/// Same seed ⇒ byte-identical trace; sequence numbers strictly increase.
+#[test]
+fn runs_are_deterministic_and_seq_ordered() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xDE7E12 ^ case);
+        let ops = arb_ops(&mut rng, 2, 10);
+        let seed = rng.next_u64() % 1000;
         let (program, topo) = build_program(&ops);
         let cfg = SimConfig::default().with_seed(seed).with_full_tracing();
         let a = World::run_once(&program, &topo, cfg.clone()).unwrap();
         let b = World::run_once(&program, &topo, cfg).unwrap();
-        prop_assert_eq!(a.trace.to_lines(), b.trace.to_lines());
+        assert_eq!(a.trace.to_lines(), b.trace.to_lines(), "case {case}");
         let mut last = None;
         for r in a.trace.records() {
             if let Some(prev) = last {
-                prop_assert!(r.seq > prev);
+                assert!(r.seq > prev, "case {case}: seq not increasing");
             }
             last = Some(r.seq);
         }
     }
+}
 
-    /// Structural trace invariants: matched create/begin pairs, balanced
-    /// locks per task, and begin-before-end for every handler instance.
-    #[test]
-    fn trace_structure_is_well_formed(
-        ops in proptest::collection::vec(arb_gen(2), 0..10),
-        seed in 0u64..500,
-    ) {
+/// Structural trace invariants: matched create/begin pairs, balanced
+/// locks per task, and begin-before-end for every handler instance.
+#[test]
+fn trace_structure_is_well_formed() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0x57A7 ^ case);
+        let ops = arb_ops(&mut rng, 2, 10);
+        let seed = rng.next_u64() % 500;
         let (program, topo) = build_program(&ops);
         let cfg = SimConfig::default().with_seed(seed).with_full_tracing();
         let run = World::run_once(&program, &topo, cfg).unwrap();
@@ -284,20 +317,26 @@ proptest! {
         let mut lock_depth: BTreeMap<_, i64> = BTreeMap::new();
         for r in trace.records() {
             match &r.kind {
-                OpKind::EventCreate { event } => { event_create.insert(*event, r.seq); }
+                OpKind::EventCreate { event } => {
+                    event_create.insert(*event, r.seq);
+                }
                 OpKind::EventBegin { event } => {
                     let c = event_create.get(event).expect("begin has create");
-                    prop_assert!(*c < r.seq);
+                    assert!(*c < r.seq, "case {case}");
                 }
-                OpKind::RpcCreate { rpc } => { rpc_create.insert(*rpc, r.seq); }
+                OpKind::RpcCreate { rpc } => {
+                    rpc_create.insert(*rpc, r.seq);
+                }
                 OpKind::RpcBegin { rpc } => {
                     let c = rpc_create.get(rpc).expect("rpc begin has create");
-                    prop_assert!(*c < r.seq);
+                    assert!(*c < r.seq, "case {case}");
                 }
-                OpKind::SocketSend { msg } => { socket_send.insert(*msg, r.seq); }
+                OpKind::SocketSend { msg } => {
+                    socket_send.insert(*msg, r.seq);
+                }
                 OpKind::SocketRecv { msg } => {
                     let c = socket_send.get(msg).expect("recv has send");
-                    prop_assert!(*c < r.seq);
+                    assert!(*c < r.seq, "case {case}");
                 }
                 OpKind::LockAcquire { lock } => {
                     *lock_depth.entry((r.task, lock.clone())).or_insert(0) += 1;
@@ -305,13 +344,13 @@ proptest! {
                 OpKind::LockRelease { lock } => {
                     let d = lock_depth.entry((r.task, lock.clone())).or_insert(0);
                     *d -= 1;
-                    prop_assert!(*d >= 0, "release without acquire");
+                    assert!(*d >= 0, "case {case}: release without acquire");
                 }
                 _ => {}
             }
         }
         for ((task, lock), d) in lock_depth {
-            prop_assert_eq!(d, 0, "unbalanced lock {:?} on {}", lock, task);
+            assert_eq!(d, 0, "case {case}: unbalanced lock {lock:?} on {task}");
         }
     }
 }

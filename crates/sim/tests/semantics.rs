@@ -5,7 +5,7 @@ use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
 use dcatch_sim::{RunFailureKind, SimConfig, Topology, World};
 use dcatch_trace::OpKind;
 
-fn single_node(p: &Program, entry: &str) -> Topology {
+fn single_node(_p: &Program, entry: &str) -> Topology {
     let mut topo = Topology::new();
     topo.node("n").entry(entry, vec![]).queue("q", 1);
     topo
@@ -262,8 +262,10 @@ fn step_budget_exhaustion_is_reported() {
     let p = pb.build().unwrap();
     let mut topo = Topology::new();
     topo.node("n").entry("main", vec![]);
-    let mut cfg = SimConfig::default();
-    cfg.max_steps = 500;
+    let cfg = SimConfig {
+        max_steps: 500,
+        ..SimConfig::default()
+    };
     let r = World::run_once(&p, &topo, cfg).unwrap();
     assert!(r
         .failures

@@ -160,8 +160,7 @@ mod tests {
 
     #[test]
     fn corrupt_trace_file_is_reported_with_location() {
-        let dir =
-            std::env::temp_dir().join(format!("dcatch-trace-corrupt-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("dcatch-trace-corrupt-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("n0.t0.trace"), "not a record\n").unwrap();
         let err = read_per_task_files(&dir).unwrap_err();

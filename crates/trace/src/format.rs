@@ -15,9 +15,7 @@ use std::fmt;
 
 use dcatch_model::{FuncId, LoopId, NodeId, StmtId};
 
-use crate::ids::{
-    EventId, ExecCtx, HandlerKind, LockRef, MemLoc, MemSpace, MsgId, RpcId, TaskId,
-};
+use crate::ids::{EventId, ExecCtx, HandlerKind, LockRef, MemLoc, MemSpace, MsgId, RpcId, TaskId};
 use crate::record::{CallStack, OpKind, Record};
 
 /// Error from [`parse_record`].
@@ -84,7 +82,12 @@ fn fmt_loc(loc: &MemLoc) -> String {
         MemSpace::Zk => "zk",
     };
     let key = loc.key.as_deref().unwrap_or("-");
-    format!("{space} {} {} {}", loc.node.0, sanitize(&loc.object), sanitize(key))
+    format!(
+        "{space} {} {} {}",
+        loc.node.0,
+        sanitize(&loc.object),
+        sanitize(key)
+    )
 }
 
 /// The format uses spaces and pipes as separators; object names/keys/paths
@@ -120,18 +123,16 @@ fn parse_loc(parts: &[&str]) -> Result<MemLoc, FormatError> {
 fn fmt_payload(kind: &OpKind) -> String {
     match kind {
         OpKind::MemRead { loc, value } | OpKind::MemWrite { loc, value } => {
-            let v = value
-                .as_deref()
-                .map_or("-".to_owned(), |v| sanitize(v));
+            let v = value.as_deref().map_or("-".to_owned(), sanitize);
             format!("{} {v}", fmt_loc(loc))
         }
         OpKind::ThreadCreate { child } | OpKind::ThreadJoin { child } => {
             format!("{} {}", child.node.0, child.index)
         }
         OpKind::ThreadBegin | OpKind::ThreadEnd => String::new(),
-        OpKind::EventCreate { event } | OpKind::EventBegin { event } | OpKind::EventEnd { event } => {
-            event.0.to_string()
-        }
+        OpKind::EventCreate { event }
+        | OpKind::EventBegin { event }
+        | OpKind::EventEnd { event } => event.0.to_string(),
         OpKind::RpcCreate { rpc }
         | OpKind::RpcBegin { rpc }
         | OpKind::RpcEnd { rpc }
@@ -187,12 +188,24 @@ fn parse_payload(tag: &str, parts: &[&str]) -> Result<OpKind, FormatError> {
         "ee" => OpKind::EventEnd {
             event: EventId(num(0)?),
         },
-        "rc" => OpKind::RpcCreate { rpc: RpcId(num(0)?) },
-        "rb" => OpKind::RpcBegin { rpc: RpcId(num(0)?) },
-        "re" => OpKind::RpcEnd { rpc: RpcId(num(0)?) },
-        "rj" => OpKind::RpcJoin { rpc: RpcId(num(0)?) },
-        "ss" => OpKind::SocketSend { msg: MsgId(num(0)?) },
-        "sr" => OpKind::SocketRecv { msg: MsgId(num(0)?) },
+        "rc" => OpKind::RpcCreate {
+            rpc: RpcId(num(0)?),
+        },
+        "rb" => OpKind::RpcBegin {
+            rpc: RpcId(num(0)?),
+        },
+        "re" => OpKind::RpcEnd {
+            rpc: RpcId(num(0)?),
+        },
+        "rj" => OpKind::RpcJoin {
+            rpc: RpcId(num(0)?),
+        },
+        "ss" => OpKind::SocketSend {
+            msg: MsgId(num(0)?),
+        },
+        "sr" => OpKind::SocketRecv {
+            msg: MsgId(num(0)?),
+        },
         "zu" | "zp" => {
             let path = (*parts.first().ok_or_else(|| err("missing zk path"))?).to_owned();
             let version = num(1)?;
@@ -273,9 +286,7 @@ pub fn parse_record(line: &str) -> Result<Record, FormatError> {
     } else {
         let mut ids = Vec::new();
         for part in fields[5].split(',') {
-            let (f, i) = part
-                .split_once(':')
-                .ok_or_else(|| err("bad stack frame"))?;
+            let (f, i) = part.split_once(':').ok_or_else(|| err("bad stack frame"))?;
             ids.push(StmtId {
                 func: FuncId(f.parse().map_err(|_| err("bad stack func"))?),
                 idx: i.parse().map_err(|_| err("bad stack idx"))?,

@@ -172,8 +172,8 @@ impl TraceSet {
     }
 
     /// Looks up the first record index matching a predicate.
-    pub fn find(&self, mut pred: impl FnMut(&Record) -> bool) -> Option<usize> {
-        self.records.iter().position(|r| pred(r))
+    pub fn find(&self, pred: impl FnMut(&Record) -> bool) -> Option<usize> {
+        self.records.iter().position(pred)
     }
 
     /// Counts records matching a predicate.
@@ -273,7 +273,10 @@ mod tests {
         let mut ts = TraceSet::new();
         ts.register_queue(NodeId(0), "dispatch", QueueInfo { consumers: 1 });
         ts.register_event(7, NodeId(0), "dispatch");
-        assert!(ts.queue_info(NodeId(0), "dispatch").unwrap().is_single_consumer());
+        assert!(ts
+            .queue_info(NodeId(0), "dispatch")
+            .unwrap()
+            .is_single_consumer());
         assert!(ts.queue_info(NodeId(0), "other").is_none());
         let (n, q) = ts.event_queue(7).unwrap();
         assert_eq!((*n, q), (NodeId(0), "dispatch"));

@@ -79,9 +79,9 @@ impl fmt::Display for TraceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{ExecCtx, LockRef, MemLoc, MemSpace, RpcId, TaskId};
+    use crate::ids::{EventId, ExecCtx, LockRef, MemLoc, MemSpace, MsgId, RpcId, TaskId};
     use crate::record::CallStack;
-    use dcatch_model::NodeId;
+    use dcatch_model::{LoopId, NodeId};
 
     fn rec(kind: OpKind) -> Record {
         Record {
@@ -131,5 +131,75 @@ mod tests {
         assert_eq!(s.lock, 1);
         assert_eq!(s.zk, 1);
         assert_eq!(s.socket, 0);
+    }
+
+    /// One record per `OpKind` variant: every arm of `TraceStats::of` is
+    /// exercised and every record lands in exactly one category.
+    #[test]
+    fn every_op_kind_is_categorized() {
+        let loc = MemLoc {
+            space: MemSpace::Heap,
+            node: NodeId(0),
+            object: "x".into(),
+            key: None,
+        };
+        let lock = LockRef {
+            node: NodeId(0),
+            name: "l".into(),
+        };
+        let child = TaskId {
+            node: NodeId(0),
+            index: 1,
+        };
+        let records = vec![
+            rec(OpKind::MemRead {
+                loc: loc.clone(),
+                value: None,
+            }),
+            rec(OpKind::MemWrite {
+                loc,
+                value: Some("1".into()),
+            }),
+            rec(OpKind::ThreadCreate { child }),
+            rec(OpKind::ThreadBegin),
+            rec(OpKind::ThreadEnd),
+            rec(OpKind::ThreadJoin { child }),
+            rec(OpKind::EventCreate { event: EventId(1) }),
+            rec(OpKind::EventBegin { event: EventId(1) }),
+            rec(OpKind::EventEnd { event: EventId(1) }),
+            rec(OpKind::RpcCreate { rpc: RpcId(1) }),
+            rec(OpKind::RpcBegin { rpc: RpcId(1) }),
+            rec(OpKind::RpcEnd { rpc: RpcId(1) }),
+            rec(OpKind::RpcJoin { rpc: RpcId(1) }),
+            rec(OpKind::SocketSend { msg: MsgId(1) }),
+            rec(OpKind::SocketRecv { msg: MsgId(1) }),
+            rec(OpKind::ZkUpdate {
+                path: "/p".into(),
+                version: 1,
+            }),
+            rec(OpKind::ZkPushed {
+                path: "/p".into(),
+                version: 1,
+            }),
+            rec(OpKind::LockAcquire { lock: lock.clone() }),
+            rec(OpKind::LockRelease { lock }),
+            rec(OpKind::LoopEnter { loop_id: LoopId(0) }),
+            rec(OpKind::LoopExit { loop_id: LoopId(0) }),
+        ];
+        let s = TraceStats::of(&records);
+        assert_eq!(s.total, records.len());
+        assert_eq!(s.mem, 2);
+        assert_eq!(s.thread, 4);
+        assert_eq!(s.event, 3);
+        assert_eq!(s.rpc, 4);
+        assert_eq!(s.socket, 2);
+        assert_eq!(s.zk, 2);
+        assert_eq!(s.lock, 2);
+        assert_eq!(s.loops, 2);
+        // partition: the categories sum to the total
+        assert_eq!(
+            s.mem + s.thread + s.event + s.rpc + s.socket + s.zk + s.lock + s.loops,
+            s.total
+        );
     }
 }

@@ -1,137 +1,226 @@
 //! Property tests for the trace record format: `parse ∘ format = id` for
-//! arbitrary records.
-
-use proptest::prelude::*;
+//! randomly generated records.
+//!
+//! The generators are driven by the in-repo deterministic PRNG
+//! (`dcatch_obs::SmallRng`) — the build environment is offline, so there
+//! is no external property-testing framework. Every test runs a fixed
+//! number of seeded iterations; a failure message includes the iteration
+//! seed so the case can be replayed exactly.
 
 use dcatch_model::{FuncId, LoopId, NodeId, StmtId};
+use dcatch_obs::SmallRng;
 use dcatch_trace::{
     format_record, parse_record, CallStack, EventId, ExecCtx, HandlerKind, LockRef, MemLoc,
     MemSpace, MsgId, OpKind, Record, RpcId, TaskId,
 };
 
-fn arb_name() -> impl Strategy<Value = String> {
-    // names are sanitized on write (spaces/pipes replaced), so generate
-    // from the clean alphabet the simulator itself uses
-    "[a-zA-Z_/][a-zA-Z0-9_./-]{0,12}".prop_map(|s| s)
+const ITERS: u64 = 512;
+
+/// A name from the clean alphabet the simulator itself uses (names are
+/// sanitized on write — spaces/pipes replaced).
+fn arb_name(rng: &mut SmallRng) -> String {
+    const FIRST: &[u8] = b"abcXYZ_/";
+    const REST: &[u8] = b"abcXYZ09_./-";
+    let len = rng.gen_range(13);
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(FIRST.len())] as char);
+    for _ in 0..len {
+        s.push(REST[rng.gen_range(REST.len())] as char);
+    }
+    s
 }
 
-fn arb_loc() -> impl Strategy<Value = MemLoc> {
-    (
-        prop_oneof![Just(MemSpace::Heap), Just(MemSpace::Zk)],
-        0u32..4,
-        arb_name(),
-        proptest::option::of(arb_name()),
+fn arb_opt_name(rng: &mut SmallRng) -> Option<String> {
+    rng.gen_bool().then(|| arb_name(rng))
+}
+
+fn arb_loc(rng: &mut SmallRng) -> MemLoc {
+    MemLoc {
+        space: if rng.gen_bool() {
+            MemSpace::Heap
+        } else {
+            MemSpace::Zk
+        },
+        node: NodeId(rng.gen_range(4) as u32),
+        object: arb_name(rng),
+        key: arb_opt_name(rng),
+    }
+}
+
+fn arb_task(rng: &mut SmallRng) -> TaskId {
+    TaskId {
+        node: NodeId(rng.gen_range(4) as u32),
+        index: rng.gen_range(32) as u32,
+    }
+}
+
+fn arb_ctx(rng: &mut SmallRng) -> ExecCtx {
+    if rng.gen_bool() {
+        ExecCtx::Regular
+    } else {
+        let kind = match rng.gen_range(4) {
+            0 => HandlerKind::Event,
+            1 => HandlerKind::Rpc,
+            2 => HandlerKind::Socket,
+            _ => HandlerKind::ZkWatcher,
+        };
+        ExecCtx::Handler {
+            kind,
+            instance: rng.next_u64(),
+        }
+    }
+}
+
+fn arb_lock(rng: &mut SmallRng) -> LockRef {
+    LockRef {
+        node: NodeId(rng.gen_range(4) as u32),
+        name: arb_name(rng),
+    }
+}
+
+fn arb_kind(rng: &mut SmallRng) -> OpKind {
+    match rng.gen_range(21) {
+        0 => OpKind::MemRead {
+            loc: arb_loc(rng),
+            value: arb_opt_name(rng),
+        },
+        1 => OpKind::MemWrite {
+            loc: arb_loc(rng),
+            value: arb_opt_name(rng),
+        },
+        2 => OpKind::ThreadCreate {
+            child: arb_task(rng),
+        },
+        3 => OpKind::ThreadBegin,
+        4 => OpKind::ThreadEnd,
+        5 => OpKind::ThreadJoin {
+            child: arb_task(rng),
+        },
+        6 => OpKind::EventCreate {
+            event: EventId(rng.next_u64()),
+        },
+        7 => OpKind::EventBegin {
+            event: EventId(rng.next_u64()),
+        },
+        8 => OpKind::EventEnd {
+            event: EventId(rng.next_u64()),
+        },
+        9 => OpKind::RpcCreate {
+            rpc: RpcId(rng.next_u64()),
+        },
+        10 => OpKind::RpcBegin {
+            rpc: RpcId(rng.next_u64()),
+        },
+        11 => OpKind::RpcEnd {
+            rpc: RpcId(rng.next_u64()),
+        },
+        12 => OpKind::RpcJoin {
+            rpc: RpcId(rng.next_u64()),
+        },
+        13 => OpKind::SocketSend {
+            msg: MsgId(rng.next_u64()),
+        },
+        14 => OpKind::SocketRecv {
+            msg: MsgId(rng.next_u64()),
+        },
+        15 => OpKind::ZkUpdate {
+            path: arb_name(rng),
+            version: rng.next_u64(),
+        },
+        16 => OpKind::ZkPushed {
+            path: arb_name(rng),
+            version: rng.next_u64(),
+        },
+        17 => OpKind::LockAcquire {
+            lock: arb_lock(rng),
+        },
+        18 => OpKind::LockRelease {
+            lock: arb_lock(rng),
+        },
+        19 => OpKind::LoopEnter {
+            loop_id: LoopId(rng.gen_range(64) as u32),
+        },
+        _ => OpKind::LoopExit {
+            loop_id: LoopId(rng.gen_range(64) as u32),
+        },
+    }
+}
+
+fn arb_stack(rng: &mut SmallRng) -> CallStack {
+    let len = rng.gen_range(5);
+    CallStack(
+        (0..len)
+            .map(|_| StmtId {
+                func: FuncId(rng.gen_range(16) as u32),
+                idx: rng.gen_range(64) as u32,
+            })
+            .collect(),
     )
-        .prop_map(|(space, node, object, key)| MemLoc {
-            space,
-            node: NodeId(node),
-            object,
-            key,
-        })
 }
 
-fn arb_task() -> impl Strategy<Value = TaskId> {
-    (0u32..4, 0u32..32).prop_map(|(n, i)| TaskId {
-        node: NodeId(n),
-        index: i,
-    })
-}
-
-fn arb_ctx() -> impl Strategy<Value = ExecCtx> {
-    prop_oneof![
-        Just(ExecCtx::Regular),
-        (
-            prop_oneof![
-                Just(HandlerKind::Event),
-                Just(HandlerKind::Rpc),
-                Just(HandlerKind::Socket),
-                Just(HandlerKind::ZkWatcher)
-            ],
-            any::<u64>()
-        )
-            .prop_map(|(kind, instance)| ExecCtx::Handler { kind, instance }),
-    ]
-}
-
-fn arb_kind() -> impl Strategy<Value = OpKind> {
-    prop_oneof![
-        (arb_loc(), proptest::option::of(arb_name()))
-            .prop_map(|(loc, value)| OpKind::MemRead { loc, value }),
-        (arb_loc(), proptest::option::of(arb_name()))
-            .prop_map(|(loc, value)| OpKind::MemWrite { loc, value }),
-        arb_task().prop_map(|child| OpKind::ThreadCreate { child }),
-        Just(OpKind::ThreadBegin),
-        Just(OpKind::ThreadEnd),
-        arb_task().prop_map(|child| OpKind::ThreadJoin { child }),
-        any::<u64>().prop_map(|e| OpKind::EventCreate { event: EventId(e) }),
-        any::<u64>().prop_map(|e| OpKind::EventBegin { event: EventId(e) }),
-        any::<u64>().prop_map(|e| OpKind::EventEnd { event: EventId(e) }),
-        any::<u64>().prop_map(|r| OpKind::RpcCreate { rpc: RpcId(r) }),
-        any::<u64>().prop_map(|r| OpKind::RpcBegin { rpc: RpcId(r) }),
-        any::<u64>().prop_map(|r| OpKind::RpcEnd { rpc: RpcId(r) }),
-        any::<u64>().prop_map(|r| OpKind::RpcJoin { rpc: RpcId(r) }),
-        any::<u64>().prop_map(|m| OpKind::SocketSend { msg: MsgId(m) }),
-        any::<u64>().prop_map(|m| OpKind::SocketRecv { msg: MsgId(m) }),
-        (arb_name(), any::<u64>()).prop_map(|(path, version)| OpKind::ZkUpdate { path, version }),
-        (arb_name(), any::<u64>()).prop_map(|(path, version)| OpKind::ZkPushed { path, version }),
-        (0u32..4, arb_name()).prop_map(|(n, name)| OpKind::LockAcquire {
-            lock: LockRef {
-                node: NodeId(n),
-                name
-            }
-        }),
-        (0u32..4, arb_name()).prop_map(|(n, name)| OpKind::LockRelease {
-            lock: LockRef {
-                node: NodeId(n),
-                name
-            }
-        }),
-        (0u32..64).prop_map(|l| OpKind::LoopEnter { loop_id: LoopId(l) }),
-        (0u32..64).prop_map(|l| OpKind::LoopExit { loop_id: LoopId(l) }),
-    ]
-}
-
-fn arb_stack() -> impl Strategy<Value = CallStack> {
-    proptest::collection::vec((0u32..16, 0u32..64), 0..5).prop_map(|frames| {
-        CallStack(
-            frames
-                .into_iter()
-                .map(|(f, i)| StmtId {
-                    func: FuncId(f),
-                    idx: i,
-                })
-                .collect(),
-        )
-    })
-}
-
-proptest! {
-    #[test]
-    fn format_roundtrips(
-        seq in any::<u64>(),
-        task in arb_task(),
-        ctx in arb_ctx(),
-        kind in arb_kind(),
-        stack in arb_stack(),
-    ) {
-        let rec = Record { seq, task, ctx, kind, stack };
+#[test]
+fn format_roundtrips() {
+    for seed in 0..ITERS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rec = Record {
+            seq: rng.next_u64(),
+            task: arb_task(&mut rng),
+            ctx: arb_ctx(&mut rng),
+            kind: arb_kind(&mut rng),
+            stack: arb_stack(&mut rng),
+        };
         let line = format_record(&rec);
         let back = parse_record(&line).expect("parses back");
-        prop_assert_eq!(back, rec, "line: {}", line);
+        assert_eq!(back, rec, "seed {seed}, line: {line}");
     }
+}
 
-    #[test]
-    fn parse_never_panics_on_arbitrary_input(s in "\\PC{0,60}") {
-        let _ = parse_record(&s);
+#[test]
+fn parse_never_panics_on_arbitrary_input() {
+    // printable-ish garbage, plus mutations of a valid line
+    for seed in 0..ITERS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(61);
+        let garbage: String = (0..len)
+            .map(|_| char::from_u32(0x20 + rng.gen_range(0x5e) as u32).expect("printable"))
+            .collect();
+        let _ = parse_record(&garbage);
+
+        let mut rec_rng = SmallRng::seed_from_u64(seed);
+        let rec = Record {
+            seq: rec_rng.next_u64(),
+            task: arb_task(&mut rec_rng),
+            ctx: arb_ctx(&mut rec_rng),
+            kind: arb_kind(&mut rec_rng),
+            stack: arb_stack(&mut rec_rng),
+        };
+        let mut line = format_record(&rec);
+        if !line.is_empty() {
+            line.truncate(rng.gen_range(line.len()));
+        }
+        let _ = parse_record(&line);
     }
+}
 
-    #[test]
-    fn conflict_relation_is_symmetric(a in arb_loc(), b in arb_loc()) {
-        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+#[test]
+fn conflict_relation_is_symmetric() {
+    for seed in 0..ITERS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = arb_loc(&mut rng);
+        let b = arb_loc(&mut rng);
+        assert_eq!(
+            a.conflicts_with(&b),
+            b.conflicts_with(&a),
+            "seed {seed}: {a:?} vs {b:?}"
+        );
     }
+}
 
-    #[test]
-    fn conflict_relation_is_reflexive(a in arb_loc()) {
-        prop_assert!(a.conflicts_with(&a));
+#[test]
+fn conflict_relation_is_reflexive() {
+    for seed in 0..ITERS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = arb_loc(&mut rng);
+        assert!(a.conflicts_with(&a), "seed {seed}: {a:?}");
     }
 }

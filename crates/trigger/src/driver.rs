@@ -75,7 +75,11 @@ pub fn trigger_candidate(
     candidate: &Candidate,
     hb: &HbAnalysis,
 ) -> TriggerReport {
+    let _span = dcatch_obs::span!("trigger.candidate");
+    dcatch_obs::counter!("trigger_attempts_total").inc();
     let plan = plan_candidate(candidate, hb);
+    dcatch_obs::counter!("trigger_placement_rules_total")
+        .add(plan.rules.iter().map(Vec::len).sum::<usize>() as u64);
     let mut runs = Vec::new();
     for first in 0..2 {
         let run = run_order(program, topo, config, &plan, first, false);
@@ -89,9 +93,7 @@ pub fn trigger_candidate(
         }
     }
     let coordinated = runs.iter().any(|r| r.coordinated);
-    let failed = runs
-        .iter()
-        .any(|r| r.coordinated && !r.failures.is_empty());
+    let failed = runs.iter().any(|r| r.coordinated && !r.failures.is_empty());
     let verdict = if !coordinated {
         Verdict::Serial
     } else if failed {
@@ -99,6 +101,11 @@ pub fn trigger_candidate(
     } else {
         Verdict::BenignRace
     };
+    match verdict {
+        Verdict::Serial => dcatch_obs::counter!("trigger_verdict_serial_total").inc(),
+        Verdict::BenignRace => dcatch_obs::counter!("trigger_verdict_benign_total").inc(),
+        Verdict::Harmful => dcatch_obs::counter!("trigger_verdict_harmful_total").inc(),
+    }
     TriggerReport {
         verdict,
         plan,
@@ -114,11 +121,16 @@ fn run_order(
     first: usize,
     used_direct_fallback: bool,
 ) -> OrderRun {
+    let _span = dcatch_obs::span!("trigger.order");
+    dcatch_obs::counter!("trigger_order_runs_total").inc();
+    if used_direct_fallback {
+        dcatch_obs::counter!("trigger_direct_fallbacks_total").inc();
+    }
     let mut gate = ControllerGate::new(plan.sides, first);
     let mut cfg = config.clone();
     cfg.trace_enabled = false;
-    let result = World::run_with_gate(program, topo, cfg, &mut gate)
-        .expect("triggering re-run must start");
+    let result =
+        World::run_with_gate(program, topo, cfg, &mut gate).expect("triggering re-run must start");
     OrderRun {
         first,
         coordinated: gate.both_requested(),

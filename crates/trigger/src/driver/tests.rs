@@ -161,9 +161,7 @@ fn single_consumer_queue_placement_moves_to_enqueue_sites() {
     let c = candidates
         .candidates
         .iter()
-        .find(|c| {
-            c.object() == "attempt_state" && (c.rep.0.is_write != c.rep.1.is_write)
-        })
+        .find(|c| c.object() == "attempt_state" && (c.rep.0.is_write != c.rep.1.is_write))
         .expect("read/write candidate on attempt_state");
 
     let plan = plan_candidate(c, &hb);

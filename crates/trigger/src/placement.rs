@@ -63,9 +63,7 @@ impl TriggerPlan {
 
     /// Whether this plan is the naive direct plan.
     pub fn is_direct(&self) -> bool {
-        self.rules
-            .iter()
-            .all(|r| r == &vec![PlacementRule::Direct])
+        self.rules.iter().all(|r| r == &vec![PlacementRule::Direct])
     }
 }
 
@@ -140,9 +138,7 @@ pub fn plan_candidate(candidate: &Candidate, hb: &HbAnalysis) -> TriggerPlan {
     }
 
     let side = |i: usize, access: &dcatch_detect::AccessSite| {
-        let stmt = trace.records()[anchors[i]]
-            .stmt()
-            .unwrap_or(access.stmt);
+        let stmt = trace.records()[anchors[i]].stmt().unwrap_or(access.stmt);
         SideSpec {
             stmt,
             instance: 1,
@@ -180,15 +176,15 @@ fn event_of(trace: &TraceSet, idx: usize) -> Option<EventInfo> {
         return None;
     };
     // the EventBegin of this handler instance: same task + same ctx
-    let begin = trace.records()[..=idx]
-        .iter()
-        .rev()
-        .find(|c| c.task == r.task && c.ctx == r.ctx && matches!(c.kind, OpKind::EventBegin { .. }))?;
+    let begin = trace.records()[..=idx].iter().rev().find(|c| {
+        c.task == r.task && c.ctx == r.ctx && matches!(c.kind, OpKind::EventBegin { .. })
+    })?;
     let OpKind::EventBegin { event } = begin.kind else {
         unreachable!("matched above");
     };
     let (node, queue) = trace.event_queue(event.0)?;
-    let create_idx = trace.find(|c| matches!(c.kind, OpKind::EventCreate { event: e } if e == event));
+    let create_idx =
+        trace.find(|c| matches!(c.kind, OpKind::EventCreate { event: e } if e == event));
     Some(EventInfo {
         queue: (*node, queue.to_owned()),
         create_idx,
@@ -289,10 +285,11 @@ fn remote_ancestor(hb: &HbAnalysis, idx: usize) -> Option<usize> {
                 continue;
             }
             let r = &trace.records()[p];
-            if r.task.node != node && r.stmt().is_some() {
-                if occurrence_count(trace, p) <= INSTANCE_THRESHOLD {
-                    return Some(p);
-                }
+            if r.task.node != node
+                && r.stmt().is_some()
+                && occurrence_count(trace, p) <= INSTANCE_THRESHOLD
+            {
+                return Some(p);
             }
             frontier.push(p);
         }

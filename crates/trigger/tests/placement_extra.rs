@@ -11,7 +11,10 @@ fn analyze(p: &Program, topo: &Topology, seed: u64) -> (SimConfig, HbAnalysis) {
     let cfg = SimConfig::default().with_seed(seed).with_full_tracing();
     let run = World::run_once(p, topo, cfg.clone()).unwrap();
     assert!(run.failures.is_empty(), "{:?}", run.failures);
-    (cfg, HbAnalysis::build(run.trace, &HbConfig::default()).unwrap())
+    (
+        cfg,
+        HbAnalysis::build(run.trace, &HbConfig::default()).unwrap(),
+    )
 }
 
 /// A racing statement executed many times under one callstack: placement
@@ -51,8 +54,10 @@ fn many_instance_race_moves_to_remote_ancestor() {
         nb.rpc_workers(3);
         nb.id()
     };
-    topo.node("poller_node").entry("poller", vec![Value::Node(srv)]);
-    topo.node("setter_node").entry("setter", vec![Value::Node(srv)]);
+    topo.node("poller_node")
+        .entry("poller", vec![Value::Node(srv)]);
+    topo.node("setter_node")
+        .entry("setter", vec![Value::Node(srv)]);
 
     let (cfg, hb) = analyze(&p, &topo, 77);
     let candidates = find_candidates(&hb);
@@ -118,10 +123,15 @@ fn direct_fallback_is_recorded() {
 #[test]
 fn same_socket_worker_placement_moves_to_senders() {
     let mut pb = ProgramBuilder::new();
-    pb.func("sender", &["peer", "delay", "val"], FuncKind::Regular, |b| {
-        b.sleep(Expr::local("delay"));
-        b.socket_send(Expr::local("peer"), "on_msg", vec![Expr::local("val")]);
-    });
+    pb.func(
+        "sender",
+        &["peer", "delay", "val"],
+        FuncKind::Regular,
+        |b| {
+            b.sleep(Expr::local("delay"));
+            b.socket_send(Expr::local("peer"), "on_msg", vec![Expr::local("val")]);
+        },
+    );
     pb.func("on_msg", &["v"], FuncKind::SocketHandler, |b| {
         b.write("inbox", Expr::local("v"));
     });

@@ -33,7 +33,10 @@ fn main() {
         .records()
         .iter()
         .position(|r| {
-            r.kind.is_write() && r.kind.mem_loc().is_some_and(|l| l.object == "regionsToOpen")
+            r.kind.is_write()
+                && r.kind
+                    .mem_loc()
+                    .is_some_and(|l| l.object == "regionsToOpen")
         })
         .expect("W = regionsToOpen.add(region)");
     let r = trace
@@ -41,7 +44,10 @@ fn main() {
         .iter()
         .position(|rec| {
             !rec.kind.is_write()
-                && rec.kind.mem_loc().is_some_and(|l| l.object == "regionsToOpen")
+                && rec
+                    .kind
+                    .mem_loc()
+                    .is_some_and(|l| l.object == "regionsToOpen")
         })
         .expect("R = regionsToOpen.isEmpty()");
 

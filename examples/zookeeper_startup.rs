@@ -14,7 +14,13 @@ use dcatch::{Pipeline, PipelineOptions, Verdict};
 
 fn show(id: &str) {
     let bench = dcatch::benchmark(id).expect("registered benchmark");
-    println!("== {} — {} ({} / {}) ==", bench.id, bench.symptom, bench.error.abbrev(), bench.root.abbrev());
+    println!(
+        "== {} — {} ({} / {}) ==",
+        bench.id,
+        bench.symptom,
+        bench.error.abbrev(),
+        bench.root.abbrev()
+    );
     let report = Pipeline::run(&bench, &PipelineOptions::full()).expect("pipeline");
     println!(
         "  candidates: TA {} → +SP {} → +LP {} final reports",
@@ -31,7 +37,11 @@ fn show(id: &str) {
             "  [{}] `{}`{}",
             v,
             r.object(),
-            if r.known_bug_object { "  ← known bug" } else { "" }
+            if r.known_bug_object {
+                "  ← known bug"
+            } else {
+                ""
+            }
         );
         if r.verdict == Some(Verdict::Harmful) {
             if let Some(f) = r.failures.iter().find(|f| f.contains("hang")) {

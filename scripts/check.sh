@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 test suite.
+# Fully offline — every dependency is a workspace member.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --offline --release
+
+echo "== cargo test =="
+cargo test --offline -q
+
+echo "All checks passed."

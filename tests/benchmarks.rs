@@ -24,7 +24,11 @@ fn every_known_bug_is_detected_and_confirmed_harmful() {
         let harmful_known = report
             .known_bug_reports()
             .any(|r| r.verdict == Some(Verdict::Harmful));
-        assert!(harmful_known, "{}: no harmful report on a bug object", bench.id);
+        assert!(
+            harmful_known,
+            "{}: no harmful report on a bug object",
+            bench.id
+        );
     }
 }
 
@@ -43,7 +47,11 @@ fn report_counts_are_paper_scale_and_monotone() {
             bench.id,
             report.lp_static
         );
-        assert!(report.ta_static > report.lp_static, "{}: pruning must bite", bench.id);
+        assert!(
+            report.ta_static > report.lp_static,
+            "{}: pruning must bite",
+            bench.id
+        );
     }
 }
 
@@ -66,7 +74,10 @@ fn pruning_stages_match_table_5_shape() {
             lp_pruned_somewhere = true;
         }
     }
-    assert!(lp_pruned_somewhere, "LP must prune on at least one benchmark");
+    assert!(
+        lp_pruned_somewhere,
+        "LP must prune on at least one benchmark"
+    );
 }
 
 /// MR-3274 is the paper's running example (Figures 1 and 2): the harmful
@@ -138,7 +149,10 @@ fn benign_reports_appear_across_the_suite() {
         let report = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
         benign_total += report.verdicts.benign_static;
     }
-    assert!(benign_total >= 3, "suite-wide benign count was {benign_total}");
+    assert!(
+        benign_total >= 3,
+        "suite-wide benign count was {benign_total}"
+    );
 }
 
 /// Error patterns of the confirmed bugs match Table 3: explicit-error
@@ -158,9 +172,9 @@ fn confirmed_failures_match_table_3_error_patterns() {
         let has_hang = failures
             .iter()
             .any(|f| f.contains("hang") || f.contains("deadlock"));
-        let has_explicit = failures.iter().any(|f| {
-            f.contains("abort") || f.contains("uncaught") || f.contains("fatal")
-        });
+        let has_explicit = failures
+            .iter()
+            .any(|f| f.contains("abort") || f.contains("uncaught") || f.contains("fatal"));
         match bench.error {
             ErrorPattern::LocalHang | ErrorPattern::DistributedHang => {
                 assert!(has_hang, "{}: expected hang, got {failures:?}", bench.id);

@@ -1,9 +1,7 @@
 //! Cross-crate pipeline behaviour: selective vs full tracing, memory
 //! budgets, determinism, and trace round-trips.
 
-use dcatch::{
-    HbAnalysis, HbConfig, Pipeline, PipelineOptions, SimConfig, TracingMode, World,
-};
+use dcatch::{HbAnalysis, HbConfig, Pipeline, PipelineOptions, SimConfig, TracingMode, World};
 
 /// Selective tracing (paper §3.1.1) produces much smaller traces than
 /// unselective tracing on every benchmark — the Table 8 comparison.
@@ -19,7 +17,9 @@ fn selective_traces_are_smaller_than_full_traces() {
         let full = World::run_once(
             &bench.program,
             &bench.topology,
-            SimConfig::default().with_seed(bench.seed).with_full_tracing(),
+            SimConfig::default()
+                .with_seed(bench.seed)
+                .with_full_tracing(),
         )
         .unwrap();
         assert!(
@@ -77,8 +77,7 @@ fn trace_files_roundtrip() {
     )
     .unwrap();
     for (i, line) in run.trace.to_lines().lines().enumerate() {
-        let rec = dcatch_trace::parse_record(line)
-            .unwrap_or_else(|e| panic!("line {i}: {e}"));
+        let rec = dcatch_trace::parse_record(line).unwrap_or_else(|e| panic!("line {i}: {e}"));
         assert_eq!(dcatch_trace::format_record(&rec), line);
     }
 }
@@ -124,7 +123,9 @@ fn figure3_chain_orders_w_before_r() {
         .iter()
         .position(|r| {
             r.kind.is_write()
-                && r.kind.mem_loc().is_some_and(|l| l.object == "regionsToOpen")
+                && r.kind
+                    .mem_loc()
+                    .is_some_and(|l| l.object == "regionsToOpen")
         })
         .expect("W = regionsToOpen.add");
     let r = trace
@@ -132,7 +133,10 @@ fn figure3_chain_orders_w_before_r() {
         .iter()
         .position(|rec| {
             !rec.kind.is_write()
-                && rec.kind.mem_loc().is_some_and(|l| l.object == "regionsToOpen")
+                && rec
+                    .kind
+                    .mem_loc()
+                    .is_some_and(|l| l.object == "regionsToOpen")
         })
         .expect("R = regionsToOpen.isEmpty");
     assert!(hb.happens_before(w, r), "W must be ordered before R");

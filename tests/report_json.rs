@@ -1,0 +1,127 @@
+//! Round-trip test for the machine-readable run report: run a small
+//! benchmark through the pipeline, serialize the versioned report with
+//! the `dcatch-obs` emitter, parse it back with the in-repo JSON parser,
+//! and check schema, stage timings, instrumentation coverage, and
+//! self-consistency of the counters.
+
+use dcatch::{report_json, Pipeline, PipelineOptions};
+use dcatch_obs::json::{self, Json};
+
+fn small_run_doc() -> Json {
+    let bench = dcatch::benchmark("ZK-1144").unwrap();
+    let report = Pipeline::run(&bench, &PipelineOptions::full()).unwrap();
+    let doc = report_json::run_report(std::slice::from_ref(&report));
+    // serialize → parse round trip, both layouts
+    let parsed = json::parse(&doc.to_pretty()).unwrap();
+    assert_eq!(parsed, json::parse(&doc.to_compact()).unwrap());
+    parsed
+}
+
+#[test]
+fn run_report_round_trips_with_schema_and_timings() {
+    let doc = small_run_doc();
+    assert_eq!(
+        doc.get("schema_version").unwrap().as_u64(),
+        Some(report_json::SCHEMA_VERSION)
+    );
+    assert_eq!(doc.get("tool").unwrap().as_str(), Some("dcatch-rs"));
+
+    let benches = doc.get("benchmarks").unwrap().as_arr().unwrap();
+    assert_eq!(benches.len(), 1);
+    let b = &benches[0];
+    assert_eq!(b.get("id").unwrap().as_str(), Some("ZK-1144"));
+    assert!(b.get("oom").unwrap().is_null());
+
+    // all six stage timings are present; the ones that ran are non-zero
+    let timings = b.get("timings_ns").unwrap();
+    for stage in [
+        "base",
+        "tracing",
+        "trace_analysis",
+        "static_pruning",
+        "loop_sync",
+        "triggering",
+    ] {
+        let v = timings
+            .get(stage)
+            .unwrap_or_else(|| panic!("missing stage timing `{stage}`"))
+            .as_u64()
+            .unwrap();
+        if stage != "loop_sync" {
+            assert!(v > 0, "stage `{stage}` should have a non-zero duration");
+        }
+    }
+
+    // the span tree mirrors the stage structure
+    let spans = b.get("spans").unwrap();
+    assert_eq!(
+        spans.get("name").unwrap().as_str(),
+        Some("pipeline.ZK-1144")
+    );
+    let children = spans.get("children").unwrap().as_arr().unwrap();
+    let names: Vec<&str> = children
+        .iter()
+        .map(|c| c.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"pipeline.tracing"), "{names:?}");
+    assert!(names.contains(&"pipeline.trace_analysis"), "{names:?}");
+}
+
+#[test]
+fn run_report_counters_cover_the_whole_pipeline() {
+    let doc = small_run_doc();
+    let b = &doc.get("benchmarks").unwrap().as_arr().unwrap()[0];
+    let counters = b.get("metrics").unwrap().get("counters").unwrap();
+    let Json::Obj(entries) = counters else {
+        panic!("counters must be an object");
+    };
+    let get = |name: &str| -> u64 {
+        counters
+            .get(name)
+            .unwrap_or_else(|| panic!("missing counter `{name}`"))
+            .as_u64()
+            .unwrap()
+    };
+
+    // ≥10 distinct named counters, spanning ≥4 layers of the pipeline
+    assert!(
+        entries.len() >= 10,
+        "expected ≥10 counters, got {}: {:?}",
+        entries.len(),
+        entries.iter().map(|(k, _)| k).collect::<Vec<_>>()
+    );
+    let layers = ["sim_", "hb_", "detect_", "prune_", "trigger_"];
+    for layer in layers {
+        assert!(
+            entries.iter().any(|(k, _)| k.starts_with(layer)),
+            "no counter from layer `{layer}*`"
+        );
+    }
+
+    // self-consistency across stages
+    let found = get("detect_candidates_found_total");
+    let pruned = get("prune_candidates_pruned_total");
+    let kept = get("prune_candidates_kept_total");
+    assert!(found > 0, "detection must find candidates on ZK-1144");
+    assert!(pruned <= found, "cannot prune more than was found");
+    assert!(kept <= found, "cannot keep more than was found");
+    assert!(
+        get("sim_trace_records_total") > 0,
+        "the traced run emits records"
+    );
+    assert!(get("hb_nodes_total") > 0 && get("hb_edges_total") > 0);
+    assert!(get("trigger_attempts_total") > 0, "triggering ran");
+
+    // trace stats in the report agree with the sim counter for the traced
+    // runs (the pipeline traces at least once; triggering re-runs add more)
+    let total = b
+        .get("trace")
+        .unwrap()
+        .get("stats")
+        .unwrap()
+        .get("total")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(get("sim_trace_records_total") >= total);
+}

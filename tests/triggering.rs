@@ -2,8 +2,8 @@
 //! "Triggering" discussion).
 
 use dcatch::{
-    plan_candidate, trigger_candidate, HbAnalysis, HbConfig, Pipeline, PipelineOptions,
-    SimConfig, Verdict, World,
+    plan_candidate, trigger_candidate, HbAnalysis, HbConfig, Pipeline, PipelineOptions, SimConfig,
+    Verdict, World,
 };
 
 /// For every confirmed harmful bug, the *other* order is failure-free:
@@ -21,7 +21,13 @@ fn harmful_bugs_have_one_failing_and_one_clean_order() {
         let cfg = SimConfig::default().with_seed(bench.seed);
         let run = World::run_once(&bench.program, &bench.topology, cfg.clone()).unwrap();
         let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
-        let trep = trigger_candidate(&bench.program, &bench.topology, &cfg, &harmful.candidate, &hb);
+        let trep = trigger_candidate(
+            &bench.program,
+            &bench.topology,
+            &cfg,
+            &harmful.candidate,
+            &hb,
+        );
         assert_eq!(trep.verdict, Verdict::Harmful, "{id}");
         let clean_order = trep
             .runs
@@ -93,7 +99,13 @@ fn serial_pairs_never_coordinate() {
     let cfg = SimConfig::default().with_seed(bench.seed);
     let run = World::run_once(&bench.program, &bench.topology, cfg.clone()).unwrap();
     let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
-    let trep = trigger_candidate(&bench.program, &bench.topology, &cfg, &serial.candidate, &hb);
+    let trep = trigger_candidate(
+        &bench.program,
+        &bench.topology,
+        &cfg,
+        &serial.candidate,
+        &hb,
+    );
     assert_eq!(trep.verdict, Verdict::Serial);
     assert!(trep.runs.iter().all(|r| !r.coordinated));
 }
