@@ -5,9 +5,105 @@
 
 use dcatch::{find_candidates, HbAnalysis, HbConfig, SimConfig, VectorClocks, World};
 use dcatch_bench::harness::Harness;
+use dcatch_model::{FuncId, NodeId, StmtId};
+use dcatch_trace::{
+    CallStack, EventId, ExecCtx, HandlerKind, OpKind, QueueInfo, Record, TaskId, TraceSet,
+};
+
+/// Builds a trace whose `Eserial` fixed point needs one round per queue
+/// layer: a producer enqueues `events` events onto single-consumer queue
+/// `q0`, and the handler of the i-th event on `q<j>` creates the i-th
+/// event of `q<j+1>`. `Create(e_{j,a}) ⇒ Create(e_{j,b})` only becomes
+/// visible once layer `j-1`'s `End ⇒ Begin` edges exist, so the old
+/// full-recompute implementation pays a complete reachability sweep per
+/// layer — the worst case the incremental propagation is built for.
+fn layered_queue_trace(layers: usize, events: usize) -> TraceSet {
+    let node = NodeId(0);
+    let task = |index: u32| TaskId { node, index };
+    let event = |layer: usize, i: usize| EventId((layer * events + i) as u64);
+    let mut seq = 0u64;
+    let mut rec = |task: TaskId, ctx: ExecCtx, kind: OpKind| {
+        let r = Record {
+            seq,
+            task,
+            ctx,
+            kind,
+            stack: CallStack(vec![StmtId {
+                func: FuncId(0),
+                idx: seq as u32,
+            }]),
+        };
+        seq += 1;
+        r
+    };
+    let mut records = Vec::new();
+    // producer enqueues every layer-0 event in program order
+    for i in 0..events {
+        records.push(rec(
+            task(0),
+            ExecCtx::Regular,
+            OpKind::EventCreate { event: event(0, i) },
+        ));
+    }
+    // layer j's single consumer handles its events in order; each handler
+    // enqueues the matching event of layer j+1
+    let mut instance = 0u64;
+    for layer in 0..layers {
+        for i in 0..events {
+            instance += 1;
+            let ctx = ExecCtx::Handler {
+                kind: HandlerKind::Event,
+                instance,
+            };
+            let worker = task(1 + layer as u32);
+            records.push(rec(
+                worker,
+                ctx,
+                OpKind::EventBegin {
+                    event: event(layer, i),
+                },
+            ));
+            if layer + 1 < layers {
+                records.push(rec(
+                    worker,
+                    ctx,
+                    OpKind::EventCreate {
+                        event: event(layer + 1, i),
+                    },
+                ));
+            }
+            records.push(rec(
+                worker,
+                ctx,
+                OpKind::EventEnd {
+                    event: event(layer, i),
+                },
+            ));
+        }
+    }
+    let mut trace: TraceSet = records.into_iter().collect();
+    for layer in 0..layers {
+        let queue = format!("q{layer}");
+        trace.register_queue(node, queue.clone(), QueueInfo { consumers: 1 });
+        for i in 0..events {
+            trace.register_event(event(layer, i).0, node, &queue);
+        }
+    }
+    trace
+}
 
 fn main() {
     let mut h = Harness::new("hbgraph");
+
+    h.group("eserial_fixed_point");
+    for (layers, events) in [(4usize, 32usize), (8, 64), (12, 96), (16, 128)] {
+        let trace = layered_queue_trace(layers, events);
+        let n = trace.len();
+        h.bench(&format!("layers{layers}_events{events}_{n}rec"), 10, || {
+            let hb = HbAnalysis::build(trace.clone(), &HbConfig::default()).unwrap();
+            hb.edge_count()
+        });
+    }
 
     h.group("hb_build_vs_trace_size");
     for scale in [1u32, 4, 8, 16] {

@@ -25,5 +25,19 @@ fn main() {
         });
     }
 
+    // `dcatch detect all` end to end, serial vs. parallel workers. The
+    // speed-up tracks the machine's core count; on a single-core box the
+    // two entries measure the same work plus thread hand-off overhead.
+    h.group("detect_all");
+    let all = dcatch::all_benchmarks();
+    for jobs in [1usize, 4] {
+        h.bench(&format!("jobs{jobs}"), 5, || {
+            Pipeline::run_all(&all, &PipelineOptions::fast(), jobs)
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        });
+    }
+
     h.finish();
 }

@@ -60,8 +60,14 @@ impl Harness {
     }
 
     /// Runs `f` once to warm up, then `samples` timed times, recording the
-    /// stats under `name` in the current group.
+    /// stats under `name` in the current group. `DCATCH_BENCH_SAMPLES`
+    /// overrides the sample count — `scripts/check.sh bench` sets it to 3
+    /// for a fast smoke run.
     pub fn bench<T>(&mut self, name: &str, samples: u32, mut f: impl FnMut() -> T) {
+        let samples = std::env::var("DCATCH_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(samples);
         std::hint::black_box(f());
         let mut times = Vec::with_capacity(samples as usize);
         for _ in 0..samples {
@@ -120,6 +126,7 @@ impl Harness {
         Json::obj([
             ("schema_version", Json::UInt(BENCH_SCHEMA_VERSION)),
             ("bench", Json::Str(self.bench.clone())),
+            ("calibration_ns", Json::UInt(calibrate().as_nanos() as u64)),
             (
                 "groups",
                 Json::Arr(
@@ -140,16 +147,37 @@ impl Harness {
         ])
     }
 
-    /// Prints the tables and writes `BENCH_<bench>.json` next to the
-    /// current working directory (the repo root under `cargo bench`).
+    /// Prints the tables and writes `BENCH_<bench>.json` into the
+    /// workspace root (bench binaries run with `crates/bench` as their
+    /// working directory, so a bare relative path would bury the report).
     pub fn finish(&self) {
         println!("{}", self.render());
-        let path = format!("BENCH_{}.json", self.bench);
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let path = format!("{root}/BENCH_{}.json", self.bench);
         match std::fs::write(&path, self.to_json().to_pretty()) {
-            Ok(()) => println!("\nwrote {path}"),
+            Ok(()) => println!("\nwrote BENCH_{}.json", self.bench),
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
+}
+
+/// Times a fixed integer workload (best of three) as a yardstick for the
+/// machine's current single-core speed. Shared boxes drift by 2–3× over
+/// minutes; `scripts/bench_compare.sh` divides measurements by the ratio
+/// of the two documents' calibrations so a slow phase is not mistaken
+/// for a code regression.
+fn calibrate() -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..4_000_000u64 {
+            acc = (acc ^ i).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        }
+        std::hint::black_box(acc);
+        best = best.min(start.elapsed());
+    }
+    best
 }
 
 fn measurement_json(m: &Measurement) -> Json {

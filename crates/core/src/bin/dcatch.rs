@@ -22,6 +22,8 @@
 //!   --no-trigger     skip the triggering module
 //!   --ablation K     ignore one HB rule family: event|rpc|socket|push
 //!   --budget BYTES   HB reachability memory budget
+//!   --jobs N         run up to N benchmarks concurrently (default 1);
+//!                    the report is identical for any N
 //!   --json           emit the versioned machine-readable run report
 //!   --out FILE       write the JSON report to FILE instead of stdout
 //!   --metrics        print per-run counter deltas (human mode)
@@ -129,7 +131,14 @@ const DETECT_FLAGS: &[&str] = &[
     "--metrics",
     "--verbose",
 ];
-const DETECT_VALUED: &[&str] = &["--scale", "--seed", "--ablation", "--budget", "--out"];
+const DETECT_VALUED: &[&str] = &[
+    "--scale",
+    "--seed",
+    "--ablation",
+    "--budget",
+    "--out",
+    "--jobs",
+];
 
 fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
     let mut opts = PipelineOptions::full();
@@ -221,16 +230,24 @@ fn detect(args: &[String]) -> ExitCode {
     };
     let json = flag(args, "--json");
     let show_metrics = flag(args, "--metrics");
+    let jobs = match opt::<usize>(args, "--jobs") {
+        Ok(j) => j.unwrap_or(1).max(1),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if flag(args, "--verbose") {
         dcatch_obs::trace::set_verbose(true);
     }
+    let results = Pipeline::run_all(&benches, &opts, jobs);
     let mut ok = true;
     let mut reports = Vec::new();
-    for b in benches {
+    for (b, result) in benches.iter().zip(results) {
         if !json {
             println!("== {} ({}) ==", b.id, b.system.name());
         }
-        match Pipeline::run(&b, &opts) {
+        match result {
             Ok(r) => {
                 if !json {
                     print_report(&r, &opts, show_metrics, &mut ok);

@@ -134,6 +134,55 @@ impl Pipeline {
         })
     }
 
+    /// Runs the pipeline on every benchmark, at most `jobs` concurrently,
+    /// returning the results in benchmark order.
+    ///
+    /// Every benchmark gets a *fresh* worker thread regardless of `jobs`:
+    /// metric values, gauges, and span captures are thread-local, so a
+    /// dedicated thread per run gives each report a cleanly scoped metrics
+    /// delta — no gauge readings or capture state leak between benchmarks
+    /// that happen to share a thread. That isolation is also what makes
+    /// `--json` output independent of the worker count: the only
+    /// cross-thread state is the global metric *name* table, which
+    /// [`normalize_metric_names`] reconciles after the fact.
+    pub fn run_all(
+        benches: &[Benchmark],
+        opts: &PipelineOptions,
+        jobs: usize,
+    ) -> Vec<Result<BenchmarkReport, PipelineError>> {
+        use std::sync::{Condvar, Mutex};
+        let verbose = dcatch_obs::trace::is_verbose();
+        // counting semaphore bounding how many workers run at once
+        let slots = (Mutex::new(jobs.max(1)), Condvar::new());
+        let mut results = std::thread::scope(|s| {
+            let handles: Vec<_> = benches
+                .iter()
+                .map(|bench| {
+                    let slots = &slots;
+                    s.spawn(move || {
+                        let mut free = slots.0.lock().expect("job slots");
+                        while *free == 0 {
+                            free = slots.1.wait(free).expect("job slots");
+                        }
+                        *free -= 1;
+                        drop(free);
+                        dcatch_obs::trace::set_verbose(verbose);
+                        let result = Pipeline::run(bench, opts);
+                        *slots.0.lock().expect("job slots") += 1;
+                        slots.1.notify_one();
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        normalize_metric_names(&mut results);
+        results
+    }
+
     fn run_stages(
         bench: &Benchmark,
         opts: &PipelineOptions,
@@ -317,7 +366,52 @@ impl Pipeline {
 }
 
 fn take_candidates(set: CandidateSet) -> Vec<dcatch_detect::Candidate> {
-    set.candidates
+    set.into_iter().collect()
+}
+
+/// Gives every report the same metric *name* set.
+///
+/// Metric names are interned in a global table on first use, so a report's
+/// snapshot mentions every name registered *by the time its run finished* —
+/// which depends on how runs interleave. A zero-valued counter is the same
+/// measurement whether or not its name was registered yet, so we take the
+/// union of names across all reports and zero-fill the gaps. After this,
+/// the serialized report is byte-identical for any worker count.
+fn normalize_metric_names(results: &mut [Result<BenchmarkReport, PipelineError>]) {
+    use dcatch_obs::metrics::HistogramSnapshot;
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut counters: BTreeSet<String> = BTreeSet::new();
+    let mut gauges: BTreeSet<String> = BTreeSet::new();
+    let mut histograms: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for report in results.iter().filter_map(|r| r.as_ref().ok()) {
+        counters.extend(report.metrics.counters.keys().cloned());
+        gauges.extend(report.metrics.gauges.keys().cloned());
+        for (name, h) in &report.metrics.histograms {
+            histograms
+                .entry(name.clone())
+                .or_insert_with(|| h.boundaries.clone());
+        }
+    }
+    for report in results.iter_mut().filter_map(|r| r.as_mut().ok()) {
+        for name in &counters {
+            report.metrics.counters.entry(name.clone()).or_insert(0);
+        }
+        for name in &gauges {
+            report.metrics.gauges.entry(name.clone()).or_insert(0);
+        }
+        for (name, boundaries) in &histograms {
+            report
+                .metrics
+                .histograms
+                .entry(name.clone())
+                .or_insert_with(|| HistogramSnapshot {
+                    boundaries: boundaries.clone(),
+                    buckets: vec![0; boundaries.len() + 1],
+                    sum: 0,
+                    count: 0,
+                });
+        }
+    }
 }
 
 /// Re-classifies a triggering report so only failures attributable to the

@@ -47,33 +47,82 @@ impl Candidate {
 }
 
 /// All candidates of one analysis, with the paper's two counting
-/// granularities.
+/// granularities. Backed by a map keyed on the canonical static pair, so
+/// lookups and dedup during merging are O(log n) instead of linear scans;
+/// iteration order is the canonical static-pair order.
 #[derive(Debug, Clone, Default)]
 pub struct CandidateSet {
-    /// One entry per unique static instruction pair.
-    pub candidates: Vec<Candidate>,
+    by_pair: BTreeMap<(StmtId, StmtId), Candidate>,
 }
 
 impl CandidateSet {
     /// Number of unique static instruction pairs (Table 4 left half).
     pub fn static_pair_count(&self) -> usize {
-        self.candidates.len()
+        self.by_pair.len()
     }
 
     /// Number of unique callstack pairs (Table 4 right half).
     pub fn callstack_pair_count(&self) -> usize {
-        self.candidates.iter().map(|c| c.stack_pairs.len()).sum()
+        self.iter().map(|c| c.stack_pairs.len()).sum()
+    }
+
+    /// Iterates candidates in canonical static-pair order.
+    pub fn iter(&self) -> impl Iterator<Item = &Candidate> {
+        self.by_pair.values()
     }
 
     /// Retains only candidates satisfying `keep`.
     pub fn retain(&mut self, mut keep: impl FnMut(&Candidate) -> bool) {
-        self.candidates.retain(|c| keep(c));
+        self.by_pair.retain(|_, c| keep(c));
     }
 
     /// Looks up a candidate by its static pair (in either order).
     pub fn find(&self, a: StmtId, b: StmtId) -> Option<&Candidate> {
-        let key = canonical(a, b);
-        self.candidates.iter().find(|c| c.static_pair == key)
+        self.by_pair.get(&canonical(a, b))
+    }
+
+    /// Merges one candidate in: a new static pair is inserted, an existing
+    /// one absorbs the dynamic count and callstack pairs (keeping the
+    /// established representative pair).
+    pub fn merge(&mut self, c: Candidate) {
+        match self.by_pair.entry(c.static_pair) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(e) => {
+                let m = e.into_mut();
+                m.dynamic_count += c.dynamic_count;
+                m.stack_pairs.extend(c.stack_pairs);
+            }
+        }
+    }
+}
+
+impl IntoIterator for CandidateSet {
+    type Item = Candidate;
+    type IntoIter = std::collections::btree_map::IntoValues<(StmtId, StmtId), Candidate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.by_pair.into_values()
+    }
+}
+
+impl<'a> IntoIterator for &'a CandidateSet {
+    type Item = &'a Candidate;
+    type IntoIter = std::collections::btree_map::Values<'a, (StmtId, StmtId), Candidate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.by_pair.values()
+    }
+}
+
+impl FromIterator<Candidate> for CandidateSet {
+    fn from_iter<I: IntoIterator<Item = Candidate>>(iter: I) -> CandidateSet {
+        let mut set = CandidateSet::default();
+        for c in iter {
+            set.merge(c);
+        }
+        set
     }
 }
 
@@ -94,15 +143,16 @@ fn canonical(a: StmtId, b: StmtId) -> (StmtId, StmtId) {
 pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
     let _span = dcatch_obs::span!("detect.scan");
     let trace = hb.trace();
-    // group record indices by object name (heap objects and zknodes share
-    // the namespace keyed by space+object)
-    let mut groups: BTreeMap<(bool, String), Vec<usize>> = BTreeMap::new();
+    // index record indices by location (heap objects and zknodes share the
+    // namespace keyed by space+object); keys borrow from the records, so
+    // building the index allocates nothing per access
+    let mut groups: BTreeMap<(bool, &str), Vec<usize>> = BTreeMap::new();
     for idx in trace.mem_access_indices() {
         let r = &trace.records()[idx];
         let loc = r.kind.mem_loc().expect("mem access");
         let key = (
             matches!(loc.space, dcatch_trace::MemSpace::Zk),
-            loc.object.clone(),
+            loc.object.as_str(),
         );
         groups.entry(key).or_default().push(idx);
     }
@@ -172,9 +222,7 @@ pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
             }
         }
     }
-    let set = CandidateSet {
-        candidates: agg.into_values().collect(),
-    };
+    let set = CandidateSet { by_pair: agg };
     dcatch_obs::counter!("detect_candidates_found_total").add(set.static_pair_count() as u64);
     dcatch_obs::counter!("detect_stack_pairs_found_total").add(set.callstack_pair_count() as u64);
     set
@@ -212,11 +260,35 @@ mod tests {
         let run = World::run_once(&p, &topo, SimConfig::default().with_full_tracing()).unwrap();
         let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
         let cs = find_candidates(&hb);
-        assert_eq!(cs.static_pair_count(), 1, "{:#?}", cs.candidates);
-        let c = &cs.candidates[0];
+        assert_eq!(cs.static_pair_count(), 1, "{cs:#?}");
+        let c = cs.iter().next().unwrap();
         assert_eq!(c.object(), "cell");
         assert!(c.rep.0.is_write && c.rep.1.is_write);
         assert_eq!(cs.callstack_pair_count(), 1);
+    }
+
+    #[test]
+    fn find_accepts_either_argument_order() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], FuncKind::Regular, |b| {
+            b.spawn_detached("w", vec![]);
+            b.read("x", "cell");
+        });
+        pb.func("w", &[], FuncKind::Regular, |b| {
+            b.write("cell", Expr::val(1));
+        });
+        let p = pb.build().unwrap();
+        let mut topo = Topology::new();
+        topo.node("n").entry("main", vec![]);
+        let run = World::run_once(&p, &topo, SimConfig::default().with_full_tracing()).unwrap();
+        let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+        let cs = find_candidates(&hb);
+        let c = cs.iter().next().expect("one candidate");
+        let (a, b) = c.static_pair;
+        assert_ne!(a, b);
+        assert!(std::ptr::eq(cs.find(a, b).unwrap(), c));
+        assert!(std::ptr::eq(cs.find(b, a).unwrap(), c), "reversed order");
+        assert!(cs.find(a, a).is_none());
     }
 
     #[test]
@@ -264,7 +336,7 @@ mod tests {
         let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
         let cs = find_candidates(&hb);
         // k1-put vs k1-get conflict; k2-put conflicts with neither
-        assert_eq!(cs.static_pair_count(), 1, "{:#?}", cs.candidates);
+        assert_eq!(cs.static_pair_count(), 1, "{cs:#?}");
     }
 
     #[test]
@@ -289,9 +361,8 @@ mod tests {
         let cs = find_candidates(&hb);
         // 3 writer instances race with each other and with the final read,
         // but static pairs collapse: (w-write, w-write) and (w-write, read)
-        assert_eq!(cs.static_pair_count(), 2, "{:#?}", cs.candidates);
+        assert_eq!(cs.static_pair_count(), 2, "{cs:#?}");
         let ww = cs
-            .candidates
             .iter()
             .find(|c| c.rep.0.is_write && c.rep.1.is_write)
             .unwrap();

@@ -21,7 +21,7 @@
 use dcatch_hb::{HbAnalysis, HbConfig, HbError};
 use dcatch_trace::TraceSet;
 
-use crate::candidates::{find_candidates, Candidate, CandidateSet};
+use crate::candidates::{find_candidates, CandidateSet};
 
 /// Outcome of a chunked analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +55,7 @@ pub fn find_candidates_chunked(
             },
         ));
     }
-    let mut merged: Vec<Candidate> = Vec::new();
+    let mut merged = CandidateSet::default();
     let mut stats = ChunkStats {
         chunks: 0,
         largest_chunk: 0,
@@ -75,24 +75,16 @@ pub fn find_candidates_chunked(
             .peak_matrix_bytes
             .max(dcatch_hb::BitMatrix::estimated_bytes(len));
         let hb = HbAnalysis::build(chunk, config)?;
-        let mut found = find_candidates(&hb);
-        // remap chunk-local record indices to the full trace
-        for c in &mut found.candidates {
+        for mut c in find_candidates(&hb) {
+            // remap chunk-local record indices to the full trace; the
+            // map-backed set dedups static pairs in O(log n)
             c.rep.0.index += start;
             c.rep.1.index += start;
-        }
-        for c in found.candidates {
-            match merged.iter_mut().find(|m| m.static_pair == c.static_pair) {
-                Some(m) => {
-                    m.dynamic_count += c.dynamic_count;
-                    m.stack_pairs.extend(c.stack_pairs);
-                }
-                None => merged.push(c),
-            }
+            merged.merge(c);
         }
         start = end;
     }
-    Ok((CandidateSet { candidates: merged }, stats))
+    Ok((merged, stats))
 }
 
 #[cfg(test)]

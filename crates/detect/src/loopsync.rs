@@ -208,7 +208,7 @@ fn find_polled_reads(program: &Program, candidates: &CandidateSet) -> Vec<Polled
     // retry-While statements per function, with enclosure info
     let mut out = Vec::new();
     let mut candidate_reads: BTreeMap<StmtId, String> = BTreeMap::new();
-    for c in &candidates.candidates {
+    for c in candidates {
         for side in [&c.rep.0, &c.rep.1] {
             if !side.is_write {
                 candidate_reads.insert(side.stmt, side.loc.object.clone());

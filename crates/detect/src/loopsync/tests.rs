@@ -67,7 +67,7 @@ fn distributed_pull_sync_is_recognized_and_pruned() {
     let candidates = find_candidates(&hb);
     // the polling get/put pair must initially be reported as concurrent
     assert!(
-        candidates.candidates.iter().any(|c| c.object() == "jMap"),
+        candidates.iter().any(|c| c.object() == "jMap"),
         "{candidates:#?}"
     );
     let before = candidates.static_pair_count();
@@ -77,7 +77,7 @@ fn distributed_pull_sync_is_recognized_and_pruned() {
     assert!(!result.edges.is_empty(), "an Mpull edge must be inferred");
     assert!(result.focused_objects.contains("jMap"));
     assert!(
-        after.candidates.iter().all(|c| c.object() != "jMap"),
+        after.iter().all(|c| c.object() != "jMap"),
         "the polling pair must be pruned: {after:#?}"
     );
     assert!(after.static_pair_count() < before);
@@ -111,7 +111,7 @@ fn local_while_loop_sync_prunes_flag_and_downstream_pairs() {
     let trace = traced_run(&p, &topo);
     let mut hb = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
     let candidates = find_candidates(&hb);
-    let has = |obj: &str, cs: &crate::CandidateSet| cs.candidates.iter().any(|c| c.object() == obj);
+    let has = |obj: &str, cs: &crate::CandidateSet| cs.iter().any(|c| c.object() == obj);
     assert!(has("flag", &candidates), "{candidates:#?}");
     assert!(has("data", &candidates), "{candidates:#?}");
 

@@ -1,7 +1,7 @@
 //! Dense bit matrix for reachable sets.
 
 /// An `n × n` bit matrix; row `i` is the reachable set of vertex `i`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitMatrix {
     n: usize,
     words: usize,
@@ -64,6 +64,35 @@ impl BitMatrix {
         }
     }
 
+    /// `row dst |= row src`, reporting whether any bit of `dst` changed.
+    ///
+    /// The changed flag is what makes delta propagation terminate early:
+    /// a predecessor whose row already covers the new reachable set does
+    /// not need to be re-enqueued.
+    pub fn or_row_into_changed(&mut self, src: usize, dst: usize) -> bool {
+        debug_assert!(src < self.n && dst < self.n && src != dst);
+        let (s, d) = (src * self.words, dst * self.words);
+        let mut changed = 0u64;
+        if s < d {
+            let (left, right) = self.data.split_at_mut(d);
+            for i in 0..self.words {
+                let old = right[i];
+                let new = old | left[s + i];
+                changed |= old ^ new;
+                right[i] = new;
+            }
+        } else {
+            let (left, right) = self.data.split_at_mut(s);
+            for i in 0..self.words {
+                let old = left[d + i];
+                let new = old | right[i];
+                changed |= old ^ new;
+                left[d + i] = new;
+            }
+        }
+        changed != 0
+    }
+
     /// Number of set bits in `row`.
     pub fn row_count(&self, row: usize) -> usize {
         self.data[row * self.words..(row + 1) * self.words]
@@ -98,6 +127,57 @@ mod tests {
         m.set(1, 3);
         m.or_row_into(1, 50); // src < dst
         assert!(m.get(50, 3));
+    }
+
+    #[test]
+    fn or_row_into_src_less_than_dst_preserves_existing_bits() {
+        let mut m = BitMatrix::new(100);
+        m.set(1, 3);
+        m.set(50, 99);
+        m.or_row_into(1, 50); // src < dst branch
+        assert!(m.get(50, 3) && m.get(50, 99));
+        assert_eq!(m.row_count(50), 2);
+        assert_eq!(m.row_count(1), 1); // src row untouched
+    }
+
+    #[test]
+    fn or_row_into_src_greater_than_dst_preserves_existing_bits() {
+        let mut m = BitMatrix::new(100);
+        m.set(70, 65);
+        m.set(2, 0);
+        m.or_row_into(70, 2); // src > dst branch
+        assert!(m.get(2, 65) && m.get(2, 0));
+        assert_eq!(m.row_count(2), 2);
+        assert_eq!(m.row_count(70), 1);
+    }
+
+    #[test]
+    fn or_row_into_changed_reports_both_directions() {
+        let mut m = BitMatrix::new(100);
+        m.set(5, 70);
+        assert!(m.or_row_into_changed(5, 2)); // src > dst, new bit lands
+        assert!(m.get(2, 70));
+        assert!(!m.or_row_into_changed(5, 2)); // already subsumed
+        m.set(1, 3);
+        assert!(m.or_row_into_changed(1, 50)); // src < dst, new bit lands
+        assert!(m.get(50, 3));
+        assert!(!m.or_row_into_changed(1, 50));
+    }
+
+    #[test]
+    fn or_row_into_changed_matches_or_row_into() {
+        // Same unions through both code paths must produce equal matrices.
+        let mut a = BitMatrix::new(130);
+        let mut b = BitMatrix::new(130);
+        for (r, c) in [(0, 63), (0, 64), (3, 129), (100, 5), (129, 0)] {
+            a.set(r, c);
+            b.set(r, c);
+        }
+        for (src, dst) in [(0, 3), (3, 0), (100, 129), (129, 100)] {
+            a.or_row_into(src, dst);
+            b.or_row_into_changed(src, dst);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -84,6 +84,9 @@ impl std::error::Error for HbError {}
 pub struct HbAnalysis {
     trace: TraceSet,
     edges: Vec<Vec<(u32, EdgeRule)>>,
+    /// Reverse adjacency, kept in lockstep with `edges`: used by the
+    /// incremental reachability propagation and by `predecessors`.
+    preds: Vec<Vec<(u32, EdgeRule)>>,
     reach: BitMatrix,
     edge_count: usize,
 }
@@ -106,6 +109,7 @@ impl HbAnalysis {
         let mut a = HbAnalysis {
             trace,
             edges: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
             reach: BitMatrix::new(0),
             edge_count: 0,
         };
@@ -153,18 +157,12 @@ impl HbAnalysis {
         self.edges[v].iter().map(|&(t, r)| (t as usize, r))
     }
 
-    /// Direct predecessors of a vertex (linear scan; used only by the
-    /// triggering module's placement analysis on small candidate sets).
+    /// Direct predecessors of a vertex.
     pub fn predecessors(&self, v: usize) -> Vec<(usize, EdgeRule)> {
-        let mut preds = Vec::new();
-        for (u, outs) in self.edges.iter().enumerate() {
-            for &(t, r) in outs {
-                if t as usize == v {
-                    preds.push((u, r));
-                }
-            }
-        }
-        preds
+        self.preds[v]
+            .iter()
+            .map(|&(u, r)| (u as usize, r))
+            .collect()
     }
 
     /// A happens-before chain from `a` to `b`, if one exists: the list of
@@ -237,8 +235,10 @@ impl HbAnalysis {
     }
 
     /// Adds extra edges (e.g. inferred `Mpull`/loop-sync causality) and
-    /// recomputes reachability.
+    /// folds each one into the reachability index incrementally — no
+    /// full matrix rebuild.
     pub fn add_edges_and_rebuild(&mut self, extra: &[(usize, usize)]) {
+        let _span = dcatch_obs::span!("hb.reach.delta");
         for &(u, v) in extra {
             debug_assert!(u < self.trace.len() && v < self.trace.len());
             // HB edges must respect execution order for the sweep to work.
@@ -248,24 +248,99 @@ impl HbAnalysis {
                 (v, u)
             };
             if u != v {
-                self.add_edge(u, v, EdgeRule::LoopSync);
+                self.add_edge_incremental(u, v, EdgeRule::LoopSync);
             }
         }
-        self.recompute_reach();
     }
 
     // -- construction ------------------------------------------------------
 
-    fn add_edge(&mut self, u: usize, v: usize, rule: EdgeRule) {
+    fn add_edge(&mut self, u: usize, v: usize, rule: EdgeRule) -> bool {
         debug_assert!(
             self.trace.records()[u].seq <= self.trace.records()[v].seq,
             "HB edges must go forward in sequence order"
         );
         if self.edges[u].iter().any(|&(t, _)| t as usize == v) {
-            return;
+            return false;
         }
         self.edges[u].push((v as u32, rule));
+        self.preds[v].push((u as u32, rule));
         self.edge_count += 1;
+        true
+    }
+
+    /// Adds `u → v` to an analysis whose reachable sets are already
+    /// computed, and repairs the matrix by delta propagation instead of a
+    /// full sweep: row `u` absorbs `{v} ∪ reach[v]`, and the growth is
+    /// pushed backward through predecessors whose rows actually change.
+    ///
+    /// Correctness rests on the invariant that every row is transitively
+    /// closed with respect to the current edge set. A predecessor `p` of a
+    /// grown vertex `w` already has `w` in its row, so `row p |= row w`
+    /// restores closure at `p`; if that union changes nothing, no row
+    /// upstream of `p` can change either and propagation stops.
+    fn add_edge_incremental(&mut self, u: usize, v: usize, rule: EdgeRule) -> bool {
+        debug_assert_eq!(self.reach.len(), self.trace.len(), "reach not built yet");
+        if !self.add_edge(u, v, rule) {
+            return false;
+        }
+        counter!("hb_reach_delta_edges_total").inc();
+        let mut changed = !self.reach.get(u, v);
+        self.reach.set(u, v);
+        changed |= self.reach.or_row_into_changed(v, u);
+        if !changed {
+            return true;
+        }
+        let mut work = vec![u];
+        while let Some(w) = work.pop() {
+            for i in 0..self.preds[w].len() {
+                let p = self.preds[w][i].0 as usize;
+                if self.reach.or_row_into_changed(w, p) {
+                    work.push(p);
+                }
+            }
+        }
+        true
+    }
+
+    /// Folds a batch of freshly inserted edges (already present in
+    /// `edges`/`preds`, not yet in `reach`) into the reachability index
+    /// with one partial reverse sweep. Only rows that gained an out-edge
+    /// or whose successor's row changed are re-unioned, so the cost is
+    /// proportional to the affected region rather than the whole graph —
+    /// and unlike per-edge propagation, each affected row absorbs the
+    /// whole batch's delta once instead of once per edge.
+    fn integrate_edges(&mut self, new_edges: &[(usize, usize)]) {
+        if new_edges.is_empty() {
+            return;
+        }
+        let mut by_src: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut hi = 0usize;
+        for &(u, v) in new_edges {
+            by_src.entry(u).or_default().push(v);
+            hi = hi.max(u);
+        }
+        counter!("hb_reach_delta_edges_total").add(new_edges.len() as u64);
+        let mut changed = vec![false; hi + 1];
+        for i in (0..=hi).rev() {
+            let mut grew = false;
+            if let Some(vs) = by_src.get(&i) {
+                for &v in vs {
+                    if !self.reach.get(i, v) {
+                        self.reach.set(i, v);
+                        grew = true;
+                    }
+                    grew |= self.reach.or_row_into_changed(v, i);
+                }
+            }
+            for k in 0..self.edges[i].len() {
+                let t = self.edges[i][k].0 as usize;
+                if t <= hi && changed[t] {
+                    grew |= self.reach.or_row_into_changed(t, i);
+                }
+            }
+            changed[i] = grew;
+        }
     }
 
     /// `Preg` / `Pnreg`: chain consecutive records of the same
@@ -475,44 +550,65 @@ impl HbAnalysis {
                 _ => {}
             }
         }
-        loop {
-            counter!("hb_eserial_iterations_total").inc();
-            let mut added = false;
-            for events in by_queue.values() {
-                let evs: Vec<&Ev> = events
+        // Queues are scanned repeatedly; each pass's newly discovered
+        // edges (across every queue) are folded into the reachability
+        // index in one batched partial sweep (`integrate_edges`) before
+        // the next pass — where the full-recompute version paid a
+        // complete O(n²/64) sweep per dependency layer. One batch per
+        // pass, not per queue, keeps the sweep count independent of how
+        // many queues the trace has. `done` bitsets remember which pairs
+        // already produced an edge so rescans cost O(1) per pair.
+        let queues: Vec<Vec<&Ev>> = by_queue
+            .values()
+            .map(|events| {
+                events
                     .values()
                     .filter(|e| e.begin != usize::MAX && e.end.is_some())
-                    .collect();
-                for e1 in &evs {
-                    for e2 in &evs {
-                        let end1 = e1.end.expect("filtered");
+                    .collect()
+            })
+            .collect();
+        let mut done: Vec<Vec<u64>> = queues
+            .iter()
+            .map(|evs| vec![0u64; (evs.len() * evs.len()).div_ceil(64)])
+            .collect();
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        loop {
+            counter!("hb_eserial_iterations_total").inc();
+            pending.clear();
+            for (evs, done) in queues.iter().zip(done.iter_mut()) {
+                let m = evs.len();
+                for (i1, e1) in evs.iter().enumerate() {
+                    let end1 = e1.end.expect("filtered");
+                    for (i2, e2) in evs.iter().enumerate() {
                         if end1 >= e2.begin {
                             continue; // edges must go forward in seq order
                         }
-                        if self.edges[end1]
-                            .iter()
-                            .any(|&(t, _)| t as usize == e2.begin)
-                        {
+                        let bit = i1 * m + i2;
+                        if done[bit / 64] & (1u64 << (bit % 64)) != 0 {
                             continue;
                         }
                         let c1c2 = e1.create != e2.create && self.reach.get(e1.create, e2.create);
                         if c1c2 {
-                            self.add_edge(end1, e2.begin, EdgeRule::Eserial);
-                            added = true;
+                            if self.add_edge(end1, e2.begin, EdgeRule::Eserial) {
+                                pending.push((end1, e2.begin));
+                            }
+                            done[bit / 64] |= 1u64 << (bit % 64);
                         }
                     }
                 }
             }
-            if !added {
+            if pending.is_empty() {
                 break;
             }
-            self.recompute_reach();
+            self.integrate_edges(&pending);
         }
     }
 
-    /// Reverse sweep: every edge goes from a smaller to a larger index, so
-    /// processing vertices in decreasing order makes each reachable set the
-    /// union of its successors' sets plus the successors themselves.
+    /// Full reverse sweep, run exactly once per build: every edge goes from
+    /// a smaller to a larger index, so processing vertices in decreasing
+    /// order makes each reachable set the union of its successors' sets
+    /// plus the successors themselves. All later edge insertions go through
+    /// `add_edge_incremental` instead.
     fn recompute_reach(&mut self) {
         let _span = dcatch_obs::span!("hb.reach");
         counter!("hb_reach_recomputes_total").inc();

@@ -389,6 +389,58 @@ fn edge_and_vertex_counts() {
     assert_eq!(a.predecessors(1).len(), 1);
 }
 
+/// Property: folding random forward edges into a built analysis via
+/// `add_edge_incremental` leaves `reach` identical to a from-scratch
+/// full sweep over the same edge set, across seeded random DAGs.
+#[test]
+fn incremental_reach_matches_full_recompute_on_random_dags() {
+    use dcatch_obs::SmallRng;
+    for case in 0u64..40 {
+        let mut rng = SmallRng::seed_from_u64(0x1BC4 ^ case);
+        let n = 8 + rng.gen_range(40);
+        // one record per task: `build` adds no program-order edges, so the
+        // DAG below is exactly the random edges we insert
+        let records: Vec<Record> = (0..n)
+            .map(|i| mem(i as u64, task(0, i as u32), ExecCtx::Regular, "x", false))
+            .collect();
+        let trace: TraceSet = records.into_iter().collect();
+        let mut a = HbAnalysis::build(trace, &HbConfig::default()).unwrap();
+        // seed DAG folded in before the comparison baseline
+        for _ in 0..n {
+            let u = rng.gen_range(n - 1);
+            let v = u + 1 + rng.gen_range(n - u - 1);
+            a.add_edge_incremental(u, v, EdgeRule::LoopSync);
+        }
+        // interleave inserts with full-recompute cross-checks, exercising
+        // both the per-edge worklist and the batched partial sweep
+        for round in 0..4 {
+            if rng.gen_bool() {
+                for _ in 0..(1 + rng.gen_range(6)) {
+                    let u = rng.gen_range(n - 1);
+                    let v = u + 1 + rng.gen_range(n - u - 1);
+                    a.add_edge_incremental(u, v, EdgeRule::LoopSync);
+                }
+            } else {
+                let mut batch = Vec::new();
+                for _ in 0..(1 + rng.gen_range(6)) {
+                    let u = rng.gen_range(n - 1);
+                    let v = u + 1 + rng.gen_range(n - u - 1);
+                    if a.add_edge(u, v, EdgeRule::LoopSync) {
+                        batch.push((u, v));
+                    }
+                }
+                a.integrate_edges(&batch);
+            }
+            let incremental = a.reach.clone();
+            a.recompute_reach();
+            assert_eq!(
+                incremental, a.reach,
+                "case {case} round {round}: delta propagation diverged from full sweep"
+            );
+        }
+    }
+}
+
 #[test]
 fn dot_export_contains_clusters_and_labelled_edges() {
     let parent = task(0, 0);

@@ -150,6 +150,13 @@ pub fn set_verbose(on: bool) {
     TRACER.with_borrow_mut(|t| t.verbose = on);
 }
 
+/// Whether verbose span printing is enabled on this thread. Verbosity is
+/// thread-local, so code that fans work out to worker threads must read
+/// it on the parent and re-apply it on each worker.
+pub fn is_verbose() -> bool {
+    TRACER.with_borrow(|t| t.verbose)
+}
+
 /// RAII guard for one span activation. Created by [`span`] or the
 /// [`span!`](crate::span!) macro.
 #[must_use = "a span guard measures until it is dropped"]

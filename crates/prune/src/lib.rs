@@ -178,10 +178,9 @@ impl<'p> Pruner<'p> {
             ..PruneStats::default()
         };
         let (kept, pruned): (Vec<Candidate>, Vec<Candidate>) = candidates
-            .candidates
             .into_iter()
             .partition(|c| self.candidate_impacted(c));
-        let kept = CandidateSet { candidates: kept };
+        let kept: CandidateSet = kept.into_iter().collect();
         stats.after_static = kept.static_pair_count();
         stats.after_stacks = kept.callstack_pair_count();
         dcatch_obs::counter!("prune_candidates_pruned_total").add(pruned.len() as u64);

@@ -39,7 +39,7 @@ fn intra_procedural_impact_separates_harmful_from_harmless() {
     let (kept, pruned, stats) = pruner.prune(candidates);
     assert_eq!(stats.before_static, 2);
     assert_eq!(stats.after_static, 1);
-    assert_eq!(kept.candidates[0].object(), "status");
+    assert_eq!(kept.iter().next().unwrap().object(), "status");
     assert_eq!(pruned[0].object(), "metrics");
 }
 
@@ -69,7 +69,7 @@ fn caller_return_value_impact_is_found() {
     assert_eq!(candidates.static_pair_count(), 1);
 
     let pruner = Pruner::new(&p);
-    let c = &candidates.candidates[0];
+    let c = candidates.iter().next().unwrap();
     let read_side = if c.rep.0.is_write { &c.rep.1 } else { &c.rep.0 };
     let impacts = pruner.impact_of(read_side);
     assert!(
@@ -105,7 +105,7 @@ fn callee_argument_impact_is_found() {
     topo.node("n").entry("main", vec![]);
     let candidates = candidates_of(&p, &topo);
     let pruner = Pruner::new(&p);
-    let c = &candidates.candidates[0];
+    let c = candidates.iter().next().unwrap();
     let read_side = if c.rep.0.is_write { &c.rep.1 } else { &c.rep.0 };
     let impacts = pruner.impact_of(read_side);
     assert!(
@@ -157,7 +157,6 @@ fn distributed_rpc_impact_keeps_the_mapreduce_bug() {
     // at least the get/remove pair must be a candidate
     let pruner = Pruner::new(&p);
     let get_remove = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "jMap")
         .expect("jMap candidate");
@@ -243,7 +242,6 @@ fn heap_mediated_impact_keeps_sibling_thread_hang() {
     let candidates = candidates_of(&p, &topo);
     let pruner = Pruner::new(&p);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "request_processor")
         .expect("request_processor candidate");

@@ -44,7 +44,6 @@ fn order_violation_is_confirmed_harmful() {
     let (cfg, hb) = setup(&p, &topo);
     let candidates = find_candidates(&hb);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "init")
         .expect("init candidate");
@@ -81,7 +80,7 @@ fn harmless_race_is_benign() {
     topo.node("n").entry("main", vec![]);
     let (cfg, hb) = setup(&p, &topo);
     let candidates = find_candidates(&hb);
-    let c = &candidates.candidates[0];
+    let c = candidates.iter().next().unwrap();
     let report = trigger_candidate(&p, &topo, &cfg, c, &hb);
     assert_eq!(report.verdict, Verdict::BenignRace, "{report:#?}");
 }
@@ -117,7 +116,6 @@ fn custom_sync_pair_is_classified_serial() {
     // deliberately skip the loop-sync analysis: the data pair stays a
     // candidate, as with the paper's unidentified custom synchronization
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "data")
         .expect("data candidate");
@@ -159,7 +157,6 @@ fn single_consumer_queue_placement_moves_to_enqueue_sites() {
     let (cfg, hb) = setup(&p, &topo);
     let candidates = find_candidates(&hb);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "attempt_state" && (c.rep.0.is_write != c.rep.1.is_write))
         .expect("read/write candidate on attempt_state");
@@ -207,7 +204,6 @@ fn lock_guarded_race_moves_before_critical_section() {
     let (cfg, hb) = setup(&p, &topo);
     let candidates = find_candidates(&hb);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "shared")
         .expect("shared candidate");

@@ -62,7 +62,6 @@ fn many_instance_race_moves_to_remote_ancestor() {
     let (cfg, hb) = analyze(&p, &topo, 77);
     let candidates = find_candidates(&hb);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "status")
         .expect("status candidate");
@@ -107,7 +106,6 @@ fn direct_fallback_is_recorded() {
     let (cfg, hb) = analyze(&p, &topo, 5);
     let candidates = find_candidates(&hb);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "cell")
         .expect("cell candidate");
@@ -154,7 +152,6 @@ fn same_socket_worker_placement_moves_to_senders() {
     let (cfg, hb) = analyze(&p, &topo, 9);
     let candidates = find_candidates(&hb);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "inbox")
         .expect("inbox candidate");

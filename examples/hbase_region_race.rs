@@ -74,7 +74,6 @@ fn main() {
     // and the actual bug: alter_table's removal vs the watcher's check
     let candidates = find_candidates(&hb);
     let racy: Vec<_> = candidates
-        .candidates
         .iter()
         .filter(|c| c.object() == "regionsToOpen")
         .collect();

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Compares two BENCH_*.json documents (baseline vs. current) and fails
+# when any shared entry's mean regresses by more than 25%.
+#
+#   scripts/bench_compare.sh BENCH_hbgraph_baseline.json BENCH_hbgraph.json
+#
+# Shared boxes drift by 1.3–3× over minutes, so raw wall-clock ratios
+# would flag phantom regressions. Three guards keep the gate honest:
+#   * every ratio is divided by the *median* ratio across shared entries
+#     — ambient drift lifts the whole suite and cancels out, while a code
+#     regression moves specific entries and survives normalization (the
+#     `calibration_ns` spin-loop probe is printed as a second, code-
+#     independent witness of the drift);
+#   * an entry only fails when *both* its mean and its min regress past
+#     the threshold — a transient load spike inflates the mean while the
+#     fastest sample stays honest, a genuine slowdown moves both;
+#   * sub-0.5ms entries are jitter-dominated and never fail the gate.
+# Entries present on only one side are reported but do not fail the
+# comparison (benches gain entries over time). Improvements print their
+# speed-up so refreshed baselines are easy to sanity-check.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: $0 <baseline.json> <current.json>" >&2
+    exit 2
+fi
+
+python3 - "$1" "$2" <<'PY'
+import json
+import statistics
+import sys
+
+THRESHOLD = 1.25  # fail on >25% mean regression
+NOISE_FLOOR_NS = 500_000  # sub-0.5ms entries are jitter-dominated: report only
+
+def entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for group in doc["groups"]:
+        for entry in group["entries"]:
+            out[(group["name"], entry["name"])] = (entry["mean_ns"], entry["min_ns"])
+    return out, doc.get("calibration_ns")
+
+base_path, cur_path = sys.argv[1], sys.argv[2]
+(base, base_cal), (cur, cur_cal) = entries(base_path), entries(cur_path)
+
+shared = sorted(base.keys() & cur.keys())
+# suite-median ratio = ambient machine drift between the two captures
+drift = statistics.median(cur[k][0] / base[k][0] for k in shared) if shared else 1.0
+if abs(drift - 1.0) > 0.05:
+    probe = f", calibration probe {cur_cal / base_cal:.2f}x" if base_cal and cur_cal else ""
+    print(f"  ambient drift {drift:.2f}x (suite median{probe}) — normalized out")
+
+failed = []
+for key in sorted(base.keys() | cur.keys()):
+    label = "/".join(key)
+    if key not in base:
+        print(f"  new       {label}: {cur[key][0] / 1e6:.2f} ms (no baseline)")
+        continue
+    if key not in cur:
+        print(f"  missing   {label}: present only in {base_path}")
+        continue
+    (b_mean, b_min), (c_mean, c_min) = base[key], cur[key]
+    ratio = (c_mean / drift) / b_mean if b_mean else float("inf")
+    min_ratio = (c_min / drift) / b_min if b_min else float("inf")
+    if ratio > THRESHOLD and min_ratio > THRESHOLD:
+        if b_mean < NOISE_FLOOR_NS:
+            print(
+                f"  noisy     {label}: {b_mean / 1e6:.2f} ms -> {c_mean / 1e6:.2f} ms "
+                f"({ratio:.2f}x) below the 0.5 ms noise floor — not failed"
+            )
+            continue
+        failed.append(label)
+        print(f"  REGRESSED {label}: {b_mean / 1e6:.2f} ms -> {c_mean / 1e6:.2f} ms ({ratio:.2f}x)")
+    elif ratio > THRESHOLD:
+        print(
+            f"  noisy     {label}: mean {b_mean / 1e6:.2f} ms -> {c_mean / 1e6:.2f} ms "
+            f"({ratio:.2f}x) but min {min_ratio:.2f}x — load spike, not failed"
+        )
+    elif ratio < 1.0:
+        print(f"  ok        {label}: {b_mean / 1e6:.2f} ms -> {c_mean / 1e6:.2f} ms ({1 / ratio:.2f}x faster)")
+    else:
+        print(f"  ok        {label}: {b_mean / 1e6:.2f} ms -> {c_mean / 1e6:.2f} ms ({ratio:.2f}x)")
+
+if failed:
+    print(f"{len(failed)} entr{'y' if len(failed) == 1 else 'ies'} regressed >25% vs {base_path}")
+    sys.exit(1)
+print(f"no >25% regressions vs {base_path}")
+PY

@@ -1,8 +1,34 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, and the tier-1 test suite.
 # Fully offline — every dependency is a workspace member.
+#
+#   scripts/check.sh          # fmt + clippy + build + test
+#   scripts/check.sh bench    # fast bench smoke run (1 warm-up + 3 samples
+#                             # per entry), refreshing BENCH_pipeline.json
+#                             # and BENCH_hbgraph.json in the repo root,
+#                             # then scripts/bench_compare.sh against the
+#                             # committed *_baseline.json files
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "bench" ]]; then
+    echo "== bench smoke (DCATCH_BENCH_SAMPLES=3) =="
+    # a 3-sample smoke run on a contended box can catch a transient load
+    # spike; one retry separates those from persistent regressions
+    smoke() {
+        local name="$1"
+        DCATCH_BENCH_SAMPLES=3 cargo bench --offline -p dcatch-bench --bench "$name"
+        if ! scripts/bench_compare.sh "BENCH_${name}_baseline.json" "BENCH_${name}.json"; then
+            echo "-- retrying $name once to rule out transient load --"
+            DCATCH_BENCH_SAMPLES=3 cargo bench --offline -p dcatch-bench --bench "$name"
+            scripts/bench_compare.sh "BENCH_${name}_baseline.json" "BENCH_${name}.json"
+        fi
+    }
+    smoke pipeline
+    smoke hbgraph
+    echo "Bench smoke passed."
+    exit 0
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check

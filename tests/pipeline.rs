@@ -66,6 +66,38 @@ fn traced_runs_are_deterministic() {
     }
 }
 
+/// `detect all --jobs 4 --json` must be byte-identical to `--jobs 1`:
+/// worker count is an execution detail, not an input. Wall-clock fields
+/// (stage timings, span durations) are the only legitimately
+/// nondeterministic part of a report, so the comparison zeroes them and
+/// then demands byte equality of the serialized document — counters,
+/// gauges, span *structure* and counts, candidate tallies, and verdicts
+/// all included.
+#[test]
+fn parallel_detection_report_matches_serial_byte_for_byte() {
+    fn zero_durations(span: &mut dcatch_obs::SpanNode) {
+        span.total = std::time::Duration::ZERO;
+        for child in &mut span.children {
+            zero_durations(child);
+        }
+    }
+    fn scrubbed_json(jobs: usize) -> String {
+        let benches = dcatch::all_benchmarks();
+        let mut reports: Vec<_> = Pipeline::run_all(&benches, &PipelineOptions::fast(), jobs)
+            .into_iter()
+            .map(|r| r.expect("pipeline run"))
+            .collect();
+        for r in &mut reports {
+            r.timings = dcatch::StageTimings::default();
+            zero_durations(&mut r.spans);
+        }
+        dcatch::report_json::run_report(&reports).to_pretty()
+    }
+    let serial = scrubbed_json(1);
+    let parallel = scrubbed_json(4);
+    assert_eq!(serial, parallel, "report depends on worker count");
+}
+
 /// Trace files round-trip through the on-disk line format.
 #[test]
 fn trace_files_roundtrip() {

@@ -55,7 +55,7 @@ fn placement_rules_fire_on_event_driven_benchmarks() {
         let run = World::run_once(&bench.program, &bench.topology, cfg).unwrap();
         let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
         let candidates = dcatch::find_candidates(&hb);
-        for c in &candidates.candidates {
+        for c in &candidates {
             let plan: TriggerPlan = plan_candidate(c, &hb);
             if !plan.is_direct() {
                 non_direct += 1;
@@ -76,7 +76,6 @@ fn verdicts_are_deterministic() {
     let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
     let candidates = dcatch::find_candidates(&hb);
     let c = candidates
-        .candidates
         .iter()
         .find(|c| c.object() == "/unassigned/r2")
         .expect("zknode candidate");
