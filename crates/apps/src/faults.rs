@@ -1,0 +1,108 @@
+//! Canned fault matrices for the benchmark suite.
+//!
+//! Each benchmark family gets a small set of named [`FaultPlan`]s that
+//! exercise the fault classes its real-world counterpart is known to see
+//! (socket reordering in Cassandra's gossip, region-server crashes in
+//! HBase, RPC timeouts in MapReduce, leader crashes in ZooKeeper). They
+//! drive the `dcatch faults` sub-command and the seeded soak test: the
+//! point is not to reproduce a specific outage but to check that the
+//! pipeline *degrades cleanly* — every run either completes or reports a
+//! classified failure, and nothing panics.
+
+use dcatch_model::NodeId;
+use dcatch_sim::{ChannelKind, FaultPlan, MessageAction, MessageFault};
+
+use crate::{Benchmark, System};
+
+/// A named fault plan from the per-family matrix.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Short scenario name (`"socket-delay"`, `"crash-restart"`, …).
+    pub name: &'static str,
+    /// The plan to run the benchmark under.
+    pub plan: FaultPlan,
+}
+
+/// The fault matrix for one benchmark, derived from its system family.
+///
+/// Crash scenarios target the highest-numbered node: node 0 hosts the
+/// coordinating side (client / master / leader) in every miniature, so
+/// crashing the last node exercises worker/follower loss without making
+/// the whole run degenerate.
+pub fn fault_scenarios(bench: &Benchmark) -> Vec<FaultScenario> {
+    let last = NodeId(bench.topology.nodes.len().saturating_sub(1) as u32);
+    match bench.system {
+        System::Cassandra => vec![
+            FaultScenario {
+                name: "socket-delay",
+                plan: FaultPlan::default().with_message(MessageFault::new(
+                    ChannelKind::Socket,
+                    MessageAction::Delay(3),
+                )),
+            },
+            FaultScenario {
+                name: "socket-drop-first",
+                plan: FaultPlan::default().with_message(
+                    MessageFault::new(ChannelKind::Socket, MessageAction::Drop).nth(1),
+                ),
+            },
+        ],
+        System::HBase => vec![
+            FaultScenario {
+                name: "crash-restart",
+                plan: FaultPlan::default().with_crash(last, 8, Some(6)),
+            },
+            FaultScenario {
+                name: "zk-notify-dup",
+                plan: FaultPlan::default().with_message(MessageFault::new(
+                    ChannelKind::ZkNotify,
+                    MessageAction::Duplicate,
+                )),
+            },
+        ],
+        System::MapReduce => vec![
+            FaultScenario {
+                name: "rpc-timeout",
+                plan: FaultPlan::default().with_rpc_timeout(None, 4),
+            },
+            FaultScenario {
+                name: "rpc-drop-second",
+                plan: FaultPlan::default().with_message(
+                    MessageFault::new(ChannelKind::RpcRequest, MessageAction::Drop).nth(2),
+                ),
+            },
+        ],
+        System::ZooKeeper => vec![
+            FaultScenario {
+                name: "socket-dup",
+                plan: FaultPlan::default().with_message(MessageFault::new(
+                    ChannelKind::Socket,
+                    MessageAction::Duplicate,
+                )),
+            },
+            FaultScenario {
+                name: "crash-no-restart",
+                plan: FaultPlan::default().with_crash(last, 10, None),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_has_a_nonempty_matrix() {
+        for bench in crate::all_benchmarks() {
+            let scenarios = fault_scenarios(&bench);
+            assert!(!scenarios.is_empty(), "{} has no scenarios", bench.id);
+            for s in &scenarios {
+                assert!(!s.plan.is_empty(), "{}:{} plan is empty", bench.id, s.name);
+                // plans survive the text round-trip used by --fault-plan
+                let parsed = FaultPlan::parse(&s.plan.to_text()).expect("round-trip");
+                assert_eq!(parsed, s.plan, "{}:{}", bench.id, s.name);
+            }
+        }
+    }
+}

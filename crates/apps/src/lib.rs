@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 mod ca1011;
+mod faults;
 mod hb4539;
 mod hb4729;
 mod mr3274;
@@ -34,6 +35,8 @@ mod mr4637;
 mod noise;
 mod zk1144;
 mod zk1270;
+
+pub use faults::{fault_scenarios, FaultScenario};
 
 use dcatch_model::{Program, StmtKind};
 use dcatch_sim::Topology;

@@ -6,6 +6,7 @@
 //! dcatch stats   <BUG-ID> [--full-tracing] [--scale N] [--seed N] [--json]
 //! dcatch trace   <BUG-ID> [--full-tracing] [--out FILE]
 //! dcatch explain <BUG-ID> <OBJECT>
+//! dcatch faults  <BUG-ID|all> [--fault-plan FILE] [--seeds CSV] [--json]
 //! ```
 //!
 //! `explain` prints, for the named shared object, which access pairs the
@@ -24,6 +25,9 @@
 //!   --budget BYTES   HB reachability memory budget
 //!   --jobs N         run up to N benchmarks concurrently (default 1);
 //!                    the report is identical for any N
+//!   --fault-plan F   inject the fault plan in file F into every run
+//!   --fault-target B apply the fault plan only to benchmark B
+//!   --timeout SECS   per-benchmark wall-clock watchdog
 //!   --json           emit the versioned machine-readable run report
 //!   --out FILE       write the JSON report to FILE instead of stdout
 //!   --metrics        print per-run counter deltas (human mode)
@@ -54,8 +58,9 @@ fn main() -> ExitCode {
         Some("stats") => stats(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("explain") => explain(&args[1..]),
+        Some("faults") => faults(&args[1..]),
         _ => {
-            eprintln!("usage: dcatch <list|detect|stats|trace|explain> …  (see the README)");
+            eprintln!("usage: dcatch <list|detect|stats|trace|explain|faults> …  (see the README)");
             ExitCode::FAILURE
         }
     }
@@ -138,6 +143,9 @@ const DETECT_VALUED: &[&str] = &[
     "--budget",
     "--out",
     "--jobs",
+    "--fault-plan",
+    "--fault-target",
+    "--timeout",
 ];
 
 fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
@@ -170,7 +178,19 @@ fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
             other => return Err(format!("unknown ablation `{other}`")),
         };
     }
+    if let Some(path) = opt_str(args, "--fault-plan") {
+        opts.faults = load_fault_plan(path)?;
+    }
+    opts.fault_target = opt_str(args, "--fault-target").cloned();
+    if let Some(secs) = opt::<u64>(args, "--timeout")? {
+        opts.timeout = Some(std::time::Duration::from_secs(secs));
+    }
     Ok(opts)
+}
+
+fn load_fault_plan(path: &str) -> Result<dcatch::FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    dcatch::FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn benchmarks_for(id: &str, scale: u32) -> Vec<dcatch::Benchmark> {
@@ -241,20 +261,19 @@ fn detect(args: &[String]) -> ExitCode {
         dcatch_obs::trace::set_verbose(true);
     }
     let results = Pipeline::run_all(&benches, &opts, jobs);
+    let results: Vec<(&str, _)> = benches.iter().map(|b| b.id).zip(results).collect();
     let mut ok = true;
-    let mut reports = Vec::new();
-    for (b, result) in benches.iter().zip(results) {
+    for (b, (_, result)) in benches.iter().zip(&results) {
         if !json {
             println!("== {} ({}) ==", b.id, b.system.name());
         }
         match result {
             Ok(r) => {
                 if !json {
-                    print_report(&r, &opts, show_metrics, &mut ok);
+                    print_report(r, &opts, show_metrics, &mut ok);
                 } else if opts.triggering && r.oom.is_none() && !r.detected_known_bug {
                     ok = false;
                 }
-                reports.push(r);
             }
             Err(e) => {
                 ok = false;
@@ -267,7 +286,142 @@ fn detect(args: &[String]) -> ExitCode {
         }
     }
     if json {
-        let doc = dcatch::report_json::run_report(&reports);
+        // errored benchmarks stay in the report as structured entries
+        let doc = dcatch::report_json::run_report_results(&results);
+        if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `dcatch faults <BUG-ID|all>` — runs each benchmark's simulation under a
+/// fault plan (from `--fault-plan`, or the built-in per-family matrix) for
+/// each seed in `--seeds`, and reports whether the run completed cleanly
+/// or degraded into classified failures. Exit code is FAILURE only when a
+/// run neither completes nor reports failures (a silent wedge).
+fn faults(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!("usage: dcatch faults <BUG-ID|all> [--fault-plan FILE] [--seeds CSV] [--json]");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = check_flags(
+        &args[1..],
+        &["--json"],
+        &["--fault-plan", "--seeds", "--scale", "--out"],
+    ) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let scale = match opt(args, "--scale") {
+        Ok(s) => s.unwrap_or(1),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let benches = benchmarks_for(id, scale);
+    if benches.is_empty() {
+        eprintln!("unknown benchmark `{id}` — try `dcatch list`");
+        return ExitCode::FAILURE;
+    }
+    let seeds: Vec<u64> = match opt_str(args, "--seeds") {
+        Some(csv) => {
+            let parsed: Result<Vec<u64>, _> =
+                csv.split(',').map(str::trim).map(str::parse).collect();
+            match parsed {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("invalid value `{csv}` for `--seeds` (expected e.g. 1,2,3)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => vec![1, 2, 3],
+    };
+    let custom = match opt_str(args, "--fault-plan").map(|p| load_fault_plan(p)) {
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let json = flag(args, "--json");
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for b in &benches {
+        let scenarios: Vec<(String, dcatch::FaultPlan)> = match &custom {
+            Some(plan) => vec![("custom".to_owned(), plan.clone())],
+            None => dcatch::fault_scenarios(b)
+                .into_iter()
+                .map(|s| (s.name.to_owned(), s.plan))
+                .collect(),
+        };
+        for (name, plan) in &scenarios {
+            for &seed in &seeds {
+                let cfg = SimConfig::default()
+                    .with_seed(seed)
+                    .with_faults(plan.clone());
+                let run = match World::run_once(&b.program, &b.topology, cfg) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{}: {e}", b.id);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                // a faulted run must end in a *classified* state
+                let wedged = !run.completed && run.failures.is_empty();
+                ok &= !wedged;
+                let outcome = if run.completed {
+                    "completed".to_owned()
+                } else if wedged {
+                    "WEDGED".to_owned()
+                } else {
+                    format!("{} failure(s)", run.failures.len())
+                };
+                if json {
+                    rows.push(dcatch_obs::Json::obj([
+                        ("id", dcatch_obs::Json::Str(b.id.to_owned())),
+                        ("scenario", dcatch_obs::Json::Str(name.clone())),
+                        ("seed", dcatch_obs::Json::UInt(seed)),
+                        ("completed", dcatch_obs::Json::Bool(run.completed)),
+                        (
+                            "failures",
+                            dcatch_obs::Json::Arr(
+                                run.failures
+                                    .iter()
+                                    .map(|f| dcatch_obs::Json::Str(f.to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "faults_injected",
+                            dcatch_obs::Json::UInt(run.faults_injected),
+                        ),
+                    ]));
+                } else {
+                    println!(
+                        "{:8} {:18} seed={:<4} faults={:<3} {}",
+                        b.id, name, seed, run.faults_injected, outcome
+                    );
+                }
+            }
+        }
+    }
+    if json {
+        let doc = dcatch_obs::Json::obj([
+            (
+                "schema_version",
+                dcatch_obs::Json::UInt(dcatch::report_json::SCHEMA_VERSION),
+            ),
+            ("runs", dcatch_obs::Json::Arr(rows)),
+        ]);
         if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
             eprintln!("{e}");
             return ExitCode::FAILURE;

@@ -43,8 +43,8 @@ pub use report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
 
 // Re-export the pieces users compose the pipeline from.
 pub use dcatch_apps::{
-    all_benchmarks, all_benchmarks_scaled, benchmark, mechanisms, Benchmark, ErrorPattern,
-    Mechanisms, RootCause, System,
+    all_benchmarks, all_benchmarks_scaled, benchmark, fault_scenarios, mechanisms, Benchmark,
+    ErrorPattern, FaultScenario, Mechanisms, RootCause, System,
 };
 pub use dcatch_detect::{
     find_candidates, find_candidates_chunked, AccessSite, Candidate, CandidateSet, ChunkStats,
@@ -54,6 +54,9 @@ pub use dcatch_hb::{
 };
 pub use dcatch_model::{Expr, FailureSpec, FuncKind, Program, ProgramBuilder, StmtId, Value};
 pub use dcatch_prune::{Impact, PruneStats, Pruner};
-pub use dcatch_sim::{Failure, FocusConfig, RunFailureKind, RunResult, SimConfig, Topology, World};
+pub use dcatch_sim::{
+    ChannelKind, CrashFault, Failure, FaultPlan, FaultPlanError, FocusConfig, MessageAction,
+    MessageFault, RunFailureKind, RunResult, SimConfig, TimeoutFault, Topology, World,
+};
 pub use dcatch_trace::{TraceSet, TraceStats, TracingMode};
 pub use dcatch_trigger::{plan_candidate, trigger_candidate, TriggerPlan, TriggerReport, Verdict};

@@ -1,12 +1,13 @@
 //! The end-to-end DCatch pipeline.
 
 use std::fmt;
+use std::time::Duration;
 
 use dcatch_apps::Benchmark;
 use dcatch_detect::{analyze_loop_sync, find_candidates, CandidateSet};
 use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig, HbError};
 use dcatch_prune::Pruner;
-use dcatch_sim::{FocusConfig, RunError, SimConfig, World};
+use dcatch_sim::{FaultPlan, FocusConfig, RunError, SimConfig, World};
 use dcatch_trace::TracingMode;
 use dcatch_trigger::{trigger_candidate, Verdict};
 
@@ -22,6 +23,26 @@ pub enum PipelineError {
     /// runs would be meaningless (DCatch predicts bugs from *correct*
     /// runs, §1).
     TracedRunFailed(String),
+    /// The benchmark's worker thread panicked. Caught at the thread
+    /// boundary so one bad benchmark cannot poison a `detect all` batch.
+    Panicked(String),
+    /// The benchmark exceeded the per-benchmark wall-clock watchdog.
+    WatchdogTimeout {
+        /// The configured limit that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl PipelineError {
+    /// Short machine-readable kind, used by the JSON report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PipelineError::Run(_) => "run",
+            PipelineError::TracedRunFailed(_) => "traced_run_failed",
+            PipelineError::Panicked(_) => "panic",
+            PipelineError::WatchdogTimeout { .. } => "watchdog_timeout",
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -30,6 +51,10 @@ impl fmt::Display for PipelineError {
             PipelineError::Run(e) => write!(f, "{e}"),
             PipelineError::TracedRunFailed(msg) => {
                 write!(f, "traced run was not failure-free: {msg}")
+            }
+            PipelineError::Panicked(msg) => write!(f, "benchmark panicked: {msg}"),
+            PipelineError::WatchdogTimeout { limit } => {
+                write!(f, "exceeded the {}s watchdog timeout", limit.as_secs())
             }
         }
     }
@@ -62,6 +87,18 @@ pub struct PipelineOptions {
     pub triggering: bool,
     /// Measure the un-traced base run (Table 6's "Base" column).
     pub measure_base: bool,
+    /// Fault plan injected into every simulated run of the pipeline
+    /// (base, traced, focused, triggering). Empty by default — an empty
+    /// plan is a strict no-op and leaves traces byte-identical.
+    pub faults: FaultPlan,
+    /// When set, `faults` applies only to the benchmark with this id;
+    /// other benchmarks in a `detect all` batch run fault-free.
+    pub fault_target: Option<String>,
+    /// Per-benchmark wall-clock watchdog for [`Pipeline::run_all`]. A
+    /// benchmark still running when the limit expires is reported as
+    /// [`PipelineError::WatchdogTimeout`] (its worker thread is detached,
+    /// not cancelled).
+    pub timeout: Option<Duration>,
 }
 
 impl Default for PipelineOptions {
@@ -75,6 +112,9 @@ impl Default for PipelineOptions {
             loop_sync: true,
             triggering: true,
             measure_base: true,
+            faults: FaultPlan::default(),
+            fault_target: None,
+            timeout: None,
         }
     }
 }
@@ -145,6 +185,14 @@ impl Pipeline {
     /// `--json` output independent of the worker count: the only
     /// cross-thread state is the global metric *name* table, which
     /// [`normalize_metric_names`] reconciles after the fact.
+    ///
+    /// Each benchmark is additionally crash-isolated: a panic inside the
+    /// run is caught at the thread boundary and reported as
+    /// [`PipelineError::Panicked`], and `opts.timeout` (when set) bounds
+    /// the wall-clock of each run via a watchdog. A misbehaving benchmark
+    /// therefore degrades to a structured error entry instead of aborting
+    /// the batch. Degradations are counted on the calling thread in the
+    /// `benchmarks_failed` and `watchdog_timeouts` metrics.
     pub fn run_all(
         benches: &[Benchmark],
         opts: &PipelineOptions,
@@ -167,7 +215,7 @@ impl Pipeline {
                         *free -= 1;
                         drop(free);
                         dcatch_obs::trace::set_verbose(verbose);
-                        let result = Pipeline::run(bench, opts);
+                        let result = run_guarded(bench, opts, verbose);
                         *slots.0.lock().expect("job slots") += 1;
                         slots.1.notify_one();
                         result
@@ -179,6 +227,17 @@ impl Pipeline {
                 .map(|h| h.join().expect("pipeline worker panicked"))
                 .collect::<Vec<_>>()
         });
+        // Count degradations on the calling thread: metrics are
+        // thread-local, so counters bumped on (possibly dead) workers
+        // would be invisible to the caller's snapshot.
+        for result in &results {
+            if let Err(e) = result {
+                dcatch_obs::counter!("benchmarks_failed").inc();
+                if matches!(e, PipelineError::WatchdogTimeout { .. }) {
+                    dcatch_obs::counter!("watchdog_timeouts").inc();
+                }
+            }
+        }
         normalize_metric_names(&mut results);
         results
     }
@@ -188,17 +247,25 @@ impl Pipeline {
         opts: &PipelineOptions,
     ) -> Result<BenchmarkReport, PipelineError> {
         let seed = opts.seed.unwrap_or(bench.seed);
+        // the fault plan applies to every simulated run of this pipeline,
+        // unless it is aimed at a different benchmark
+        let faults = match &opts.fault_target {
+            Some(target) if target != bench.id => FaultPlan::default(),
+            _ => opts.faults.clone(),
+        };
 
         // ---- base run (untraced) ----------------------------------------
         if opts.measure_base {
-            let mut cfg = SimConfig::default().with_seed(seed);
+            let mut cfg = SimConfig::default()
+                .with_seed(seed)
+                .with_faults(faults.clone());
             cfg.trace_enabled = false;
             let _span = dcatch_obs::span!("pipeline.base");
             World::run_once(&bench.program, &bench.topology, cfg)?;
         }
 
         // ---- traced run ---------------------------------------------------
-        let mut cfg = SimConfig::default().with_seed(seed);
+        let mut cfg = SimConfig::default().with_seed(seed).with_faults(faults);
         cfg.tracing = opts.tracing;
         let run = {
             let _span = dcatch_obs::span!("pipeline.tracing");
@@ -362,6 +429,54 @@ impl Pipeline {
             metrics: dcatch_obs::MetricsSnapshot::default(),
             spans: dcatch_obs::SpanNode::default(),
         })
+    }
+}
+
+/// Runs one benchmark on a dedicated `'static` thread so that panics are
+/// caught at the join boundary and a wall-clock watchdog can give up on a
+/// hung run. On timeout the worker thread is *detached*, not cancelled —
+/// it keeps burning its core until the process exits, which is the price
+/// of not poisoning shared state by killing it mid-run.
+fn run_guarded(
+    bench: &Benchmark,
+    opts: &PipelineOptions,
+    verbose: bool,
+) -> Result<BenchmarkReport, PipelineError> {
+    use std::sync::mpsc;
+    let (tx, rx) = mpsc::channel();
+    let timeout = opts.timeout;
+    let bench = bench.clone();
+    let opts = opts.clone();
+    std::thread::Builder::new()
+        .name(format!("dcatch-{}", bench.id))
+        .spawn(move || {
+            dcatch_obs::trace::set_verbose(verbose);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Pipeline::run(&bench, &opts)
+            }))
+            .unwrap_or_else(|payload| Err(PipelineError::Panicked(panic_message(&*payload))));
+            // the receiver is gone iff the watchdog already fired; the
+            // result is then intentionally dropped
+            let _ = tx.send(result);
+        })
+        .expect("spawn benchmark thread");
+    match timeout {
+        Some(limit) => rx
+            .recv_timeout(limit)
+            .unwrap_or(Err(PipelineError::WatchdogTimeout { limit })),
+        None => rx
+            .recv()
+            .unwrap_or_else(|_| Err(PipelineError::Panicked("worker vanished".to_owned()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 

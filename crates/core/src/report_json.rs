@@ -7,15 +7,20 @@
 //! reports across commits; bump [`SCHEMA_VERSION`] on breaking changes and
 //! describe the layout in DESIGN.md's "Observability" section.
 //!
-//! Document layout (schema version 1):
+//! Document layout (schema version 2):
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "tool": "dcatch-rs",
+//!   "degradations": {
+//!     "faults_injected": …, "benchmarks_failed": …,
+//!     "trigger_retries": …, "watchdog_timeouts": …
+//!   },
 //!   "benchmarks": [
 //!     {
 //!       "id": "MR-3274",
+//!       "error": null,
 //!       "oom": null | "<message>",
 //!       "trace": { "bytes": …, "stats": { "total": …, "mem": …, … } },
 //!       "candidates": { "ta_static": …, …, "lp_stacks": … },
@@ -24,28 +29,105 @@
 //!       "timings_ns": { "base": …, …, "triggering": … },
 //!       "spans": { "name": …, "total_ns": …, "count": …, "children": […] },
 //!       "metrics": { "counters": {…}, "gauges": {…}, "histograms": {…} }
-//!     }, …
+//!     },
+//!     { "id": "ZK-1144", "error": { "kind": "panic", "message": "…" } }, …
 //!   ]
 //! }
 //! ```
+//!
+//! A benchmark that errored out (panic, watchdog timeout, failed traced
+//! run) still appears in `benchmarks`, as a short entry whose `error`
+//! field carries the structured cause — one bad benchmark never truncates
+//! the report. `error.kind` is one of `run`, `traced_run_failed`, `panic`,
+//! `watchdog_timeout`.
 
 use dcatch_obs::metrics::HistogramSnapshot;
 use dcatch_obs::{Json, MetricsSnapshot, SpanNode};
 use dcatch_trace::TraceStats;
 
+use crate::pipeline::PipelineError;
 use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
 
 /// Version of the run-report document layout. Bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added top-level `degradations`, per-benchmark `error` (null on
+/// success), error-only benchmark entries, and `trace.stats.faults`.
+pub const SCHEMA_VERSION: u64 = 2;
 
-/// Builds the versioned top-level run report for a set of benchmark runs.
+/// Builds the versioned top-level run report for a set of benchmark runs
+/// that all succeeded (the bench-harness path).
 pub fn run_report(reports: &[BenchmarkReport]) -> Json {
+    report_doc(
+        reports.iter().map(benchmark_json).collect(),
+        degradations(reports.iter(), 0, 0),
+    )
+}
+
+/// Builds the run report from per-benchmark pipeline *results*, keeping
+/// errored benchmarks in the document as structured `error` entries.
+pub fn run_report_results(results: &[(&str, Result<BenchmarkReport, PipelineError>)]) -> Json {
+    let mut failed: u64 = 0;
+    let mut watchdog: u64 = 0;
+    let benchmarks = results
+        .iter()
+        .map(|(id, result)| match result {
+            Ok(r) => benchmark_json(r),
+            Err(e) => {
+                failed += 1;
+                if matches!(e, PipelineError::WatchdogTimeout { .. }) {
+                    watchdog += 1;
+                }
+                error_json(id, e)
+            }
+        })
+        .collect();
+    let ok = results.iter().filter_map(|(_, r)| r.as_ref().ok());
+    report_doc(benchmarks, degradations(ok, failed, watchdog))
+}
+
+fn report_doc(benchmarks: Vec<Json>, degradations: Json) -> Json {
     Json::obj([
         ("schema_version", Json::UInt(SCHEMA_VERSION)),
         ("tool", Json::Str("dcatch-rs".to_owned())),
+        ("degradations", degradations),
+        ("benchmarks", Json::Arr(benchmarks)),
+    ])
+}
+
+/// Top-level resilience summary: what the run survived. Per-run fault and
+/// retry counts come from the per-benchmark metric deltas (so the summary
+/// is independent of worker count); failure counts come from the result
+/// list itself, because a panicked worker's thread-local counters die with
+/// it.
+fn degradations<'a>(
+    reports: impl Iterator<Item = &'a BenchmarkReport>,
+    benchmarks_failed: u64,
+    watchdog_timeouts: u64,
+) -> Json {
+    let mut faults: u64 = 0;
+    let mut retries: u64 = 0;
+    for r in reports {
+        faults += r.metrics.counter("faults_injected");
+        retries += r.metrics.counter("trigger_retries");
+    }
+    Json::obj([
+        ("faults_injected", Json::UInt(faults)),
+        ("benchmarks_failed", Json::UInt(benchmarks_failed)),
+        ("trigger_retries", Json::UInt(retries)),
+        ("watchdog_timeouts", Json::UInt(watchdog_timeouts)),
+    ])
+}
+
+/// The short entry for a benchmark whose pipeline run errored out.
+pub fn error_json(id: &str, e: &PipelineError) -> Json {
+    Json::obj([
+        ("id", Json::Str(id.to_owned())),
         (
-            "benchmarks",
-            Json::Arr(reports.iter().map(benchmark_json).collect()),
+            "error",
+            Json::obj([
+                ("kind", Json::Str(e.kind().to_owned())),
+                ("message", Json::Str(e.to_string())),
+            ]),
         ),
     ])
 }
@@ -54,6 +136,7 @@ pub fn run_report(reports: &[BenchmarkReport]) -> Json {
 pub fn benchmark_json(r: &BenchmarkReport) -> Json {
     Json::obj([
         ("id", Json::Str(r.id.clone())),
+        ("error", Json::Null),
         (
             "oom",
             match &r.oom {
@@ -99,6 +182,7 @@ pub fn trace_stats_json(s: &TraceStats) -> Json {
         ("lock", Json::UInt(s.lock as u64)),
         ("zk", Json::UInt(s.zk as u64)),
         ("loops", Json::UInt(s.loops as u64)),
+        ("faults", Json::UInt(s.faults as u64)),
     ])
 }
 
@@ -179,9 +263,34 @@ mod tests {
     #[test]
     fn empty_report_list_still_carries_version() {
         let doc = run_report(&[]);
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(2));
         assert_eq!(doc.get("benchmarks").unwrap().as_arr().unwrap().len(), 0);
+        let deg = doc.get("degradations").unwrap();
+        assert_eq!(deg.get("benchmarks_failed").unwrap().as_u64(), Some(0));
         // round-trips through the parser
+        let back = dcatch_obs::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn errored_benchmark_becomes_structured_entry() {
+        let results = vec![(
+            "ZK-9999",
+            Err::<BenchmarkReport, _>(PipelineError::Panicked("boom".to_owned())),
+        )];
+        let doc = run_report_results(&results);
+        let benches = doc.get("benchmarks").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 1);
+        let err = benches[0].get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("panic"));
+        assert_eq!(
+            doc.get("degradations")
+                .unwrap()
+                .get("benchmarks_failed")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
         let back = dcatch_obs::json::parse(&doc.to_pretty()).unwrap();
         assert_eq!(back, doc);
     }

@@ -1,6 +1,6 @@
 //! HB-graph construction and reachability queries (paper §3.2).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use dcatch_obs::{counter, gauge};
@@ -30,6 +30,10 @@ pub enum EdgeRule {
     /// `Mpull` / loop-based custom synchronization (added by
     /// `dcatch-detect` after the focused re-run).
     LoopSync,
+    /// Fault-injection ordering: everything a node did happens-before its
+    /// `NodeCrash` record, and its `NodeRestart` record happens-before
+    /// everything the reborn node does.
+    Crash,
 }
 
 /// Configuration of the HB analysis.
@@ -119,6 +123,7 @@ impl HbAnalysis {
         a.add_rpc_edges();
         a.add_socket_edges();
         a.add_push_edges();
+        a.add_crash_edges();
         a.recompute_reach();
         if config.apply_eserial {
             a.apply_eserial_fixed_point();
@@ -495,6 +500,57 @@ impl HbAnalysis {
         }
         for (u, v) in edges {
             self.add_edge(u, v, EdgeRule::Mpush);
+        }
+    }
+
+    /// Fault-injection crash/restart ordering. A `NodeCrash` record is
+    /// ordered after the last record of every program-order group on the
+    /// crashed node; a `NodeRestart` record is ordered before the first
+    /// record of every group the reborn node produces. (`RpcTimeout`
+    /// records need no extra rule: the timeout happens at the caller, so
+    /// plain program order covers it.) The crash record shares a
+    /// program-order group with the restart record, which chains
+    /// pre-crash ⇒ crash ⇒ restart ⇒ post-restart.
+    fn add_crash_edges(&mut self) {
+        let n = self.trace.len();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            let r = &self.trace.records()[i];
+            match r.kind {
+                OpKind::NodeCrash { node } => {
+                    let mut last: BTreeMap<(TaskId, ExecCtx), usize> = BTreeMap::new();
+                    for (j, c) in self.trace.records().iter().enumerate().take(i) {
+                        if c.task.node == node {
+                            last.insert((c.task, c.ctx), j);
+                        }
+                    }
+                    let own = (r.task, r.ctx);
+                    for (key, &j) in &last {
+                        // the crash record's own group is already chained
+                        // by program order
+                        if *key != own {
+                            edges.push((j, i));
+                        }
+                    }
+                }
+                OpKind::NodeRestart { node } => {
+                    let mut seen: BTreeSet<(TaskId, ExecCtx)> = BTreeSet::new();
+                    let own = (r.task, r.ctx);
+                    for j in i + 1..n {
+                        let c = &self.trace.records()[j];
+                        if c.task.node == node {
+                            let key = (c.task, c.ctx);
+                            if key != own && seen.insert(key) {
+                                edges.push((i, j));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (u, v) in edges {
+            self.add_edge(u, v, EdgeRule::Crash);
         }
     }
 

@@ -259,20 +259,33 @@ impl<'a> BlockBuilder<'a> {
 
     /// `while cond { body }`.
     pub fn while_(&mut self, cond: Expr, body: impl FnOnce(&mut BlockBuilder<'_>)) -> StmtId {
-        self.while_impl(cond, false, body)
+        self.while_impl(cond, false, None, body)
     }
 
     /// A retry/polling loop: `while cond { body }` flagged as a candidate
     /// hang site (its exit is a failure instruction; spinning past the
     /// interpreter's budget reports a hang).
     pub fn retry_while(&mut self, cond: Expr, body: impl FnOnce(&mut BlockBuilder<'_>)) -> StmtId {
-        self.while_impl(cond, true, body)
+        self.while_impl(cond, true, None, body)
+    }
+
+    /// A retry loop that sleeps `backoff` ticks between iterations —
+    /// the shape real timeout-retry clients take (issue the call, time
+    /// out, back off, try again).
+    pub fn retry_while_backoff(
+        &mut self,
+        cond: Expr,
+        backoff: u32,
+        body: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> StmtId {
+        self.while_impl(cond, true, Some(backoff), body)
     }
 
     fn while_impl(
         &mut self,
         cond: Expr,
         retry: bool,
+        backoff: Option<u32>,
         body: impl FnOnce(&mut BlockBuilder<'_>),
     ) -> StmtId {
         let id = self.next_id();
@@ -286,6 +299,7 @@ impl<'a> BlockBuilder<'a> {
                 cond,
                 body,
                 retry,
+                backoff,
             },
         });
         id

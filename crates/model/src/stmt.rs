@@ -140,6 +140,10 @@ pub enum StmtKind {
         body: Vec<Stmt>,
         /// Whether this is a retry/polling loop.
         retry: bool,
+        /// Retry backoff: ticks slept between iterations (after the body,
+        /// before re-checking the condition). Models the client-side
+        /// backoff real retry loops use when an RPC times out.
+        backoff: Option<u32>,
     },
     /// `local = call(func, args…)` — synchronous intra-thread call.
     Call {

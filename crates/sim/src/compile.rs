@@ -394,6 +394,7 @@ fn compile_stmt(program: &Program, s: &Stmt, out: &mut Vec<Instr>) -> Result<(),
             cond,
             body,
             retry,
+            backoff,
         } => {
             push(
                 out,
@@ -405,6 +406,16 @@ fn compile_stmt(program: &Program, s: &Stmt, out: &mut Vec<Instr>) -> Result<(),
             let head_at = out.len();
             push(out, Op::Nop); // placeholder for LoopHead
             compile_block(program, body, out)?;
+            if let Some(ticks) = backoff {
+                // sleep between iterations, after the body and before the
+                // condition re-check
+                push(
+                    out,
+                    Op::Sleep {
+                        ticks: Expr::Const(dcatch_model::Value::Int(i64::from(*ticks))),
+                    },
+                );
+            }
             let jump_back_at = out.len();
             push(out, Op::Jump { target: head_at });
             let exit_at = out.len();

@@ -4,6 +4,8 @@ use std::collections::BTreeSet;
 
 use dcatch_trace::TracingMode;
 
+use crate::fault::FaultPlan;
+
 /// Focused value-tracing configuration for the loop-synchronization
 /// analysis' second run (paper §3.2.1: "we will then run the targeted
 /// software again, tracing only such `r`s and all writes that touch the
@@ -40,6 +42,9 @@ pub struct SimConfig {
     /// Iterations a single retry-loop activation may spin before the run
     /// declares a livelock hang (the MR-3274 `getTask` loop).
     pub retry_loop_budget: u32,
+    /// Deterministic fault-injection plan. The default (empty) plan is a
+    /// strict no-op: the run is byte-identical to one without it.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -51,6 +56,7 @@ impl Default for SimConfig {
             focus: None,
             max_steps: 2_000_000,
             retry_loop_budget: 200,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -71,6 +77,12 @@ impl SimConfig {
     /// Same configuration with focused value tracing enabled.
     pub fn with_focus(mut self, focus: FocusConfig) -> SimConfig {
         self.focus = Some(focus);
+        self
+    }
+
+    /// Same configuration with a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
+        self.faults = faults;
         self
     }
 }

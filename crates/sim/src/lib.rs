@@ -54,6 +54,7 @@
 mod compile;
 mod config;
 mod failure;
+mod fault;
 mod gate;
 mod topology;
 mod world;
@@ -61,6 +62,9 @@ mod world;
 pub use compile::{CompileError, CompiledFunc, CompiledProgram, Instr, Op};
 pub use config::{FocusConfig, SimConfig};
 pub use failure::{Failure, LogLevel, LogLine, RunFailureKind};
+pub use fault::{
+    ChannelKind, CrashFault, FaultPlan, FaultPlanError, MessageAction, MessageFault, TimeoutFault,
+};
 pub use gate::{Gate, GateDecision, GateEvent, NoGate, StallAction};
 pub use topology::{NodeSpec, QueueSpec, Topology, WatcherSpec};
 pub use world::{RunError, RunResult, World};

@@ -16,6 +16,7 @@ use dcatch_trace::{
 use crate::compile::{CompiledProgram, Op};
 use crate::config::SimConfig;
 use crate::failure::{Failure, LogLevel, LogLine, RunFailureKind};
+use crate::fault::{ChannelKind, CrashFault, MessageAction};
 use crate::gate::{Gate, GateDecision, GateEvent, NoGate, StallAction};
 use crate::topology::Topology;
 
@@ -50,6 +51,9 @@ pub struct RunResult {
     /// Whether an installed gate gave up coordinating (the requested
     /// ordering was infeasible — a "serial" verdict for triggering).
     pub gate_abandoned: bool,
+    /// Number of faults the fault-injection plan actually applied
+    /// (message perturbations, crashes, restarts, RPC timeouts).
+    pub faults_injected: u64,
 }
 
 impl RunResult {
@@ -98,6 +102,8 @@ enum TaskState {
     HeldByGate,
     Done,
     Killed,
+    /// The task's node was crashed by the fault-injection plan.
+    Crashed,
 }
 
 #[derive(Debug, Clone)]
@@ -140,6 +146,8 @@ struct Task {
     last_return: Value,
     /// Per-loop iteration counters of the *current activation*.
     loop_iters: BTreeMap<LoopId, u32>,
+    /// Step at which the task last entered `BlockedRpc` (for timeouts).
+    blocked_at: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -172,6 +180,14 @@ enum Message {
         version: u64,
         data: Value,
     },
+}
+
+/// A network message plus the earliest step it may be delivered at
+/// (later than its send step only when a delay fault applies).
+#[derive(Debug, Clone)]
+struct InFlight {
+    msg: Message,
+    not_before: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -248,8 +264,19 @@ pub struct World<'g> {
     rpc_pending: Vec<VecDeque<PendingRpc>>,
     socket_pending: Vec<VecDeque<PendingSocket>>,
     notify_pending: Vec<VecDeque<PendingNotify>>,
-    net: Vec<Message>,
+    net: Vec<InFlight>,
     zk: ZkStore,
+
+    /// Per-node crashed flag (fault injection).
+    crashed: Vec<bool>,
+    /// Crash faults not yet applied.
+    crash_queue: Vec<CrashFault>,
+    /// Pending restarts: (step, node).
+    pending_restarts: Vec<(u64, NodeId)>,
+    /// Per-message-fault match counters (for `nth` selection).
+    msg_fault_hits: Vec<u64>,
+    /// Faults applied so far.
+    faults_injected: u64,
 
     trace: TraceSet,
     failures: Vec<Failure>,
@@ -313,6 +340,8 @@ impl<'g> World<'g> {
             message: e.to_string(),
         })?;
         let traced = TracedFunctions::compute(program);
+        let crash_queue = config.faults.crashes.clone();
+        let msg_fault_hits = vec![0; config.faults.messages.len()];
         let mut world = World {
             cp,
             topo: topo.clone(),
@@ -331,6 +360,11 @@ impl<'g> World<'g> {
             notify_pending: vec![VecDeque::new(); topo.nodes.len()],
             net: Vec::new(),
             zk: ZkStore::default(),
+            crashed: vec![false; topo.nodes.len()],
+            crash_queue,
+            pending_restarts: Vec::new(),
+            msg_fault_hits,
+            faults_injected: 0,
             trace: TraceSet::new(),
             failures: Vec::new(),
             logs: Vec::new(),
@@ -351,49 +385,56 @@ impl<'g> World<'g> {
     }
 
     fn boot(&mut self) {
-        for (i, nspec) in self.topo.nodes.clone().iter().enumerate() {
-            let node = NodeId(i as u32);
-            for q in &nspec.queues {
-                self.queues[i].insert(q.name.clone(), VecDeque::new());
-                self.trace.register_queue(
+        for i in 0..self.topo.nodes.len() {
+            self.setup_node(NodeId(i as u32));
+        }
+    }
+
+    /// Creates a node's queues, worker pool, and entry tasks. Called once
+    /// per node at boot, and again when a crashed node restarts.
+    fn setup_node(&mut self, node: NodeId) {
+        let nspec = self.topo.nodes[node.index()].clone();
+        let i = node.index();
+        for q in &nspec.queues {
+            self.queues[i].insert(q.name.clone(), VecDeque::new());
+            self.trace.register_queue(
+                node,
+                q.name.clone(),
+                QueueInfo {
+                    consumers: q.consumers,
+                },
+            );
+            for _ in 0..q.consumers {
+                self.new_task(
                     node,
-                    q.name.clone(),
-                    QueueInfo {
-                        consumers: q.consumers,
+                    TaskKind::EventWorker {
+                        queue: q.name.clone(),
                     },
+                    TaskState::Idle,
+                    None,
                 );
-                for _ in 0..q.consumers {
-                    self.new_task(
-                        node,
-                        TaskKind::EventWorker {
-                            queue: q.name.clone(),
-                        },
-                        TaskState::Idle,
-                        None,
-                    );
-                }
             }
-            for _ in 0..nspec.rpc_workers {
-                self.new_task(node, TaskKind::RpcWorker, TaskState::Idle, None);
-            }
-            for _ in 0..nspec.socket_workers {
-                self.new_task(node, TaskKind::SocketWorker, TaskState::Idle, None);
-            }
-            if self.topo.watchers.iter().any(|w| w.node == node) {
-                self.new_task(node, TaskKind::WatcherWorker, TaskState::Idle, None);
-            }
-            for (func, args) in &nspec.entries {
-                let fid = self
-                    .cp
-                    .funcs()
-                    .iter()
-                    .position(|f| &f.name == func)
-                    .expect("validated entry");
-                let fid = FuncId(fid as u32);
-                let t = self.new_task(node, TaskKind::Entry, TaskState::Runnable, None);
-                let frame = self.make_frame(fid, args.clone(), None, None);
-                self.tasks[t].frames.push(frame);
-            }
+        }
+        for _ in 0..nspec.rpc_workers {
+            self.new_task(node, TaskKind::RpcWorker, TaskState::Idle, None);
+        }
+        for _ in 0..nspec.socket_workers {
+            self.new_task(node, TaskKind::SocketWorker, TaskState::Idle, None);
+        }
+        if self.topo.watchers.iter().any(|w| w.node == node) {
+            self.new_task(node, TaskKind::WatcherWorker, TaskState::Idle, None);
+        }
+        for (func, args) in &nspec.entries {
+            let fid = self
+                .cp
+                .funcs()
+                .iter()
+                .position(|f| &f.name == func)
+                .expect("validated entry");
+            let fid = FuncId(fid as u32);
+            let t = self.new_task(node, TaskKind::Entry, TaskState::Runnable, None);
+            let frame = self.make_frame(fid, args.clone(), None, None);
+            self.tasks[t].frames.push(frame);
         }
     }
 
@@ -421,6 +462,7 @@ impl<'g> World<'g> {
             job: None,
             last_return: Value::Unit,
             loop_iters: BTreeMap::new(),
+            blocked_at: 0,
         });
         self.tasks.len() - 1
     }
@@ -591,6 +633,9 @@ impl<'g> World<'g> {
                 });
                 return;
             }
+            // apply fault-plan events whose step has come (no-op when the
+            // plan is empty)
+            self.apply_due_faults();
             // wake sleepers
             let now = self.step;
             for task in &mut self.tasks {
@@ -608,15 +653,19 @@ impl<'g> World<'g> {
             }
             let actions = self.collect_actions();
             if actions.is_empty() {
-                if let Some(min_wake) = self
+                let min_sleep = self
                     .tasks
                     .iter()
                     .filter_map(|t| match t.state {
                         TaskState::Sleeping { until } => Some(until),
                         _ => None,
                     })
-                    .min()
-                {
+                    .min();
+                let min_wake = match (min_sleep, self.next_fault_wake()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if let Some(min_wake) = min_wake {
                     counter!("sim_clock_advances_total").add(min_wake.saturating_sub(self.step));
                     self.step = min_wake;
                     continue;
@@ -695,24 +744,29 @@ impl<'g> World<'g> {
                 _ => {}
             }
         }
-        for m in 0..self.net.len() {
-            actions.push(Action::Deliver(m));
+        for (m, f) in self.net.iter().enumerate() {
+            if f.not_before <= self.step {
+                actions.push(Action::Deliver(m));
+            }
         }
         actions
     }
 
     fn detect_quiescence_outcome(&mut self) {
+        // Tasks of a deliberately crashed node are expected casualties,
+        // not deadlock evidence: only blocked tasks on live nodes count.
         let blocked: Vec<usize> = self
             .tasks
             .iter()
             .enumerate()
             .filter(|(_, t)| {
-                matches!(
-                    t.state,
-                    TaskState::BlockedJoin { .. }
-                        | TaskState::BlockedRpc { .. }
-                        | TaskState::BlockedLock { .. }
-                )
+                !self.crashed[t.node.index()]
+                    && matches!(
+                        t.state,
+                        TaskState::BlockedJoin { .. }
+                            | TaskState::BlockedRpc { .. }
+                            | TaskState::BlockedLock { .. }
+                    )
             })
             .map(|(i, _)| i)
             .collect();
@@ -750,13 +804,257 @@ impl<'g> World<'g> {
             steps: self.step,
             completed: !deadlocked,
             gate_abandoned: self.gate_abandoned,
+            faults_injected: self.faults_injected,
         }
+    }
+
+    // -- fault injection ------------------------------------------------------
+
+    /// Emits a node-level fault record (crash/restart). Attributed to the
+    /// node's task 0 in regular context so the record joins that task's
+    /// program-order group: everything the node did before the crash
+    /// happens-before the crash record, and crash → restart is ordered.
+    fn emit_node(&mut self, node: NodeId, kind: OpKind) {
+        if !self.config.trace_enabled {
+            return;
+        }
+        let rec = Record {
+            seq: self.seq,
+            task: TaskId { node, index: 0 },
+            ctx: ExecCtx::Regular,
+            kind,
+            stack: CallStack::default(),
+        };
+        self.seq += 1;
+        self.trace.push(rec);
+        counter!("sim_trace_records_total").inc();
+    }
+
+    fn count_fault(&mut self) {
+        self.faults_injected += 1;
+        counter!("faults_injected").inc();
+    }
+
+    /// Puts `msg` on the network, applying any matching message faults.
+    /// With an empty plan this is exactly `net.push` (no rng involved).
+    fn send(&mut self, from: NodeId, msg: Message) {
+        let channel = match &msg {
+            Message::RpcRequest { .. } => ChannelKind::RpcRequest,
+            Message::RpcReply { .. } => ChannelKind::RpcReply,
+            Message::Socket { .. } => ChannelKind::Socket,
+            Message::ZkNotify { .. } => ChannelKind::ZkNotify,
+        };
+        let to = match &msg {
+            Message::RpcRequest { target, .. }
+            | Message::Socket { target, .. }
+            | Message::ZkNotify { target, .. } => *target,
+            Message::RpcReply { caller, .. } => self.tasks[*caller].node,
+        };
+        let mut copies = 1usize;
+        let mut delay = 0u64;
+        for i in 0..self.config.faults.messages.len() {
+            let (applies, nth, action) = {
+                let f = &self.config.faults.messages[i];
+                (f.applies(channel, from, to), f.nth, f.action)
+            };
+            if !applies {
+                continue;
+            }
+            self.msg_fault_hits[i] += 1;
+            if let Some(k) = nth {
+                if self.msg_fault_hits[i] != k {
+                    continue;
+                }
+            }
+            match action {
+                MessageAction::Drop => copies = 0,
+                MessageAction::Delay(s) => delay = delay.max(s),
+                MessageAction::Duplicate => {
+                    if copies > 0 {
+                        copies = 2;
+                    }
+                }
+            }
+            self.count_fault();
+            counter!("sim_message_faults_total").inc();
+        }
+        let not_before = self.step.saturating_add(delay);
+        for _ in 0..copies {
+            self.net.push(InFlight {
+                msg: msg.clone(),
+                not_before,
+            });
+        }
+    }
+
+    /// Applies every fault whose time has come: the chaos panic hook,
+    /// due crashes, due restarts, and RPC timeouts.
+    fn apply_due_faults(&mut self) {
+        if self.config.faults.panic_at_step == Some(self.step) {
+            panic!(
+                "fault plan injected a host panic at step {} (chaos hook)",
+                self.step
+            );
+        }
+        let mut i = 0;
+        while i < self.crash_queue.len() {
+            if self.crash_queue[i].at_step <= self.step {
+                let c = self.crash_queue.remove(i);
+                self.apply_crash(&c);
+            } else {
+                i += 1;
+            }
+        }
+        let mut j = 0;
+        while j < self.pending_restarts.len() {
+            if self.pending_restarts[j].0 <= self.step {
+                let (_, node) = self.pending_restarts.remove(j);
+                self.apply_restart(node);
+            } else {
+                j += 1;
+            }
+        }
+        if !self.config.faults.rpc_timeouts.is_empty() {
+            self.fire_rpc_timeouts();
+        }
+    }
+
+    fn apply_crash(&mut self, c: &CrashFault) {
+        let node = c.node;
+        if node.index() >= self.topo.nodes.len() || self.crashed[node.index()] {
+            return;
+        }
+        self.crashed[node.index()] = true;
+        self.count_fault();
+        counter!("sim_node_crashes_total").inc();
+        self.emit_node(node, OpKind::NodeCrash { node });
+        for t in &mut self.tasks {
+            if t.node == node && !matches!(t.state, TaskState::Done | TaskState::Killed) {
+                t.state = TaskState::Crashed;
+            }
+        }
+        // the node loses all volatile state
+        let i = node.index();
+        self.heaps[i].clear();
+        self.locks[i].clear();
+        self.lock_waiters.retain(|(n, _), _| *n != node.0);
+        for q in self.queues[i].values_mut() {
+            q.clear();
+        }
+        self.rpc_pending[i].clear();
+        self.socket_pending[i].clear();
+        self.notify_pending[i].clear();
+        if let Some(r) = c.restart_after {
+            self.pending_restarts
+                .push((self.step.saturating_add(r), node));
+        }
+    }
+
+    fn apply_restart(&mut self, node: NodeId) {
+        if !self.crashed[node.index()] {
+            return;
+        }
+        self.crashed[node.index()] = false;
+        self.count_fault();
+        counter!("sim_node_restarts_total").inc();
+        self.emit_node(node, OpKind::NodeRestart { node });
+        // fresh worker pool and entry tasks; task indices keep counting
+        // up, so reborn tasks are distinct from their pre-crash selves
+        self.setup_node(node);
+    }
+
+    /// Wakes callers blocked on an RPC longer than a matching timeout
+    /// policy allows: they receive `null` and continue. A late reply is
+    /// ignored by `deliver` because the task no longer waits on that id.
+    fn fire_rpc_timeouts(&mut self) {
+        for t in 0..self.tasks.len() {
+            let (rpc, node, since) = {
+                let task = &self.tasks[t];
+                match task.state {
+                    TaskState::BlockedRpc { rpc } => (rpc, task.node, task.blocked_at),
+                    _ => continue,
+                }
+            };
+            if self.crashed[node.index()] {
+                continue;
+            }
+            let waited = self.step.saturating_sub(since);
+            let fires = self
+                .config
+                .faults
+                .rpc_timeouts
+                .iter()
+                .any(|f| f.from.is_none_or(|n| n == node) && waited >= f.after);
+            if !fires {
+                continue;
+            }
+            let task = &mut self.tasks[t];
+            if let (Some(local), Some(frame)) = (task.rpc_ret_local.take(), task.frames.last_mut())
+            {
+                frame.locals.insert(local, Value::Null);
+            } else {
+                task.rpc_ret_local = None;
+            }
+            task.state = TaskState::Runnable;
+            self.emit(t, OpKind::RpcTimeout { rpc: RpcId(rpc) });
+            self.count_fault();
+            counter!("sim_rpc_timeouts_total").inc();
+        }
+    }
+
+    /// The earliest future step at which a fault-plan event (due crash or
+    /// restart, delayed message, RPC-timeout deadline) fires, if any.
+    /// Used to advance the virtual clock through quiescent stretches.
+    /// Events at or past the step budget are unreachable and ignored.
+    fn next_fault_wake(&self) -> Option<u64> {
+        let (now, budget) = (self.step, self.config.max_steps);
+        let mut min: Option<u64> = None;
+        let mut consider = |s: u64| {
+            if s > now && s < budget && min.is_none_or(|m| s < m) {
+                min = Some(s);
+            }
+        };
+        for c in &self.crash_queue {
+            consider(c.at_step);
+        }
+        for (s, _) in &self.pending_restarts {
+            consider(*s);
+        }
+        for f in &self.net {
+            consider(f.not_before);
+        }
+        if !self.config.faults.rpc_timeouts.is_empty() {
+            for task in &self.tasks {
+                if !matches!(task.state, TaskState::BlockedRpc { .. })
+                    || self.crashed[task.node.index()]
+                {
+                    continue;
+                }
+                for f in &self.config.faults.rpc_timeouts {
+                    if f.from.is_none_or(|n| n == task.node) {
+                        consider(task.blocked_at.saturating_add(f.after));
+                    }
+                }
+            }
+        }
+        min
     }
 
     // -- delivery -------------------------------------------------------------
 
     fn deliver(&mut self, m: usize) {
-        let msg = self.net.remove(m);
+        let msg = self.net.remove(m).msg;
+        // messages to a crashed node are lost at delivery time
+        let target = match &msg {
+            Message::RpcRequest { target, .. }
+            | Message::Socket { target, .. }
+            | Message::ZkNotify { target, .. } => *target,
+            Message::RpcReply { caller, .. } => self.tasks[*caller].node,
+        };
+        if self.crashed[target.index()] {
+            counter!("sim_messages_dropped_total").inc();
+            return;
+        }
         counter!("sim_messages_delivered_total").inc();
         match msg {
             Message::RpcRequest {
@@ -988,7 +1286,8 @@ impl<'g> World<'g> {
             TaskKind::RpcWorker => {
                 if let Some(HandlerJob::Rpc { rpc, caller }) = self.tasks[t].job.take() {
                     self.emit(t, OpKind::RpcEnd { rpc });
-                    self.net.push(Message::RpcReply { rpc, caller, value });
+                    let from = self.tasks[t].node;
+                    self.send(from, Message::RpcReply { rpc, caller, value });
                 }
                 self.tasks[t].ctx = ExecCtx::Regular;
                 self.tasks[t].state = TaskState::Idle;
@@ -1540,15 +1839,20 @@ impl<'g> World<'g> {
                 self.next_rpc += 1;
                 counter!("sim_rpcs_issued_total").inc();
                 self.emit(t, OpKind::RpcCreate { rpc });
-                self.net.push(Message::RpcRequest {
-                    rpc,
-                    target,
-                    func: *func,
-                    args: vals,
-                    caller: t,
-                });
+                let from = self.tasks[t].node;
+                self.send(
+                    from,
+                    Message::RpcRequest {
+                        rpc,
+                        target,
+                        func: *func,
+                        args: vals,
+                        caller: t,
+                    },
+                );
                 self.tasks[t].rpc_ret_local = local.clone();
                 self.tasks[t].state = TaskState::BlockedRpc { rpc: rpc.0 };
+                self.tasks[t].blocked_at = self.step;
                 // advance pc now; the task resumes after the reply
                 if let Some(f) = self.tasks[t].frames.last_mut() {
                     f.pc += 1;
@@ -1569,12 +1873,16 @@ impl<'g> World<'g> {
                 let msg = MsgId(self.next_msg);
                 self.next_msg += 1;
                 self.emit(t, OpKind::SocketSend { msg });
-                self.net.push(Message::Socket {
-                    msg,
-                    target,
-                    func: *func,
-                    args: vals,
-                });
+                let from = self.tasks[t].node;
+                self.send(
+                    from,
+                    Message::Socket {
+                        msg,
+                        target,
+                        func: *func,
+                        args: vals,
+                    },
+                );
                 Flow::Next
             }
 
@@ -1739,6 +2047,7 @@ impl<'g> World<'g> {
                 version,
             },
         );
+        let from = self.tasks[t].node;
         for w in self.topo.watchers.clone() {
             if path.starts_with(&w.path_prefix) {
                 let handler = self
@@ -1748,13 +2057,16 @@ impl<'g> World<'g> {
                     .position(|f| f.name == w.handler)
                     .map(|i| FuncId(i as u32))
                     .expect("validated watcher");
-                self.net.push(Message::ZkNotify {
-                    target: w.node,
-                    handler,
-                    path: path.to_owned(),
-                    version,
-                    data: stored.clone(),
-                });
+                self.send(
+                    from,
+                    Message::ZkNotify {
+                        target: w.node,
+                        handler,
+                        path: path.to_owned(),
+                        version,
+                        data: stored.clone(),
+                    },
+                );
             }
         }
     }

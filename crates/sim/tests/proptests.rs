@@ -8,7 +8,7 @@
 
 use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
 use dcatch_obs::SmallRng;
-use dcatch_sim::{SimConfig, Topology, World};
+use dcatch_sim::{ChannelKind, FaultPlan, MessageAction, MessageFault, SimConfig, Topology, World};
 use dcatch_trace::OpKind;
 
 /// A miniature random-program AST that only produces terminating,
@@ -294,6 +294,84 @@ fn runs_are_deterministic_and_seq_ordered() {
             }
             last = Some(r.seq);
         }
+    }
+}
+
+/// An empty fault plan is a strict no-op: for arbitrary programs, running
+/// with the default config, with an explicitly empty plan, and with a
+/// plan whose entries can never match (wrong endpoints) all produce
+/// byte-identical traces. This is the guarantee that keeps the paper's
+/// detection tables unchanged when the engine is idle.
+#[test]
+fn empty_fault_plan_leaves_traces_byte_identical() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xFA017 ^ case);
+        let ops = arb_ops(&mut rng, 3, 12);
+        let seed = rng.next_u64() % 1000;
+        let (program, topo) = build_program(&ops);
+        let base_cfg = SimConfig::default().with_seed(seed).with_full_tracing();
+
+        let baseline = World::run_once(&program, &topo, base_cfg.clone()).unwrap();
+        let empty = World::run_once(
+            &program,
+            &topo,
+            base_cfg.clone().with_faults(FaultPlan::default()),
+        )
+        .unwrap();
+        // node 99 does not exist, so no message ever matches and the
+        // crash/timeout machinery never wakes
+        let unmatched_plan = FaultPlan::default().with_message(
+            MessageFault::new(ChannelKind::Any, MessageAction::Drop)
+                .from_node(dcatch_model::NodeId(99)),
+        );
+        let unmatched =
+            World::run_once(&program, &topo, base_cfg.with_faults(unmatched_plan)).unwrap();
+
+        let want = baseline.trace.to_lines();
+        assert_eq!(want, empty.trace.to_lines(), "case {case}: empty plan");
+        assert_eq!(
+            want,
+            unmatched.trace.to_lines(),
+            "case {case}: unmatched plan"
+        );
+        assert_eq!(baseline.faults_injected, 0, "case {case}");
+        assert_eq!(empty.faults_injected, 0, "case {case}");
+        assert_eq!(unmatched.faults_injected, 0, "case {case}");
+    }
+}
+
+/// Faulted runs of arbitrary programs never panic the interpreter and
+/// always end classified: either the run completes, or it reports at
+/// least one failure.
+#[test]
+fn faulted_runs_never_wedge_silently() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xBADF ^ case);
+        let ops = arb_ops(&mut rng, 3, 12);
+        let seed = rng.next_u64() % 1000;
+        let (program, topo) = build_program(&ops);
+        // one plan per fault class, rotating with the case number
+        let plan = match case % 4 {
+            0 => FaultPlan::default().with_message(MessageFault::new(
+                ChannelKind::Any,
+                MessageAction::Delay(1 + case % 5),
+            )),
+            1 => FaultPlan::default().with_message(
+                MessageFault::new(ChannelKind::Any, MessageAction::Drop).nth(1 + case % 3),
+            ),
+            2 => FaultPlan::default().with_crash(
+                dcatch_model::NodeId(1),
+                1 + case % 30,
+                (case % 2 == 0).then_some(5),
+            ),
+            _ => FaultPlan::default().with_rpc_timeout(None, 1 + case % 8),
+        };
+        let cfg = SimConfig::default().with_seed(seed).with_faults(plan);
+        let run = World::run_once(&program, &topo, cfg).unwrap();
+        assert!(
+            run.completed || !run.failures.is_empty(),
+            "case {case}: wedged without a classified failure"
+        );
     }
 }
 

@@ -145,6 +145,8 @@ fn fmt_payload(kind: &OpKind) -> String {
             format!("{} {}", lock.node.0, sanitize(&lock.name))
         }
         OpKind::LoopEnter { loop_id } | OpKind::LoopExit { loop_id } => loop_id.0.to_string(),
+        OpKind::NodeCrash { node } | OpKind::NodeRestart { node } => node.0.to_string(),
+        OpKind::RpcTimeout { rpc } => rpc.0.to_string(),
     }
 }
 
@@ -231,6 +233,15 @@ fn parse_payload(tag: &str, parts: &[&str]) -> Result<OpKind, FormatError> {
         },
         "lx" => OpKind::LoopExit {
             loop_id: LoopId(num(0)? as u32),
+        },
+        "nc" => OpKind::NodeCrash {
+            node: NodeId(num(0)? as u32),
+        },
+        "nr" => OpKind::NodeRestart {
+            node: NodeId(num(0)? as u32),
+        },
+        "rt" => OpKind::RpcTimeout {
+            rpc: RpcId(num(0)?),
         },
         other => return Err(err(format!("unknown tag `{other}`"))),
     })
@@ -397,6 +408,9 @@ mod tests {
             OpKind::LockRelease { lock },
             OpKind::LoopEnter { loop_id: LoopId(1) },
             OpKind::LoopExit { loop_id: LoopId(1) },
+            OpKind::NodeCrash { node: NodeId(2) },
+            OpKind::NodeRestart { node: NodeId(2) },
+            OpKind::RpcTimeout { rpc: RpcId(8) },
         ];
         for k in kinds {
             roundtrip(&base(k));

@@ -157,6 +157,25 @@ pub enum OpKind {
         /// Static loop identity.
         loop_id: LoopId,
     },
+
+    /// An injected node crash (fault-injection engine). All tasks of the
+    /// node stop; everything the node did happens-before this record.
+    NodeCrash {
+        /// The crashed node.
+        node: dcatch_model::NodeId,
+    },
+    /// An injected node restart after a crash. Everything tasks of the
+    /// reborn node do happens-after this record.
+    NodeRestart {
+        /// The restarted node.
+        node: dcatch_model::NodeId,
+    },
+    /// An injected RPC timeout at the caller: the blocked `RpcJoin` was
+    /// abandoned and the call returned an error value instead.
+    RpcTimeout {
+        /// The timed-out RPC.
+        rpc: RpcId,
+    },
 }
 
 impl OpKind {
@@ -210,7 +229,18 @@ impl OpKind {
             OpKind::LockRelease { .. } => "lr",
             OpKind::LoopEnter { .. } => "ln",
             OpKind::LoopExit { .. } => "lx",
+            OpKind::NodeCrash { .. } => "nc",
+            OpKind::NodeRestart { .. } => "nr",
+            OpKind::RpcTimeout { .. } => "rt",
         }
+    }
+
+    /// Whether this record was produced by the fault-injection engine.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            OpKind::NodeCrash { .. } | OpKind::NodeRestart { .. } | OpKind::RpcTimeout { .. }
+        )
     }
 }
 

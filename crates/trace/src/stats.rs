@@ -25,6 +25,8 @@ pub struct TraceStats {
     pub zk: usize,
     /// Loop markers.
     pub loops: usize,
+    /// Injected-fault records (node crash/restart, RPC timeout).
+    pub faults: usize,
 }
 
 impl TraceStats {
@@ -52,6 +54,9 @@ impl TraceStats {
                 OpKind::LockAcquire { .. } | OpKind::LockRelease { .. } => s.lock += 1,
                 OpKind::ZkUpdate { .. } | OpKind::ZkPushed { .. } => s.zk += 1,
                 OpKind::LoopEnter { .. } | OpKind::LoopExit { .. } => s.loops += 1,
+                OpKind::NodeCrash { .. }
+                | OpKind::NodeRestart { .. }
+                | OpKind::RpcTimeout { .. } => s.faults += 1,
             }
         }
         s
@@ -62,7 +67,7 @@ impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "total={} mem={} rpc={} socket={} event={} thread={} lock={} zk={} loops={}",
+            "total={} mem={} rpc={} socket={} event={} thread={} lock={} zk={} loops={} faults={}",
             self.total,
             self.mem,
             self.rpc,
@@ -71,7 +76,8 @@ impl fmt::Display for TraceStats {
             self.thread,
             self.lock,
             self.zk,
-            self.loops
+            self.loops,
+            self.faults
         )
     }
 }
@@ -185,6 +191,9 @@ mod tests {
             rec(OpKind::LockRelease { lock }),
             rec(OpKind::LoopEnter { loop_id: LoopId(0) }),
             rec(OpKind::LoopExit { loop_id: LoopId(0) }),
+            rec(OpKind::NodeCrash { node: NodeId(1) }),
+            rec(OpKind::NodeRestart { node: NodeId(1) }),
+            rec(OpKind::RpcTimeout { rpc: RpcId(1) }),
         ];
         let s = TraceStats::of(&records);
         assert_eq!(s.total, records.len());
@@ -196,9 +205,10 @@ mod tests {
         assert_eq!(s.zk, 2);
         assert_eq!(s.lock, 2);
         assert_eq!(s.loops, 2);
+        assert_eq!(s.faults, 3);
         // partition: the categories sum to the total
         assert_eq!(
-            s.mem + s.thread + s.event + s.rpc + s.socket + s.zk + s.lock + s.loops,
+            s.mem + s.thread + s.event + s.rpc + s.socket + s.zk + s.lock + s.loops + s.faults,
             s.total
         );
     }

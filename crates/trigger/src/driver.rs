@@ -126,18 +126,34 @@ fn run_order(
     if used_direct_fallback {
         dcatch_obs::counter!("trigger_direct_fallbacks_total").inc();
     }
-    let mut gate = ControllerGate::new(plan.sides, first);
-    let mut cfg = config.clone();
-    cfg.trace_enabled = false;
-    let result =
-        World::run_with_gate(program, topo, cfg, &mut gate).expect("triggering re-run must start");
-    OrderRun {
-        first,
-        coordinated: gate.both_requested(),
-        completed: gate.completed(),
-        abandoned: gate.abandoned(),
-        failures: result.failures,
-        used_direct_fallback,
+    // An abandoned run means the gate blocked one side past its patience
+    // budget and gave up — often a scheduling accident of the particular
+    // seed rather than a property of the ordering. Retry a bounded number
+    // of times with a derived seed before accepting the abandonment.
+    const MAX_RETRIES: u64 = 2;
+    let mut attempt: u64 = 0;
+    loop {
+        let mut gate = ControllerGate::new(plan.sides, first);
+        let mut cfg = config.clone();
+        cfg.trace_enabled = false;
+        if attempt > 0 {
+            cfg.seed = config.seed ^ (attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        let result = World::run_with_gate(program, topo, cfg, &mut gate)
+            .expect("triggering re-run must start");
+        if gate.abandoned() && attempt < MAX_RETRIES {
+            attempt += 1;
+            dcatch_obs::counter!("trigger_retries").inc();
+            continue;
+        }
+        return OrderRun {
+            first,
+            coordinated: gate.both_requested(),
+            completed: gate.completed(),
+            abandoned: gate.abandoned(),
+            failures: result.failures,
+            used_direct_fallback,
+        };
     }
 }
 

@@ -3,13 +3,30 @@
 # Fully offline — every dependency is a workspace member.
 #
 #   scripts/check.sh          # fmt + clippy + build + test
+#                             # (DCATCH_SOAK=1 appends the fault soak)
 #   scripts/check.sh bench    # fast bench smoke run (1 warm-up + 3 samples
 #                             # per entry), refreshing BENCH_pipeline.json
 #                             # and BENCH_hbgraph.json in the repo root,
 #                             # then scripts/bench_compare.sh against the
 #                             # committed *_baseline.json files
+#   scripts/check.sh soak     # seeded fault soak only: the fault_soak test
+#                             # suite plus `dcatch faults all` across a
+#                             # fixed seed set — every run must complete or
+#                             # degrade to a classified failure
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+soak() {
+    echo "== fault soak (fixed seeds) =="
+    cargo test --offline -q -p dcatch --test fault_soak
+    cargo run --offline -q --bin dcatch -- faults all --seeds 1,7,42,1011
+    echo "Fault soak passed."
+}
+
+if [[ "${1:-}" == "soak" ]]; then
+    soak
+    exit 0
+fi
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "== bench smoke (DCATCH_BENCH_SAMPLES=3) =="
@@ -41,5 +58,9 @@ cargo build --offline --release
 
 echo "== cargo test =="
 cargo test --offline -q
+
+if [[ "${DCATCH_SOAK:-0}" == "1" ]]; then
+    soak
+fi
 
 echo "All checks passed."
