@@ -3,7 +3,9 @@
 //! Table 6's "Trace Analysis" column ("it scales well, roughly linearly,
 //! with the trace size"). Writes `BENCH_hbgraph.json`.
 
-use dcatch::{find_candidates, HbAnalysis, HbConfig, SimConfig, VectorClocks, World};
+use dcatch::{
+    find_candidates, HbAnalysis, HbConfig, ReachabilityMode, SimConfig, VectorClocks, World,
+};
 use dcatch_bench::harness::Harness;
 use dcatch_model::{FuncId, NodeId, StmtId};
 use dcatch_trace::{
@@ -129,6 +131,50 @@ fn main() {
         let run = World::run_once(&bench.program, &bench.topology, cfg).unwrap();
         let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
         h.bench(id, 10, || find_candidates(&hb).static_pair_count());
+    }
+
+    // The two reachability engines head to head (DESIGN.md §4): same
+    // trace, forced engine, measuring full build plus a strided
+    // concurrent() query sweep, with the index's resident bytes recorded
+    // alongside. `scripts/bench_compare.sh` gates on this group: clocks
+    // must use ≥4× less memory at the largest size and stay within 1.15×
+    // of the matrix's build+query time at the smallest.
+    h.group("reachability");
+    for scale in [2u32, 8, 16] {
+        let bench = dcatch::all_benchmarks_scaled(scale)
+            .into_iter()
+            .find(|b| b.id == "ZK-1270")
+            .unwrap();
+        let cfg = SimConfig::default()
+            .with_seed(bench.seed)
+            .with_full_tracing();
+        let run = World::run_once(&bench.program, &bench.topology, cfg).unwrap();
+        let n = run.trace.len();
+        for mode in [ReachabilityMode::Matrix, ReachabilityMode::Clocks] {
+            let hb_cfg = HbConfig {
+                reachability: mode,
+                ..HbConfig::default()
+            };
+            let bytes = HbAnalysis::build(run.trace.clone(), &hb_cfg)
+                .unwrap()
+                .reach_bytes() as u64;
+            h.bench_with_bytes(&format!("{mode}_{n}rec"), 10, bytes, || {
+                let hb = HbAnalysis::build(run.trace.clone(), &hb_cfg).unwrap();
+                // identical strided query sweep under both engines
+                let step = (n / 192).max(1);
+                let mut concurrent = 0usize;
+                let mut i = 0;
+                while i < n {
+                    let mut j = i + step;
+                    while j < n {
+                        concurrent += usize::from(hb.concurrent(i, j));
+                        j += step;
+                    }
+                    i += step;
+                }
+                concurrent
+            });
+        }
     }
 
     h.group("reachability_index");

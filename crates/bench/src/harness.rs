@@ -26,6 +26,9 @@ pub struct Measurement {
     pub mean: Duration,
     /// Slowest sample.
     pub max: Duration,
+    /// Resident bytes of the measured structure, for memory-vs-time
+    /// trade-off groups (`None` for pure-time entries).
+    pub bytes: Option<u64>,
 }
 
 /// A named set of measurements, rendered together.
@@ -63,7 +66,30 @@ impl Harness {
     /// stats under `name` in the current group. `DCATCH_BENCH_SAMPLES`
     /// overrides the sample count — `scripts/check.sh bench` sets it to 3
     /// for a fast smoke run.
-    pub fn bench<T>(&mut self, name: &str, samples: u32, mut f: impl FnMut() -> T) {
+    pub fn bench<T>(&mut self, name: &str, samples: u32, f: impl FnMut() -> T) {
+        self.record(name, samples, None, f);
+    }
+
+    /// Like [`Harness::bench`], but also records `bytes` — the resident
+    /// size of the structure the closure builds — so memory-vs-time
+    /// trade-off groups can be gated on both axes.
+    pub fn bench_with_bytes<T>(
+        &mut self,
+        name: &str,
+        samples: u32,
+        bytes: u64,
+        f: impl FnMut() -> T,
+    ) {
+        self.record(name, samples, Some(bytes), f);
+    }
+
+    fn record<T>(
+        &mut self,
+        name: &str,
+        samples: u32,
+        bytes: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) {
         let samples = std::env::var("DCATCH_BENCH_SAMPLES")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -84,6 +110,7 @@ impl Harness {
             min,
             mean,
             max,
+            bytes,
         };
         if self.groups.is_empty() {
             self.group("default");
@@ -110,11 +137,12 @@ impl Harness {
                         crate::fmt_duration(m.mean),
                         crate::fmt_duration(m.max),
                         m.samples.to_string(),
+                        m.bytes.map_or_else(|| "-".to_owned(), |b| b.to_string()),
                     ]
                 })
                 .collect();
             out.push_str(&crate::render_table(
-                &["entry", "min", "mean", "max", "samples"],
+                &["entry", "min", "mean", "max", "samples", "bytes"],
                 &rows,
             ));
         }
@@ -181,13 +209,17 @@ fn calibrate() -> Duration {
 }
 
 fn measurement_json(m: &Measurement) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("name", Json::Str(m.name.clone())),
         ("samples", Json::UInt(u64::from(m.samples))),
         ("min_ns", Json::UInt(m.min.as_nanos() as u64)),
         ("mean_ns", Json::UInt(m.mean.as_nanos() as u64)),
         ("max_ns", Json::UInt(m.max.as_nanos() as u64)),
-    ])
+    ];
+    if let Some(b) = m.bytes {
+        fields.push(("bytes", Json::UInt(b)));
+    }
+    Json::obj(fields)
 }
 
 #[cfg(test)]
@@ -199,6 +231,7 @@ mod tests {
         let mut h = Harness::new("unit");
         h.group("g");
         h.bench("noop", 3, || 1 + 1);
+        h.bench_with_bytes("sized", 3, 4096, || 1 + 1);
         let doc = h.to_json();
         assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
         let groups = doc.get("groups").unwrap().as_arr().unwrap();
@@ -211,6 +244,9 @@ mod tests {
         let mean = entries[0].get("mean_ns").unwrap().as_u64().unwrap();
         let max = entries[0].get("max_ns").unwrap().as_u64().unwrap();
         assert!(min <= mean && mean <= max);
+        // pure-time entries omit `bytes`; sized entries carry it
+        assert!(entries[0].get("bytes").is_none());
+        assert_eq!(entries[1].get("bytes").unwrap().as_u64(), Some(4096));
         // the rendered table mentions the entry
         assert!(h.render().contains("noop"));
     }

@@ -23,6 +23,7 @@
 //!   --no-trigger     skip the triggering module
 //!   --ablation K     ignore one HB rule family: event|rpc|socket|push
 //!   --budget BYTES   HB reachability memory budget
+//!   --reachability E reachability engine: auto (default) | matrix | clocks
 //!   --jobs N         run up to N benchmarks concurrently (default 1);
 //!                    the report is identical for any N
 //!   --fault-plan F   inject the fault plan in file F into every run
@@ -141,6 +142,7 @@ const DETECT_VALUED: &[&str] = &[
     "--seed",
     "--ablation",
     "--budget",
+    "--reachability",
     "--out",
     "--jobs",
     "--fault-plan",
@@ -164,10 +166,10 @@ fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
         opts.triggering = false;
     }
     if let Some(budget) = opt::<usize>(args, "--budget")? {
-        opts.hb = HbConfig {
-            memory_budget_bytes: budget,
-            apply_eserial: true,
-        };
+        opts.hb.memory_budget_bytes = budget;
+    }
+    if let Some(engine) = opt_str(args, "--reachability") {
+        opts.hb.reachability = engine.parse()?;
     }
     if let Some(k) = opt_str(args, "--ablation") {
         opts.ablation = match k.as_str() {

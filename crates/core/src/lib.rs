@@ -50,7 +50,8 @@ pub use dcatch_detect::{
     find_candidates, find_candidates_chunked, AccessSite, Candidate, CandidateSet, ChunkStats,
 };
 pub use dcatch_hb::{
-    apply_ablation, Ablation, EdgeRule, HbAnalysis, HbConfig, HbError, VectorClocks,
+    apply_ablation, Ablation, BitMatrix, ChainClocks, EdgeRule, HbAnalysis, HbConfig, HbError,
+    ReachabilityMode, VectorClocks,
 };
 pub use dcatch_model::{Expr, FailureSpec, FuncKind, Program, ProgramBuilder, StmtId, Value};
 pub use dcatch_prune::{Impact, PruneStats, Pruner};

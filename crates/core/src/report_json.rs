@@ -7,11 +7,11 @@
 //! reports across commits; bump [`SCHEMA_VERSION`] on breaking changes and
 //! describe the layout in DESIGN.md's "Observability" section.
 //!
-//! Document layout (schema version 2):
+//! Document layout (schema version 3):
 //!
 //! ```text
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "tool": "dcatch-rs",
 //!   "degradations": {
 //!     "faults_injected": …, "benchmarks_failed": …,
@@ -22,7 +22,8 @@
 //!       "id": "MR-3274",
 //!       "error": null,
 //!       "oom": null | "<message>",
-//!       "trace": { "bytes": …, "stats": { "total": …, "mem": …, … } },
+//!       "trace": { "bytes": …, "reach_bytes": …,
+//!                  "stats": { "total": …, "mem": …, … } },
 //!       "candidates": { "ta_static": …, …, "lp_stacks": … },
 //!       "verdicts": { "harmful_static": …, …, "total_stacks": … },
 //!       "detected_known_bug": true,
@@ -52,7 +53,9 @@ use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
 ///
 /// v2: added top-level `degradations`, per-benchmark `error` (null on
 /// success), error-only benchmark entries, and `trace.stats.faults`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: added `trace.reach_bytes` (peak reachability-index bytes, from the
+/// `hb_reach_bytes_peak` gauge — whichever engine the build selected).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Builds the versioned top-level run report for a set of benchmark runs
 /// that all succeeded (the bench-harness path).
@@ -148,6 +151,10 @@ pub fn benchmark_json(r: &BenchmarkReport) -> Json {
             "trace",
             Json::obj([
                 ("bytes", Json::UInt(r.trace_bytes as u64)),
+                (
+                    "reach_bytes",
+                    Json::UInt(r.metrics.gauge("hb_reach_bytes_peak")),
+                ),
                 ("stats", trace_stats_json(&r.trace_stats)),
             ]),
         ),
@@ -263,7 +270,7 @@ mod tests {
     #[test]
     fn empty_report_list_still_carries_version() {
         let doc = run_report(&[]);
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("benchmarks").unwrap().as_arr().unwrap().len(), 0);
         let deg = doc.get("degradations").unwrap();
         assert_eq!(deg.get("benchmarks_failed").unwrap().as_u64(), Some(0));

@@ -157,7 +157,16 @@ pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
         groups.entry(key).or_default().push(idx);
     }
 
-    let mut agg: BTreeMap<(StmtId, StmtId), Candidate> = BTreeMap::new();
+    // Aggregation state borrows callstacks from the trace records: a
+    // dynamic pair costs two `&CallStack` comparisons and at most one
+    // set insert, never a clone. Owned `Candidate`s are materialized once
+    // per unique static pair after the scan.
+    struct Agg<'t> {
+        stack_pairs: BTreeSet<(&'t CallStack, &'t CallStack)>,
+        rep: (usize, usize),
+        dynamic_count: usize,
+    }
+    let mut agg: BTreeMap<(StmtId, StmtId), Agg<'_>> = BTreeMap::new();
     for indices in groups.values() {
         for (pos, &i) in indices.iter().enumerate() {
             for &j in &indices[pos + 1..] {
@@ -185,44 +194,53 @@ pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
                 }
                 let key = canonical(si, sj);
                 let (first, second) = if (si, i) <= (sj, j) { (i, j) } else { (j, i) };
-                let site = |idx: usize| {
-                    let r = &trace.records()[idx];
-                    AccessSite {
-                        index: idx,
-                        stmt: r.stmt().expect("leaf"),
-                        stack: r.stack.clone(),
-                        task: r.task,
-                        ctx: r.ctx,
-                        loc: r.kind.mem_loc().expect("mem").clone(),
-                        is_write: r.kind.is_write(),
-                    }
-                };
-                let stack_pair = {
-                    let (a, b) = (
-                        trace.records()[first].stack.clone(),
-                        trace.records()[second].stack.clone(),
-                    );
-                    if a <= b {
-                        (a, b)
-                    } else {
-                        (b, a)
-                    }
-                };
+                let (sa, sb) = (
+                    &trace.records()[first].stack,
+                    &trace.records()[second].stack,
+                );
+                let stack_pair = if sa <= sb { (sa, sb) } else { (sb, sa) };
                 agg.entry(key)
                     .and_modify(|c| {
                         c.dynamic_count += 1;
-                        c.stack_pairs.insert(stack_pair.clone());
+                        c.stack_pairs.insert(stack_pair);
                     })
-                    .or_insert_with(|| Candidate {
-                        static_pair: key,
-                        stack_pairs: [stack_pair.clone()].into_iter().collect(),
-                        rep: (site(first), site(second)),
+                    .or_insert_with(|| Agg {
+                        stack_pairs: [stack_pair].into_iter().collect(),
+                        rep: (first, second),
                         dynamic_count: 1,
                     });
             }
         }
     }
-    let set = CandidateSet { by_pair: agg };
+    let site = |idx: usize| {
+        let r = &trace.records()[idx];
+        AccessSite {
+            index: idx,
+            stmt: r.stmt().expect("leaf"),
+            stack: r.stack.clone(),
+            task: r.task,
+            ctx: r.ctx,
+            loc: r.kind.mem_loc().expect("mem").clone(),
+            is_write: r.kind.is_write(),
+        }
+    };
+    let by_pair = agg
+        .into_iter()
+        .map(|(key, a)| {
+            let c = Candidate {
+                static_pair: key,
+                stack_pairs: a
+                    .stack_pairs
+                    .into_iter()
+                    .map(|(x, y)| (x.clone(), y.clone()))
+                    .collect(),
+                rep: (site(a.rep.0), site(a.rep.1)),
+                dynamic_count: a.dynamic_count,
+            };
+            (key, c)
+        })
+        .collect();
+    let set = CandidateSet { by_pair };
     dcatch_obs::counter!("detect_candidates_found_total").add(set.static_pair_count() as u64);
     dcatch_obs::counter!("detect_stack_pairs_found_total").add(set.callstack_pair_count() as u64);
     set

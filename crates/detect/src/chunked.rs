@@ -30,7 +30,9 @@ pub struct ChunkStats {
     pub chunks: usize,
     /// Records in the largest chunk.
     pub largest_chunk: usize,
-    /// Peak estimated reachable-set bytes across chunks.
+    /// Peak reachability-index bytes across chunks, as reported by
+    /// whichever engine each chunk's build actually selected (matrix:
+    /// O(len²) bits; clocks: `len × G × 4` bytes).
     pub peak_matrix_bytes: usize,
 }
 
@@ -71,10 +73,8 @@ pub fn find_candidates_chunked(
         let len = chunk.len();
         stats.chunks += 1;
         stats.largest_chunk = stats.largest_chunk.max(len);
-        stats.peak_matrix_bytes = stats
-            .peak_matrix_bytes
-            .max(dcatch_hb::BitMatrix::estimated_bytes(len));
         let hb = HbAnalysis::build(chunk, config)?;
+        stats.peak_matrix_bytes = stats.peak_matrix_bytes.max(hb.reach_bytes());
         for mut c in find_candidates(&hb) {
             // remap chunk-local record indices to the full trace; the
             // map-backed set dedups static pairs in O(log n)
@@ -125,11 +125,14 @@ mod tests {
     fn chunking_fits_under_a_budget_that_ooms_the_whole_trace() {
         let trace = racy_trace();
         let n = trace.len();
-        // a budget the whole trace cannot fit, but 1/4-size chunks can
+        // a budget the whole trace cannot fit, but 1/4-size chunks can;
+        // the matrix engine is pinned because `auto` would sidestep the
+        // OOM entirely by falling back to chain clocks
         let budget = dcatch_hb::BitMatrix::estimated_bytes(n / 2);
         let cfg = HbConfig {
             memory_budget_bytes: budget,
-            apply_eserial: true,
+            reachability: dcatch_hb::ReachabilityMode::Matrix,
+            ..HbConfig::default()
         };
         assert!(
             HbAnalysis::build(trace.clone(), &cfg).is_err(),

@@ -7,6 +7,7 @@ use dcatch_obs::{counter, gauge};
 use dcatch_trace::{EventId, ExecCtx, OpKind, TaskId, TraceSet};
 
 use crate::bitmatrix::BitMatrix;
+use crate::chainclocks::ChainClocks;
 
 /// Which rule produced an edge (kept for explanations and debugging).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,16 +37,59 @@ pub enum EdgeRule {
     Crash,
 }
 
+/// Which reachability index backs `happens_before`/`concurrent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReachabilityMode {
+    /// Pick per trace: the dense [`BitMatrix`] when it fits the memory
+    /// budget (fastest queries, preserves historical behavior), otherwise
+    /// chain-decomposition [`ChainClocks`] — so full-trace detection keeps
+    /// working at scales where the matrix alone would be the Table 8
+    /// "Out of Memory" outcome.
+    #[default]
+    Auto,
+    /// Force the dense O(n²)-bit matrix.
+    Matrix,
+    /// Force the O(n·G) chain-decomposition vector clocks.
+    Clocks,
+}
+
+impl fmt::Display for ReachabilityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReachabilityMode::Auto => "auto",
+            ReachabilityMode::Matrix => "matrix",
+            ReachabilityMode::Clocks => "clocks",
+        })
+    }
+}
+
+impl std::str::FromStr for ReachabilityMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ReachabilityMode, String> {
+        match s {
+            "auto" => Ok(ReachabilityMode::Auto),
+            "matrix" => Ok(ReachabilityMode::Matrix),
+            "clocks" => Ok(ReachabilityMode::Clocks),
+            other => Err(format!(
+                "unknown reachability engine `{other}` (expected auto, matrix or clocks)"
+            )),
+        }
+    }
+}
+
 /// Configuration of the HB analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HbConfig {
-    /// Budget for the reachable-set matrix, in bytes. The paper's trace
+    /// Budget for the reachability index, in bytes. The paper's trace
     /// analysis "will run out of JVM memory (50 GB of RAM)" on unselective
     /// traces (Table 8); this reproduces that failure mode at laptop scale.
     pub memory_budget_bytes: usize,
     /// Whether to apply `Eserial` (it requires a fixed point and is the
     /// only rule with non-local preconditions; kept togglable for tests).
     pub apply_eserial: bool,
+    /// Which reachability engine to use (see [`ReachabilityMode`]).
+    pub reachability: ReachabilityMode,
 }
 
 impl Default for HbConfig {
@@ -53,6 +97,7 @@ impl Default for HbConfig {
         HbConfig {
             memory_budget_bytes: 1 << 30, // 1 GiB
             apply_eserial: true,
+            reachability: ReachabilityMode::Auto,
         }
     }
 }
@@ -83,6 +128,43 @@ impl fmt::Display for HbError {
 
 impl std::error::Error for HbError {}
 
+/// The active reachability index: dense reachable-set matrix or
+/// chain-decomposition vector clocks (see [`ReachabilityMode`]). Both are
+/// exact; they trade query constant factor against memory footprint.
+#[derive(Debug, Clone, PartialEq)]
+enum ReachIndex {
+    Matrix(BitMatrix),
+    Clocks(ChainClocks),
+}
+
+impl ReachIndex {
+    /// Number of indexed vertices.
+    fn len(&self) -> usize {
+        match self {
+            ReachIndex::Matrix(m) => m.len(),
+            ReachIndex::Clocks(c) => c.len(),
+        }
+    }
+
+    /// Resident bytes of the index.
+    fn bytes(&self) -> usize {
+        match self {
+            ReachIndex::Matrix(m) => BitMatrix::estimated_bytes(m.len()),
+            ReachIndex::Clocks(c) => c.bytes(),
+        }
+    }
+
+    /// Raw reachability; callers guard `a != b` (the matrix's diagonal is
+    /// unset while clocks are reflexive, so `a == b` is the one input the
+    /// engines answer differently).
+    fn reaches(&self, a: usize, b: usize) -> bool {
+        match self {
+            ReachIndex::Matrix(m) => m.get(a, b),
+            ReachIndex::Clocks(c) => c.reaches(a, b),
+        }
+    }
+}
+
 /// The built HB graph plus its reachability index. Vertices are the trace
 /// record indices (`0..trace.len()`), in sequence order.
 pub struct HbAnalysis {
@@ -91,7 +173,7 @@ pub struct HbAnalysis {
     /// Reverse adjacency, kept in lockstep with `edges`: used by the
     /// incremental reachability propagation and by `predecessors`.
     preds: Vec<Vec<(u32, EdgeRule)>>,
-    reach: BitMatrix,
+    reach: ReachIndex,
     edge_count: usize,
 }
 
@@ -100,21 +182,34 @@ impl HbAnalysis {
     pub fn build(trace: TraceSet, config: &HbConfig) -> Result<HbAnalysis, HbError> {
         let _span = dcatch_obs::span!("hb.build");
         let n = trace.len();
-        let needed = BitMatrix::estimated_bytes(n);
+        let matrix_bytes = BitMatrix::estimated_bytes(n);
+        let clock_bytes = ChainClocks::estimated_bytes(n, ChainClocks::chain_count(&trace));
+        let budget = config.memory_budget_bytes;
+        let (mode, needed) = match config.reachability {
+            ReachabilityMode::Matrix => (ReachabilityMode::Matrix, matrix_bytes),
+            ReachabilityMode::Clocks => (ReachabilityMode::Clocks, clock_bytes),
+            // Auto keeps the matrix whenever it fits (byte-identical to the
+            // historical behavior on selective traces) and switches to
+            // clocks only where the matrix alone would OOM.
+            ReachabilityMode::Auto if matrix_bytes <= budget => {
+                (ReachabilityMode::Matrix, matrix_bytes)
+            }
+            ReachabilityMode::Auto => (ReachabilityMode::Clocks, clock_bytes),
+        };
         gauge!("hb_reach_bytes_peak").set_max(needed as u64);
-        if needed > config.memory_budget_bytes {
+        if needed > budget {
             counter!("hb_oom_total").inc();
-            return Err(HbError::OutOfMemory {
-                needed,
-                budget: config.memory_budget_bytes,
-            });
+            return Err(HbError::OutOfMemory { needed, budget });
         }
         counter!("hb_nodes_total").add(n as u64);
         let mut a = HbAnalysis {
             trace,
             edges: vec![Vec::new(); n],
             preds: vec![Vec::new(); n],
-            reach: BitMatrix::new(0),
+            reach: match mode {
+                ReachabilityMode::Clocks => ReachIndex::Clocks(ChainClocks::new(&TraceSet::new())),
+                _ => ReachIndex::Matrix(BitMatrix::new(0)),
+            },
             edge_count: 0,
         };
         a.add_program_order_edges();
@@ -147,14 +242,28 @@ impl HbAnalysis {
         self.edge_count
     }
 
+    /// The reachability engine actually in use — resolves `Auto` to the
+    /// concrete choice [`build`](HbAnalysis::build) made for this trace.
+    pub fn reachability(&self) -> ReachabilityMode {
+        match self.reach {
+            ReachIndex::Matrix(_) => ReachabilityMode::Matrix,
+            ReachIndex::Clocks(_) => ReachabilityMode::Clocks,
+        }
+    }
+
+    /// Resident bytes of the reachability index.
+    pub fn reach_bytes(&self) -> usize {
+        self.reach.bytes()
+    }
+
     /// Whether record `a` happens before record `b` (indices).
     pub fn happens_before(&self, a: usize, b: usize) -> bool {
-        a != b && self.reach.get(a, b)
+        a != b && self.reach.reaches(a, b)
     }
 
     /// Whether records `a` and `b` are concurrent: neither ordered way.
     pub fn concurrent(&self, a: usize, b: usize) -> bool {
-        a != b && !self.reach.get(a, b) && !self.reach.get(b, a)
+        a != b && !self.reach.reaches(a, b) && !self.reach.reaches(b, a)
     }
 
     /// Direct successors of a vertex.
@@ -274,34 +383,57 @@ impl HbAnalysis {
         true
     }
 
-    /// Adds `u → v` to an analysis whose reachable sets are already
-    /// computed, and repairs the matrix by delta propagation instead of a
-    /// full sweep: row `u` absorbs `{v} ∪ reach[v]`, and the growth is
-    /// pushed backward through predecessors whose rows actually change.
+    /// Adds `u → v` to an analysis whose reachability index is already
+    /// computed, and repairs the index by delta propagation instead of a
+    /// full sweep. The two engines are mirror images of each other:
     ///
-    /// Correctness rests on the invariant that every row is transitively
-    /// closed with respect to the current edge set. A predecessor `p` of a
-    /// grown vertex `w` already has `w` in its row, so `row p |= row w`
-    /// restores closure at `p`; if that union changes nothing, no row
-    /// upstream of `p` can change either and propagation stops.
+    /// * **Matrix** rows are *forward*-reachable sets, so row `u` absorbs
+    ///   `{v} ∪ reach[v]` and the growth is pushed *backward* through
+    ///   predecessors whose rows actually change.
+    /// * **Clocks** are *predecessor*-closure frontiers, so `v` joins
+    ///   `u`'s clock and the growth is pushed *forward* through
+    ///   successors whose clocks actually advance.
+    ///
+    /// Correctness rests on the invariant that the index is transitively
+    /// closed with respect to the current edge set: a neighbor that
+    /// already covers the grown vertex's delta stops propagation, and
+    /// nothing beyond it can change either.
     fn add_edge_incremental(&mut self, u: usize, v: usize, rule: EdgeRule) -> bool {
         debug_assert_eq!(self.reach.len(), self.trace.len(), "reach not built yet");
         if !self.add_edge(u, v, rule) {
             return false;
         }
         counter!("hb_reach_delta_edges_total").inc();
-        let mut changed = !self.reach.get(u, v);
-        self.reach.set(u, v);
-        changed |= self.reach.or_row_into_changed(v, u);
-        if !changed {
-            return true;
-        }
-        let mut work = vec![u];
-        while let Some(w) = work.pop() {
-            for i in 0..self.preds[w].len() {
-                let p = self.preds[w][i].0 as usize;
-                if self.reach.or_row_into_changed(w, p) {
-                    work.push(p);
+        match &mut self.reach {
+            ReachIndex::Matrix(reach) => {
+                let mut changed = !reach.get(u, v);
+                reach.set(u, v);
+                changed |= reach.or_row_into_changed(v, u);
+                if !changed {
+                    return true;
+                }
+                let mut work = vec![u];
+                while let Some(w) = work.pop() {
+                    for i in 0..self.preds[w].len() {
+                        let p = self.preds[w][i].0 as usize;
+                        if reach.or_row_into_changed(w, p) {
+                            work.push(p);
+                        }
+                    }
+                }
+            }
+            ReachIndex::Clocks(clocks) => {
+                if !clocks.join_from(u, v) {
+                    return true;
+                }
+                let mut work = vec![v];
+                while let Some(w) = work.pop() {
+                    for i in 0..self.edges[w].len() {
+                        let t = self.edges[w][i].0 as usize;
+                        if clocks.join_from(w, t) {
+                            work.push(t);
+                        }
+                    }
                 }
             }
         }
@@ -319,32 +451,69 @@ impl HbAnalysis {
         if new_edges.is_empty() {
             return;
         }
-        let mut by_src: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        let mut hi = 0usize;
-        for &(u, v) in new_edges {
-            by_src.entry(u).or_default().push(v);
-            hi = hi.max(u);
-        }
         counter!("hb_reach_delta_edges_total").add(new_edges.len() as u64);
-        let mut changed = vec![false; hi + 1];
-        for i in (0..=hi).rev() {
-            let mut grew = false;
-            if let Some(vs) = by_src.get(&i) {
-                for &v in vs {
-                    if !self.reach.get(i, v) {
-                        self.reach.set(i, v);
-                        grew = true;
+        match &mut self.reach {
+            // Matrix rows summarize successors, so the partial sweep runs
+            // backward from the highest new source: a row re-unions if it
+            // gained an out-edge or a successor's row changed.
+            ReachIndex::Matrix(reach) => {
+                let mut by_src: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                let mut hi = 0usize;
+                for &(u, v) in new_edges {
+                    by_src.entry(u).or_default().push(v);
+                    hi = hi.max(u);
+                }
+                let mut changed = vec![false; hi + 1];
+                for i in (0..=hi).rev() {
+                    let mut grew = false;
+                    if let Some(vs) = by_src.get(&i) {
+                        for &v in vs {
+                            if !reach.get(i, v) {
+                                reach.set(i, v);
+                                grew = true;
+                            }
+                            grew |= reach.or_row_into_changed(v, i);
+                        }
                     }
-                    grew |= self.reach.or_row_into_changed(v, i);
+                    for k in 0..self.edges[i].len() {
+                        let t = self.edges[i][k].0 as usize;
+                        if t <= hi && changed[t] {
+                            grew |= reach.or_row_into_changed(t, i);
+                        }
+                    }
+                    changed[i] = grew;
                 }
             }
-            for k in 0..self.edges[i].len() {
-                let t = self.edges[i][k].0 as usize;
-                if t <= hi && changed[t] {
-                    grew |= self.reach.or_row_into_changed(t, i);
+            // Clocks summarize predecessors, so the sweep is the mirror
+            // image: forward from the lowest new destination, a vertex
+            // re-joins if it gained an in-edge or a predecessor's clock
+            // advanced. Every edge points forward in index order, so each
+            // predecessor is final before its successors are visited.
+            ReachIndex::Clocks(clocks) => {
+                let n = self.trace.len();
+                let mut by_dst: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                let mut lo = n;
+                for &(u, v) in new_edges {
+                    by_dst.entry(v).or_default().push(u);
+                    lo = lo.min(v);
+                }
+                let mut changed = vec![false; n];
+                for i in lo..n {
+                    let mut grew = false;
+                    if let Some(us) = by_dst.get(&i) {
+                        for &u in us {
+                            grew |= clocks.join_from(u, i);
+                        }
+                    }
+                    for k in 0..self.preds[i].len() {
+                        let p = self.preds[i][k].0 as usize;
+                        if p >= lo && changed[p] {
+                            grew |= clocks.join_from(p, i);
+                        }
+                    }
+                    changed[i] = grew;
                 }
             }
-            changed[i] = grew;
         }
     }
 
@@ -643,7 +812,8 @@ impl HbAnalysis {
                         if done[bit / 64] & (1u64 << (bit % 64)) != 0 {
                             continue;
                         }
-                        let c1c2 = e1.create != e2.create && self.reach.get(e1.create, e2.create);
+                        let c1c2 =
+                            e1.create != e2.create && self.reach.reaches(e1.create, e2.create);
                         if c1c2 {
                             if self.add_edge(end1, e2.begin, EdgeRule::Eserial) {
                                 pending.push((end1, e2.begin));
@@ -660,28 +830,46 @@ impl HbAnalysis {
         }
     }
 
-    /// Full reverse sweep, run exactly once per build: every edge goes from
-    /// a smaller to a larger index, so processing vertices in decreasing
-    /// order makes each reachable set the union of its successors' sets
-    /// plus the successors themselves. All later edge insertions go through
-    /// `add_edge_incremental` instead.
+    /// Full sweep, run exactly once per build. Every edge goes from a
+    /// smaller to a larger index, so a single pass in the right direction
+    /// suffices: decreasing order for the matrix (each reachable set is
+    /// the union of its successors' sets plus the successors themselves),
+    /// increasing order for the clocks (each clock is the join of its
+    /// predecessors' clocks plus its own chain tick). All later edge
+    /// insertions go through `add_edge_incremental`/`integrate_edges`.
     fn recompute_reach(&mut self) {
         let _span = dcatch_obs::span!("hb.reach");
         counter!("hb_reach_recomputes_total").inc();
         let n = self.trace.len();
-        // drop the previous matrix first: holding both would double peak
-        // memory and defeat the budget check in `build`
-        self.reach = BitMatrix::new(0);
-        let mut reach = BitMatrix::new(n);
-        for i in (0..n).rev() {
-            // collect first to avoid holding a borrow on edges
-            let succs: Vec<usize> = self.edges[i].iter().map(|&(t, _)| t as usize).collect();
-            for s in succs {
-                reach.set(i, s);
-                reach.or_row_into(s, i);
+        match self.reach {
+            ReachIndex::Matrix(_) => {
+                // drop the previous matrix first: holding both would double
+                // peak memory and defeat the budget check in `build`
+                self.reach = ReachIndex::Matrix(BitMatrix::new(0));
+                let mut reach = BitMatrix::new(n);
+                for i in (0..n).rev() {
+                    // collect first to avoid holding a borrow on edges
+                    let succs: Vec<usize> =
+                        self.edges[i].iter().map(|&(t, _)| t as usize).collect();
+                    for s in succs {
+                        reach.set(i, s);
+                        reach.or_row_into(s, i);
+                    }
+                }
+                self.reach = ReachIndex::Matrix(reach);
+            }
+            ReachIndex::Clocks(_) => {
+                self.reach = ReachIndex::Clocks(ChainClocks::new(&TraceSet::new()));
+                let mut clocks = ChainClocks::new(&self.trace);
+                for v in 0..n {
+                    for k in 0..self.preds[v].len() {
+                        let p = self.preds[v][k].0 as usize;
+                        clocks.join_from(p, v);
+                    }
+                }
+                self.reach = ReachIndex::Clocks(clocks);
             }
         }
-        self.reach = reach;
     }
 }
 

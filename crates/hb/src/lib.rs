@@ -21,24 +21,37 @@
 //! feeds extra edges back into this graph via
 //! [`HbAnalysis::add_edges_and_rebuild`].)
 //!
-//! Reachability uses the bit-array reachable-set algorithm DCatch borrows
-//! from event-driven race detection (§3.2.2): every HB edge in a trace
-//! points from a smaller to a larger sequence number, so one reverse sweep
-//! computes each vertex's reachable set and concurrency checks become
-//! constant-time bit lookups. The memory this takes is quadratic in the
-//! trace length — which is exactly why DCatch's *selective* tracing
-//! matters, and why the unselective baseline of Table 8 runs out of memory
-//! ([`HbError::OutOfMemory`]).
+//! Reachability has two interchangeable engines behind
+//! [`HbConfig::reachability`]:
+//!
+//! * [`BitMatrix`] — the bit-array reachable-set algorithm DCatch borrows
+//!   from event-driven race detection (§3.2.2): every HB edge in a trace
+//!   points from a smaller to a larger sequence number, so one reverse
+//!   sweep computes each vertex's reachable set and concurrency checks
+//!   become constant-time bit lookups. The memory this takes is quadratic
+//!   in the trace length — which is exactly why DCatch's *selective*
+//!   tracing matters, and why the unselective baseline of Table 8 runs
+//!   out of memory ([`HbError::OutOfMemory`]).
+//! * [`ChainClocks`] — chain-decomposition vector clocks: one u32 frontier
+//!   per program-order chain per record, `O(n·G)` memory with `G ≪ n`
+//!   chains, exact for arbitrary HB DAGs. This is what lets *full-trace*
+//!   detection keep running at the unselective Table 8 scale where the
+//!   matrix blows the budget.
+//!
+//! The default [`ReachabilityMode::Auto`] picks the matrix whenever it
+//! fits the memory budget and clocks otherwise.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod ablation;
 mod bitmatrix;
+mod chainclocks;
 mod graph;
 mod vectorclock;
 
 pub use ablation::{apply_ablation, Ablation};
 pub use bitmatrix::BitMatrix;
-pub use graph::{EdgeRule, HbAnalysis, HbConfig, HbError};
+pub use chainclocks::ChainClocks;
+pub use graph::{EdgeRule, HbAnalysis, HbConfig, HbError, ReachabilityMode};
 pub use vectorclock::VectorClocks;

@@ -6,7 +6,7 @@
 //! (`dcatch_obs::SmallRng`); each test runs a fixed number of seeded
 //! cases and reports the failing case seed on assert.
 
-use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig};
+use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig, ReachabilityMode};
 use dcatch_model::{FuncId, NodeId, StmtId};
 use dcatch_obs::SmallRng;
 use dcatch_trace::{
@@ -327,6 +327,64 @@ fn explain_returns_valid_chains() {
                     assert_eq!(cur, b, "case {case}");
                 }
             }
+        }
+    }
+}
+
+/// The chain-decomposition clock engine answers every `happens_before`
+/// and `concurrent` query exactly like the bit matrix, on arbitrary
+/// well-formed traces — including after interleaved incremental growth
+/// via `add_edges_and_rebuild` (the public path onto
+/// `add_edge_incremental`). This is the equivalence property the `auto`
+/// engine selection rests on.
+#[test]
+fn chain_clocks_agree_with_bit_matrix() {
+    let cases = if std::env::var_os("DCATCH_SOAK").is_some() {
+        192
+    } else {
+        48
+    };
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(0xC1A5 ^ case);
+        let trace = build_trace(&arb_ops(&mut rng, 40));
+        let cfg = |mode| HbConfig {
+            reachability: mode,
+            ..HbConfig::default()
+        };
+        let mut matrix = HbAnalysis::build(trace.clone(), &cfg(ReachabilityMode::Matrix)).unwrap();
+        let mut clocks = HbAnalysis::build(trace, &cfg(ReachabilityMode::Clocks)).unwrap();
+        assert_eq!(matrix.reachability(), ReachabilityMode::Matrix);
+        assert_eq!(clocks.reachability(), ReachabilityMode::Clocks);
+        let n = matrix.vertex_count();
+        let check = |matrix: &HbAnalysis, clocks: &HbAnalysis, stage: &str| {
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        matrix.happens_before(a, b),
+                        clocks.happens_before(a, b),
+                        "case {case} {stage}: engines disagree on hb({a}, {b})"
+                    );
+                    assert_eq!(
+                        matrix.concurrent(a, b),
+                        clocks.concurrent(a, b),
+                        "case {case} {stage}: engines disagree on concurrent({a}, {b})"
+                    );
+                }
+            }
+        };
+        check(&matrix, &clocks, "after build");
+        // grow both graphs identically through the public incremental path
+        for round in 0..3 {
+            if n < 2 {
+                break;
+            }
+            let extra: Vec<(usize, usize)> = (0..1 + rng.gen_range(4))
+                .map(|_| (rng.gen_range(n), rng.gen_range(n)))
+                .filter(|(u, v)| u != v)
+                .collect();
+            matrix.add_edges_and_rebuild(&extra);
+            clocks.add_edges_and_rebuild(&extra);
+            check(&matrix, &clocks, &format!("after growth round {round}"));
         }
     }
 }

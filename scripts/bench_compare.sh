@@ -18,6 +18,13 @@
 # Entries present on only one side are reported but do not fail the
 # comparison (benches gain entries over time). Improvements print their
 # speed-up so refreshed baselines are easy to sanity-check.
+#
+# The `reachability` group additionally gates the two-engine trade-off
+# within the *current* document: chain clocks must use at least 4x less
+# memory than the bit matrix at the largest size (bytes are deterministic,
+# so this is a hard failure), and their build+query mean at the smallest
+# size is reported against the 1.15x target (timing is jittery at these
+# sizes, so a miss only warns).
 set -euo pipefail
 
 if [[ $# -ne 2 ]]; then
@@ -27,11 +34,14 @@ fi
 
 python3 - "$1" "$2" <<'PY'
 import json
+import re
 import statistics
 import sys
 
 THRESHOLD = 1.25  # fail on >25% mean regression
 NOISE_FLOOR_NS = 500_000  # sub-0.5ms entries are jitter-dominated: report only
+MEMORY_RATIO = 4.0  # clocks must beat the matrix by this factor at the top size
+TIME_RATIO = 1.15  # clocks build+query target at the smallest size (soft)
 
 def entries(path):
     with open(path) as f:
@@ -39,7 +49,11 @@ def entries(path):
     out = {}
     for group in doc["groups"]:
         for entry in group["entries"]:
-            out[(group["name"], entry["name"])] = (entry["mean_ns"], entry["min_ns"])
+            out[(group["name"], entry["name"])] = (
+                entry["mean_ns"],
+                entry["min_ns"],
+                entry.get("bytes"),
+            )
     return out, doc.get("calibration_ns")
 
 base_path, cur_path = sys.argv[1], sys.argv[2]
@@ -61,7 +75,7 @@ for key in sorted(base.keys() | cur.keys()):
     if key not in cur:
         print(f"  missing   {label}: present only in {base_path}")
         continue
-    (b_mean, b_min), (c_mean, c_min) = base[key], cur[key]
+    (b_mean, b_min, _), (c_mean, c_min, _) = base[key], cur[key]
     ratio = (c_mean / drift) / b_mean if b_mean else float("inf")
     min_ratio = (c_min / drift) / b_min if b_min else float("inf")
     if ratio > THRESHOLD and min_ratio > THRESHOLD:
@@ -83,8 +97,37 @@ for key in sorted(base.keys() | cur.keys()):
     else:
         print(f"  ok        {label}: {b_mean / 1e6:.2f} ms -> {c_mean / 1e6:.2f} ms ({ratio:.2f}x)")
 
+# --- reachability engine gate (current document only) ---
+sizes = {}
+for (group, name), (mean, _mn, nbytes) in cur.items():
+    m = re.fullmatch(r"(matrix|clocks)_(\d+)rec", name)
+    if group == "reachability" and m:
+        sizes.setdefault(int(m.group(2)), {})[m.group(1)] = (mean, nbytes)
+paired = {n: e for n, e in sizes.items() if "matrix" in e and "clocks" in e}
+if paired:
+    largest, smallest = max(paired), min(paired)
+    m_bytes, c_bytes = paired[largest]["matrix"][1], paired[largest]["clocks"][1]
+    if m_bytes and c_bytes:
+        ratio = m_bytes / c_bytes
+        line = (
+            f"reachability@{largest}rec memory: clocks {c_bytes} vs "
+            f"matrix {m_bytes} bytes ({ratio:.1f}x smaller)"
+        )
+        if ratio < MEMORY_RATIO:
+            failed.append(line)
+            print(f"  ENGINES   {line} — below the {MEMORY_RATIO:.0f}x floor")
+        else:
+            print(f"  engines   {line}")
+    m_mean, c_mean = paired[smallest]["matrix"][0], paired[smallest]["clocks"][0]
+    t_ratio = c_mean / m_mean if m_mean else float("inf")
+    verdict = "ok" if t_ratio <= TIME_RATIO else f"above the {TIME_RATIO}x target (soft)"
+    print(
+        f"  engines   reachability@{smallest}rec build+query: clocks "
+        f"{c_mean / 1e6:.2f} ms vs matrix {m_mean / 1e6:.2f} ms ({t_ratio:.2f}x) — {verdict}"
+    )
+
 if failed:
-    print(f"{len(failed)} entr{'y' if len(failed) == 1 else 'ies'} regressed >25% vs {base_path}")
+    print(f"{len(failed)} gate failure{'' if len(failed) == 1 else 's'} vs {base_path}")
     sys.exit(1)
 print(f"no >25% regressions vs {base_path}")
 PY

@@ -59,6 +59,11 @@ cargo build --offline --release
 echo "== cargo test =="
 cargo test --offline -q
 
+echo "== reachability engine equivalence (matrix vs chain clocks) =="
+# also part of the suite above; named here so a failure is unmistakable.
+# DCATCH_SOAK=1 widens it from 48 to 192 random DAGs.
+cargo test --offline -q -p dcatch-hb --test proptests chain_clocks_agree_with_bit_matrix
+
 if [[ "${DCATCH_SOAK:-0}" == "1" ]]; then
     soak
 fi

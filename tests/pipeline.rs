@@ -40,9 +40,11 @@ fn oom_is_a_reported_outcome_not_an_error() {
     let bench = dcatch::benchmark("MR-3274").unwrap();
     let mut opts = PipelineOptions::fast();
     opts.tracing = TracingMode::Full;
+    // 1 KiB is below even the chain-clock engine's O(n·G) footprint, so
+    // the default `auto` mode has no engine to fall back to
     opts.hb = HbConfig {
         memory_budget_bytes: 1024,
-        apply_eserial: true,
+        ..HbConfig::default()
     };
     let report = Pipeline::run(&bench, &opts).unwrap();
     assert!(report.oom.is_some());
@@ -96,6 +98,112 @@ fn parallel_detection_report_matches_serial_byte_for_byte() {
     let serial = scrubbed_json(1);
     let parallel = scrubbed_json(4);
     assert_eq!(serial, parallel, "report depends on worker count");
+}
+
+/// The tentpole guarantee at test scale: pick a budget the bit matrix
+/// cannot fit but the chain clocks can. The matrix engine OOMs on the
+/// full unselective trace; `auto` silently falls back to clocks and
+/// completes full-trace (non-chunked) detection within the same budget.
+/// (EXPERIMENTS.md repeats this at Table-8 scale with the 512 MB budget.)
+#[test]
+fn clock_engine_completes_full_trace_detection_where_matrix_ooms() {
+    use dcatch::{BitMatrix, ChainClocks, ReachabilityMode};
+    let bench = dcatch::benchmark("MR-3274").unwrap();
+    let run = World::run_once(
+        &bench.program,
+        &bench.topology,
+        SimConfig::default()
+            .with_seed(bench.seed)
+            .with_full_tracing(),
+    )
+    .unwrap();
+    let n = run.trace.len();
+    let clock_bytes = ChainClocks::estimated_bytes(n, ChainClocks::chain_count(&run.trace));
+    let budget = BitMatrix::estimated_bytes(n) - 1;
+    assert!(
+        clock_bytes <= budget,
+        "premise: clocks fit, matrix does not"
+    );
+
+    let mut opts = PipelineOptions::fast();
+    opts.tracing = TracingMode::Full;
+    opts.hb.memory_budget_bytes = budget;
+    // auto first: `hb_reach_bytes_peak` is a running max per thread, so
+    // the deliberately-OOMing matrix attempt would mask the clock reading
+    opts.hb.reachability = ReachabilityMode::Auto;
+    let auto = Pipeline::run(&bench, &opts).unwrap();
+    assert!(auto.oom.is_none(), "auto must fall back to clocks");
+    assert!(auto.ta_static > 0, "full-trace detection must complete");
+    assert!(
+        auto.metrics.gauge("hb_reach_bytes_peak") <= budget as u64,
+        "clock index must stay within the budget"
+    );
+
+    opts.hb.reachability = ReachabilityMode::Matrix;
+    let matrix = Pipeline::run(&bench, &opts).unwrap();
+    assert!(matrix.oom.is_some(), "matrix engine must OOM");
+}
+
+/// Detection is engine-independent: the chain-clock reachability engine
+/// produces exactly the same Tables 4/5 numbers (candidate funnel,
+/// verdict tallies, known-bug confirmation, per-candidate static pairs)
+/// as the bit matrix on every benchmark, and the same Table 9 ablation
+/// counts. This is the end-to-end guarantee on top of the pairwise
+/// equivalence property tests in `dcatch-hb`.
+#[test]
+fn detection_results_are_identical_under_both_engines() {
+    use dcatch::ReachabilityMode;
+    for bench in dcatch::all_benchmarks() {
+        let run = |mode| {
+            let mut opts = PipelineOptions::full();
+            opts.hb.reachability = mode;
+            Pipeline::run(&bench, &opts).unwrap()
+        };
+        let m = run(ReachabilityMode::Matrix);
+        let c = run(ReachabilityMode::Clocks);
+        assert_eq!(
+            (m.ta_static, m.ta_stacks, m.sp_static, m.sp_stacks),
+            (c.ta_static, c.ta_stacks, c.sp_static, c.sp_stacks),
+            "{}: candidate funnel differs",
+            bench.id
+        );
+        assert_eq!(
+            (m.lp_static, m.lp_stacks),
+            (c.lp_static, c.lp_stacks),
+            "{}: loop-sync funnel differs",
+            bench.id
+        );
+        assert_eq!(m.verdicts, c.verdicts, "{}: verdicts differ", bench.id);
+        assert_eq!(
+            m.detected_known_bug, c.detected_known_bug,
+            "{}: known-bug confirmation differs",
+            bench.id
+        );
+        let pairs = |r: &dcatch::BenchmarkReport| {
+            r.reports
+                .iter()
+                .map(|b| (b.candidate.static_pair, b.verdict))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pairs(&m), pairs(&c), "{}: reported pairs differ", bench.id);
+
+        // Table 9 ablation counts (trace analysis only, per rule family)
+        for ablation in dcatch::Ablation::TABLE9 {
+            let run = |mode| {
+                let mut opts = PipelineOptions::trace_analysis_only();
+                opts.ablation = ablation;
+                opts.hb.reachability = mode;
+                let r = Pipeline::run(&bench, &opts).unwrap();
+                (r.ta_static, r.ta_stacks)
+            };
+            assert_eq!(
+                run(ReachabilityMode::Matrix),
+                run(ReachabilityMode::Clocks),
+                "{} ablation {ablation:?}: counts differ",
+                bench.id
+            );
+        }
+    }
 }
 
 /// Trace files round-trip through the on-disk line format.
