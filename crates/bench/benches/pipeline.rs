@@ -39,5 +39,30 @@ fn main() {
         });
     }
 
+    // `--profile` never changes what the pipeline executes — spans are
+    // captured unconditionally — so its entire cost is post-processing:
+    // the profile timeline plus the report's profile sections. Measuring
+    // that post-processing directly (over precomputed detect-all results)
+    // keeps the gate out of the pipeline's run-to-run jitter;
+    // bench_compare.sh asserts `report_profiled` ≤ 5% of the
+    // detect_all/jobs1 mean.
+    h.group("profile_overhead");
+    let results = Pipeline::run_all(&all, &PipelineOptions::fast(), 1);
+    let results: Vec<(&str, _)> = all.iter().map(|b| b.id).zip(results).collect();
+    h.bench("report", 10, || {
+        dcatch::report_json::run_report_results_with(&results, false)
+            .to_compact()
+            .len()
+    });
+    h.bench("report_profiled", 10, || {
+        dcatch::report_json::run_report_results_with(&results, true)
+            .to_compact()
+            .len()
+            + dcatch::profile_timeline(&results)
+                .to_json()
+                .to_compact()
+                .len()
+    });
+
     h.finish();
 }

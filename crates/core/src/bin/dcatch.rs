@@ -2,17 +2,24 @@
 //!
 //! ```text
 //! dcatch list
-//! dcatch detect <BUG-ID|all> [options]
+//! dcatch detect  <BUG-ID|all> [options]
 //! dcatch stats   <BUG-ID> [--full-tracing] [--scale N] [--seed N] [--json]
 //! dcatch trace   <BUG-ID> [--full-tracing] [--out FILE]
-//! dcatch explain <BUG-ID> <OBJECT>
+//! dcatch timeline <BUG-ID> [--full-tracing] [--scale N] [--seed N]
+//!                 [--fault-plan FILE] [--out FILE]
+//! dcatch explain <BUG-ID> <OBJECT> [--json] [--out FILE]
 //! dcatch faults  <BUG-ID|all> [--fault-plan FILE] [--seeds CSV] [--json]
 //! ```
 //!
 //! `explain` prints, for the named shared object, which access pairs the
-//! HB analysis orders (with the rule chain, à la the paper's Figure 3)
-//! and which it reports as concurrent. `stats` prints the Table-7 trace
-//! record breakdown for one benchmark's correct run.
+//! HB analysis orders (with the full hop-by-hop rule chain, à la the
+//! paper's Figure 3) and which it reports as concurrent; `--json` emits
+//! the same chains machine-readably. `stats` prints the Table-7 trace
+//! record breakdown for one benchmark's correct run. `timeline` runs the
+//! benchmark once and exports the execution as Chrome/Perfetto
+//! trace-event JSON — one lane per (node, task), message sends/receives
+//! as flow arrows, fault injections as instant markers; load the file at
+//! `ui.perfetto.dev`. The file is byte-identical for a given seed.
 //!
 //! Detect options:
 //!   --scale N        workload scale factor (default 1)
@@ -31,8 +38,18 @@
 //!   --timeout SECS   per-benchmark wall-clock watchdog
 //!   --json           emit the versioned machine-readable run report
 //!   --out FILE       write the JSON report to FILE instead of stdout
+//!   --profile        capture per-stage spans and counter tracks; writes a
+//!                    Perfetto timeline and fills the report's `profile`
+//!                    section (schema v4)
+//!   --profile-out F  where to write the profile timeline
+//!                    (default profile.trace.json; implies --profile)
 //!   --metrics        print per-run counter deltas (human mode)
 //!   --verbose        stream span enter/exit lines to stderr
+//!
+//! Multi-benchmark runs (`detect all`, `faults all`) paint a live
+//! progress line on stderr when it is a terminal (`DCATCH_PROGRESS=1/0`
+//! overrides), with per-benchmark queued/running/done/degraded states and
+//! a median-based ETA.
 //!
 //! Unknown flags are rejected with an error instead of being silently
 //! ignored.
@@ -58,10 +75,13 @@ fn main() -> ExitCode {
         Some("detect") => detect(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("trace") => trace(&args[1..]),
+        Some("timeline") => timeline(&args[1..]),
         Some("explain") => explain(&args[1..]),
         Some("faults") => faults(&args[1..]),
         _ => {
-            eprintln!("usage: dcatch <list|detect|stats|trace|explain|faults> …  (see the README)");
+            eprintln!(
+                "usage: dcatch <list|detect|stats|trace|timeline|explain|faults> …  (see the README)"
+            );
             ExitCode::FAILURE
         }
     }
@@ -136,6 +156,7 @@ const DETECT_FLAGS: &[&str] = &[
     "--json",
     "--metrics",
     "--verbose",
+    "--profile",
 ];
 const DETECT_VALUED: &[&str] = &[
     "--scale",
@@ -148,6 +169,7 @@ const DETECT_VALUED: &[&str] = &[
     "--fault-plan",
     "--fault-target",
     "--timeout",
+    "--profile-out",
 ];
 
 fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
@@ -259,10 +281,22 @@ fn detect(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if flag(args, "--verbose") {
+    let verbose = flag(args, "--verbose");
+    if verbose {
         dcatch_obs::trace::set_verbose(true);
     }
-    let results = Pipeline::run_all(&benches, &opts, jobs);
+    let profile = flag(args, "--profile") || opt_str(args, "--profile-out").is_some();
+    let progress = dcatch_obs::Progress::with_enabled(
+        "detect",
+        benches.iter().map(|b| b.id.to_owned()),
+        benches.len() > 1 && !verbose && dcatch_obs::progress::stderr_wants_progress(),
+    );
+    let results = Pipeline::run_all_observed(&benches, &opts, jobs, &|i, phase| match phase {
+        dcatch::RunPhase::Started => progress.start(i),
+        dcatch::RunPhase::Finished => progress.complete(i, false),
+        dcatch::RunPhase::Degraded => progress.complete(i, true),
+    });
+    progress.finish();
     let results: Vec<(&str, _)> = benches.iter().map(|b| b.id).zip(results).collect();
     let mut ok = true;
     for (b, (_, result)) in benches.iter().zip(&results) {
@@ -273,6 +307,9 @@ fn detect(args: &[String]) -> ExitCode {
             Ok(r) => {
                 if !json {
                     print_report(r, &opts, show_metrics, &mut ok);
+                    if profile {
+                        print_profile(r);
+                    }
                 } else if opts.triggering && r.oom.is_none() && !r.detected_known_bug {
                     ok = false;
                 }
@@ -287,9 +324,33 @@ fn detect(args: &[String]) -> ExitCode {
             }
         }
     }
+    if profile {
+        let tl = dcatch::profile_timeline(&results);
+        let doc = tl.to_json();
+        match dcatch_obs::timeline::validate(&doc) {
+            Ok(summary) => {
+                let path = opt_str(args, "--profile-out")
+                    .cloned()
+                    .unwrap_or_else(|| "profile.trace.json".to_owned());
+                if let Err(e) = std::fs::write(&path, doc.to_pretty().as_bytes()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "profile timeline: {} events, {} lanes -> {path}",
+                    summary.events,
+                    summary.lanes / 2
+                );
+            }
+            Err(e) => {
+                eprintln!("internal error: profile timeline failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if json {
         // errored benchmarks stay in the report as structured entries
-        let doc = dcatch::report_json::run_report_results(&results);
+        let doc = dcatch::report_json::run_report_results_with(&results, profile);
         if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -300,6 +361,29 @@ fn detect(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Human-mode per-stage profile block (`detect … --profile`).
+fn print_profile(r: &dcatch::BenchmarkReport) {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1000.0;
+    let t = &r.timings;
+    println!(
+        "  profile: tracing {:.2}ms | analysis {:.2}ms | pruning {:.2}ms | \
+         loop-sync {:.2}ms | triggering {:.2}ms | total {:.2}ms",
+        ms(t.tracing),
+        ms(t.trace_analysis),
+        ms(t.static_pruning),
+        ms(t.loop_sync),
+        ms(t.triggering),
+        ms(r.spans.total),
+    );
+    println!(
+        "  profile: reach index peak {} bytes; candidates TA {} → SP {} → LP {}",
+        r.metrics.gauge("hb_reach_bytes_peak"),
+        r.ta_static,
+        r.sp_static,
+        r.lp_static
+    );
 }
 
 /// `dcatch faults <BUG-ID|all>` — runs each benchmark's simulation under a
@@ -357,7 +441,14 @@ fn faults(args: &[String]) -> ExitCode {
     let json = flag(args, "--json");
     let mut rows = Vec::new();
     let mut ok = true;
-    for b in &benches {
+    let progress = dcatch_obs::Progress::with_enabled(
+        "faults",
+        benches.iter().map(|b| b.id.to_owned()),
+        benches.len() > 1 && dcatch_obs::progress::stderr_wants_progress(),
+    );
+    for (bi, b) in benches.iter().enumerate() {
+        progress.start(bi);
+        let mut bench_ok = true;
         let scenarios: Vec<(String, dcatch::FaultPlan)> = match &custom {
             Some(plan) => vec![("custom".to_owned(), plan.clone())],
             None => dcatch::fault_scenarios(b)
@@ -379,6 +470,7 @@ fn faults(args: &[String]) -> ExitCode {
                 };
                 // a faulted run must end in a *classified* state
                 let wedged = !run.completed && run.failures.is_empty();
+                bench_ok &= !wedged;
                 ok &= !wedged;
                 let outcome = if run.completed {
                     "completed".to_owned()
@@ -415,7 +507,9 @@ fn faults(args: &[String]) -> ExitCode {
                 }
             }
         }
+        progress.complete(bi, !bench_ok);
     }
+    progress.finish();
     if json {
         let doc = dcatch_obs::Json::obj([
             (
@@ -624,12 +718,87 @@ fn trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn explain(args: &[String]) -> ExitCode {
-    let (Some(id), Some(object)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: dcatch explain <BUG-ID> <OBJECT>");
+/// `dcatch timeline <BUG-ID>` — runs the benchmark's simulation once and
+/// exports the execution as a Chrome/Perfetto trace-event timeline: one
+/// lane per (node, task), flow arrows for messages, instant markers for
+/// fault injections. The document is validated before it is written, and
+/// is byte-identical for a given (benchmark, seed, fault plan).
+fn timeline(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!(
+            "usage: dcatch timeline <BUG-ID> [--full-tracing] [--scale N] [--seed N] \
+             [--fault-plan FILE] [--out FILE]"
+        );
         return ExitCode::FAILURE;
     };
-    if let Err(e) = check_flags(&args[2..], &[], &[]) {
+    if let Err(e) = check_flags(
+        &args[1..],
+        &["--full-tracing"],
+        &["--scale", "--seed", "--fault-plan", "--out"],
+    ) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let (scale, seed) = match (opt(args, "--scale"), opt(args, "--seed")) {
+        (Ok(s), Ok(seed)) => (s.unwrap_or(1), seed),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(b) = benchmarks_for(id, scale).into_iter().next() else {
+        eprintln!("unknown benchmark `{id}` — try `dcatch list`");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = SimConfig::default().with_seed(seed.unwrap_or(b.seed));
+    if flag(args, "--full-tracing") {
+        cfg.tracing = TracingMode::Full;
+    }
+    if let Some(path) = opt_str(args, "--fault-plan") {
+        match load_fault_plan(path) {
+            Ok(plan) => cfg = cfg.with_faults(plan),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let run = match World::run_once(&b.program, &b.topology, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = dcatch::trace_timeline(&run.trace).to_json();
+    let summary = match dcatch_obs::timeline::validate(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("internal error: timeline failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    // summary on stderr so `--out`-less stdout stays pure JSON
+    eprintln!(
+        "{}: {} events, {} flows, {} lanes (load at ui.perfetto.dev)",
+        b.id,
+        summary.events,
+        summary.flows,
+        summary.lanes / 2
+    );
+    ExitCode::SUCCESS
+}
+
+fn explain(args: &[String]) -> ExitCode {
+    let (Some(id), Some(object)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: dcatch explain <BUG-ID> <OBJECT> [--json] [--out FILE]");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = check_flags(&args[2..], &["--json"], &["--out"]) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
@@ -664,29 +833,109 @@ fn explain(args: &[String]) -> ExitCode {
         eprintln!("no traced accesses to `{object}` in {id}'s correct run");
         return ExitCode::FAILURE;
     }
-    println!("{}: {} traced accesses to `{object}`", b.id, accesses.len());
+    let json = flag(args, "--json");
+    let describe = |i: usize| {
+        let r = &hb.trace().records()[i];
+        format!("#{i} {} ({})", r.kind.tag(), r.task)
+    };
+    if !json {
+        println!("{}: {} traced accesses to `{object}`", b.id, accesses.len());
+    }
+    let mut pairs = Vec::new();
     for (p, &i) in accesses.iter().enumerate() {
         for &j in &accesses[p + 1..] {
             let (a, z) = (i.min(j), i.max(j));
-            let ra = &hb.trace().records()[a];
-            let rz = &hb.trace().records()[z];
-            let label = format!(
-                "#{a} {} ({}) ↔ #{z} {} ({})",
-                ra.kind.tag(),
-                ra.task,
-                rz.kind.tag(),
-                rz.task
-            );
-            if let Some(chain) = hb.explain(a, z) {
-                let rules: Vec<String> =
-                    chain.iter().map(|&(_, rule)| format!("{rule:?}")).collect();
-                println!("  ordered   {label}\n            via {}", rules.join(" → "));
-            } else if hb.happens_before(z, a) {
-                println!("  ordered   {label} (reverse)");
-            } else {
-                println!("  CONCURRENT {label}");
+            let label = format!("{} ↔ {}", describe(a), describe(z));
+            // the HB chain may run in either direction; capture whichever
+            // exists so the printout always shows the full rule derivation
+            let (relation, chain) = match hb.explain(a, z) {
+                Some(chain) => ("ordered", Some((a, chain))),
+                None => match hb.explain(z, a) {
+                    Some(chain) => ("ordered_reverse", Some((z, chain))),
+                    None => ("concurrent", None),
+                },
+            };
+            if json {
+                pairs.push(pair_json(&hb, a, z, relation, chain.as_ref()));
+                continue;
+            }
+            match &chain {
+                Some((from, hops)) => {
+                    let tail = if relation == "ordered_reverse" {
+                        " (reverse)"
+                    } else {
+                        ""
+                    };
+                    println!("  ordered   {label}{tail}");
+                    println!("            {}", describe(*from));
+                    for &(to, rule) in hops {
+                        println!("              —{rule:?}→ {}", describe(to));
+                    }
+                }
+                None => println!("  CONCURRENT {label}"),
             }
         }
     }
+    if json {
+        let doc = dcatch_obs::Json::obj([
+            (
+                "schema_version",
+                dcatch_obs::Json::UInt(dcatch::report_json::SCHEMA_VERSION),
+            ),
+            ("id", dcatch_obs::Json::Str(b.id.to_owned())),
+            ("object", dcatch_obs::Json::Str((*object).clone())),
+            (
+                "accesses",
+                dcatch_obs::Json::Arr(accesses.iter().map(|&i| access_json(&hb, i)).collect()),
+            ),
+            ("pairs", dcatch_obs::Json::Arr(pairs)),
+        ]);
+        if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// One trace record reference in `explain --json` output.
+fn access_json(hb: &dcatch::HbAnalysis, i: usize) -> dcatch_obs::Json {
+    let r = &hb.trace().records()[i];
+    dcatch_obs::Json::obj([
+        ("index", dcatch_obs::Json::UInt(i as u64)),
+        ("tag", dcatch_obs::Json::Str(r.kind.tag().to_owned())),
+        ("task", dcatch_obs::Json::Str(r.task.to_string())),
+    ])
+}
+
+/// One access pair with its HB verdict and (when ordered) the hop-by-hop
+/// rule chain.
+fn pair_json(
+    hb: &dcatch::HbAnalysis,
+    a: usize,
+    z: usize,
+    relation: &str,
+    chain: Option<&(usize, Vec<(usize, dcatch::EdgeRule)>)>,
+) -> dcatch_obs::Json {
+    let hops = match chain {
+        Some((_, hops)) => hops
+            .iter()
+            .map(|&(to, rule)| {
+                let r = &hb.trace().records()[to];
+                dcatch_obs::Json::obj([
+                    ("rule", dcatch_obs::Json::Str(format!("{rule:?}"))),
+                    ("to", dcatch_obs::Json::UInt(to as u64)),
+                    ("tag", dcatch_obs::Json::Str(r.kind.tag().to_owned())),
+                    ("task", dcatch_obs::Json::Str(r.task.to_string())),
+                ])
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    dcatch_obs::Json::obj([
+        ("a", dcatch_obs::Json::UInt(a as u64)),
+        ("b", dcatch_obs::Json::UInt(z as u64)),
+        ("relation", dcatch_obs::Json::Str(relation.to_owned())),
+        ("chain", dcatch_obs::Json::Arr(hops)),
+    ])
 }

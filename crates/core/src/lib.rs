@@ -35,10 +35,12 @@
 #![forbid(unsafe_code)]
 
 mod pipeline;
+pub mod profile;
 mod report;
 pub mod report_json;
 
-pub use pipeline::{Pipeline, PipelineError, PipelineOptions};
+pub use pipeline::{Pipeline, PipelineError, PipelineOptions, RunPhase};
+pub use profile::{profile_json, profile_timeline};
 pub use report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
 
 // Re-export the pieces users compose the pipeline from.
@@ -56,8 +58,9 @@ pub use dcatch_hb::{
 pub use dcatch_model::{Expr, FailureSpec, FuncKind, Program, ProgramBuilder, StmtId, Value};
 pub use dcatch_prune::{Impact, PruneStats, Pruner};
 pub use dcatch_sim::{
-    ChannelKind, CrashFault, Failure, FaultPlan, FaultPlanError, FocusConfig, MessageAction,
-    MessageFault, RunFailureKind, RunResult, SimConfig, TimeoutFault, Topology, World,
+    trace_timeline, ChannelKind, CrashFault, Failure, FaultPlan, FaultPlanError, FocusConfig,
+    MessageAction, MessageFault, RunFailureKind, RunResult, SimConfig, TimeoutFault, Topology,
+    World,
 };
 pub use dcatch_trace::{TraceSet, TraceStats, TracingMode};
 pub use dcatch_trigger::{plan_candidate, trigger_candidate, TriggerPlan, TriggerReport, Verdict};

@@ -146,6 +146,19 @@ impl PipelineOptions {
     }
 }
 
+/// Lifecycle notification passed to the observer of
+/// [`Pipeline::run_all_observed`] as each benchmark progresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// The benchmark acquired a job slot and started running.
+    Started,
+    /// The benchmark finished with a report.
+    Finished,
+    /// The benchmark finished in a structured error (panic, watchdog,
+    /// failed run).
+    Degraded,
+}
+
 /// The end-to-end detector.
 #[derive(Debug, Clone, Copy)]
 pub struct Pipeline;
@@ -198,6 +211,19 @@ impl Pipeline {
         opts: &PipelineOptions,
         jobs: usize,
     ) -> Vec<Result<BenchmarkReport, PipelineError>> {
+        Pipeline::run_all_observed(benches, opts, jobs, &|_, _| {})
+    }
+
+    /// [`run_all`](Pipeline::run_all) with a progress observer: `observe`
+    /// is called from worker threads as each benchmark starts and
+    /// finishes (by index into `benches`). Used by the CLI's live
+    /// progress line; the observer must be cheap and must not panic.
+    pub fn run_all_observed(
+        benches: &[Benchmark],
+        opts: &PipelineOptions,
+        jobs: usize,
+        observe: &(dyn Fn(usize, RunPhase) + Sync),
+    ) -> Vec<Result<BenchmarkReport, PipelineError>> {
         use std::sync::{Condvar, Mutex};
         let verbose = dcatch_obs::trace::is_verbose();
         // counting semaphore bounding how many workers run at once
@@ -205,7 +231,8 @@ impl Pipeline {
         let mut results = std::thread::scope(|s| {
             let handles: Vec<_> = benches
                 .iter()
-                .map(|bench| {
+                .enumerate()
+                .map(|(index, bench)| {
                     let slots = &slots;
                     s.spawn(move || {
                         let mut free = slots.0.lock().expect("job slots");
@@ -215,7 +242,16 @@ impl Pipeline {
                         *free -= 1;
                         drop(free);
                         dcatch_obs::trace::set_verbose(verbose);
+                        observe(index, RunPhase::Started);
                         let result = run_guarded(bench, opts, verbose);
+                        observe(
+                            index,
+                            if result.is_err() {
+                                RunPhase::Degraded
+                            } else {
+                                RunPhase::Finished
+                            },
+                        );
                         *slots.0.lock().expect("job slots") += 1;
                         slots.1.notify_one();
                         result

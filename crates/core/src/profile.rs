@@ -1,0 +1,248 @@
+//! Pipeline self-profiling timelines (`dcatch detect --profile`).
+//!
+//! Table 6 of the paper reports per-stage costs as aggregate numbers; the
+//! profiler turns the same measurements into a *visual* artifact: one
+//! Perfetto process lane per benchmark, the captured span tree laid out as
+//! nested duration slices, and counter tracks for the peak
+//! reachability-index footprint (`hb_reach_bytes_peak`, Table 8) and the
+//! candidate funnel (TA → TA+SP → TA+SP+LP, Table 5).
+//!
+//! Wall-clock spans from different worker threads cannot share a real time
+//! axis without encoding the scheduling of `--jobs N` into the file, so
+//! the layout is **synthetic**: each benchmark's lane starts at
+//! `index × LANE_STRIDE` and its span tree is laid out sequentially from
+//! there (parent at its start, children packed left to right). Durations
+//! are real; start times are rebased. The result is a timeline whose
+//! *structure* — lanes, slice names, nesting, counter samples — is
+//! invariant to the worker count, which is what the jobs-invariance test
+//! in `tests/timeline.rs` pins down.
+
+use std::collections::BTreeMap;
+
+use dcatch_obs::{Json, SpanNode, Timeline};
+
+use crate::pipeline::PipelineError;
+use crate::report::BenchmarkReport;
+
+/// Synthetic gap between benchmark lanes on the shared time axis. Large
+/// enough (≈ 71 minutes in µs) that no real benchmark run can bleed into
+/// the next lane's origin.
+const LANE_STRIDE: u64 = 1 << 32;
+
+/// Builds the self-profiling timeline for a `detect` run: one process
+/// lane per benchmark (in input order), stage spans from the captured
+/// span tree, and counter tracks. Errored benchmarks become a single
+/// process-scoped instant marker so degradations stay visible.
+pub fn profile_timeline(results: &[(&str, Result<BenchmarkReport, PipelineError>)]) -> Timeline {
+    let mut tl = Timeline::new();
+    for (index, (id, result)) in results.iter().enumerate() {
+        let pid = index as u64 + 1;
+        let origin = index as u64 * LANE_STRIDE;
+        tl.process(pid, id);
+        tl.thread(pid, 0, "stages");
+        match result {
+            Ok(report) => emit_benchmark(&mut tl, pid, origin, report),
+            Err(e) => {
+                tl.instant_scoped(
+                    pid,
+                    0,
+                    "error",
+                    &format!("error: {}", e.kind()),
+                    origin,
+                    'p',
+                );
+            }
+        }
+    }
+    tl
+}
+
+/// The per-benchmark `profile` section of the schema-v4 run report: the
+/// same numbers the timeline plots, in machine-diffable form.
+pub fn profile_json(r: &BenchmarkReport) -> Json {
+    let us = |d: std::time::Duration| Json::UInt(d.as_micros() as u64);
+    Json::obj([
+        (
+            "stages_us",
+            Json::obj([
+                ("base", us(r.timings.base)),
+                ("tracing", us(r.timings.tracing)),
+                ("trace_analysis", us(r.timings.trace_analysis)),
+                ("static_pruning", us(r.timings.static_pruning)),
+                ("loop_sync", us(r.timings.loop_sync)),
+                ("triggering", us(r.timings.triggering)),
+                ("total", us(r.spans.total)),
+            ]),
+        ),
+        (
+            "hb_reach_bytes_peak",
+            Json::UInt(r.metrics.gauge("hb_reach_bytes_peak")),
+        ),
+        (
+            "candidate_funnel",
+            Json::obj([
+                ("ta", Json::UInt(r.ta_static as u64)),
+                ("sp", Json::UInt(r.sp_static as u64)),
+                ("lp", Json::UInt(r.lp_static as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn emit_benchmark(tl: &mut Timeline, pid: u64, origin: u64, r: &BenchmarkReport) {
+    let mut stage_ends = BTreeMap::new();
+    let lane_end = lay_out(tl, pid, &r.spans, origin, &mut stage_ends);
+    let end_of = |name: &str| stage_ends.get(name).copied().unwrap_or(lane_end);
+
+    // reachability-index footprint: zero at lane start, peak once the HB
+    // analysis stage is done (a step chart in the viewer)
+    let reach = r.metrics.gauge("hb_reach_bytes_peak");
+    tl.counter(pid, "hb_reach_bytes_peak", origin, &[("bytes", 0)]);
+    tl.counter(
+        pid,
+        "hb_reach_bytes_peak",
+        end_of("pipeline.trace_analysis"),
+        &[("bytes", reach)],
+    );
+
+    // candidate funnel: one sample at the end of each pruning stage
+    for (stage, count) in [
+        ("pipeline.trace_analysis", r.ta_static),
+        ("pipeline.static_pruning", r.sp_static),
+        ("pipeline.loop_sync", r.lp_static),
+    ] {
+        tl.counter(
+            pid,
+            "candidates",
+            end_of(stage),
+            &[("static", count as u64)],
+        );
+    }
+}
+
+/// Lays out one span subtree as nested `X` slices: the node spans
+/// `[start, start + total)`, children packed sequentially from `start`.
+/// Zero-µs spans are widened to 1 µs so they stay visible and keep the
+/// lane's timestamps strictly advancing. Records the first-seen end
+/// timestamp per span name (for counter placement) and returns the lane
+/// cursor after this subtree.
+fn lay_out(
+    tl: &mut Timeline,
+    pid: u64,
+    node: &SpanNode,
+    start: u64,
+    stage_ends: &mut BTreeMap<String, u64>,
+) -> u64 {
+    let dur = (node.total.as_micros() as u64).max(1);
+    tl.complete_with(
+        pid,
+        0,
+        "stage",
+        &node.name,
+        start,
+        dur,
+        vec![("count".to_owned(), Json::UInt(node.count))],
+    );
+    let mut cursor = start;
+    for child in &node.children {
+        cursor = lay_out(tl, pid, child, cursor, stage_ends);
+    }
+    let end = (start + dur).max(cursor);
+    stage_ends.entry(node.name.clone()).or_insert(end);
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+    use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
+
+    fn span(name: &str, ms: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode {
+            name: name.to_owned(),
+            total: Duration::from_millis(ms),
+            count: 1,
+            children,
+        }
+    }
+
+    fn report(id: &str) -> BenchmarkReport {
+        let spans = span(
+            &format!("pipeline.{id}"),
+            10,
+            vec![
+                span("pipeline.tracing", 4, vec![span("sim.run", 3, vec![])]),
+                span("pipeline.trace_analysis", 5, vec![]),
+            ],
+        );
+        BenchmarkReport {
+            id: id.to_owned(),
+            trace_stats: Default::default(),
+            trace_bytes: 0,
+            ta_static: 7,
+            ta_stacks: 9,
+            sp_static: 3,
+            sp_stacks: 4,
+            lp_static: 2,
+            lp_stacks: 2,
+            reports: Vec::new(),
+            verdicts: VerdictCounts::default(),
+            detected_known_bug: false,
+            timings: StageTimings::from_spans(&spans),
+            oom: None,
+            metrics: Default::default(),
+            spans,
+        }
+    }
+
+    #[test]
+    fn lanes_spans_and_counters() {
+        let a = report("MR-3274");
+        let results = vec![
+            ("MR-3274", Ok(a)),
+            ("ZK-9999", Err(PipelineError::Panicked("boom".to_owned()))),
+        ];
+        let tl = profile_timeline(&results);
+        let doc = tl.to_json();
+        let summary = dcatch_obs::timeline::validate(&doc).expect("valid timeline");
+        assert_eq!(
+            summary.lanes, 8,
+            "2 process + 2 thread lanes × (name + sort_index)"
+        );
+        let text = doc.to_compact();
+        assert!(text.contains("\"pipeline.tracing\""), "{text}");
+        assert!(text.contains("\"sim.run\""), "{text}");
+        assert!(text.contains("\"hb_reach_bytes_peak\""), "{text}");
+        assert!(text.contains("\"candidates\""), "{text}");
+        assert!(text.contains("error: panic"), "{text}");
+        // nested layout: tracing starts at the lane origin, analysis after
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ts_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .and_then(|e| e.get("ts"))
+                .and_then(|t| t.as_u64())
+                .unwrap()
+        };
+        assert_eq!(ts_of("pipeline.tracing"), 0);
+        assert_eq!(ts_of("sim.run"), 0);
+        assert_eq!(ts_of("pipeline.trace_analysis"), 4_000);
+        assert_eq!(ts_of("error: panic"), LANE_STRIDE);
+    }
+
+    #[test]
+    fn profile_json_carries_stage_and_funnel_numbers() {
+        let r = report("HB-4729");
+        let p = profile_json(&r);
+        let stages = p.get("stages_us").unwrap();
+        assert_eq!(stages.get("tracing").unwrap().as_u64(), Some(4_000));
+        assert_eq!(stages.get("trace_analysis").unwrap().as_u64(), Some(5_000));
+        assert_eq!(stages.get("total").unwrap().as_u64(), Some(10_000));
+        let funnel = p.get("candidate_funnel").unwrap();
+        assert_eq!(funnel.get("ta").unwrap().as_u64(), Some(7));
+        assert_eq!(funnel.get("lp").unwrap().as_u64(), Some(2));
+    }
+}

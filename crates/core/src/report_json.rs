@@ -7,11 +7,11 @@
 //! reports across commits; bump [`SCHEMA_VERSION`] on breaking changes and
 //! describe the layout in DESIGN.md's "Observability" section.
 //!
-//! Document layout (schema version 3):
+//! Document layout (schema version 4):
 //!
 //! ```text
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "tool": "dcatch-rs",
 //!   "degradations": {
 //!     "faults_injected": …, "benchmarks_failed": …,
@@ -29,7 +29,9 @@
 //!       "detected_known_bug": true,
 //!       "timings_ns": { "base": …, …, "triggering": … },
 //!       "spans": { "name": …, "total_ns": …, "count": …, "children": […] },
-//!       "metrics": { "counters": {…}, "gauges": {…}, "histograms": {…} }
+//!       "metrics": { "counters": {…}, "gauges": {…}, "histograms": {…} },
+//!       "profile": null | { "stages_us": {…}, "hb_reach_bytes_peak": …,
+//!                           "candidate_funnel": { "ta": …, "sp": …, "lp": … } }
 //!     },
 //!     { "id": "ZK-1144", "error": { "kind": "panic", "message": "…" } }, …
 //!   ]
@@ -55,7 +57,15 @@ use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
 /// success), error-only benchmark entries, and `trace.stats.faults`.
 /// v3: added `trace.reach_bytes` (peak reachability-index bytes, from the
 /// `hb_reach_bytes_peak` gauge — whichever engine the build selected).
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: added the per-benchmark `profile` section (null unless the run was
+/// invoked with `--profile`): per-stage wall times in µs, the peak
+/// reachability footprint, and the static-candidate funnel. Purely
+/// additive — v2/v3 consumers keep working, see [`validate_report`].
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Oldest schema version [`validate_report`] accepts. Every change since
+/// v2 has been additive, so older documents still validate.
+pub const MIN_SCHEMA_VERSION: u64 = 2;
 
 /// Builds the versioned top-level run report for a set of benchmark runs
 /// that all succeeded (the bench-harness path).
@@ -69,12 +79,21 @@ pub fn run_report(reports: &[BenchmarkReport]) -> Json {
 /// Builds the run report from per-benchmark pipeline *results*, keeping
 /// errored benchmarks in the document as structured `error` entries.
 pub fn run_report_results(results: &[(&str, Result<BenchmarkReport, PipelineError>)]) -> Json {
+    run_report_results_with(results, false)
+}
+
+/// As [`run_report_results`]; `profile: true` fills the per-benchmark
+/// `profile` section (the `--profile` path).
+pub fn run_report_results_with(
+    results: &[(&str, Result<BenchmarkReport, PipelineError>)],
+    profile: bool,
+) -> Json {
     let mut failed: u64 = 0;
     let mut watchdog: u64 = 0;
     let benchmarks = results
         .iter()
         .map(|(id, result)| match result {
-            Ok(r) => benchmark_json(r),
+            Ok(r) => benchmark_json_with(r, profile),
             Err(e) => {
                 failed += 1;
                 if matches!(e, PipelineError::WatchdogTimeout { .. }) {
@@ -135,8 +154,15 @@ pub fn error_json(id: &str, e: &PipelineError) -> Json {
     ])
 }
 
-/// One benchmark's section of the run report.
+/// One benchmark's section of the run report (without a `profile`
+/// section — see [`benchmark_json_with`]).
 pub fn benchmark_json(r: &BenchmarkReport) -> Json {
+    benchmark_json_with(r, false)
+}
+
+/// One benchmark's section of the run report; `profile: true` fills the
+/// v4 `profile` section instead of leaving it null.
+pub fn benchmark_json_with(r: &BenchmarkReport, profile: bool) -> Json {
     Json::obj([
         ("id", Json::Str(r.id.clone())),
         ("error", Json::Null),
@@ -174,7 +200,56 @@ pub fn benchmark_json(r: &BenchmarkReport) -> Json {
         ("timings_ns", timings_json(&r.timings)),
         ("spans", span_json(&r.spans)),
         ("metrics", metrics_json(&r.metrics)),
+        (
+            "profile",
+            if profile {
+                crate::profile::profile_json(r)
+            } else {
+                Json::Null
+            },
+        ),
     ])
+}
+
+/// Checks that `doc` is a structurally sound run report of any supported
+/// schema version ([`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`]) and
+/// returns that version. Validates exactly the invariants every version
+/// shares: the envelope fields, and that each benchmark entry carries an
+/// `id` plus either a structured `error` or the success sections.
+pub fn validate_report(doc: &Json) -> Result<u64, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing schema_version")?;
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
+        return Err(format!(
+            "unsupported schema_version {version} (supported: {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+        ));
+    }
+    if doc.get("tool").and_then(|t| t.as_str()) != Some("dcatch-rs") {
+        return Err("missing or wrong tool marker".to_owned());
+    }
+    doc.get("degradations")
+        .filter(|d| d.get("benchmarks_failed").is_some())
+        .ok_or("missing degradations section")?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(|b| b.as_arr())
+        .ok_or("missing benchmarks array")?;
+    for (i, b) in benches.iter().enumerate() {
+        if b.get("id").and_then(|v| v.as_str()).is_none() {
+            return Err(format!("benchmark[{i}]: missing id"));
+        }
+        let errored = b.get("error").is_some_and(|e| !matches!(e, Json::Null));
+        if errored {
+            if b.get("error").unwrap().get("kind").is_none() {
+                return Err(format!("benchmark[{i}]: error entry without kind"));
+            }
+        } else if b.get("candidates").is_none() || b.get("timings_ns").is_none() {
+            return Err(format!("benchmark[{i}]: missing success sections"));
+        }
+    }
+    Ok(version)
 }
 
 /// Table-7 record breakdown.
@@ -270,7 +345,10 @@ mod tests {
     #[test]
     fn empty_report_list_still_carries_version() {
         let doc = run_report(&[]);
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
         assert_eq!(doc.get("benchmarks").unwrap().as_arr().unwrap().len(), 0);
         let deg = doc.get("degradations").unwrap();
         assert_eq!(deg.get("benchmarks_failed").unwrap().as_u64(), Some(0));

@@ -22,6 +22,13 @@
 //! * [`rng`] — a small deterministic PRNG (SplitMix64) replacing the
 //!   external `rand` dependency for the simulator's scheduler and the
 //!   in-repo property-test harnesses.
+//! * [`timeline`] — a Chrome/Perfetto trace-event JSON exporter (duration,
+//!   instant, counter, and flow events) behind `dcatch timeline` and
+//!   `dcatch detect --profile`, with deterministic (logical-time, stable
+//!   tie-break) serialization.
+//! * [`progress`] — a rate-limited, TTY-gated stderr progress line for
+//!   multi-item runs (`detect all --jobs N`, `faults all`), with per-item
+//!   queued/running/done/degraded states and a median-based ETA.
 //!
 //! Cross-run hygiene: the pipeline brackets each benchmark run with
 //! [`trace::begin_capture`]/[`trace::end_capture`] and diffs
@@ -33,10 +40,14 @@
 
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod rng;
+pub mod timeline;
 pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use progress::Progress;
 pub use rng::SmallRng;
+pub use timeline::Timeline;
 pub use trace::{SpanGuard, SpanNode};

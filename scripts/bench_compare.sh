@@ -25,6 +25,13 @@
 # so this is a hard failure), and their build+query mean at the smallest
 # size is reported against the 1.15x target (timing is jittery at these
 # sizes, so a miss only warns).
+#
+# The `profile_overhead` group is likewise gated within the current
+# document: `--profile` only adds post-processing (the pipeline itself is
+# identical either way), so the *extra* cost it introduces — building the
+# profiled report + timeline (`report_profiled`) minus the plain report
+# build (`report`) that `--json` always pays — must stay within 5% of the
+# end-to-end detect_all/jobs1 mean, by the same dual mean+min rule.
 set -euo pipefail
 
 if [[ $# -ne 2 ]]; then
@@ -42,6 +49,7 @@ THRESHOLD = 1.25  # fail on >25% mean regression
 NOISE_FLOOR_NS = 500_000  # sub-0.5ms entries are jitter-dominated: report only
 MEMORY_RATIO = 4.0  # clocks must beat the matrix by this factor at the top size
 TIME_RATIO = 1.15  # clocks build+query target at the smallest size (soft)
+PROFILE_RATIO = 1.05  # --profile may cost at most 5% on detect-all
 
 def entries(path):
     with open(path) as f:
@@ -125,6 +133,29 @@ if paired:
         f"  engines   reachability@{smallest}rec build+query: clocks "
         f"{c_mean / 1e6:.2f} ms vs matrix {m_mean / 1e6:.2f} ms ({t_ratio:.2f}x) — {verdict}"
     )
+
+# --- --profile overhead gate (current document only) ---
+pipeline = cur.get(("detect_all", "jobs1"))
+plain = cur.get(("profile_overhead", "report"))
+profiled = cur.get(("profile_overhead", "report_profiled"))
+if pipeline and plain and profiled:
+    budget = PROFILE_RATIO - 1.0  # the extra fraction --profile may cost
+    extra_mean = max(0.0, profiled[0] - plain[0])
+    extra_min = max(0.0, profiled[1] - plain[1])
+    mean_frac = extra_mean / pipeline[0] if pipeline[0] else float("inf")
+    min_frac = extra_min / pipeline[1] if pipeline[1] else float("inf")
+    line = (
+        f"profile overhead: +{extra_mean / 1e6:.2f} ms post-processing on a "
+        f"{pipeline[0] / 1e6:.2f} ms detect-all run "
+        f"(mean {mean_frac:.1%}, min {min_frac:.1%})"
+    )
+    if mean_frac > budget and min_frac > budget:
+        failed.append(line)
+        print(f"  PROFILE   {line} — above the {budget:.0%} budget")
+    elif mean_frac > budget:
+        print(f"  profile   {line} — mean above {budget:.0%} but min honest: load spike, not failed")
+    else:
+        print(f"  profile   {line}")
 
 if failed:
     print(f"{len(failed)} gate failure{'' if len(failed) == 1 else 's'} vs {base_path}")

@@ -64,6 +64,15 @@ echo "== reachability engine equivalence (matrix vs chain clocks) =="
 # DCATCH_SOAK=1 widens it from 48 to 192 random DAGs.
 cargo test --offline -q -p dcatch-hb --test proptests chain_clocks_agree_with_bit_matrix
 
+echo "== timeline smoke (generate + validate + byte determinism) =="
+# `dcatch timeline` validates the trace-event document before writing it;
+# generating twice and comparing pins the byte-determinism guarantee.
+tl_dir="$(mktemp -d)"
+trap 'rm -rf "$tl_dir"' EXIT
+cargo run --offline --release -q --bin dcatch -- timeline HB-4729 --out "$tl_dir/a.trace.json"
+cargo run --offline --release -q --bin dcatch -- timeline HB-4729 --out "$tl_dir/b.trace.json"
+cmp "$tl_dir/a.trace.json" "$tl_dir/b.trace.json"
+
 if [[ "${DCATCH_SOAK:-0}" == "1" ]]; then
     soak
 fi

@@ -125,3 +125,97 @@ fn run_report_counters_cover_the_whole_pipeline() {
         .unwrap();
     assert!(get("sim_trace_records_total") >= total);
 }
+
+/// A pre-v4 document exactly as a schema-3 producer wrote it: no
+/// per-benchmark `profile` key anywhere. Pinned as a string so schema
+/// bumps cannot silently rewrite the fixture.
+const V3_FIXTURE: &str = r#"{
+  "schema_version": 3,
+  "tool": "dcatch-rs",
+  "degradations": {
+    "faults_injected": 0,
+    "benchmarks_failed": 1,
+    "trigger_retries": 2,
+    "watchdog_timeouts": 0
+  },
+  "benchmarks": [
+    {
+      "id": "ZK-1144",
+      "error": null,
+      "oom": null,
+      "trace": { "bytes": 1234, "reach_bytes": 512,
+                 "stats": { "total": 40, "mem": 10 } },
+      "candidates": { "ta_static": 5, "sp_static": 2, "lp_static": 2 },
+      "verdicts": { "harmful_static": 1 },
+      "detected_known_bug": true,
+      "timings_ns": { "base": 1, "tracing": 2 },
+      "spans": { "name": "pipeline.ZK-1144", "total_ns": 9, "count": 1,
+                 "children": [] },
+      "metrics": { "counters": {}, "gauges": {}, "histograms": {} }
+    },
+    { "id": "MR-9999", "error": { "kind": "panic", "message": "boom" } }
+  ]
+}"#;
+
+#[test]
+fn v3_reports_still_parse_and_validate() {
+    let doc = json::parse(V3_FIXTURE).expect("v3 fixture parses");
+    assert_eq!(
+        report_json::validate_report(&doc),
+        Ok(3),
+        "schema v4 must remain backward compatible with v3 documents"
+    );
+    // v3 consumers read these fields; they must still be where they were
+    let b = &doc.get("benchmarks").unwrap().as_arr().unwrap()[0];
+    assert_eq!(b.get("id").unwrap().as_str(), Some("ZK-1144"));
+    assert!(b.get("profile").is_none(), "v3 had no profile section");
+}
+
+#[test]
+fn v4_report_carries_optional_profile_section() {
+    let doc = small_run_doc();
+    assert_eq!(report_json::validate_report(&doc), Ok(4));
+    let b = &doc.get("benchmarks").unwrap().as_arr().unwrap()[0];
+    // default (non --profile) runs leave the section null…
+    assert!(b.get("profile").unwrap().is_null());
+
+    // …and profiled runs fill it
+    let bench = dcatch::benchmark("ZK-1144").unwrap();
+    let report = Pipeline::run(&bench, &PipelineOptions::fast()).unwrap();
+    let results = vec![("ZK-1144", Ok(report))];
+    let doc = report_json::run_report_results_with(&results, true);
+    assert_eq!(report_json::validate_report(&doc), Ok(4));
+    let b = &doc.get("benchmarks").unwrap().as_arr().unwrap()[0];
+    let profile = b.get("profile").unwrap();
+    let stages = profile.get("stages_us").unwrap();
+    assert!(stages.get("tracing").unwrap().as_u64().unwrap() > 0);
+    let funnel = profile.get("candidate_funnel").unwrap();
+    assert!(funnel.get("ta").unwrap().as_u64().unwrap() > 0);
+    assert!(profile
+        .get("hb_reach_bytes_peak")
+        .unwrap()
+        .as_u64()
+        .is_some());
+}
+
+#[test]
+fn validate_report_rejects_unsupported_and_malformed_documents() {
+    let future = json::parse(
+        r#"{ "schema_version": 99, "tool": "dcatch-rs",
+             "degradations": { "benchmarks_failed": 0 }, "benchmarks": [] }"#,
+    )
+    .unwrap();
+    assert!(report_json::validate_report(&future)
+        .unwrap_err()
+        .contains("unsupported schema_version"));
+
+    let no_id = json::parse(
+        r#"{ "schema_version": 4, "tool": "dcatch-rs",
+             "degradations": { "benchmarks_failed": 0 },
+             "benchmarks": [ { "error": null } ] }"#,
+    )
+    .unwrap();
+    assert!(report_json::validate_report(&no_id)
+        .unwrap_err()
+        .contains("missing id"));
+}

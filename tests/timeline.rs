@@ -1,0 +1,128 @@
+//! End-to-end tests for the timeline observability layer: the trace-event
+//! writer round-trips, simulation timelines are byte-deterministic per
+//! seed with correct lanes/flows/fault markers, every flow begin has a
+//! matching end across the whole benchmark × seed × fault-scenario
+//! matrix, and the `--profile` timeline's structure is invariant to the
+//! `--jobs` worker count.
+
+use dcatch::{trace_timeline, Pipeline, PipelineOptions, SimConfig, World};
+use dcatch_obs::json::{self, Json};
+use dcatch_obs::timeline;
+
+fn sim_timeline_doc(id: &str, seed: u64, plan: Option<dcatch::FaultPlan>) -> Json {
+    let b = dcatch::benchmark(id).unwrap();
+    let mut cfg = SimConfig::default().with_seed(seed);
+    if let Some(plan) = plan {
+        cfg = cfg.with_faults(plan);
+    }
+    let run = World::run_once(&b.program, &b.topology, cfg).unwrap();
+    trace_timeline(&run.trace).to_json()
+}
+
+#[test]
+fn trace_event_writer_round_trips_with_required_fields() {
+    let doc = sim_timeline_doc("HB-4729", 0, None);
+    // serialize → parse → re-serialize is lossless
+    let text = doc.to_pretty();
+    let back = json::parse(&text).expect("valid JSON");
+    assert_eq!(back, doc);
+    // every event carries ph/ts/pid/tid (validate checks them all)
+    let summary = timeline::validate(&back).expect("structurally valid");
+    assert!(summary.events > 0, "benchmark run produces events");
+    for e in back.get("traceEvents").unwrap().as_arr().unwrap() {
+        for field in ["ph", "ts", "pid", "tid"] {
+            assert!(e.get(field).is_some(), "event missing `{field}`: {e:?}");
+        }
+    }
+}
+
+#[test]
+fn golden_sim_timeline_lanes_flows_and_determinism() {
+    let b = dcatch::benchmark("HB-4729").unwrap();
+    let doc = sim_timeline_doc("HB-4729", b.seed, None);
+    let summary = timeline::validate(&doc).unwrap();
+    assert!(summary.flows > 0, "HB-4729 communicates across tasks");
+
+    let text = doc.to_compact();
+    // lane mapping: one process per node, threads named after tasks
+    assert!(text.contains("\"n0\""), "node process lane: {text:?}");
+    assert!(text.contains("n0.t0"), "task thread lane");
+    // memory accesses appear as instant markers
+    assert!(text.contains("\"rd ") || text.contains("\"wr "), "{text:?}");
+
+    // byte-identical across repeated runs with the same seed
+    let again = sim_timeline_doc("HB-4729", b.seed, None).to_compact();
+    assert_eq!(text, again, "same seed must serialize byte-identically");
+    // …and a different seed is allowed to differ (sanity: ts are logical)
+    let other = sim_timeline_doc("HB-4729", b.seed + 1, None).to_compact();
+    assert!(timeline::validate(&json::parse(&other).unwrap()).is_ok());
+}
+
+#[test]
+fn fault_injections_become_instant_markers() {
+    let plan = dcatch::FaultPlan::parse("crash node=1 at=30 restart=20").unwrap();
+    let doc = sim_timeline_doc("HB-4729", 0, Some(plan));
+    timeline::validate(&doc).unwrap();
+    let text = doc.to_compact();
+    assert!(text.contains("CRASH n1"), "crash marker missing: {text:?}");
+    assert!(
+        text.contains("RESTART n1"),
+        "restart marker missing: {text:?}"
+    );
+    assert!(text.contains("\"fault\""), "fault category missing");
+}
+
+/// Seeded-loop property test: across every benchmark, a spread of seeds,
+/// and every built-in fault scenario, the exported timeline validates —
+/// which includes the 1:1 flow begin/end pairing check, i.e. no arrow is
+/// ever left dangling by drops, crashes, or in-flight messages.
+#[test]
+fn every_flow_begin_has_a_matching_end_under_faults() {
+    for b in dcatch::all_benchmarks() {
+        for seed in [1, 7, 23] {
+            let doc = sim_timeline_doc(b.id, seed, None);
+            timeline::validate(&doc).unwrap_or_else(|e| panic!("{} seed {seed}: {e}", b.id));
+        }
+        for scenario in dcatch::fault_scenarios(&b) {
+            let doc = sim_timeline_doc(b.id, b.seed, Some(scenario.plan.clone()));
+            timeline::validate(&doc)
+                .unwrap_or_else(|e| panic!("{} scenario {}: {e}", b.id, scenario.name));
+        }
+    }
+}
+
+/// Lane, slice, and counter *structure* of the profile timeline must not
+/// depend on how many workers ran the benchmarks (wall-clock numbers do).
+#[test]
+fn profile_timeline_structure_is_jobs_invariant() {
+    let benches = dcatch::all_benchmarks();
+    let opts = PipelineOptions::fast();
+    let shape = |jobs: usize| -> Vec<(u64, u64, String, String)> {
+        let results = Pipeline::run_all(&benches, &opts, jobs);
+        let results: Vec<(&str, _)> = benches.iter().map(|b| b.id).zip(results).collect();
+        let doc = dcatch::profile_timeline(&results).to_json();
+        timeline::validate(&doc).unwrap();
+        let mut shape: Vec<_> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_u64().unwrap(),
+                    e.get("tid").unwrap().as_u64().unwrap(),
+                    e.get("ph").unwrap().as_str().unwrap().to_owned(),
+                    e.get("name").unwrap().as_str().unwrap().to_owned(),
+                )
+            })
+            .collect();
+        shape.sort();
+        shape
+    };
+    assert_eq!(
+        shape(1),
+        shape(4),
+        "profile timeline structure changed with --jobs"
+    );
+}
