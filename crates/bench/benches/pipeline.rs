@@ -25,6 +25,25 @@ fn main() {
         });
     }
 
+    // Triggering farm: the same full pipeline with its (candidate,
+    // ordering) jobs spread over worker threads. `bytes` carries a
+    // checksum of the (pair, verdict) outcomes so bench_compare.sh can
+    // hard-gate determinism across worker counts; the time comparison
+    // stays soft (a 1-core box measures only the hand-off overhead).
+    h.group("trigger_parallel");
+    for id in ["ZK-1144", "HB-4729"] {
+        let bench = dcatch::benchmark(id).unwrap();
+        for tjobs in [1usize, 4] {
+            let mut opts = PipelineOptions::full();
+            opts.trigger_jobs = tjobs;
+            let checksum = verdict_checksum(&Pipeline::run(&bench, &opts).unwrap());
+            h.bench_with_bytes(&format!("{id}_tjobs{tjobs}"), 10, checksum, || {
+                let r = Pipeline::run(&bench, &opts).unwrap();
+                r.verdicts.total_static()
+            });
+        }
+    }
+
     // `dcatch detect all` end to end, serial vs. parallel workers. The
     // speed-up tracks the machine's core count; on a single-core box the
     // two entries measure the same work plus thread hand-off overhead.
@@ -65,4 +84,27 @@ fn main() {
     });
 
     h.finish();
+}
+
+/// FNV-1a over every report's (static pair, verdict): equal checksums ⇔
+/// equal detection outcomes, independent of timing.
+fn verdict_checksum(r: &dcatch::BenchmarkReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h = (*h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for rep in &r.reports {
+        eat(
+            &mut h,
+            format!("{}", rep.candidate.static_pair.0).as_bytes(),
+        );
+        eat(
+            &mut h,
+            format!("{}", rep.candidate.static_pair.1).as_bytes(),
+        );
+        eat(&mut h, format!("{:?}", rep.verdict).as_bytes());
+    }
+    h
 }

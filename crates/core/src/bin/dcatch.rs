@@ -8,7 +8,8 @@
 //! dcatch timeline <BUG-ID> [--full-tracing] [--scale N] [--seed N]
 //!                 [--fault-plan FILE] [--out FILE]
 //! dcatch explain <BUG-ID> <OBJECT> [--json] [--out FILE]
-//! dcatch faults  <BUG-ID|all> [--fault-plan FILE] [--seeds CSV] [--json]
+//! dcatch faults  <BUG-ID|all> [--fault-plan FILE] [--seeds CSV]
+//!                [--trigger-jobs N] [--json]
 //! ```
 //!
 //! `explain` prints, for the named shared object, which access pairs the
@@ -33,6 +34,12 @@
 //!   --reachability E reachability engine: auto (default) | matrix | clocks
 //!   --jobs N         run up to N benchmarks concurrently (default 1);
 //!                    the report is identical for any N
+//!   --trigger-jobs N explore (candidate, ordering) triggering jobs on up
+//!                    to N farm workers (default 1); the report is
+//!                    identical for any N. Also accepted by `faults`,
+//!                    where it parallelizes the scenario × seed matrix.
+//!   --scrub-timings  zero all wall-clock measurements in the report so
+//!                    two runs of the same work compare byte-identically
 //!   --fault-plan F   inject the fault plan in file F into every run
 //!   --fault-target B apply the fault plan only to benchmark B
 //!   --timeout SECS   per-benchmark wall-clock watchdog
@@ -157,6 +164,7 @@ const DETECT_FLAGS: &[&str] = &[
     "--metrics",
     "--verbose",
     "--profile",
+    "--scrub-timings",
 ];
 const DETECT_VALUED: &[&str] = &[
     "--scale",
@@ -166,6 +174,7 @@ const DETECT_VALUED: &[&str] = &[
     "--reachability",
     "--out",
     "--jobs",
+    "--trigger-jobs",
     "--fault-plan",
     "--fault-target",
     "--timeout",
@@ -209,6 +218,7 @@ fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
     if let Some(secs) = opt::<u64>(args, "--timeout")? {
         opts.timeout = Some(std::time::Duration::from_secs(secs));
     }
+    opts.trigger_jobs = opt::<usize>(args, "--trigger-jobs")?.unwrap_or(1).max(1);
     Ok(opts)
 }
 
@@ -291,12 +301,17 @@ fn detect(args: &[String]) -> ExitCode {
         benches.iter().map(|b| b.id.to_owned()),
         benches.len() > 1 && !verbose && dcatch_obs::progress::stderr_wants_progress(),
     );
-    let results = Pipeline::run_all_observed(&benches, &opts, jobs, &|i, phase| match phase {
+    let mut results = Pipeline::run_all_observed(&benches, &opts, jobs, &|i, phase| match phase {
         dcatch::RunPhase::Started => progress.start(i),
         dcatch::RunPhase::Finished => progress.complete(i, false),
         dcatch::RunPhase::Degraded => progress.complete(i, true),
     });
     progress.finish();
+    if flag(args, "--scrub-timings") {
+        for r in results.iter_mut().filter_map(|r| r.as_mut().ok()) {
+            r.scrub_timings();
+        }
+    }
     let results: Vec<(&str, _)> = benches.iter().map(|b| b.id).zip(results).collect();
     let mut ok = true;
     for (b, (_, result)) in benches.iter().zip(&results) {
@@ -391,19 +406,40 @@ fn print_profile(r: &dcatch::BenchmarkReport) {
 /// each seed in `--seeds`, and reports whether the run completed cleanly
 /// or degraded into classified failures. Exit code is FAILURE only when a
 /// run neither completes nor reports failures (a silent wedge).
+///
+/// The benchmark × scenario × seed grid is drained by the same
+/// work-stealing pool the triggering farm uses (`--trigger-jobs N`), with
+/// a deterministic grid-order merge — rows and exit code are identical
+/// for any N.
 fn faults(args: &[String]) -> ExitCode {
     let Some(id) = args.first() else {
-        eprintln!("usage: dcatch faults <BUG-ID|all> [--fault-plan FILE] [--seeds CSV] [--json]");
+        eprintln!(
+            "usage: dcatch faults <BUG-ID|all> [--fault-plan FILE] [--seeds CSV] \
+             [--trigger-jobs N] [--json]"
+        );
         return ExitCode::FAILURE;
     };
     if let Err(e) = check_flags(
         &args[1..],
         &["--json"],
-        &["--fault-plan", "--seeds", "--scale", "--out"],
+        &[
+            "--fault-plan",
+            "--seeds",
+            "--scale",
+            "--out",
+            "--trigger-jobs",
+        ],
     ) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
+    let tjobs = match opt::<usize>(args, "--trigger-jobs") {
+        Ok(j) => j.unwrap_or(1).max(1),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let scale = match opt(args, "--scale") {
         Ok(s) => s.unwrap_or(1),
         Err(e) => {
@@ -439,16 +475,18 @@ fn faults(args: &[String]) -> ExitCode {
         None => None,
     };
     let json = flag(args, "--json");
-    let mut rows = Vec::new();
-    let mut ok = true;
-    let progress = dcatch_obs::Progress::with_enabled(
-        "faults",
-        benches.iter().map(|b| b.id.to_owned()),
-        benches.len() > 1 && dcatch_obs::progress::stderr_wants_progress(),
-    );
+    // Flatten the benchmark × scenario × seed grid into one job list.
+    // Workers drain it out of order; the merge below walks it in grid
+    // order, so output is independent of `tjobs`.
+    struct FaultJob<'a> {
+        bi: usize,
+        bench: &'a dcatch::Benchmark,
+        scenario: String,
+        plan: dcatch::FaultPlan,
+        seed: u64,
+    }
+    let mut jobs: Vec<FaultJob> = Vec::new();
     for (bi, b) in benches.iter().enumerate() {
-        progress.start(bi);
-        let mut bench_ok = true;
         let scenarios: Vec<(String, dcatch::FaultPlan)> = match &custom {
             Some(plan) => vec![("custom".to_owned(), plan.clone())],
             None => dcatch::fault_scenarios(b)
@@ -456,60 +494,99 @@ fn faults(args: &[String]) -> ExitCode {
                 .map(|s| (s.name.to_owned(), s.plan))
                 .collect(),
         };
-        for (name, plan) in &scenarios {
+        for (name, plan) in scenarios {
             for &seed in &seeds {
-                let cfg = SimConfig::default()
-                    .with_seed(seed)
-                    .with_faults(plan.clone());
-                let run = match World::run_once(&b.program, &b.topology, cfg) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("{}: {e}", b.id);
-                        return ExitCode::FAILURE;
-                    }
-                };
-                // a faulted run must end in a *classified* state
-                let wedged = !run.completed && run.failures.is_empty();
-                bench_ok &= !wedged;
-                ok &= !wedged;
-                let outcome = if run.completed {
-                    "completed".to_owned()
-                } else if wedged {
-                    "WEDGED".to_owned()
-                } else {
-                    format!("{} failure(s)", run.failures.len())
-                };
-                if json {
-                    rows.push(dcatch_obs::Json::obj([
-                        ("id", dcatch_obs::Json::Str(b.id.to_owned())),
-                        ("scenario", dcatch_obs::Json::Str(name.clone())),
-                        ("seed", dcatch_obs::Json::UInt(seed)),
-                        ("completed", dcatch_obs::Json::Bool(run.completed)),
-                        (
-                            "failures",
-                            dcatch_obs::Json::Arr(
-                                run.failures
-                                    .iter()
-                                    .map(|f| dcatch_obs::Json::Str(f.to_string()))
-                                    .collect(),
-                            ),
-                        ),
-                        (
-                            "faults_injected",
-                            dcatch_obs::Json::UInt(run.faults_injected),
-                        ),
-                    ]));
-                } else {
-                    println!(
-                        "{:8} {:18} seed={:<4} faults={:<3} {}",
-                        b.id, name, seed, run.faults_injected, outcome
-                    );
-                }
+                jobs.push(FaultJob {
+                    bi,
+                    bench: b,
+                    scenario: name.clone(),
+                    plan: plan.clone(),
+                    seed,
+                });
             }
         }
-        progress.complete(bi, !bench_ok);
     }
+    let progress = dcatch_obs::Progress::with_enabled(
+        "faults",
+        benches.iter().map(|b| b.id.to_owned()),
+        benches.len() > 1 && dcatch_obs::progress::stderr_wants_progress(),
+    );
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let started: Vec<AtomicBool> = benches.iter().map(|_| AtomicBool::new(false)).collect();
+    let bench_wedged: Vec<AtomicBool> = benches.iter().map(|_| AtomicBool::new(false)).collect();
+    let remaining: Vec<AtomicUsize> = benches
+        .iter()
+        .enumerate()
+        .map(|(bi, _)| AtomicUsize::new(jobs.iter().filter(|j| j.bi == bi).count()))
+        .collect();
+    let outcomes = dcatch::steal_map(tjobs, jobs.len(), |i| {
+        let job = &jobs[i];
+        if !started[job.bi].swap(true, Ordering::Relaxed) {
+            progress.start(job.bi);
+        }
+        let cfg = SimConfig::default()
+            .with_seed(job.seed)
+            .with_faults(job.plan.clone());
+        let result = match World::run_once(&job.bench.program, &job.bench.topology, cfg) {
+            Ok(run) => {
+                // a faulted run must end in a *classified* state
+                if !run.completed && run.failures.is_empty() {
+                    bench_wedged[job.bi].store(true, Ordering::Relaxed);
+                }
+                let failures: Vec<String> = run.failures.iter().map(|f| f.to_string()).collect();
+                Ok((run.completed, failures, run.faults_injected))
+            }
+            Err(e) => Err(format!("{}: {e}", job.bench.id)),
+        };
+        if remaining[job.bi].fetch_sub(1, Ordering::Relaxed) == 1 {
+            progress.complete(job.bi, bench_wedged[job.bi].load(Ordering::Relaxed));
+        }
+        Some(result)
+    });
     progress.finish();
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        let (completed, failures, faults_injected) = match outcome.expect("every fault job runs") {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let wedged = !completed && failures.is_empty();
+        ok &= !wedged;
+        let outcome = if completed {
+            "completed".to_owned()
+        } else if wedged {
+            "WEDGED".to_owned()
+        } else {
+            format!("{} failure(s)", failures.len())
+        };
+        if json {
+            rows.push(dcatch_obs::Json::obj([
+                ("id", dcatch_obs::Json::Str(job.bench.id.to_owned())),
+                ("scenario", dcatch_obs::Json::Str(job.scenario.clone())),
+                ("seed", dcatch_obs::Json::UInt(job.seed)),
+                ("completed", dcatch_obs::Json::Bool(completed)),
+                (
+                    "failures",
+                    dcatch_obs::Json::Arr(
+                        failures
+                            .iter()
+                            .map(|f| dcatch_obs::Json::Str(f.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("faults_injected", dcatch_obs::Json::UInt(faults_injected)),
+            ]));
+        } else {
+            println!(
+                "{:8} {:18} seed={:<4} faults={:<3} {}",
+                job.bench.id, job.scenario, job.seed, faults_injected, outcome
+            );
+        }
+    }
     if json {
         let doc = dcatch_obs::Json::obj([
             (

@@ -63,4 +63,7 @@ pub use dcatch_sim::{
     World,
 };
 pub use dcatch_trace::{TraceSet, TraceStats, TracingMode};
-pub use dcatch_trigger::{plan_candidate, trigger_candidate, TriggerPlan, TriggerReport, Verdict};
+pub use dcatch_trigger::{
+    plan_candidate, run_farm, steal_map, trigger_candidate, ConfirmFn, FarmSpec, OrderRun,
+    TriggerPlan, TriggerReport, Verdict, ORDERINGS,
+};

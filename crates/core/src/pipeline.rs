@@ -6,10 +6,10 @@ use std::time::Duration;
 use dcatch_apps::Benchmark;
 use dcatch_detect::{analyze_loop_sync, find_candidates, CandidateSet};
 use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig, HbError};
-use dcatch_prune::Pruner;
-use dcatch_sim::{FaultPlan, FocusConfig, RunError, SimConfig, World};
+use dcatch_prune::{Impact, Pruner};
+use dcatch_sim::{Failure, FaultPlan, FocusConfig, RunError, SimConfig, World};
 use dcatch_trace::TracingMode;
-use dcatch_trigger::{trigger_candidate, Verdict};
+use dcatch_trigger::{run_farm, FarmSpec, OrderRun, TriggerReport, Verdict};
 
 use crate::report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
 
@@ -85,6 +85,11 @@ pub struct PipelineOptions {
     pub loop_sync: bool,
     /// Run the triggering module on every surviving candidate (§5).
     pub triggering: bool,
+    /// Worker threads for the triggering farm: (candidate, ordering) jobs
+    /// are explored concurrently, with orderings past the first confirmed
+    /// one cancelled cooperatively. Output is byte-identical for any
+    /// value. Default 1.
+    pub trigger_jobs: usize,
     /// Measure the un-traced base run (Table 6's "Base" column).
     pub measure_base: bool,
     /// Fault plan injected into every simulated run of the pipeline
@@ -111,6 +116,7 @@ impl Default for PipelineOptions {
             static_pruning: true,
             loop_sync: true,
             triggering: true,
+            trigger_jobs: 1,
             measure_base: true,
             faults: FaultPlan::default(),
             fault_target: None,
@@ -392,50 +398,76 @@ impl Pipeline {
         );
 
         // ---- triggering -------------------------------------------------------
+        let candidates = take_candidates(candidates);
+        let impacts: Vec<Vec<Impact>> = candidates
+            .iter()
+            .map(|c| {
+                let mut v = pruner.impact_of(&c.rep.0);
+                v.extend(pruner.impact_of(&c.rep.1));
+                v
+            })
+            .collect();
+        let trig_reports: Vec<Option<TriggerReport>> = if opts.triggering {
+            let _span = dcatch_obs::span!("pipeline.triggering");
+            let specs: Vec<FarmSpec> = candidates.iter().map(|c| FarmSpec::new(c, &hb)).collect();
+            // A candidate is settled once some fully-executed order produced
+            // a failure its own impact analysis predicted — exactly the
+            // condition that makes `adjust_verdict` say Harmful, which is
+            // sticky — so the farm may cancel its remaining orderings.
+            let confirm = |ci: usize, runs: &[OrderRun]| {
+                runs.iter()
+                    .any(|r| r.completed && failures_attributable(&r.failures, &impacts[ci]))
+            };
+            run_farm(
+                &bench.program,
+                &bench.topology,
+                &cfg,
+                &specs,
+                opts.trigger_jobs,
+                Some(&confirm),
+            )
+            .into_iter()
+            .map(Some)
+            .collect()
+        } else {
+            candidates.iter().map(|_| None).collect()
+        };
+
         let mut reports = Vec::new();
         let mut verdicts = VerdictCounts::default();
         let mut detected_known_bug = false;
-        let trig_span = opts
-            .triggering
-            .then(|| dcatch_obs::span!("pipeline.triggering"));
-        for candidate in take_candidates(candidates) {
-            let impacts = {
-                let mut v = pruner.impact_of(&candidate.rep.0);
-                v.extend(pruner.impact_of(&candidate.rep.1));
-                v
-            };
+        for ((candidate, impacts), trig) in candidates.into_iter().zip(impacts).zip(trig_reports) {
             let known = bench.bug_objects.iter().any(|o| candidate.object() == *o);
-            let (verdict, failures) = if opts.triggering {
-                let report =
-                    trigger_candidate(&bench.program, &bench.topology, &cfg, &candidate, &hb);
-                let failures: Vec<String> = report.failures().map(|f| f.to_string()).collect();
-                // Attribution: holding a request point can starve unrelated
-                // paths and surface *other* bugs' failures. A candidate is
-                // only confirmed harmful by failures its own static impact
-                // analysis predicted (the paper's impact analysis plays the
-                // same role in interpreting triggering results, §4/§5).
-                let v = adjust_verdict(&report, &impacts);
-                let stacks = candidate.stack_pairs.len();
-                match v {
-                    Verdict::Harmful => {
-                        verdicts.bug_static += 1;
-                        verdicts.bug_stacks += stacks;
-                        if known {
-                            detected_known_bug = true;
+            let (verdict, failures) = match trig {
+                Some(report) => {
+                    let failures: Vec<String> = report.failures().map(|f| f.to_string()).collect();
+                    // Attribution: holding a request point can starve unrelated
+                    // paths and surface *other* bugs' failures. A candidate is
+                    // only confirmed harmful by failures its own static impact
+                    // analysis predicted (the paper's impact analysis plays the
+                    // same role in interpreting triggering results, §4/§5).
+                    let v = adjust_verdict(&report, &impacts);
+                    let stacks = candidate.stack_pairs.len();
+                    match v {
+                        Verdict::Harmful => {
+                            verdicts.bug_static += 1;
+                            verdicts.bug_stacks += stacks;
+                            if known {
+                                detected_known_bug = true;
+                            }
+                        }
+                        Verdict::BenignRace => {
+                            verdicts.benign_static += 1;
+                            verdicts.benign_stacks += stacks;
+                        }
+                        Verdict::Serial => {
+                            verdicts.serial_static += 1;
+                            verdicts.serial_stacks += stacks;
                         }
                     }
-                    Verdict::BenignRace => {
-                        verdicts.benign_static += 1;
-                        verdicts.benign_stacks += stacks;
-                    }
-                    Verdict::Serial => {
-                        verdicts.serial_static += 1;
-                        verdicts.serial_stacks += stacks;
-                    }
+                    (Some(v), failures)
                 }
-                (Some(v), failures)
-            } else {
-                (None, Vec::new())
+                None => (None, Vec::new()),
             };
             reports.push(BugReport {
                 candidate,
@@ -445,7 +477,6 @@ impl Pipeline {
                 known_bug_object: known,
             });
         }
-        drop(trig_span);
 
         Ok(BenchmarkReport {
             id: bench.id.to_owned(),
@@ -567,34 +598,39 @@ fn normalize_metric_names(results: &mut [Result<BenchmarkReport, PipelineError>]
 
 /// Re-classifies a triggering report so only failures attributable to the
 /// candidate's own predicted failure instructions count as harmful.
-fn adjust_verdict(
-    report: &dcatch_trigger::TriggerReport,
-    impacts: &[dcatch_prune::Impact],
-) -> Verdict {
-    use dcatch_model::FailureKind;
-    use dcatch_sim::RunFailureKind;
+fn adjust_verdict(report: &TriggerReport, impacts: &[Impact]) -> Verdict {
     if report.verdict != Verdict::Harmful {
         return report.verdict;
     }
     // Only runs that executed the full forced order (both confirms) count:
     // a run stuck mid-coordination can hang the system through the hold
     // itself (e.g. branch-exclusive access pairs), which is an artifact of
-    // the controller, not evidence about the race.
-    let attributable = report.runs.iter().any(|r| {
-        r.completed
-            && r.failures.iter().any(|f| {
-                impacts.iter().any(|i| {
-                    let fi = i.failure();
-                    match (&f.kind, fi.kind) {
-                        (RunFailureKind::RetryLoopHang(l), FailureKind::LoopExit(l2)) => *l == l2,
-                        _ => f.stmt == Some(fi.stmt),
-                    }
-                })
-            })
-    });
+    // the controller, not evidence about the race. The same predicate
+    // drives the farm's confirm callback, which keeps the final verdict
+    // independent of whether later orderings were cancelled.
+    let attributable = report
+        .runs
+        .iter()
+        .any(|r| r.completed && failures_attributable(&r.failures, impacts));
     if attributable {
         Verdict::Harmful
     } else {
         Verdict::BenignRace
     }
+}
+
+/// Whether any of `failures` matches a failure instruction predicted by
+/// the candidate's static impact analysis.
+fn failures_attributable(failures: &[Failure], impacts: &[Impact]) -> bool {
+    use dcatch_model::FailureKind;
+    use dcatch_sim::RunFailureKind;
+    failures.iter().any(|f| {
+        impacts.iter().any(|i| {
+            let fi = i.failure();
+            match (&f.kind, fi.kind) {
+                (RunFailureKind::RetryLoopHang(l), FailureKind::LoopExit(l2)) => *l == l2,
+                _ => f.stmt == Some(fi.stmt),
+            }
+        })
+    })
 }

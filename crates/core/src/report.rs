@@ -143,4 +143,21 @@ impl BenchmarkReport {
     pub fn known_bug_reports(&self) -> impl Iterator<Item = &BugReport> {
         self.reports.iter().filter(|r| r.known_bug_object)
     }
+
+    /// Zeroes every wall-clock measurement (stage timings and span
+    /// durations), leaving only deterministic content: counts, verdicts,
+    /// metrics, the span tree *shape*. Two scrubbed reports of the same
+    /// benchmark must serialize byte-identically regardless of machine
+    /// speed or worker count (`dcatch detect --scrub-timings`).
+    pub fn scrub_timings(&mut self) {
+        self.timings = StageTimings::default();
+        zero_durations(&mut self.spans);
+    }
+}
+
+fn zero_durations(node: &mut SpanNode) {
+    node.total = Duration::ZERO;
+    for child in &mut node.children {
+        zero_durations(child);
+    }
 }

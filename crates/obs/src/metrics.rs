@@ -322,6 +322,70 @@ impl MetricsSnapshot {
     }
 }
 
+/// Folds a snapshot (typically a [`MetricsSnapshot::delta_since`] delta
+/// captured on a worker thread) into *this* thread's metric values:
+/// counters and histogram buckets add, gauges merge via max (they are
+/// high-water readings — `hb_reach_bytes_peak` — so the maximum across
+/// workers is the honest aggregate). Names the delta mentions that were
+/// never registered in this process are skipped; zero-valued entries are
+/// no-ops either way, so absorbing a delta is exactly equivalent to
+/// having done the work on this thread.
+pub fn absorb(delta: &MetricsSnapshot) {
+    let t = table().lock().expect("metrics name table");
+    COUNTERS.with_borrow_mut(|v| {
+        for (name, &val) in &delta.counters {
+            if val == 0 {
+                continue;
+            }
+            if let Some(&(Kind::Counter, id)) = t.ids.get(name.as_str()) {
+                let i = id as usize;
+                if i >= v.len() {
+                    v.resize(i + 1, 0);
+                }
+                v[i] += val;
+            }
+        }
+    });
+    GAUGES.with_borrow_mut(|v| {
+        for (name, &val) in &delta.gauges {
+            if val == 0 {
+                continue;
+            }
+            if let Some(&(Kind::Gauge, id)) = t.ids.get(name.as_str()) {
+                let i = id as usize;
+                if i >= v.len() {
+                    v.resize(i + 1, 0);
+                }
+                v[i] = v[i].max(val);
+            }
+        }
+    });
+    HISTS.with_borrow_mut(|v| {
+        for (name, h) in &delta.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            if let Some(&(Kind::Histogram, id)) = t.ids.get(name.as_str()) {
+                let i = id as usize;
+                if i >= v.len() {
+                    v.resize(i + 1, HistCells::default());
+                }
+                let cells = &mut v[i];
+                if cells.buckets.is_empty() {
+                    cells.buckets = vec![0; h.buckets.len()];
+                }
+                for (slot, &b) in h.buckets.iter().enumerate() {
+                    if slot < cells.buckets.len() {
+                        cells.buckets[slot] += b;
+                    }
+                }
+                cells.sum += h.sum;
+                cells.count += h.count;
+            }
+        }
+    });
+}
+
 /// Reads every registered metric's current value on this thread.
 pub fn snapshot() -> MetricsSnapshot {
     let t = table().lock().expect("metrics name table");
@@ -420,6 +484,32 @@ mod tests {
         let d = b.delta_since(&a);
         assert_eq!(d.counter("test_obs_delta_total"), 2);
         assert_eq!(d.gauge("test_obs_delta_gauge"), 13);
+    }
+
+    #[test]
+    fn absorb_folds_a_worker_delta_into_this_thread() {
+        let c = counter("test_obs_absorb_total");
+        let g = gauge("test_obs_absorb_gauge");
+        let h = histogram("test_obs_absorb_hist", &[10]);
+        c.add(1);
+        g.set(5);
+        let delta = std::thread::spawn(|| {
+            let before = snapshot();
+            counter("test_obs_absorb_total").add(3);
+            gauge("test_obs_absorb_gauge").set(2); // below the local 5
+            histogram("test_obs_absorb_hist", &[10]).observe(7);
+            snapshot().delta_since(&before)
+        })
+        .join()
+        .expect("worker thread");
+        absorb(&delta);
+        let s = snapshot();
+        assert_eq!(s.counter("test_obs_absorb_total"), 4, "counters add");
+        assert_eq!(s.gauge("test_obs_absorb_gauge"), 5, "gauges keep the max");
+        let hs = &s.histograms["test_obs_absorb_hist"];
+        assert_eq!((hs.count, hs.sum), (1, 7), "histograms merge");
+        assert_eq!(hs.buckets, vec![1, 0]);
+        let _ = h;
     }
 
     #[test]

@@ -140,6 +140,44 @@ pub fn end_capture() -> SpanNode {
     })
 }
 
+/// Merges a span tree captured on another thread into the currently open
+/// span of this thread's capture. Each *child* of `tree` is merged by
+/// name (find-or-create, totals and counts add, grandchildren recurse) —
+/// the root of `tree` itself is discarded, since it is the worker-side
+/// capture wrapper rather than a span anyone opened here. Grafting the
+/// same trees in the same order therefore rebuilds exactly the tree the
+/// work would have produced had it run inline. No-op outside a capture.
+pub fn graft(tree: &SpanNode) {
+    TRACER.with_borrow_mut(|t| {
+        let Some(root) = t.root.as_mut() else {
+            return;
+        };
+        let mut node = root;
+        for &i in &t.stack {
+            node = &mut node.children[i];
+        }
+        for child in &tree.children {
+            merge_into(node, child);
+        }
+    });
+}
+
+fn merge_into(parent: &mut SpanNode, sub: &SpanNode) {
+    let idx = match parent.children.iter().position(|c| c.name == sub.name) {
+        Some(i) => i,
+        None => {
+            parent.children.push(SpanNode::new(&sub.name));
+            parent.children.len() - 1
+        }
+    };
+    let node = &mut parent.children[idx];
+    node.total += sub.total;
+    node.count += sub.count;
+    for c in &sub.children {
+        merge_into(node, c);
+    }
+}
+
 /// Whether a capture is currently active on this thread.
 pub fn capturing() -> bool {
     TRACER.with_borrow(|t| t.root.is_some())
@@ -287,6 +325,43 @@ mod tests {
         assert!(!capturing());
         let g = span("orphan");
         drop(g);
+        begin_capture("run");
+        let tree = end_capture();
+        assert!(tree.children.is_empty());
+    }
+
+    #[test]
+    fn graft_merges_a_worker_tree_under_the_open_span() {
+        // worker-side capture: job wrapper with two spans inside
+        begin_capture("worker.job");
+        {
+            let _o = span("trigger.order");
+            let _s = span("sim.run");
+        }
+        let job = end_capture();
+
+        begin_capture("pipeline");
+        {
+            let _c = span("trigger.candidate");
+            graft(&job);
+            graft(&job); // same-name children aggregate, like siblings do
+        }
+        let tree = end_capture();
+        let cand = tree.child("trigger.candidate").expect("candidate span");
+        let order = cand.child("trigger.order").expect("grafted order span");
+        assert_eq!(order.count, 2);
+        assert_eq!(order.children[0].name, "sim.run");
+        assert_eq!(order.children[0].count, 2);
+        assert!(
+            tree.child("worker.job").is_none(),
+            "the worker capture wrapper is discarded"
+        );
+    }
+
+    #[test]
+    fn graft_outside_a_capture_is_a_noop() {
+        assert!(!capturing());
+        graft(&SpanNode::new("orphan"));
         begin_capture("run");
         let tree = end_capture();
         assert!(tree.children.is_empty());

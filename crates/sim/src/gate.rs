@@ -46,7 +46,11 @@ pub enum StallAction {
 }
 
 /// Controller interface for timing manipulation.
-pub trait Gate {
+///
+/// `Send` is a supertrait so that a [`World`](crate::World) holding a
+/// `&mut dyn Gate` is itself `Send`-clean: the trigger farm runs one
+/// gated world per worker thread, and every gate is plain owned data.
+pub trait Gate: Send {
     /// Consulted before a statement executes.
     fn before(&mut self, ev: &GateEvent) -> GateDecision;
 

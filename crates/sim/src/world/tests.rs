@@ -677,3 +677,18 @@ fn retry_while_backoff_sleeps_between_iterations() {
         RunFailureKind::RetryLoopHang(_)
     ));
 }
+
+/// The trigger farm moves whole simulations onto worker threads: the
+/// world, everything it is built from, and everything it returns must be
+/// `Send`. Compile-time only — a non-`Send` field (an `Rc`, a non-`Send`
+/// gate) fails this test at build time, before any farm code runs.
+#[test]
+fn world_inputs_and_results_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Program>();
+    assert_send::<Topology>();
+    assert_send::<SimConfig>();
+    assert_send::<super::RunResult>();
+    assert_send::<World<'static>>();
+    assert_send::<&mut dyn crate::gate::Gate>();
+}

@@ -7,6 +7,10 @@
 //! way §7.1 does: **serial** (never actually concurrent), **benign** (a
 //! true race with no failure), or **harmful** (a true race causing a
 //! failure).
+//!
+//! The exploration itself lives in the [farm](crate::farm):
+//! [`trigger_candidate`] is the one-candidate wrapper, running both
+//! orderings to completion (no cancellation) on a single worker.
 
 use dcatch_detect::Candidate;
 use dcatch_hb::HbAnalysis;
@@ -14,7 +18,8 @@ use dcatch_model::Program;
 use dcatch_sim::{Failure, SimConfig, Topology, World};
 
 use crate::controller::ControllerGate;
-use crate::placement::{plan_candidate, TriggerPlan};
+use crate::farm::{run_farm, FarmSpec};
+use crate::placement::TriggerPlan;
 
 /// One forced-order experiment.
 #[derive(Debug)]
@@ -75,45 +80,13 @@ pub fn trigger_candidate(
     candidate: &Candidate,
     hb: &HbAnalysis,
 ) -> TriggerReport {
-    let _span = dcatch_obs::span!("trigger.candidate");
-    dcatch_obs::counter!("trigger_attempts_total").inc();
-    let plan = plan_candidate(candidate, hb);
-    dcatch_obs::counter!("trigger_placement_rules_total")
-        .add(plan.rules.iter().map(Vec::len).sum::<usize>() as u64);
-    let mut runs = Vec::new();
-    for first in 0..2 {
-        let run = run_order(program, topo, config, &plan, first, false);
-        let coordinated = run.coordinated;
-        runs.push(run);
-        if !coordinated && !plan.is_direct() {
-            // fall back to the naive placement, as the paper does when
-            // comparing against it
-            let direct = TriggerPlan::direct(candidate);
-            runs.push(run_order(program, topo, config, &direct, first, true));
-        }
-    }
-    let coordinated = runs.iter().any(|r| r.coordinated);
-    let failed = runs.iter().any(|r| r.coordinated && !r.failures.is_empty());
-    let verdict = if !coordinated {
-        Verdict::Serial
-    } else if failed {
-        Verdict::Harmful
-    } else {
-        Verdict::BenignRace
-    };
-    match verdict {
-        Verdict::Serial => dcatch_obs::counter!("trigger_verdict_serial_total").inc(),
-        Verdict::BenignRace => dcatch_obs::counter!("trigger_verdict_benign_total").inc(),
-        Verdict::Harmful => dcatch_obs::counter!("trigger_verdict_harmful_total").inc(),
-    }
-    TriggerReport {
-        verdict,
-        plan,
-        runs,
-    }
+    let spec = FarmSpec::new(candidate, hb);
+    run_farm(program, topo, config, std::slice::from_ref(&spec), 1, None)
+        .pop()
+        .expect("one report per spec")
 }
 
-fn run_order(
+pub(crate) fn run_order(
     program: &Program,
     topo: &Topology,
     config: &SimConfig,
@@ -137,7 +110,7 @@ fn run_order(
         let mut cfg = config.clone();
         cfg.trace_enabled = false;
         if attempt > 0 {
-            cfg.seed = config.seed ^ (attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            cfg.seed = config.seed ^ retry_seed(plan, first, attempt);
         }
         let result = World::run_with_gate(program, topo, cfg, &mut gate)
             .expect("triggering re-run must start");
@@ -155,6 +128,27 @@ fn run_order(
             used_direct_fallback,
         };
     }
+}
+
+/// Deterministic retry-seed stream per (plan, ordering, attempt). Salting
+/// with the plan's *content* — not the candidate's position in whatever
+/// batch it came from — means a retried job draws the same seeds whether
+/// it runs serially, on farm worker 3, or alone through
+/// [`trigger_candidate`].
+fn retry_seed(plan: &TriggerPlan, first: usize, attempt: u64) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64 ^ first as u64;
+    for side in &plan.sides {
+        for v in [
+            u64::from(side.stmt.func.0),
+            u64::from(side.stmt.idx),
+            side.instance as u64,
+            u64::from(side.access.func.0),
+            u64::from(side.access.idx),
+        ] {
+            acc = dcatch_obs::SmallRng::seed_from_u64(acc ^ v).next_u64();
+        }
+    }
+    dcatch_obs::SmallRng::seed_from_u64(acc ^ attempt).next_u64()
 }
 
 #[cfg(test)]

@@ -8,13 +8,15 @@ use crate::placement::{plan_candidate, PlacementRule};
 
 fn setup(p: &Program, topo: &Topology) -> (SimConfig, HbAnalysis) {
     let cfg = SimConfig::default().with_seed(42).with_full_tracing();
-    let run = World::run_once(p, topo, cfg.clone()).unwrap();
+    let run = World::run_once(p, topo, cfg.clone())
+        .expect("traced base run (seed 42) must start cleanly");
     assert!(
         run.failures.is_empty(),
         "base run must be correct: {:?}",
         run.failures
     );
-    let hb = HbAnalysis::build(run.trace, &HbConfig::default()).unwrap();
+    let hb = HbAnalysis::build(run.trace, &HbConfig::default())
+        .expect("HB analysis must accept the seed-42 base trace");
     (cfg, hb)
 }
 
@@ -38,7 +40,7 @@ fn order_violation_is_confirmed_harmful() {
             b.abort("read uninitialized state");
         });
     });
-    let p = pb.build().unwrap();
+    let p = pb.build().expect("order-violation program must build");
     let mut topo = Topology::new();
     topo.node("n").entry("main", vec![]);
     let (cfg, hb) = setup(&p, &topo);
@@ -75,12 +77,15 @@ fn harmless_race_is_benign() {
     pb.func("w2", &[], FuncKind::Regular, |b| {
         b.write("stat", Expr::val(2));
     });
-    let p = pb.build().unwrap();
+    let p = pb.build().expect("harmless-race program must build");
     let mut topo = Topology::new();
     topo.node("n").entry("main", vec![]);
     let (cfg, hb) = setup(&p, &topo);
     let candidates = find_candidates(&hb);
-    let c = candidates.iter().next().unwrap();
+    let c = candidates
+        .iter()
+        .next()
+        .expect("the racing writes on `stat` must survive detection");
     let report = trigger_candidate(&p, &topo, &cfg, c, &hb);
     assert_eq!(report.verdict, Verdict::BenignRace, "{report:#?}");
 }
@@ -108,7 +113,7 @@ fn custom_sync_pair_is_classified_serial() {
         });
         b.read("d", "data");
     });
-    let p = pb.build().unwrap();
+    let p = pb.build().expect("custom-sync program must build");
     let mut topo = Topology::new();
     topo.node("n").entry("main", vec![]);
     let (cfg, hb) = setup(&p, &topo);
@@ -151,7 +156,7 @@ fn single_consumer_queue_placement_moves_to_enqueue_sites() {
     pb.func("on_kill", &[], FuncKind::EventHandler, |b| {
         b.write("attempt_state", Expr::val("killed"));
     });
-    let p = pb.build().unwrap();
+    let p = pb.build().expect("MR-4637-shaped program must build");
     let mut topo = Topology::new();
     topo.node("am").entry("main", vec![]).queue("dispatch", 1);
     let (cfg, hb) = setup(&p, &topo);
@@ -198,7 +203,7 @@ fn lock_guarded_race_moves_before_critical_section() {
         });
         b.unlock("m");
     });
-    let p = pb.build().unwrap();
+    let p = pb.build().expect("lock-guarded program must build");
     let mut topo = Topology::new();
     topo.node("n").entry("main", vec![]);
     let (cfg, hb) = setup(&p, &topo);

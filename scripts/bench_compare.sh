@@ -32,6 +32,14 @@
 # profiled report + timeline (`report_profiled`) minus the plain report
 # build (`report`) that `--json` always pays — must stay within 5% of the
 # end-to-end detect_all/jobs1 mean, by the same dual mean+min rule.
+#
+# The `trigger_parallel` group gates the triggering farm within the
+# current document: each entry's `bytes` carries a checksum of the
+# (pair, verdict) outcomes, and the checksum must be identical across
+# every `--trigger-jobs` count of the same benchmark (determinism is the
+# farm's hard contract — fail on any mismatch). The tjobsN-vs-tjobs1
+# speed-up is printed but soft: it tracks the machine's core count, and a
+# 1-core box legitimately shows ~1.0x.
 set -euo pipefail
 
 if [[ $# -ne 2 ]]; then
@@ -156,6 +164,33 @@ if pipeline and plain and profiled:
         print(f"  profile   {line} — mean above {budget:.0%} but min honest: load spike, not failed")
     else:
         print(f"  profile   {line}")
+
+# --- trigger farm gate (current document only) ---
+farm = {}
+for (group, name), (mean, _mn, nbytes) in cur.items():
+    m = re.fullmatch(r"(.+)_tjobs(\d+)", name)
+    if group == "trigger_parallel" and m:
+        farm.setdefault(m.group(1), {})[int(m.group(2))] = (mean, nbytes)
+for bench_id, by_jobs in sorted(farm.items()):
+    if 1 not in by_jobs:
+        continue
+    serial_mean, serial_sum = by_jobs[1]
+    for n, (mean, checksum) in sorted(by_jobs.items()):
+        if n == 1:
+            continue
+        if checksum != serial_sum:
+            line = (
+                f"trigger_parallel/{bench_id}: verdict checksum differs "
+                f"between tjobs1 ({serial_sum}) and tjobs{n} ({checksum})"
+            )
+            failed.append(line)
+            print(f"  FARM      {line}")
+            continue
+        speedup = serial_mean / mean if mean else float("inf")
+        print(
+            f"  farm      trigger_parallel/{bench_id} tjobs{n}: verdicts identical, "
+            f"{speedup:.2f}x vs tjobs1 (soft; tracks core count)"
+        )
 
 if failed:
     print(f"{len(failed)} gate failure{'' if len(failed) == 1 else 's'} vs {base_path}")

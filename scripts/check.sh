@@ -73,6 +73,15 @@ cargo run --offline --release -q --bin dcatch -- timeline HB-4729 --out "$tl_dir
 cargo run --offline --release -q --bin dcatch -- timeline HB-4729 --out "$tl_dir/b.trace.json"
 cmp "$tl_dir/a.trace.json" "$tl_dir/b.trace.json"
 
+echo "== trigger farm smoke (--trigger-jobs byte determinism) =="
+# the triggering farm must produce byte-identical reports for any worker
+# count; --scrub-timings zeroes the only legitimately nondeterministic part
+cargo run --offline --release -q --bin dcatch -- detect ZK-1144 --json --scrub-timings \
+    --trigger-jobs 1 --out "$tl_dir/t1.json"
+cargo run --offline --release -q --bin dcatch -- detect ZK-1144 --json --scrub-timings \
+    --trigger-jobs 2 --out "$tl_dir/t2.json"
+cmp "$tl_dir/t1.json" "$tl_dir/t2.json"
+
 if [[ "${DCATCH_SOAK:-0}" == "1" ]]; then
     soak
 fi
