@@ -83,6 +83,32 @@ fn main() {
                 .len()
     });
 
+    // Resource governor with budgets far above any real footprint: the
+    // bracket (thread-local install, per-stage budget probes, uninstall)
+    // runs but no rung ever fires. Measured over the same detect-all
+    // workload as `detect_all/jobs1` so relative jitter stays small;
+    // bench_compare.sh gates `enabled` within 3% of `baseline` by the
+    // dual mean+min rule.
+    h.group("governor_overhead");
+    {
+        let plain = PipelineOptions::fast();
+        let mut governed = PipelineOptions::fast();
+        governed.mem_budget = Some(1 << 40);
+        governed.time_budget = Some(std::time::Duration::from_secs(3600));
+        h.bench("baseline", 5, || {
+            Pipeline::run_all(&all, &plain, 1)
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        });
+        h.bench("enabled", 5, || {
+            Pipeline::run_all(&all, &governed, 1)
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        });
+    }
+
     h.finish();
 }
 

@@ -9,7 +9,7 @@
 //!                 [--fault-plan FILE] [--out FILE]
 //! dcatch explain <BUG-ID> <OBJECT> [--json] [--out FILE]
 //! dcatch faults  <BUG-ID|all> [--fault-plan FILE] [--seeds CSV]
-//!                [--trigger-jobs N] [--json]
+//!                [--trigger-jobs N] [--timeout SECS] [--json]
 //! ```
 //!
 //! `explain` prints, for the named shared object, which access pairs the
@@ -42,7 +42,23 @@
 //!                    two runs of the same work compare byte-identically
 //!   --fault-plan F   inject the fault plan in file F into every run
 //!   --fault-target B apply the fault plan only to benchmark B
-//!   --timeout SECS   per-benchmark wall-clock watchdog
+//!   --timeout SECS   per-benchmark wall-clock watchdog (also accepted by
+//!                    `faults`, where it bounds each scenario × seed run)
+//!   --mem-budget B   resource-governor memory budget (bytes, or `512k`,
+//!                    `64m`, `1g`); the pipeline degrades — sampled
+//!                    tracing, chunked/chain-clock analysis — instead of
+//!                    dying when a stage would exceed it
+//!   --time-budget S  resource-governor wall-clock budget in seconds;
+//!                    remaining optional stages are skipped and triggering
+//!                    is cancelled once it expires
+//!   --degrade M      off | auto (default auto): whether budget pressure
+//!                    takes degradation-ladder steps (recorded in the
+//!                    report) or is ignored
+//!   --resume FILE    crash-safe checkpoint journal: every benchmark's
+//!                    result is appended to FILE the moment it finishes,
+//!                    and benchmarks already completed in FILE are skipped;
+//!                    the merged report is byte-identical to an
+//!                    uninterrupted run (not valid with --profile)
 //!   --json           emit the versioned machine-readable run report
 //!   --out FILE       write the JSON report to FILE instead of stdout
 //!   --profile        capture per-stage spans and counter tracks; writes a
@@ -60,6 +76,19 @@
 //!
 //! Unknown flags are rejected with an error instead of being silently
 //! ignored.
+//!
+//! `detect` exit codes (worst across the batch wins; documented in the
+//! README):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success — every known bug confirmed, or the run degraded under an explicit budget |
+//! | 1    | usage error (unknown flag, bad value, unreadable file) |
+//! | 2    | a known bug was not confirmed by an undegraded triggering run |
+//! | 3    | the (traced) run itself failed |
+//! | 4    | HB analysis ran out of memory |
+//! | 5    | a benchmark worker panicked |
+//! | 6    | a benchmark exceeded the `--timeout` watchdog |
 
 use std::process::ExitCode;
 
@@ -179,6 +208,10 @@ const DETECT_VALUED: &[&str] = &[
     "--fault-target",
     "--timeout",
     "--profile-out",
+    "--mem-budget",
+    "--time-budget",
+    "--degrade",
+    "--resume",
 ];
 
 fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
@@ -217,6 +250,15 @@ fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
     opts.fault_target = opt_str(args, "--fault-target").cloned();
     if let Some(secs) = opt::<u64>(args, "--timeout")? {
         opts.timeout = Some(std::time::Duration::from_secs(secs));
+    }
+    if let Some(spec) = opt_str(args, "--mem-budget") {
+        opts.mem_budget = Some(dcatch::parse_bytes(spec)?);
+    }
+    if let Some(secs) = opt::<u64>(args, "--time-budget")? {
+        opts.time_budget = Some(std::time::Duration::from_secs(secs));
+    }
+    if let Some(mode) = opt_str(args, "--degrade") {
+        opts.degrade = mode.parse()?;
     }
     opts.trigger_jobs = opt::<usize>(args, "--trigger-jobs")?.unwrap_or(1).max(1);
     Ok(opts)
@@ -296,41 +338,122 @@ fn detect(args: &[String]) -> ExitCode {
         dcatch_obs::trace::set_verbose(true);
     }
     let profile = flag(args, "--profile") || opt_str(args, "--profile-out").is_some();
+    let resume = opt_str(args, "--resume");
+    if resume.is_some() && profile {
+        eprintln!("--resume cannot be combined with --profile");
+        return ExitCode::FAILURE;
+    }
+    // The journal fingerprint pins everything that shapes per-benchmark
+    // results; resuming under different options is refused rather than
+    // splicing incomparable reports.
+    let journal = match resume {
+        Some(path) => {
+            let ids: Vec<&str> = benches.iter().map(|b| b.id).collect();
+            let fingerprint = format!("scale={scale};ids={ids:?};opts={opts:?}");
+            match dcatch::journal::Journal::open_or_create(std::path::Path::new(path), &fingerprint)
+            {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let skip: Vec<bool> = benches
+        .iter()
+        .map(|b| journal.as_ref().is_some_and(|j| j.finished_ok(b.id)))
+        .collect();
+    let pending: Vec<dcatch::Benchmark> = benches
+        .iter()
+        .zip(&skip)
+        .filter(|(_, skip)| !**skip)
+        .map(|(b, _)| b.clone())
+        .collect();
     let progress = dcatch_obs::Progress::with_enabled(
         "detect",
-        benches.iter().map(|b| b.id.to_owned()),
-        benches.len() > 1 && !verbose && dcatch_obs::progress::stderr_wants_progress(),
+        pending.iter().map(|b| b.id.to_owned()),
+        pending.len() > 1 && !verbose && dcatch_obs::progress::stderr_wants_progress(),
     );
-    let mut results = Pipeline::run_all_observed(&benches, &opts, jobs, &|i, phase| match phase {
-        dcatch::RunPhase::Started => progress.start(i),
-        dcatch::RunPhase::Finished => progress.complete(i, false),
-        dcatch::RunPhase::Degraded => progress.complete(i, true),
-    });
+    // Checkpoint each benchmark the moment its result exists, from the
+    // worker thread — a kill at any point leaves a resumable journal.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let exit_after: Option<usize> = std::env::var("DCATCH_TEST_EXIT_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let recorded = AtomicUsize::new(0);
+    let record = |i: usize, result: &Result<dcatch::BenchmarkReport, dcatch::PipelineError>| {
+        let Some(j) = journal.as_ref() else { return };
+        let id = pending[i].id;
+        let entry = match result {
+            Ok(r) => dcatch::report_json::benchmark_json(r),
+            Err(e) => dcatch::report_json::error_json(id, e),
+        };
+        if let Err(e) = j.record(id, &entry) {
+            eprintln!("{e}");
+        }
+        // test hook: die as abruptly as a crash would, K checkpoints in
+        if exit_after.is_some_and(|k| recorded.fetch_add(1, Ordering::SeqCst) + 1 >= k) {
+            std::process::exit(70);
+        }
+    };
+    let mut results = Pipeline::run_all_recorded(
+        &pending,
+        &opts,
+        jobs,
+        &|i, phase| match phase {
+            dcatch::RunPhase::Started => progress.start(i),
+            dcatch::RunPhase::Finished => progress.complete(i, false),
+            dcatch::RunPhase::Degraded => progress.complete(i, true),
+        },
+        &record,
+    );
     progress.finish();
-    if flag(args, "--scrub-timings") {
+    let scrub = flag(args, "--scrub-timings");
+    if scrub {
         for r in results.iter_mut().filter_map(|r| r.as_mut().ok()) {
             r.scrub_timings();
         }
     }
-    let results: Vec<(&str, _)> = benches.iter().map(|b| b.id).zip(results).collect();
-    let mut ok = true;
-    for (b, (_, result)) in benches.iter().zip(&results) {
+    // Walk the full benchmark list in order, splicing journaled entries in
+    // for skipped benchmarks, and fold every outcome into the worst
+    // process exit code (see the table in the module docs).
+    let mut fresh = results.into_iter();
+    let mut fresh_results: Vec<(&str, Result<dcatch::BenchmarkReport, dcatch::PipelineError>)> =
+        Vec::new();
+    let mut entries: Vec<dcatch_obs::Json> = Vec::new();
+    let mut worst: u8 = 0;
+    for (b, skipped) in benches.iter().zip(&skip) {
         if !json {
             println!("== {} ({}) ==", b.id, b.system.name());
         }
-        match result {
+        if *skipped {
+            let entry = journal
+                .as_ref()
+                .and_then(|j| j.completed().get(b.id).cloned())
+                .expect("skipped benchmarks have a journal entry");
+            worst = worst.max(entry_exit_code(&entry, opts.triggering));
+            if !json {
+                println!("  finished in an earlier run — resumed from journal");
+            }
+            entries.push(entry);
+            continue;
+        }
+        let result = fresh.next().expect("one result per pending benchmark");
+        match &result {
             Ok(r) => {
-                if !json {
-                    print_report(r, &opts, show_metrics, &mut ok);
+                if json {
+                    worst = worst.max(report_exit_code(r, opts.triggering));
+                } else {
+                    worst = worst.max(print_report(r, &opts, show_metrics));
                     if profile {
                         print_profile(r);
                     }
-                } else if opts.triggering && r.oom.is_none() && !r.detected_known_bug {
-                    ok = false;
                 }
             }
             Err(e) => {
-                ok = false;
+                worst = worst.max(e.exit_code());
                 if json {
                     eprintln!("{}: {e}", b.id);
                 } else {
@@ -338,9 +461,16 @@ fn detect(args: &[String]) -> ExitCode {
                 }
             }
         }
+        if journal.is_some() {
+            entries.push(match &result {
+                Ok(r) => dcatch::report_json::benchmark_json(r),
+                Err(e) => dcatch::report_json::error_json(b.id, e),
+            });
+        }
+        fresh_results.push((b.id, result));
     }
     if profile {
-        let tl = dcatch::profile_timeline(&results);
+        let tl = dcatch::profile_timeline(&fresh_results);
         let doc = tl.to_json();
         match dcatch_obs::timeline::validate(&doc) {
             Ok(summary) => {
@@ -364,17 +494,59 @@ fn detect(args: &[String]) -> ExitCode {
         }
     }
     if json {
-        // errored benchmarks stay in the report as structured entries
-        let doc = dcatch::report_json::run_report_results_with(&results, profile);
+        // errored benchmarks stay in the report as structured entries; the
+        // journal path re-normalizes at the JSON level so resumed and
+        // uninterrupted runs serialize byte-identically
+        let doc = if journal.is_some() {
+            dcatch::journal::merge_report(entries, scrub)
+        } else {
+            dcatch::report_json::run_report_results_with(&fresh_results, profile)
+        };
         if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     }
-    if ok {
-        ExitCode::SUCCESS
+    ExitCode::from(worst)
+}
+
+/// Exit code a successful pipeline report maps to: 4 = HB analysis ran out
+/// of memory, 2 = the known bug went unconfirmed by an *undegraded*
+/// triggering run. A degraded run exits 0 — its verdict is provisional by
+/// construction, and the degradations are recorded in the report.
+fn report_exit_code(r: &dcatch::BenchmarkReport, triggering: bool) -> u8 {
+    if r.oom.is_some() {
+        4
+    } else if triggering && !r.detected_known_bug && r.degradations.is_empty() {
+        2
     } else {
-        ExitCode::FAILURE
+        0
+    }
+}
+
+/// The error/report exit codes recomputed from a journaled JSON entry, so
+/// benchmarks skipped by `--resume` still contribute their exit code.
+fn entry_exit_code(entry: &dcatch_obs::Json, triggering: bool) -> u8 {
+    use dcatch_obs::Json;
+    if let Some(err) = entry.get("error").filter(|v| !matches!(v, Json::Null)) {
+        return match err.get("kind").and_then(|k| k.as_str()) {
+            Some("panic") => 5,
+            Some("watchdog_timeout") => 6,
+            _ => 3,
+        };
+    }
+    if entry.get("oom").is_some_and(|v| !matches!(v, Json::Null)) {
+        return 4;
+    }
+    let detected = matches!(entry.get("detected_known_bug"), Some(Json::Bool(true)));
+    let degraded = entry
+        .get("degradations")
+        .and_then(|d| d.as_arr())
+        .is_some_and(|a| !a.is_empty());
+    if triggering && !detected && !degraded {
+        2
+    } else {
+        0
     }
 }
 
@@ -404,8 +576,10 @@ fn print_profile(r: &dcatch::BenchmarkReport) {
 /// `dcatch faults <BUG-ID|all>` — runs each benchmark's simulation under a
 /// fault plan (from `--fault-plan`, or the built-in per-family matrix) for
 /// each seed in `--seeds`, and reports whether the run completed cleanly
-/// or degraded into classified failures. Exit code is FAILURE only when a
-/// run neither completes nor reports failures (a silent wedge).
+/// or degraded into classified failures. Exit code follows the `detect`
+/// table: 2 when a run neither completes nor reports failures (a silent
+/// wedge), 3 when the simulation itself errors, 5/6 for panics and
+/// `--timeout` watchdog kills; the worst across the grid wins.
 ///
 /// The benchmark × scenario × seed grid is drained by the same
 /// work-stealing pool the triggering farm uses (`--trigger-jobs N`), with
@@ -415,7 +589,7 @@ fn faults(args: &[String]) -> ExitCode {
     let Some(id) = args.first() else {
         eprintln!(
             "usage: dcatch faults <BUG-ID|all> [--fault-plan FILE] [--seeds CSV] \
-             [--trigger-jobs N] [--json]"
+             [--trigger-jobs N] [--timeout SECS] [--json]"
         );
         return ExitCode::FAILURE;
     };
@@ -428,6 +602,7 @@ fn faults(args: &[String]) -> ExitCode {
             "--scale",
             "--out",
             "--trigger-jobs",
+            "--timeout",
         ],
     ) {
         eprintln!("{e}");
@@ -435,6 +610,13 @@ fn faults(args: &[String]) -> ExitCode {
     }
     let tjobs = match opt::<usize>(args, "--trigger-jobs") {
         Ok(j) => j.unwrap_or(1).max(1),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let timeout = match opt::<u64>(args, "--timeout") {
+        Ok(t) => t.map(std::time::Duration::from_secs),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -527,8 +709,25 @@ fn faults(args: &[String]) -> ExitCode {
         let cfg = SimConfig::default()
             .with_seed(job.seed)
             .with_faults(job.plan.clone());
-        let result = match World::run_once(&job.bench.program, &job.bench.topology, cfg) {
-            Ok(run) => {
+        // `--timeout` bounds each scenario run with the same watchdog (and
+        // panic guard) the detect pipeline applies per benchmark
+        let run_result = match timeout {
+            Some(_) => {
+                let program = job.bench.program.clone();
+                let topology = job.bench.topology.clone();
+                let name = format!("dcatch-faults-{}", job.bench.id);
+                dcatch::run_bounded(&name, timeout, move || {
+                    World::run_once(&program, &topology, cfg)
+                })
+            }
+            None => Ok(World::run_once(
+                &job.bench.program,
+                &job.bench.topology,
+                cfg,
+            )),
+        };
+        let result = match run_result {
+            Ok(Ok(run)) => {
                 // a faulted run must end in a *classified* state
                 if !run.completed && run.failures.is_empty() {
                     bench_wedged[job.bi].store(true, Ordering::Relaxed);
@@ -536,7 +735,11 @@ fn faults(args: &[String]) -> ExitCode {
                 let failures: Vec<String> = run.failures.iter().map(|f| f.to_string()).collect();
                 Ok((run.completed, failures, run.faults_injected))
             }
-            Err(e) => Err(format!("{}: {e}", job.bench.id)),
+            Ok(Err(e)) => Err((format!("{}: {e}", job.bench.id), 3)),
+            Err(e) => {
+                bench_wedged[job.bi].store(true, Ordering::Relaxed);
+                Err((format!("{}: {e}", job.bench.id), e.exit_code()))
+            }
         };
         if remaining[job.bi].fetch_sub(1, Ordering::Relaxed) == 1 {
             progress.complete(job.bi, bench_wedged[job.bi].load(Ordering::Relaxed));
@@ -545,17 +748,32 @@ fn faults(args: &[String]) -> ExitCode {
     });
     progress.finish();
     let mut rows = Vec::new();
-    let mut ok = true;
+    let mut worst: u8 = 0;
     for (job, outcome) in jobs.iter().zip(outcomes) {
         let (completed, failures, faults_injected) = match outcome.expect("every fault job runs") {
             Ok(o) => o,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
+            Err((msg, code)) => {
+                worst = worst.max(code);
+                if json {
+                    rows.push(dcatch_obs::Json::obj([
+                        ("id", dcatch_obs::Json::Str(job.bench.id.to_owned())),
+                        ("scenario", dcatch_obs::Json::Str(job.scenario.clone())),
+                        ("seed", dcatch_obs::Json::UInt(job.seed)),
+                        ("error", dcatch_obs::Json::Str(msg)),
+                    ]));
+                } else {
+                    println!(
+                        "{:8} {:18} seed={:<4} ERROR {msg}",
+                        job.bench.id, job.scenario, job.seed
+                    );
+                }
+                continue;
             }
         };
         let wedged = !completed && failures.is_empty();
-        ok &= !wedged;
+        if wedged {
+            worst = worst.max(2);
+        }
         let outcome = if completed {
             "completed".to_owned()
         } else if wedged {
@@ -600,22 +818,19 @@ fn faults(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(worst)
 }
 
-fn print_report(
-    r: &dcatch::BenchmarkReport,
-    opts: &PipelineOptions,
-    show_metrics: bool,
-    ok: &mut bool,
-) {
+fn print_report(r: &dcatch::BenchmarkReport, opts: &PipelineOptions, show_metrics: bool) -> u8 {
+    for d in &r.degradations {
+        println!(
+            "  degraded: {}: {} → {} ({})",
+            d.stage, d.from, d.to, d.reason
+        );
+    }
     if let Some(oom) = &r.oom {
         println!("  trace: {} records; {oom}", r.trace_stats.total);
-        return;
+        return report_exit_code(r, opts.triggering);
     }
     println!(
         "  candidates: TA {} → +SP {} → +LP {} (callstack: {}/{}/{})",
@@ -648,9 +863,10 @@ fn print_report(
             "  known bug {}",
             if r.detected_known_bug {
                 "CONFIRMED HARMFUL"
-            } else {
-                *ok = false;
+            } else if r.degradations.is_empty() {
                 "NOT confirmed"
+            } else {
+                "NOT confirmed (degraded run — verdict provisional)"
             }
         );
     }
@@ -663,6 +879,7 @@ fn print_report(
             println!("    {name:40} {value} (gauge)");
         }
     }
+    report_exit_code(r, opts.triggering)
 }
 
 fn stats(args: &[String]) -> ExitCode {

@@ -34,14 +34,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod journal;
 mod pipeline;
 pub mod profile;
 mod report;
 pub mod report_json;
 
-pub use pipeline::{Pipeline, PipelineError, PipelineOptions, RunPhase};
+pub use pipeline::{run_bounded, Pipeline, PipelineError, PipelineOptions, RunPhase};
 pub use profile::{profile_json, profile_timeline};
 pub use report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
+
+// The resource governor's budget types (`--mem-budget`/`--time-budget`).
+pub use dcatch_obs::budget::{parse_bytes, Budget, DegradationEvent, DegradeMode};
 
 // Re-export the pieces users compose the pipeline from.
 pub use dcatch_apps::{

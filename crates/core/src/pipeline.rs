@@ -4,12 +4,16 @@ use std::fmt;
 use std::time::Duration;
 
 use dcatch_apps::Benchmark;
-use dcatch_detect::{analyze_loop_sync, find_candidates, CandidateSet};
-use dcatch_hb::{apply_ablation, Ablation, HbAnalysis, HbConfig, HbError};
+use dcatch_detect::{analyze_loop_sync, find_candidates, find_candidates_chunked, CandidateSet};
+use dcatch_hb::{
+    apply_ablation, Ablation, BitMatrix, ChainClocks, HbAnalysis, HbConfig, HbError,
+    ReachabilityMode,
+};
+use dcatch_obs::budget::{self, Budget, DegradationEvent, DegradeMode};
 use dcatch_prune::{Impact, Pruner};
 use dcatch_sim::{Failure, FaultPlan, FocusConfig, RunError, SimConfig, World};
 use dcatch_trace::TracingMode;
-use dcatch_trigger::{run_farm, FarmSpec, OrderRun, TriggerReport, Verdict};
+use dcatch_trigger::{run_farm, FarmSpec, OrderRun, TriggerPlan, TriggerReport, Verdict};
 
 use crate::report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
 
@@ -41,6 +45,18 @@ impl PipelineError {
             PipelineError::TracedRunFailed(_) => "traced_run_failed",
             PipelineError::Panicked(_) => "panic",
             PipelineError::WatchdogTimeout { .. } => "watchdog_timeout",
+        }
+    }
+
+    /// Process exit code for this error (documented in the README's exit
+    /// code table): 3 = the run itself failed, 5 = panic, 6 = watchdog.
+    /// Codes 1 (usage), 2 (known bug not confirmed), and 4 (HB analysis
+    /// out of memory) are assigned by the CLI from report contents.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            PipelineError::Run(_) | PipelineError::TracedRunFailed(_) => 3,
+            PipelineError::Panicked(_) => 5,
+            PipelineError::WatchdogTimeout { .. } => 6,
         }
     }
 }
@@ -104,6 +120,20 @@ pub struct PipelineOptions {
     /// [`PipelineError::WatchdogTimeout`] (its worker thread is detached,
     /// not cancelled).
     pub timeout: Option<Duration>,
+    /// Per-benchmark memory budget for the resource governor
+    /// (`--mem-budget`). Unlike `hb.memory_budget_bytes` — which turns
+    /// excess into a hard [`HbError::OutOfMemory`] outcome — this ceiling
+    /// makes the pipeline *degrade*: sample memory tracing, fall back to
+    /// chain clocks, chunk the trace analysis.
+    pub mem_budget: Option<usize>,
+    /// Per-benchmark wall-clock budget for the resource governor
+    /// (`--time-budget`). Unlike `timeout` — which kills the run — this
+    /// deadline makes later stages shed work (skip loop-sync, cancel
+    /// remaining trigger jobs) and still produce a report.
+    pub time_budget: Option<Duration>,
+    /// Whether the governor may walk the degradation ladder at all.
+    /// [`DegradeMode::Off`] ignores both budgets above.
+    pub degrade: DegradeMode,
 }
 
 impl Default for PipelineOptions {
@@ -121,6 +151,9 @@ impl Default for PipelineOptions {
             faults: FaultPlan::default(),
             fault_target: None,
             timeout: None,
+            mem_budget: None,
+            time_budget: None,
+            degrade: DegradeMode::Auto,
         }
     }
 }
@@ -176,19 +209,33 @@ impl Pipeline {
     /// returned report carries a per-run timing tree and per-run counter
     /// deltas even when many benchmarks run in one process. Stage timings
     /// are derived from the captured tree (single source of truth).
+    ///
+    /// Also brackets the run in a resource governor when `opts` sets a
+    /// memory or time budget with degradation enabled: stages consult it
+    /// at their boundaries and every ladder step they take is harvested
+    /// into [`BenchmarkReport::degradations`].
     pub fn run(
         bench: &Benchmark,
         opts: &PipelineOptions,
     ) -> Result<BenchmarkReport, PipelineError> {
         let metrics_before = dcatch_obs::metrics::snapshot();
         dcatch_obs::trace::begin_capture(&format!("pipeline.{}", bench.id));
+        budget::install(
+            Budget {
+                mem_bytes: opts.mem_budget,
+                time: opts.time_budget,
+            },
+            opts.degrade,
+        );
         let result = Pipeline::run_stages(bench, opts);
+        let degradations = budget::uninstall();
         let spans = dcatch_obs::trace::end_capture();
         let metrics = dcatch_obs::metrics::snapshot().delta_since(&metrics_before);
         result.map(|mut report| {
             report.timings = StageTimings::from_spans(&spans);
             report.metrics = metrics;
             report.spans = spans;
+            report.degradations = degradations;
             report
         })
     }
@@ -230,6 +277,23 @@ impl Pipeline {
         jobs: usize,
         observe: &(dyn Fn(usize, RunPhase) + Sync),
     ) -> Vec<Result<BenchmarkReport, PipelineError>> {
+        Pipeline::run_all_recorded(benches, opts, jobs, observe, &|_, _| {})
+    }
+
+    /// [`run_all_observed`](Pipeline::run_all_observed) with an additional
+    /// completion recorder: `record` is called from the worker thread the
+    /// moment each benchmark's result exists — *before* the batch-level
+    /// metric-name normalization — so a crash-safe journal can persist it
+    /// even if the process dies mid-batch. The recorder must be cheap,
+    /// `Sync`, and must not panic; results it receives are raw (their
+    /// metric name sets may still differ across benchmarks).
+    pub fn run_all_recorded(
+        benches: &[Benchmark],
+        opts: &PipelineOptions,
+        jobs: usize,
+        observe: &(dyn Fn(usize, RunPhase) + Sync),
+        record: &(dyn Fn(usize, &Result<BenchmarkReport, PipelineError>) + Sync),
+    ) -> Vec<Result<BenchmarkReport, PipelineError>> {
         use std::sync::{Condvar, Mutex};
         let verbose = dcatch_obs::trace::is_verbose();
         // counting semaphore bounding how many workers run at once
@@ -249,7 +313,8 @@ impl Pipeline {
                         drop(free);
                         dcatch_obs::trace::set_verbose(verbose);
                         observe(index, RunPhase::Started);
-                        let result = run_guarded(bench, opts, verbose);
+                        let result = run_guarded(bench, opts);
+                        record(index, &result);
                         observe(
                             index,
                             if result.is_err() {
@@ -309,7 +374,7 @@ impl Pipeline {
         // ---- traced run ---------------------------------------------------
         let mut cfg = SimConfig::default().with_seed(seed).with_faults(faults);
         cfg.tracing = opts.tracing;
-        let run = {
+        let mut run = {
             let _span = dcatch_obs::span!("pipeline.tracing");
             World::run_once(&bench.program, &bench.topology, cfg.clone())?
         };
@@ -319,38 +384,142 @@ impl Pipeline {
                 run.failures
             )));
         }
+
+        // ---- governor rung: rate-sampled memory tracing ---------------------
+        // When the trace itself blows the memory budget, re-run with every
+        // `rate`-th memory access kept. HB records are never sampled (the
+        // graph stays exact) and sampling never perturbs the schedule, so
+        // the kept records are a deterministic subsequence of the full run.
+        // byte_size serializes every record, so compute it once and share
+        // the figure between the governor probe and the report below.
+        let mut trace_bytes = run.trace.byte_size();
+        if let Some(m) = budget::mem_budget() {
+            let total = trace_bytes;
+            if total > m {
+                let mem_bytes = run.trace.filtered(|r| r.kind.is_mem()).byte_size();
+                let other = total - mem_bytes;
+                let mut rate: u32 = 2;
+                while rate < (1 << 16) && other + mem_bytes / rate as usize > m {
+                    rate *= 2;
+                }
+                let sampled_cfg = cfg.clone().with_mem_sample_rate(rate);
+                let rerun = {
+                    let _span = dcatch_obs::span!("pipeline.tracing");
+                    World::run_once(&bench.program, &bench.topology, sampled_cfg)?
+                };
+                budget::record(DegradationEvent {
+                    stage: "tracing".to_owned(),
+                    from: "full".to_owned(),
+                    to: format!("sampled_1_in_{rate}"),
+                    reason: format!("trace {total} B exceeds memory budget {m} B"),
+                });
+                run = rerun;
+                trace_bytes = run.trace.byte_size();
+            }
+        }
         let trace_stats = run.trace.stats();
-        let trace_bytes = run.trace.byte_size();
 
         // ---- HB graph + candidates -----------------------------------------
         let analyzed = apply_ablation(&run.trace, opts.ablation);
         let ta_span = dcatch_obs::span!("pipeline.trace_analysis");
-        let mut hb = match HbAnalysis::build(analyzed, &opts.hb) {
-            Ok(hb) => hb,
-            Err(e @ HbError::OutOfMemory { .. }) => {
-                return Ok(BenchmarkReport {
-                    id: bench.id.to_owned(),
-                    trace_stats,
-                    trace_bytes,
-                    ta_static: 0,
-                    ta_stacks: 0,
-                    sp_static: 0,
-                    sp_stacks: 0,
-                    lp_static: 0,
-                    lp_stacks: 0,
-                    reports: Vec::new(),
-                    verdicts: VerdictCounts::default(),
-                    detected_known_bug: false,
-                    // timings/metrics/spans are placeholders; `run` fills
-                    // them from the capture on every path
-                    timings: StageTimings::default(),
-                    oom: Some(e),
-                    metrics: dcatch_obs::MetricsSnapshot::default(),
-                    spans: dcatch_obs::SpanNode::default(),
-                });
-            }
+        // The governed ceiling also caps the reachability-index budget.
+        let mut hb_cfg = opts.hb.clone();
+        let gov_mem = budget::mem_budget();
+        if let Some(m) = gov_mem {
+            hb_cfg.memory_budget_bytes = hb_cfg.memory_budget_bytes.min(m);
+        }
+        // Mirror HbAnalysis::build's engine selection on deterministic size
+        // estimates, so the governor can step down *before* committing to a
+        // build that would return OutOfMemory.
+        let n = analyzed.len();
+        let matrix_bytes = BitMatrix::estimated_bytes(n);
+        let clock_bytes = ChainClocks::estimated_bytes(n, ChainClocks::chain_count(&analyzed));
+        let needed = match hb_cfg.reachability {
+            ReachabilityMode::Matrix => matrix_bytes,
+            ReachabilityMode::Clocks => clock_bytes,
+            ReachabilityMode::Auto if matrix_bytes <= hb_cfg.memory_budget_bytes => matrix_bytes,
+            ReachabilityMode::Auto => clock_bytes,
         };
-        let mut candidates = find_candidates(&hb);
+        let oom_report = |e: HbError, trace_stats, trace_bytes| BenchmarkReport {
+            id: bench.id.to_owned(),
+            trace_stats,
+            trace_bytes,
+            ta_static: 0,
+            ta_stacks: 0,
+            sp_static: 0,
+            sp_stacks: 0,
+            lp_static: 0,
+            lp_stacks: 0,
+            reports: Vec::new(),
+            verdicts: VerdictCounts::default(),
+            detected_known_bug: false,
+            // timings/metrics/spans/degradations are placeholders; `run`
+            // fills them from the capture on every path
+            timings: StageTimings::default(),
+            oom: Some(e),
+            metrics: dcatch_obs::MetricsSnapshot::default(),
+            spans: dcatch_obs::SpanNode::default(),
+            degradations: Vec::new(),
+        };
+        // `hb` is absent on the chunked rung: loop-sync and placement
+        // planning need the full graph and degrade accordingly below.
+        let mut hb: Option<HbAnalysis> = None;
+        let mut candidates;
+        if needed > hb_cfg.memory_budget_bytes && gov_mem.is_some() {
+            // ---- governor rung: chunked trace analysis (§7.2) ----------
+            let mut chunk = (((hb_cfg.memory_budget_bytes.saturating_mul(8)) as f64).sqrt()
+                as usize)
+                .clamp(64, n.max(64));
+            // rows are word-granular, so small matrices cost more than
+            // bits/8; walk the guess down until the estimate honestly fits
+            while chunk > 64 && BitMatrix::estimated_bytes(chunk) > hb_cfg.memory_budget_bytes {
+                chunk = chunk.saturating_sub(64).max(64);
+            }
+            match find_candidates_chunked(&analyzed, &hb_cfg, chunk) {
+                Ok((set, stats)) => {
+                    budget::record(DegradationEvent {
+                        stage: "trace_analysis".to_owned(),
+                        from: "full".to_owned(),
+                        to: format!("chunked_{}x{}", stats.chunks, chunk),
+                        reason: format!(
+                            "reachability index needs {needed} B, budget {} B",
+                            hb_cfg.memory_budget_bytes
+                        ),
+                    });
+                    candidates = set;
+                }
+                Err(e @ HbError::OutOfMemory { .. }) => {
+                    return Ok(oom_report(e, trace_stats, trace_bytes));
+                }
+            }
+        } else {
+            match HbAnalysis::build(analyzed, &hb_cfg) {
+                Ok(h) => {
+                    // engine rung: record when the governed budget — not the
+                    // user's own HB config — is what forced clocks
+                    if gov_mem.is_some()
+                        && opts.hb.reachability == ReachabilityMode::Auto
+                        && h.reachability() == ReachabilityMode::Clocks
+                        && matrix_bytes <= opts.hb.memory_budget_bytes
+                    {
+                        budget::record(DegradationEvent {
+                            stage: "trace_analysis".to_owned(),
+                            from: "matrix".to_owned(),
+                            to: "clocks".to_owned(),
+                            reason: format!(
+                                "matrix needs {matrix_bytes} B, budget {} B",
+                                hb_cfg.memory_budget_bytes
+                            ),
+                        });
+                    }
+                    candidates = find_candidates(&h);
+                    hb = Some(h);
+                }
+                Err(e @ HbError::OutOfMemory { .. }) => {
+                    return Ok(oom_report(e, trace_stats, trace_bytes));
+                }
+            }
+        }
         drop(ta_span);
         let (ta_static, ta_stacks) = (
             candidates.static_pair_count(),
@@ -371,25 +540,41 @@ impl Pipeline {
 
         // ---- loop/pull synchronization analysis ------------------------------
         if opts.loop_sync {
-            let _span = dcatch_obs::span!("pipeline.loop_sync");
-            let program = &bench.program;
-            let topo = &bench.topology;
-            let base_cfg = cfg.clone();
-            let mut rerun = |objects: &std::collections::BTreeSet<String>| {
-                let focus_cfg = base_cfg
-                    .clone()
-                    .with_focus(FocusConfig::on(objects.iter().cloned()));
-                World::run_once(program, topo, focus_cfg)
-                    .expect("focused re-run")
-                    .trace
-            };
-            let (updated, _result) = analyze_loop_sync(program, &mut hb, candidates, &mut rerun);
-            candidates = updated;
-            // loop-sync edges may order candidates SP had already scored;
-            // re-apply the pruning filter to the refreshed set
-            if opts.static_pruning {
-                let (kept, _, _) = pruner.prune(candidates);
-                candidates = kept;
+            if budget::time_expired() {
+                budget::record(DegradationEvent {
+                    stage: "loop_sync".to_owned(),
+                    from: "focused_rerun".to_owned(),
+                    to: "skipped".to_owned(),
+                    reason: "time budget exhausted".to_owned(),
+                });
+            } else if let Some(hb) = hb.as_mut() {
+                let _span = dcatch_obs::span!("pipeline.loop_sync");
+                let program = &bench.program;
+                let topo = &bench.topology;
+                let base_cfg = cfg.clone();
+                let mut rerun = |objects: &std::collections::BTreeSet<String>| {
+                    let focus_cfg = base_cfg
+                        .clone()
+                        .with_focus(FocusConfig::on(objects.iter().cloned()));
+                    World::run_once(program, topo, focus_cfg)
+                        .expect("focused re-run")
+                        .trace
+                };
+                let (updated, _result) = analyze_loop_sync(program, hb, candidates, &mut rerun);
+                candidates = updated;
+                // loop-sync edges may order candidates SP had already scored;
+                // re-apply the pruning filter to the refreshed set
+                if opts.static_pruning {
+                    let (kept, _, _) = pruner.prune(candidates);
+                    candidates = kept;
+                }
+            } else {
+                budget::record(DegradationEvent {
+                    stage: "loop_sync".to_owned(),
+                    from: "focused_rerun".to_owned(),
+                    to: "skipped".to_owned(),
+                    reason: "no full HB graph (chunked trace analysis)".to_owned(),
+                });
             }
         }
         let (lp_static, lp_stacks) = (
@@ -407,9 +592,39 @@ impl Pipeline {
                 v
             })
             .collect();
-        let trig_reports: Vec<Option<TriggerReport>> = if opts.triggering {
+        let trig_reports: Vec<Option<TriggerReport>> = if opts.triggering && budget::time_expired()
+        {
+            budget::record(DegradationEvent {
+                stage: "triggering".to_owned(),
+                from: "farm".to_owned(),
+                to: "skipped".to_owned(),
+                reason: "time budget exhausted before triggering".to_owned(),
+            });
+            candidates.iter().map(|_| None).collect()
+        } else if opts.triggering {
             let _span = dcatch_obs::span!("pipeline.triggering");
-            let specs: Vec<FarmSpec> = candidates.iter().map(|c| FarmSpec::new(c, &hb)).collect();
+            let specs: Vec<FarmSpec> = match &hb {
+                Some(hb) => candidates.iter().map(|c| FarmSpec::new(c, hb)).collect(),
+                None => {
+                    // placement planning needs the full HB graph; on the
+                    // chunked rung fall back to naive direct placement
+                    if !candidates.is_empty() {
+                        budget::record(DegradationEvent {
+                            stage: "triggering".to_owned(),
+                            from: "planned_placement".to_owned(),
+                            to: "direct_placement".to_owned(),
+                            reason: "no full HB graph (chunked trace analysis)".to_owned(),
+                        });
+                    }
+                    candidates
+                        .iter()
+                        .map(|c| FarmSpec {
+                            plan: TriggerPlan::direct(c),
+                            direct: None,
+                        })
+                        .collect()
+                }
+            };
             // A candidate is settled once some fully-executed order produced
             // a failure its own impact analysis predicted — exactly the
             // condition that makes `adjust_verdict` say Harmful, which is
@@ -418,17 +633,25 @@ impl Pipeline {
                 runs.iter()
                     .any(|r| r.completed && failures_attributable(&r.failures, &impacts[ci]))
             };
-            run_farm(
+            let reports = run_farm(
                 &bench.program,
                 &bench.topology,
                 &cfg,
                 &specs,
                 opts.trigger_jobs,
                 Some(&confirm),
-            )
-            .into_iter()
-            .map(Some)
-            .collect()
+                budget::deadline(),
+            );
+            let cancelled = reports.iter().filter(|r| r.cancelled).count();
+            if cancelled > 0 {
+                budget::record(DegradationEvent {
+                    stage: "triggering".to_owned(),
+                    from: "farm".to_owned(),
+                    to: "cancelled".to_owned(),
+                    reason: format!("time budget expired with {cancelled} candidates unexplored"),
+                });
+            }
+            reports.into_iter().map(Some).collect()
         } else {
             candidates.iter().map(|_| None).collect()
         };
@@ -438,8 +661,11 @@ impl Pipeline {
         let mut detected_known_bug = false;
         for ((candidate, impacts), trig) in candidates.into_iter().zip(impacts).zip(trig_reports) {
             let known = bench.bug_objects.iter().any(|o| candidate.object() == *o);
+            // A cancelled report (trigger deadline) carries a provisional
+            // verdict computed from partial runs; keep the candidate
+            // undecided instead of reporting it.
             let (verdict, failures) = match trig {
-                Some(report) => {
+                Some(report) if !report.cancelled => {
                     let failures: Vec<String> = report.failures().map(|f| f.to_string()).collect();
                     // Attribution: holding a request point can starve unrelated
                     // paths and surface *other* bugs' failures. A candidate is
@@ -467,7 +693,7 @@ impl Pipeline {
                     }
                     (Some(v), failures)
                 }
-                None => (None, Vec::new()),
+                _ => (None, Vec::new()),
             };
             reports.push(BugReport {
                 candidate,
@@ -495,38 +721,40 @@ impl Pipeline {
             oom: None,
             metrics: dcatch_obs::MetricsSnapshot::default(),
             spans: dcatch_obs::SpanNode::default(),
+            degradations: Vec::new(),
         })
     }
 }
 
-/// Runs one benchmark on a dedicated `'static` thread so that panics are
-/// caught at the join boundary and a wall-clock watchdog can give up on a
-/// hung run. On timeout the worker thread is *detached*, not cancelled —
-/// it keeps burning its core until the process exits, which is the price
-/// of not poisoning shared state by killing it mid-run.
-fn run_guarded(
-    bench: &Benchmark,
-    opts: &PipelineOptions,
-    verbose: bool,
-) -> Result<BenchmarkReport, PipelineError> {
+/// Runs `f` on a dedicated `'static` thread so that panics are caught at
+/// the join boundary and an optional wall-clock watchdog can give up on a
+/// hung computation. On timeout the worker thread is *detached*, not
+/// cancelled — it keeps burning its core until the process exits, which is
+/// the price of not poisoning shared state by killing it mid-run.
+///
+/// This is the one guard every execution path shares: `detect all` wraps
+/// whole benchmarks in it and `faults all` wraps per-scenario jobs, so a
+/// `--timeout` bounds both the same way. The worker inherits the caller's
+/// span verbosity.
+pub fn run_bounded<T: Send + 'static>(
+    name: &str,
+    timeout: Option<Duration>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, PipelineError> {
     use std::sync::mpsc;
     let (tx, rx) = mpsc::channel();
-    let timeout = opts.timeout;
-    let bench = bench.clone();
-    let opts = opts.clone();
+    let verbose = dcatch_obs::trace::is_verbose();
     std::thread::Builder::new()
-        .name(format!("dcatch-{}", bench.id))
+        .name(name.to_owned())
         .spawn(move || {
             dcatch_obs::trace::set_verbose(verbose);
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                Pipeline::run(&bench, &opts)
-            }))
-            .unwrap_or_else(|payload| Err(PipelineError::Panicked(panic_message(&*payload))));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                .map_err(|payload| PipelineError::Panicked(panic_message(&*payload)));
             // the receiver is gone iff the watchdog already fired; the
             // result is then intentionally dropped
             let _ = tx.send(result);
         })
-        .expect("spawn benchmark thread");
+        .expect("spawn bounded worker thread");
     match timeout {
         Some(limit) => rx
             .recv_timeout(limit)
@@ -535,6 +763,19 @@ fn run_guarded(
             .recv()
             .unwrap_or_else(|_| Err(PipelineError::Panicked("worker vanished".to_owned()))),
     }
+}
+
+/// One benchmark through [`run_bounded`]: panics become
+/// [`PipelineError::Panicked`], `opts.timeout` becomes the watchdog.
+fn run_guarded(
+    bench: &Benchmark,
+    opts: &PipelineOptions,
+) -> Result<BenchmarkReport, PipelineError> {
+    let name = format!("dcatch-{}", bench.id);
+    let bench = bench.clone();
+    let opts = opts.clone();
+    let timeout = opts.timeout;
+    run_bounded(&name, timeout, move || Pipeline::run(&bench, &opts)).and_then(|r| r)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -194,6 +194,7 @@ mod tests {
             oom: None,
             metrics: Default::default(),
             spans,
+            degradations: Vec::new(),
         }
     }
 

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use dcatch_detect::Candidate;
 use dcatch_hb::HbError;
+use dcatch_obs::budget::DegradationEvent;
 use dcatch_obs::{MetricsSnapshot, SpanNode};
 use dcatch_prune::Impact;
 use dcatch_trace::TraceStats;
@@ -136,6 +137,11 @@ pub struct BenchmarkReport {
     pub metrics: MetricsSnapshot,
     /// Captured span tree for this run; stage timings are derived from it.
     pub spans: SpanNode,
+    /// Degradation-ladder steps the resource governor took during this
+    /// run (empty without `--mem-budget`/`--time-budget`). Ordered as
+    /// they happened; carries no timestamps, so memory-driven rungs are
+    /// byte-stable across machines.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 impl BenchmarkReport {

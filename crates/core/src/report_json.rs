@@ -7,21 +7,24 @@
 //! reports across commits; bump [`SCHEMA_VERSION`] on breaking changes and
 //! describe the layout in DESIGN.md's "Observability" section.
 //!
-//! Document layout (schema version 4):
+//! Document layout (schema version 5):
 //!
 //! ```text
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "tool": "dcatch-rs",
 //!   "degradations": {
 //!     "faults_injected": …, "benchmarks_failed": …,
-//!     "trigger_retries": …, "watchdog_timeouts": …
+//!     "trigger_retries": …, "watchdog_timeouts": …,
+//!     "governor_degradations": …
 //!   },
 //!   "benchmarks": [
 //!     {
 //!       "id": "MR-3274",
 //!       "error": null,
 //!       "oom": null | "<message>",
+//!       "degradations": [ { "stage": "tracing", "from": "full",
+//!                           "to": "sampled_1_in_4", "reason": "…" }, … ],
 //!       "trace": { "bytes": …, "reach_bytes": …,
 //!                  "stats": { "total": …, "mem": …, … } },
 //!       "candidates": { "ta_static": …, …, "lp_stacks": … },
@@ -61,7 +64,11 @@ use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
 /// invoked with `--profile`): per-stage wall times in µs, the peak
 /// reachability footprint, and the static-candidate funnel. Purely
 /// additive — v2/v3 consumers keep working, see [`validate_report`].
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: added the resource governor — a per-benchmark `degradations` array
+/// (one entry per degradation-ladder step: `stage`/`from`/`to`/`reason`,
+/// no timestamps) and a top-level `degradations.governor_degradations`
+/// total. Purely additive.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`validate_report`] accepts. Every change since
 /// v2 has been additive, so older documents still validate.
@@ -128,15 +135,18 @@ fn degradations<'a>(
 ) -> Json {
     let mut faults: u64 = 0;
     let mut retries: u64 = 0;
+    let mut governor: u64 = 0;
     for r in reports {
         faults += r.metrics.counter("faults_injected");
         retries += r.metrics.counter("trigger_retries");
+        governor += r.degradations.len() as u64;
     }
     Json::obj([
         ("faults_injected", Json::UInt(faults)),
         ("benchmarks_failed", Json::UInt(benchmarks_failed)),
         ("trigger_retries", Json::UInt(retries)),
         ("watchdog_timeouts", Json::UInt(watchdog_timeouts)),
+        ("governor_degradations", Json::UInt(governor)),
     ])
 }
 
@@ -174,6 +184,10 @@ pub fn benchmark_json_with(r: &BenchmarkReport, profile: bool) -> Json {
             },
         ),
         (
+            "degradations",
+            Json::Arr(r.degradations.iter().map(degradation_json).collect()),
+        ),
+        (
             "trace",
             Json::obj([
                 ("bytes", Json::UInt(r.trace_bytes as u64)),
@@ -208,6 +222,18 @@ pub fn benchmark_json_with(r: &BenchmarkReport, profile: bool) -> Json {
                 Json::Null
             },
         ),
+    ])
+}
+
+/// One degradation-ladder step (schema v5 per-benchmark `degradations`
+/// entry). Deliberately timestamp-free: two runs that degrade identically
+/// serialize identically.
+pub fn degradation_json(d: &dcatch_obs::budget::DegradationEvent) -> Json {
+    Json::obj([
+        ("stage", Json::Str(d.stage.clone())),
+        ("from", Json::Str(d.from.clone())),
+        ("to", Json::Str(d.to.clone())),
+        ("reason", Json::Str(d.reason.clone())),
     ])
 }
 

@@ -29,6 +29,11 @@
 //! * [`progress`] — a rate-limited, TTY-gated stderr progress line for
 //!   multi-item runs (`detect all --jobs N`, `faults all`), with per-item
 //!   queued/running/done/degraded states and a median-based ETA.
+//! * [`budget`] — the thread-local resource-budget governor behind the
+//!   pipeline's degradation ladder (`--mem-budget`/`--time-budget`):
+//!   memory and wall-clock ceilings that stages consult at their
+//!   boundaries, plus the [`budget::DegradationEvent`] record every ladder
+//!   step emits into the run report.
 //!
 //! Cross-run hygiene: the pipeline brackets each benchmark run with
 //! [`trace::begin_capture`]/[`trace::end_capture`] and diffs
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod json;
 pub mod metrics;
 pub mod progress;

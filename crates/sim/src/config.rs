@@ -45,6 +45,14 @@ pub struct SimConfig {
     /// Deterministic fault-injection plan. The default (empty) plan is a
     /// strict no-op: the run is byte-identical to one without it.
     pub faults: FaultPlan,
+    /// Memory-access trace sampling: keep every `mem_sample_rate`-th
+    /// traceable memory access (1 = keep all). Sampling never touches
+    /// HB-related records — the graph stays exact — and never perturbs the
+    /// execution itself: the schedule, and therefore every kept record, is
+    /// byte-identical to the unsampled run. The governor's tracing rung
+    /// re-runs with a rate > 1 when the full trace exceeds its memory
+    /// budget. Focused runs (loop-sync value tracing) ignore the rate.
+    pub mem_sample_rate: u32,
 }
 
 impl Default for SimConfig {
@@ -57,6 +65,7 @@ impl Default for SimConfig {
             max_steps: 2_000_000,
             retry_loop_budget: 200,
             faults: FaultPlan::default(),
+            mem_sample_rate: 1,
         }
     }
 }
@@ -83,6 +92,13 @@ impl SimConfig {
     /// Same configuration with a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
         self.faults = faults;
+        self
+    }
+
+    /// Same configuration with memory-access trace sampling (keep every
+    /// `rate`-th access; rates below 1 are clamped to 1).
+    pub fn with_mem_sample_rate(mut self, rate: u32) -> SimConfig {
+        self.mem_sample_rate = rate.max(1);
         self
     }
 }

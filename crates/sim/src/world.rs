@@ -277,6 +277,8 @@ pub struct World<'g> {
     msg_fault_hits: Vec<u64>,
     /// Faults applied so far.
     faults_injected: u64,
+    /// Traceable memory accesses seen so far (drives `mem_sample_rate`).
+    mem_samples_seen: u64,
 
     trace: TraceSet,
     failures: Vec<Failure>,
@@ -365,6 +367,7 @@ impl<'g> World<'g> {
             pending_restarts: Vec::new(),
             msg_fault_hits,
             faults_injected: 0,
+            mem_samples_seen: 0,
             trace: TraceSet::new(),
             failures: Vec::new(),
             logs: Vec::new(),
@@ -550,6 +553,18 @@ impl<'g> World<'g> {
         let (trace_it, with_value) = self.mem_trace_policy(t, &loc.object);
         if !trace_it {
             return;
+        }
+        // Rate-sampling applies only to plain memory-access records — never
+        // to HB-related ops or focused value traces — and only decides what
+        // is *recorded*: the execution itself is untouched, so the sampled
+        // trace is an exact subsequence of the unsampled one.
+        if self.config.mem_sample_rate > 1 && self.config.focus.is_none() {
+            let keep = self.mem_samples_seen % u64::from(self.config.mem_sample_rate) == 0;
+            self.mem_samples_seen += 1;
+            if !keep {
+                counter!("sim_mem_samples_dropped_total").inc();
+                return;
+            }
         }
         let value = with_value.then(|| value.key_string());
         let kind = if write {

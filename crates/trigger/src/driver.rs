@@ -59,6 +59,10 @@ pub struct TriggerReport {
     pub plan: TriggerPlan,
     /// Both order experiments (possibly plus direct-placement fallbacks).
     pub runs: Vec<OrderRun>,
+    /// The farm's deadline expired before every ordering ran: `verdict` is
+    /// provisional (computed from the runs that did execute, possibly
+    /// none) and callers should treat the candidate as undecided.
+    pub cancelled: bool,
 }
 
 impl TriggerReport {
@@ -81,9 +85,17 @@ pub fn trigger_candidate(
     hb: &HbAnalysis,
 ) -> TriggerReport {
     let spec = FarmSpec::new(candidate, hb);
-    run_farm(program, topo, config, std::slice::from_ref(&spec), 1, None)
-        .pop()
-        .expect("one report per spec")
+    run_farm(
+        program,
+        topo,
+        config,
+        std::slice::from_ref(&spec),
+        1,
+        None,
+        None,
+    )
+    .pop()
+    .expect("one report per spec")
 }
 
 pub(crate) fn run_order(

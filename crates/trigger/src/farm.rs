@@ -31,6 +31,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use dcatch_detect::Candidate;
 use dcatch_hb::HbAnalysis;
@@ -87,6 +88,12 @@ struct JobOutcome {
 /// cancelled (cooperatively, see the module docs) and excluded from the
 /// report either way — so the report, the absorbed metrics, and the
 /// grafted spans are identical for any `jobs`, including 1.
+///
+/// With `deadline` set, jobs that would start after the instant are
+/// skipped entirely and their candidates' reports come back with
+/// [`TriggerReport::cancelled`] set. This rung is inherently wall-clock
+/// dependent — it is the resource governor's time budget, not part of the
+/// deterministic contract above.
 pub fn run_farm(
     program: &Program,
     topo: &Topology,
@@ -94,6 +101,7 @@ pub fn run_farm(
     specs: &[FarmSpec],
     jobs: usize,
     confirm: Option<ConfirmFn<'_>>,
+    deadline: Option<Instant>,
 ) -> Vec<TriggerReport> {
     let total = specs.len() * ORDERINGS;
     // Register every trigger metric up front on the calling thread. Names
@@ -118,6 +126,9 @@ pub fn run_farm(
     let confirmed: Vec<AtomicUsize> = specs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
     let mut outcomes = steal_map(jobs, total, |i| {
         let (c, o) = (i / ORDERINGS, i % ORDERINGS);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return None; // time budget exhausted: skip, report as cancelled
+        }
         if confirm.is_some() && confirmed[c].load(Ordering::Relaxed) < o {
             return None; // a lower ordering already settled this candidate
         }
@@ -150,13 +161,15 @@ pub fn run_farm(
             dcatch_obs::counter!("trigger_placement_rules_total")
                 .add(spec.plan.rules.iter().map(Vec::len).sum::<usize>() as u64);
             let mut runs: Vec<OrderRun> = Vec::new();
+            let mut cancelled = false;
             for o in 0..ORDERINGS {
-                // A missing outcome means a lower ordering confirmed on the
-                // worker; the break below fires first, so this take cannot
-                // observe a skipped job (ordering 0 is never skipped).
-                let outcome = outcomes[c * ORDERINGS + o]
-                    .take()
-                    .expect("skipped ordering below an unconfirmed one");
+                // A confirm-skipped job is never reached here: the settle
+                // break below fires on the lower ordering first. So a
+                // missing outcome can only mean the deadline skipped it.
+                let Some(outcome) = outcomes[c * ORDERINGS + o].take() else {
+                    cancelled = true;
+                    break;
+                };
                 let settles = confirm.is_some_and(|f| f(c, &outcome.runs));
                 dcatch_obs::metrics::absorb(&outcome.metrics);
                 dcatch_obs::trace::graft(&outcome.spans);
@@ -174,15 +187,20 @@ pub fn run_farm(
             } else {
                 Verdict::BenignRace
             };
-            match verdict {
-                Verdict::Serial => dcatch_obs::counter!("trigger_verdict_serial_total").inc(),
-                Verdict::BenignRace => dcatch_obs::counter!("trigger_verdict_benign_total").inc(),
-                Verdict::Harmful => dcatch_obs::counter!("trigger_verdict_harmful_total").inc(),
+            if !cancelled {
+                match verdict {
+                    Verdict::Serial => dcatch_obs::counter!("trigger_verdict_serial_total").inc(),
+                    Verdict::BenignRace => {
+                        dcatch_obs::counter!("trigger_verdict_benign_total").inc()
+                    }
+                    Verdict::Harmful => dcatch_obs::counter!("trigger_verdict_harmful_total").inc(),
+                }
             }
             TriggerReport {
                 verdict,
                 plan: spec.plan.clone(),
                 runs,
+                cancelled,
             }
         })
         .collect()

@@ -84,7 +84,7 @@ fn run_farm_is_invariant_in_worker_count() {
     let mut baseline: Option<(String, dcatch_obs::MetricsSnapshot)> = None;
     for jobs in [1, 2, 8] {
         let before = dcatch_obs::metrics::snapshot();
-        let reports = run_farm(&p, &topo, &cfg, &specs, jobs, None);
+        let reports = run_farm(&p, &topo, &cfg, &specs, jobs, None, None);
         let delta = dcatch_obs::metrics::snapshot().delta_since(&before);
         let rendered = format!("{reports:#?}");
         match &baseline {
@@ -110,7 +110,7 @@ fn cancelled_orderings_contribute_no_runs_and_no_metrics() {
 
     for jobs in [1, 2] {
         let before = dcatch_obs::metrics::snapshot();
-        let reports = run_farm(&p, &topo, &cfg, &specs, jobs, Some(&confirm));
+        let reports = run_farm(&p, &topo, &cfg, &specs, jobs, Some(&confirm), None);
         let delta = dcatch_obs::metrics::snapshot().delta_since(&before);
         let report = &reports[0];
         assert!(
@@ -126,10 +126,32 @@ fn cancelled_orderings_contribute_no_runs_and_no_metrics() {
 
     // without confirm, the same candidate explores both orderings
     let before = dcatch_obs::metrics::snapshot();
-    let reports = run_farm(&p, &topo, &cfg, &specs, 1, None);
+    let reports = run_farm(&p, &topo, &cfg, &specs, 1, None, None);
     let delta = dcatch_obs::metrics::snapshot().delta_since(&before);
     assert_eq!(reports[0].runs.len(), ORDERINGS);
     assert_eq!(delta.counters.get("trigger_order_runs_total"), Some(&2));
+}
+
+/// An already-expired deadline skips every job; each report comes back
+/// cancelled with no runs instead of panicking in the merge.
+#[test]
+fn expired_deadline_cancels_every_job() {
+    let (p, topo, cfg, hb) = two_race_setup();
+    let specs: Vec<FarmSpec> = find_candidates(&hb)
+        .iter()
+        .map(|c| FarmSpec::new(c, &hb))
+        .collect();
+    let past = std::time::Instant::now();
+    let reports = run_farm(&p, &topo, &cfg, &specs, 2, None, Some(past));
+    assert_eq!(reports.len(), specs.len());
+    for r in &reports {
+        assert!(r.cancelled, "deadline skip must surface as cancelled");
+        assert!(r.runs.is_empty(), "no job ran: {r:#?}");
+    }
+    // a far-future deadline changes nothing
+    let future = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+    let reports = run_farm(&p, &topo, &cfg, &specs, 2, None, Some(future));
+    assert!(reports.iter().all(|r| !r.cancelled && !r.runs.is_empty()));
 }
 
 /// The farm's verdict for a full (unconfirmed) exploration matches the
@@ -142,7 +164,7 @@ fn farm_spans_graft_under_the_callers_capture() {
         .map(|c| FarmSpec::new(c, &hb))
         .collect();
     dcatch_obs::trace::begin_capture("test");
-    let reports = run_farm(&p, &topo, &cfg, &specs, 4, None);
+    let reports = run_farm(&p, &topo, &cfg, &specs, 4, None, None);
     let tree = dcatch_obs::trace::end_capture();
     let cand = tree.child("trigger.candidate").expect("candidate span");
     assert_eq!(cand.count, specs.len() as u64);

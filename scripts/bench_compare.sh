@@ -33,6 +33,12 @@
 # build (`report`) that `--json` always pays — must stay within 5% of the
 # end-to-end detect_all/jobs1 mean, by the same dual mean+min rule.
 #
+# The `governor_overhead` group gates the resource governor within the
+# current document: with budgets far above any real footprint the
+# governor's bracket (install, per-stage probes, uninstall) is all that
+# runs, so the `enabled` entry must stay within 3% of `baseline` over the
+# same detect-all workload, by the same dual mean+min rule.
+#
 # The `trigger_parallel` group gates the triggering farm within the
 # current document: each entry's `bytes` carries a checksum of the
 # (pair, verdict) outcomes, and the checksum must be identical across
@@ -58,6 +64,7 @@ NOISE_FLOOR_NS = 500_000  # sub-0.5ms entries are jitter-dominated: report only
 MEMORY_RATIO = 4.0  # clocks must beat the matrix by this factor at the top size
 TIME_RATIO = 1.15  # clocks build+query target at the smallest size (soft)
 PROFILE_RATIO = 1.05  # --profile may cost at most 5% on detect-all
+GOVERNOR_RATIO = 1.03  # an idle governor may cost at most 3% on detect-all
 
 def entries(path):
     with open(path) as f:
@@ -164,6 +171,25 @@ if pipeline and plain and profiled:
         print(f"  profile   {line} — mean above {budget:.0%} but min honest: load spike, not failed")
     else:
         print(f"  profile   {line}")
+
+# --- resource-governor overhead gate (current document only) ---
+gov_base = cur.get(("governor_overhead", "baseline"))
+gov_on = cur.get(("governor_overhead", "enabled"))
+if gov_base and gov_on:
+    budget = GOVERNOR_RATIO - 1.0
+    mean_ratio = gov_on[0] / gov_base[0] if gov_base[0] else float("inf")
+    min_ratio = gov_on[1] / gov_base[1] if gov_base[1] else float("inf")
+    line = (
+        f"governor overhead: enabled {gov_on[0] / 1e6:.2f} ms vs baseline "
+        f"{gov_base[0] / 1e6:.2f} ms (mean {mean_ratio - 1.0:+.1%}, min {min_ratio - 1.0:+.1%})"
+    )
+    if mean_ratio > GOVERNOR_RATIO and min_ratio > GOVERNOR_RATIO:
+        failed.append(line)
+        print(f"  GOVERNOR  {line} — above the {budget:.0%} budget")
+    elif mean_ratio > GOVERNOR_RATIO:
+        print(f"  governor  {line} — mean above {budget:.0%} but min honest: load spike, not failed")
+    else:
+        print(f"  governor  {line}")
 
 # --- trigger farm gate (current document only) ---
 farm = {}

@@ -13,6 +13,12 @@
 #                             # suite plus `dcatch faults all` across a
 #                             # fixed seed set — every run must complete or
 #                             # degrade to a classified failure
+#   scripts/check.sh degrade  # resource-governor smoke: `detect all` under
+#                             # a deliberately tiny memory budget must exit
+#                             # 0 with a clean schema-v5 report (no errors,
+#                             # no OOM, >0 recorded degradation steps), and
+#                             # a fresh-journal run must byte-match an
+#                             # all-skipped `--resume` of the same journal
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +31,33 @@ soak() {
 
 if [[ "${1:-}" == "soak" ]]; then
     soak
+    exit 0
+fi
+
+if [[ "${1:-}" == "degrade" ]]; then
+    dd_dir="$(mktemp -d)"
+    trap 'rm -rf "$dd_dir"' EXIT
+    echo "== governor degrade smoke (2 KiB budget, schema v5, exit 0) =="
+    cargo run --offline --release -q --bin dcatch -- detect all --mem-budget 2k \
+        --json --scrub-timings --out "$dd_dir/degrade.json"
+    python3 - "$dd_dir/degrade.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 5, f"schema {doc['schema_version']}"
+steps = doc["degradations"]["governor_degradations"]
+assert steps > 0, "a 2 KiB budget must force degradation steps"
+for b in doc["benchmarks"]:
+    assert b.get("error") is None, f"{b['id']} errored"
+    assert b.get("oom") is None, f"{b['id']} hit OOM despite the governor"
+print(f"degrade smoke ok: {steps} degradation steps, zero errors, zero OOM")
+PY
+    echo "== resume determinism (fresh journal vs all-skipped resume) =="
+    cargo run --offline --release -q --bin dcatch -- detect all --jobs 1 --json \
+        --scrub-timings --resume "$dd_dir/journal.jsonl" --out "$dd_dir/r1.json"
+    cargo run --offline --release -q --bin dcatch -- detect all --jobs 1 --json \
+        --scrub-timings --resume "$dd_dir/journal.jsonl" --out "$dd_dir/r2.json"
+    cmp "$dd_dir/r1.json" "$dd_dir/r2.json"
+    echo "Degrade smoke passed."
     exit 0
 fi
 

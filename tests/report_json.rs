@@ -174,7 +174,10 @@ fn v3_reports_still_parse_and_validate() {
 #[test]
 fn v4_report_carries_optional_profile_section() {
     let doc = small_run_doc();
-    assert_eq!(report_json::validate_report(&doc), Ok(4));
+    assert_eq!(
+        report_json::validate_report(&doc),
+        Ok(report_json::SCHEMA_VERSION)
+    );
     let b = &doc.get("benchmarks").unwrap().as_arr().unwrap()[0];
     // default (non --profile) runs leave the section null…
     assert!(b.get("profile").unwrap().is_null());
@@ -184,7 +187,10 @@ fn v4_report_carries_optional_profile_section() {
     let report = Pipeline::run(&bench, &PipelineOptions::fast()).unwrap();
     let results = vec![("ZK-1144", Ok(report))];
     let doc = report_json::run_report_results_with(&results, true);
-    assert_eq!(report_json::validate_report(&doc), Ok(4));
+    assert_eq!(
+        report_json::validate_report(&doc),
+        Ok(report_json::SCHEMA_VERSION)
+    );
     let b = &doc.get("benchmarks").unwrap().as_arr().unwrap()[0];
     let profile = b.get("profile").unwrap();
     let stages = profile.get("stages_us").unwrap();
