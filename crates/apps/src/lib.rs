@@ -33,6 +33,7 @@ mod hb4729;
 mod mr3274;
 mod mr4637;
 mod noise;
+pub mod synth;
 mod zk1144;
 mod zk1270;
 

@@ -10,6 +10,11 @@
 //! dcatch explain <BUG-ID> <OBJECT> [--json] [--out FILE]
 //! dcatch faults  <BUG-ID|all> [--fault-plan FILE] [--seeds CSV]
 //!                [--trigger-jobs N] [--timeout SECS] [--json]
+//! dcatch synth   [--seed N] [--count N] [--protocol le|2pc|pb|gossip]
+//!                [--nodes K] [--clients C] [--fan-out F] [--bugs B]
+//!                [--quarantine DIR] [--no-shrink] [--shrink-budget N]
+//!                [--replay FILE] [--fault-plan-out FILE] [--jobs N]
+//!                [--resume FILE] [--json] [--out FILE]
 //! ```
 //!
 //! `explain` prints, for the named shared object, which access pairs the
@@ -21,6 +26,18 @@
 //! trace-event JSON — one lane per (node, task), message sends/receives
 //! as flow arrows, fault injections as instant markers; load the file at
 //! `ui.perfetto.dev`. The file is byte-identical for a given seed.
+//!
+//! `synth` is the generative protocol fuzzer: it emits `--count` seeded
+//! scenarios per protocol with 0..k *planted* order/atomicity violations
+//! recorded as ground truth, runs each through the full pipeline (fault
+//! plan, governor, triggering farm engaged), and scores detected Harmful
+//! candidates against the plants into a recall/precision report (the
+//! schema v6 `synth` section). Any miss, false positive, or pipeline
+//! failure is deterministically *shrunk* to the smallest still-reproducing
+//! scenario and written to the quarantine directory as a replayable case;
+//! `--replay FILE` re-runs one. Exit codes: 0 clean, 2 on any scoring
+//! discrepancy, 3/5/6 on pipeline failures, folded worst-wins across the
+//! batch. Output is byte-deterministic for a given seed.
 //!
 //! Detect options:
 //!   --scale N        workload scale factor (default 1)
@@ -114,9 +131,10 @@ fn main() -> ExitCode {
         Some("timeline") => timeline(&args[1..]),
         Some("explain") => explain(&args[1..]),
         Some("faults") => faults(&args[1..]),
+        Some("synth") => synth(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dcatch <list|detect|stats|trace|timeline|explain|faults> …  (see the README)"
+                "usage: dcatch <list|detect|stats|trace|timeline|explain|faults|synth> …  (see the README)"
             );
             ExitCode::FAILURE
         }
@@ -819,6 +837,258 @@ fn faults(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::from(worst)
+}
+
+const SYNTH_FLAGS: &[&str] = &["--json", "--no-shrink", "--verbose"];
+const SYNTH_VALUED: &[&str] = &[
+    "--seed",
+    "--count",
+    "--protocol",
+    "--nodes",
+    "--clients",
+    "--fan-out",
+    "--bugs",
+    "--fault-plan-out",
+    "--quarantine",
+    "--replay",
+    "--shrink-budget",
+    "--out",
+    "--jobs",
+    "--trigger-jobs",
+    "--timeout",
+    "--mem-budget",
+    "--time-budget",
+    "--degrade",
+    "--resume",
+];
+
+/// `dcatch synth` — the generative protocol fuzzer (recall gate).
+///
+/// Generates `--count` seeded scenarios per protocol (`--seed N` is the
+/// *generator* base seed; scenario `i` uses `N + i`), runs each through
+/// the full detection pipeline with its generated fault plan, and scores
+/// the Harmful verdicts against the planted ground-truth bugs. Misses,
+/// false positives, and pipeline failures are shrunk to minimal
+/// reproductions and written to the quarantine directory
+/// (`--quarantine DIR`, default `synth-quarantine`; `--no-shrink`
+/// disables). `--replay FILE` re-runs a quarantined case. Exit code: 0
+/// clean, 2 on any scoring discrepancy, 3/5/6 on pipeline failures.
+fn synth(args: &[String]) -> ExitCode {
+    match synth_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn synth_inner(args: &[String]) -> Result<ExitCode, String> {
+    use dcatch::synth::{row_exit_code, score_json, SynthBatchConfig};
+    use dcatch_apps::synth::{Protocol, ScenarioSpec};
+
+    check_flags(args, SYNTH_FLAGS, SYNTH_VALUED)?;
+    let mut opts = build_options(args)?;
+    // for `synth`, --seed is the generator base seed, not a scheduler
+    // override: each scenario runs under its own spec seed
+    opts.seed = None;
+    opts.trigger_jobs = opt::<usize>(args, "--trigger-jobs")?.unwrap_or(1).max(1);
+    if flag(args, "--verbose") {
+        dcatch_obs::trace::set_verbose(true);
+    }
+    let protocols = match opt_str(args, "--protocol") {
+        Some(p) => vec![Protocol::parse(p)
+            .ok_or_else(|| format!("unknown protocol `{p}` (expected le, 2pc, pb, or gossip)"))?],
+        None => Protocol::all().to_vec(),
+    };
+    let mut cfg = SynthBatchConfig {
+        protocols,
+        base_seed: opt::<u64>(args, "--seed")?.unwrap_or(1),
+        count: opt::<u32>(args, "--count")?.unwrap_or(1).max(1),
+        workers: opt::<u32>(args, "--nodes")?,
+        clients: opt::<u32>(args, "--clients")?,
+        fan_out: opt::<u32>(args, "--fan-out")?,
+        bugs: opt::<u32>(args, "--bugs")?,
+        quarantine_dir: None,
+        shrink_budget: opt::<usize>(args, "--shrink-budget")?.unwrap_or(40),
+    };
+    if !flag(args, "--no-shrink") {
+        let dir = opt_str(args, "--quarantine")
+            .cloned()
+            .unwrap_or_else(|| "synth-quarantine".to_owned());
+        cfg.quarantine_dir = Some(std::path::PathBuf::from(dir));
+    }
+    let json = flag(args, "--json");
+
+    // --replay FILE: one quarantined case (or bare spec), no journal
+    if let Some(path) = opt_str(args, "--replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = dcatch_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let spec_doc = doc.get("spec").unwrap_or(&doc);
+        let spec = ScenarioSpec::from_json(spec_doc).map_err(|e| format!("{path}: {e}"))?;
+        cfg.protocols = vec![spec.protocol];
+        let score = dcatch::run_scenario(&spec, &opts, &cfg);
+        let row = score_json(&score);
+        return synth_emit(&cfg, vec![row], args, json);
+    }
+
+    let specs = dcatch::batch_specs(&cfg);
+    if let Some(path) = opt_str(args, "--fault-plan-out") {
+        if specs.len() != 1 {
+            return Err(
+                "--fault-plan-out needs exactly one scenario (--count 1 and a single --protocol)"
+                    .to_owned(),
+            );
+        }
+        std::fs::write(path, specs[0].fault_plan.as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let jobs = opt::<usize>(args, "--jobs")?.unwrap_or(1).max(1);
+
+    // crash-safe resume: same journal as `detect`, keyed by scenario id,
+    // fingerprinted over every generator parameter (satellite: a journal
+    // written under different synth settings is refused)
+    let journal = match opt_str(args, "--resume") {
+        Some(path) => Some(
+            dcatch::journal::Journal::open_or_create(
+                std::path::Path::new(path),
+                &cfg.fingerprint(&opts),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    let skip: Vec<bool> = specs
+        .iter()
+        .map(|s| journal.as_ref().is_some_and(|j| j.finished_ok(&s.id())))
+        .collect();
+    let pending: Vec<&ScenarioSpec> = specs
+        .iter()
+        .zip(&skip)
+        .filter(|(_, skip)| !**skip)
+        .map(|(s, _)| s)
+        .collect();
+    let progress = dcatch_obs::Progress::with_enabled(
+        "synth",
+        pending.iter().map(|s| s.id()),
+        pending.len() > 1
+            && !flag(args, "--verbose")
+            && dcatch_obs::progress::stderr_wants_progress(),
+    );
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let exit_after: Option<usize> = std::env::var("DCATCH_TEST_EXIT_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let recorded = AtomicUsize::new(0);
+    let outcomes = dcatch::steal_map(jobs, pending.len(), |i| {
+        progress.start(i);
+        let score = dcatch::run_scenario(pending[i], &opts, &cfg);
+        let row = score_json(&score);
+        if let Some(j) = journal.as_ref() {
+            if let Err(e) = j.record(&pending[i].id(), &row) {
+                eprintln!("{e}");
+            }
+            if exit_after.is_some_and(|k| recorded.fetch_add(1, Ordering::SeqCst) + 1 >= k) {
+                std::process::exit(70);
+            }
+        }
+        progress.complete(i, row_exit_code(&row) != 0);
+        Some(row)
+    });
+    progress.finish();
+
+    // merge in spec order, splicing journaled rows in for skipped scenarios
+    let mut fresh = outcomes.into_iter();
+    let mut rows: Vec<dcatch_obs::Json> = Vec::new();
+    for (spec, skipped) in specs.iter().zip(&skip) {
+        if *skipped {
+            let row = journal
+                .as_ref()
+                .and_then(|j| j.completed().get(&spec.id()).cloned())
+                .expect("skipped scenarios have a journal entry");
+            rows.push(row);
+        } else {
+            rows.push(
+                fresh
+                    .next()
+                    .flatten()
+                    .expect("one row per pending scenario"),
+            );
+        }
+    }
+    synth_emit(&cfg, rows, args, json)
+}
+
+/// Prints/emits a synth batch report and folds rows into the exit code.
+fn synth_emit(
+    cfg: &dcatch::synth::SynthBatchConfig,
+    rows: Vec<dcatch_obs::Json>,
+    args: &[String],
+    json: bool,
+) -> Result<ExitCode, String> {
+    use dcatch_obs::Json;
+    let mut worst: u8 = 0;
+    for row in &rows {
+        worst = worst.max(dcatch::synth::row_exit_code(row));
+    }
+    if json {
+        let doc = dcatch::synth::synth_report_doc(cfg, &rows);
+        emit_json(&doc, opt_str(args, "--out"))?;
+        return Ok(ExitCode::from(worst));
+    }
+    let num = |row: &Json, k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+    for row in &rows {
+        let id = row
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        if let Some(err) = row.get("error").filter(|e| !e.is_null()) {
+            let msg = err.get("message").and_then(Json::as_str).unwrap_or("?");
+            println!("{id:24} ERROR {msg}");
+            continue;
+        }
+        let quarantined = row
+            .get("quarantined")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        let status = if dcatch::synth::row_exit_code(row) == 0 {
+            "ok".to_owned()
+        } else {
+            format!("DISCREPANCY ({quarantined} quarantined)")
+        };
+        println!(
+            "{id:24} planted={} detected={} fp={} faults={} {status}",
+            num(row, "planted"),
+            num(row, "detected"),
+            num(row, "false_positives"),
+            num(row, "faults_injected"),
+        );
+    }
+    let doc = dcatch::synth::synth_report_doc(cfg, &rows);
+    if let Some(protos) = doc
+        .get("synth")
+        .and_then(|s| s.get("protocols"))
+        .and_then(Json::as_arr)
+    {
+        for p in protos {
+            let planted = num(p, "planted");
+            let detected = num(p, "detected");
+            let recall = if planted == 0 {
+                100.0
+            } else {
+                detected as f64 * 100.0 / planted as f64
+            };
+            println!(
+                "protocol {:8} scenarios={} recall {detected}/{planted} ({recall:.0}%) fp={} errors={}",
+                p.get("protocol").and_then(Json::as_str).unwrap_or("?"),
+                num(p, "scenarios"),
+                num(p, "false_positives"),
+                num(p, "errors"),
+            );
+        }
+    }
+    Ok(ExitCode::from(worst))
 }
 
 fn print_report(r: &dcatch::BenchmarkReport, opts: &PipelineOptions, show_metrics: bool) -> u8 {

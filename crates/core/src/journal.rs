@@ -182,6 +182,7 @@ pub fn merge_report(mut entries: Vec<Json>, scrub: bool) -> Json {
         ("tool", Json::Str("dcatch-rs".to_owned())),
         ("degradations", degradations),
         ("benchmarks", Json::Arr(entries)),
+        ("synth", Json::Null),
     ])
 }
 

@@ -39,10 +39,15 @@ mod pipeline;
 pub mod profile;
 mod report;
 pub mod report_json;
+pub mod synth;
 
 pub use pipeline::{run_bounded, Pipeline, PipelineError, PipelineOptions, RunPhase};
 pub use profile::{profile_json, profile_timeline};
 pub use report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
+pub use synth::{
+    batch_specs, run_scenario, run_spec, score_report, shrink, synth_report_doc, Discrepancy,
+    QuarantinedCase, ScenarioScore, SynthBatchConfig,
+};
 
 // The resource governor's budget types (`--mem-budget`/`--time-budget`).
 pub use dcatch_obs::budget::{parse_bytes, Budget, DegradationEvent, DegradeMode};

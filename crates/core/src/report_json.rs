@@ -7,11 +7,11 @@
 //! reports across commits; bump [`SCHEMA_VERSION`] on breaking changes and
 //! describe the layout in DESIGN.md's "Observability" section.
 //!
-//! Document layout (schema version 5):
+//! Document layout (schema version 6):
 //!
 //! ```text
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "tool": "dcatch-rs",
 //!   "degradations": {
 //!     "faults_injected": …, "benchmarks_failed": …,
@@ -37,7 +37,13 @@
 //!                           "candidate_funnel": { "ta": …, "sp": …, "lp": … } }
 //!     },
 //!     { "id": "ZK-1144", "error": { "kind": "panic", "message": "…" } }, …
-//!   ]
+//!   ],
+//!   "synth": null | { "base_seed": …, "count": …,
+//!                     "protocols": [ { "protocol": "le", "scenarios": …,
+//!                                      "planted": …, "detected": …,
+//!                                      "false_positives": …, "errors": …,
+//!                                      "quarantined": … }, … ],
+//!                     "scenarios": [ { "id": "SYNTH-LE-s1", … }, … ] }
 //! }
 //! ```
 //!
@@ -68,7 +74,11 @@ use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
 /// (one entry per degradation-ladder step: `stage`/`from`/`to`/`reason`,
 /// no timestamps) and a top-level `degradations.governor_degradations`
 /// total. Purely additive.
-pub const SCHEMA_VERSION: u64 = 5;
+/// v6: added the top-level `synth` section (null outside `dcatch synth`):
+/// generator parameters, per-protocol recall/precision aggregates against
+/// the planted ground truth, and per-scenario rows with quarantined shrunk
+/// discrepancy cases. Purely additive.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Oldest schema version [`validate_report`] accepts. Every change since
 /// v2 has been additive, so older documents still validate.
@@ -120,6 +130,7 @@ fn report_doc(benchmarks: Vec<Json>, degradations: Json) -> Json {
         ("tool", Json::Str("dcatch-rs".to_owned())),
         ("degradations", degradations),
         ("benchmarks", Json::Arr(benchmarks)),
+        ("synth", Json::Null),
     ])
 }
 

@@ -149,7 +149,9 @@ pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
     let mut groups: BTreeMap<(bool, &str), Vec<usize>> = BTreeMap::new();
     for idx in trace.mem_access_indices() {
         let r = &trace.records()[idx];
-        let loc = r.kind.mem_loc().expect("mem access");
+        let loc = r.kind.mem_loc().unwrap_or_else(|| {
+            panic!("trace record #{idx} indexed as a memory access has no location: {r:?}")
+        });
         let key = (
             matches!(loc.space, dcatch_trace::MemSpace::Zk),
             loc.object.as_str(),
@@ -180,8 +182,12 @@ pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
                     continue;
                 }
                 let (li, lj) = (
-                    ri.kind.mem_loc().expect("mem"),
-                    rj.kind.mem_loc().expect("mem"),
+                    ri.kind
+                        .mem_loc()
+                        .expect("record came from mem_access_indices, so it carries a location"),
+                    rj.kind
+                        .mem_loc()
+                        .expect("record came from mem_access_indices, so it carries a location"),
                 );
                 if !li.conflicts_with(lj) {
                     continue;
@@ -216,11 +222,17 @@ pub fn find_candidates(hb: &HbAnalysis) -> CandidateSet {
         let r = &trace.records()[idx];
         AccessSite {
             index: idx,
-            stmt: r.stmt().expect("leaf"),
+            stmt: r
+                .stmt()
+                .expect("representative access was admitted only after stmt() returned Some"),
             stack: r.stack.clone(),
             task: r.task,
             ctx: r.ctx,
-            loc: r.kind.mem_loc().expect("mem").clone(),
+            loc: r
+                .kind
+                .mem_loc()
+                .expect("representative access was admitted only after conflicts_with")
+                .clone(),
             is_write: r.kind.is_write(),
         }
     };

@@ -249,8 +249,13 @@ fn compile_func(program: &Program, f: &Func) -> Result<CompiledFunc, CompileErro
     let mut instrs = Vec::new();
     compile_block(program, &f.body, &mut instrs)?;
     // implicit unit return at end
-    let end_stmt = instrs.last().map(|i| i.stmt).unwrap_or(StmtId {
-        func: program.func_id(&f.name).unwrap_or(FuncId(0)),
+    let end_stmt = instrs.last().map(|i| i.stmt).unwrap_or_else(|| StmtId {
+        func: program.func_id(&f.name).unwrap_or_else(|| {
+            panic!(
+                "function `{}` being compiled is not registered in its own program",
+                f.name
+            )
+        }),
         idx: 0,
     });
     instrs.push(Instr {

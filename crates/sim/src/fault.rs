@@ -211,80 +211,96 @@ impl FaultPlan {
     pub fn parse(text: &str) -> Result<FaultPlan, FaultPlanError> {
         let mut plan = FaultPlan::default();
         for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
+            // strip the comment on the raw line so token columns stay
+            // 1-based offsets into what the user actually wrote
+            let effective = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            };
+            let tokens = tokenize(effective);
+            let Some(&(verb_column, verb)) = tokens.first() else {
                 continue;
-            }
-            let mut words = line.split_whitespace();
-            let verb = words.next().expect("non-empty line");
-            let rest: Vec<&str> = words.collect();
-            let e = |msg: String| FaultPlanError {
-                line: lineno + 1,
+            };
+            let line = lineno + 1;
+            let e = |column: usize, msg: String| FaultPlanError {
+                line,
+                column,
                 message: msg,
             };
+            let rest = &tokens[1..];
             match verb {
                 "drop" | "delay" | "dup" => {
-                    let channel = match rest.first().copied() {
-                        Some("rpc") => ChannelKind::RpcRequest,
-                        Some("reply") => ChannelKind::RpcReply,
-                        Some("socket") => ChannelKind::Socket,
-                        Some("zk") => ChannelKind::ZkNotify,
-                        Some("any") => ChannelKind::Any,
-                        other => {
-                            return Err(e(format!(
-                                "`{verb}` needs a channel (rpc/reply/socket/zk/any), got {other:?}"
-                            )))
+                    let channel = match rest.first() {
+                        Some(&(_, "rpc")) => ChannelKind::RpcRequest,
+                        Some(&(_, "reply")) => ChannelKind::RpcReply,
+                        Some(&(_, "socket")) => ChannelKind::Socket,
+                        Some(&(_, "zk")) => ChannelKind::ZkNotify,
+                        Some(&(_, "any")) => ChannelKind::Any,
+                        Some(&(column, other)) => {
+                            return Err(e(
+                                column,
+                                format!(
+                                    "`{verb}` needs a channel (rpc/reply/socket/zk/any), \
+                                     got `{other}`"
+                                ),
+                            ))
+                        }
+                        None => {
+                            return Err(e(
+                                verb_column,
+                                format!("`{verb}` needs a channel (rpc/reply/socket/zk/any)"),
+                            ))
                         }
                     };
-                    let kv = parse_kv(&rest[1..]).map_err(e)?;
-                    let steps = kv_num(&kv, "steps").map_err(e)?;
+                    let allowed: &[&str] = match verb {
+                        "delay" => &["steps", "from", "to", "nth"],
+                        _ => &["from", "to", "nth"],
+                    };
+                    let kv = parse_kv(&rest[1..], verb, allowed, line)?;
                     let action = match verb {
                         "drop" => MessageAction::Drop,
                         "dup" => MessageAction::Duplicate,
                         _ => MessageAction::Delay(
-                            steps.ok_or_else(|| e("`delay` needs steps=N".to_owned()))?,
+                            kv_num(&kv, "steps", line)?
+                                .ok_or_else(|| e(verb_column, "`delay` needs steps=N".into()))?,
                         ),
                     };
                     plan.messages.push(MessageFault {
                         channel,
-                        from: kv_num(&kv, "from").map_err(e)?.map(|n| NodeId(n as u32)),
-                        to: kv_num(&kv, "to").map_err(e)?.map(|n| NodeId(n as u32)),
-                        nth: kv_num(&kv, "nth").map_err(e)?,
+                        from: kv_num(&kv, "from", line)?.map(|n| NodeId(n as u32)),
+                        to: kv_num(&kv, "to", line)?.map(|n| NodeId(n as u32)),
+                        nth: kv_num(&kv, "nth", line)?,
                         action,
                     });
                 }
                 "crash" => {
-                    let kv = parse_kv(&rest).map_err(e)?;
-                    let node = kv_num(&kv, "node")
-                        .map_err(e)?
-                        .ok_or_else(|| e("`crash` needs node=N".to_owned()))?;
-                    let at = kv_num(&kv, "at")
-                        .map_err(e)?
-                        .ok_or_else(|| e("`crash` needs at=STEP".to_owned()))?;
+                    let kv = parse_kv(rest, verb, &["node", "at", "restart"], line)?;
+                    let node = kv_num(&kv, "node", line)?
+                        .ok_or_else(|| e(verb_column, "`crash` needs node=N".into()))?;
+                    let at = kv_num(&kv, "at", line)?
+                        .ok_or_else(|| e(verb_column, "`crash` needs at=STEP".into()))?;
                     plan.crashes.push(CrashFault {
                         node: NodeId(node as u32),
                         at_step: at,
-                        restart_after: kv_num(&kv, "restart").map_err(e)?,
+                        restart_after: kv_num(&kv, "restart", line)?,
                     });
                 }
                 "timeout" => {
-                    let kv = parse_kv(&rest).map_err(e)?;
-                    let after = kv_num(&kv, "after")
-                        .map_err(e)?
-                        .ok_or_else(|| e("`timeout` needs after=STEPS".to_owned()))?;
+                    let kv = parse_kv(rest, verb, &["after", "from"], line)?;
+                    let after = kv_num(&kv, "after", line)?
+                        .ok_or_else(|| e(verb_column, "`timeout` needs after=STEPS".into()))?;
                     plan.rpc_timeouts.push(TimeoutFault {
-                        from: kv_num(&kv, "from").map_err(e)?.map(|n| NodeId(n as u32)),
+                        from: kv_num(&kv, "from", line)?.map(|n| NodeId(n as u32)),
                         after,
                     });
                 }
                 "panic" => {
-                    let kv = parse_kv(&rest).map_err(e)?;
-                    let at = kv_num(&kv, "at")
-                        .map_err(e)?
-                        .ok_or_else(|| e("`panic` needs at=STEP".to_owned()))?;
+                    let kv = parse_kv(rest, verb, &["at"], line)?;
+                    let at = kv_num(&kv, "at", line)?
+                        .ok_or_else(|| e(verb_column, "`panic` needs at=STEP".into()))?;
                     plan.panic_at_step = Some(at);
                 }
-                other => return Err(e(format!("unknown fault directive `{other}`"))),
+                other => return Err(e(verb_column, format!("unknown fault directive `{other}`"))),
             }
         }
         Ok(plan)
@@ -338,23 +354,70 @@ impl FaultPlan {
     }
 }
 
-fn parse_kv<'a>(words: &[&'a str]) -> Result<Vec<(&'a str, &'a str)>, String> {
-    words
-        .iter()
-        .map(|w| {
-            w.split_once('=')
-                .ok_or_else(|| format!("expected key=value, got `{w}`"))
-        })
-        .collect()
+/// Splits a line into whitespace-separated tokens with their 1-based
+/// byte columns, so every diagnostic can point at the offending token.
+fn tokenize(line: &str) -> Vec<(usize, &str)> {
+    let mut tokens = Vec::new();
+    let mut start = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                tokens.push((s + 1, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        tokens.push((s + 1, &line[s..]));
+    }
+    tokens
 }
 
-fn kv_num(kv: &[(&str, &str)], key: &str) -> Result<Option<u64>, String> {
-    match kv.iter().find(|(k, _)| *k == key) {
+/// Parses `key=value` tokens, rejecting malformed pairs, keys `verb` does
+/// not understand, and duplicates — each with the column of the bad token.
+fn parse_kv<'a>(
+    tokens: &[(usize, &'a str)],
+    verb: &str,
+    allowed: &[&str],
+    line: usize,
+) -> Result<Vec<(&'a str, &'a str, usize)>, FaultPlanError> {
+    let mut kv: Vec<(&str, &str, usize)> = Vec::new();
+    for &(column, word) in tokens {
+        let e = |msg: String| FaultPlanError {
+            line,
+            column,
+            message: msg,
+        };
+        let (k, v) = word
+            .split_once('=')
+            .ok_or_else(|| e(format!("expected key=value, got `{word}`")))?;
+        if !allowed.contains(&k) {
+            return Err(e(format!(
+                "`{verb}` does not take `{k}` (allowed: {})",
+                allowed.join("/")
+            )));
+        }
+        if kv.iter().any(|(prev, _, _)| *prev == k) {
+            return Err(e(format!("duplicate key `{k}`")));
+        }
+        kv.push((k, v, column));
+    }
+    Ok(kv)
+}
+
+fn kv_num(
+    kv: &[(&str, &str, usize)],
+    key: &str,
+    line: usize,
+) -> Result<Option<u64>, FaultPlanError> {
+    match kv.iter().find(|(k, _, _)| *k == key) {
         None => Ok(None),
-        Some((_, v)) => v
-            .parse()
-            .map(Some)
-            .map_err(|_| format!("bad numeric value for `{key}`: `{v}`")),
+        Some((_, v, column)) => v.parse().map(Some).map_err(|_| FaultPlanError {
+            line,
+            column: *column,
+            message: format!("bad numeric value for `{key}`: `{v}`"),
+        }),
     }
 }
 
@@ -363,13 +426,19 @@ fn kv_num(kv: &[(&str, &str)], key: &str) -> Result<Option<u64>, String> {
 pub struct FaultPlanError {
     /// 1-based line of the offending directive.
     pub line: usize,
+    /// 1-based byte column of the offending token within that line.
+    pub column: usize,
     /// Description.
     pub message: String,
 }
 
 impl fmt::Display for FaultPlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fault plan line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "fault plan line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -429,6 +498,30 @@ mod tests {
         let err = FaultPlan::parse("drop any\nnope").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn parse_errors_carry_token_columns() {
+        // the bad channel token starts at column 7 of `drop  bogus`
+        let err = FaultPlan::parse("drop  bogus").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 7));
+        // the malformed value token of `crash node=x at=1`
+        let err = FaultPlan::parse("crash node=x at=1").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 7));
+        assert!(err.to_string().contains("column 7"), "{err}");
+        // comments do not shift columns: the bad token is still at 12
+        let err = FaultPlan::parse("  crash at=1 node=y # trailing").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 14));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_duplicate_keys() {
+        let err = FaultPlan::parse("drop any steps=3").unwrap_err();
+        assert!(err.message.contains("does not take `steps`"), "{err}");
+        let err = FaultPlan::parse("crash node=1 at=5 node=2").unwrap_err();
+        assert!(err.message.contains("duplicate key `node`"), "{err}");
+        let err = FaultPlan::parse("timeout after=10 nth=2").unwrap_err();
+        assert!(err.message.contains("allowed: after/from"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Seeded mutation fuzzing of the `FaultPlan` text parser.
+//!
+//! Starting from well-formed plans, each case applies a small stack of
+//! random byte- and token-level mutations and feeds the result to
+//! `FaultPlan::parse`. The parser must classify every input — `Ok` for
+//! plans that survived mutation intact, a structured `FaultPlanError`
+//! otherwise — and must never panic: each parse runs under
+//! `catch_unwind` so a crash is a test failure, not a process abort.
+//! `DCATCH_SOAK=1` widens the sweep.
+
+use dcatch_model::NodeId;
+use dcatch_obs::rng::SmallRng;
+use dcatch_sim::{ChannelKind, FaultPlan, MessageAction, MessageFault};
+
+/// Seed corpus: every directive form the grammar supports.
+fn corpus() -> Vec<String> {
+    let built = FaultPlan::default()
+        .with_message(
+            MessageFault::new(ChannelKind::Socket, MessageAction::Drop)
+                .nth(2)
+                .to_node(NodeId(1)),
+        )
+        .with_message(
+            MessageFault::new(ChannelKind::RpcRequest, MessageAction::Delay(40))
+                .from_node(NodeId(0)),
+        )
+        .with_message(MessageFault::new(
+            ChannelKind::ZkNotify,
+            MessageAction::Duplicate,
+        ))
+        .with_crash(NodeId(1), 150, Some(80))
+        .with_rpc_timeout(Some(NodeId(0)), 100)
+        .with_panic_at(10);
+    vec![
+        built.to_text(),
+        "# comment only\n\n".to_owned(),
+        "drop any\ndelay reply steps=7 nth=1\ndup socket to=3\ncrash node=0 at=5\n".to_owned(),
+        "timeout after=300\npanic at=1\n".to_owned(),
+    ]
+}
+
+/// One random mutation of `text`: byte flip, byte insertion, byte
+/// deletion, token swap, line duplication, or line truncation.
+fn mutate(rng: &mut SmallRng, text: &str) -> String {
+    let mut bytes: Vec<u8> = text.as_bytes().to_vec();
+    match rng.gen_range(6) {
+        0 if !bytes.is_empty() => {
+            let i = rng.gen_range(bytes.len());
+            bytes[i] = rng.next_u64() as u8;
+        }
+        1 => {
+            let i = rng.gen_range(bytes.len() + 1);
+            // bias toward structure-relevant bytes
+            let pool = b"=# \n\tdropcrash0123456789\xff";
+            bytes.insert(i, pool[rng.gen_range(pool.len())]);
+        }
+        2 if !bytes.is_empty() => {
+            let i = rng.gen_range(bytes.len());
+            bytes.remove(i);
+        }
+        3 => {
+            // swap two whitespace-separated tokens of a random line
+            let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+            if !lines.is_empty() {
+                let li = rng.gen_range(lines.len());
+                let mut toks: Vec<&str> = lines[li].split_whitespace().collect();
+                if toks.len() >= 2 {
+                    let a = rng.gen_range(toks.len());
+                    let b = rng.gen_range(toks.len());
+                    toks.swap(a, b);
+                    lines[li] = toks.join(" ");
+                }
+            }
+            return lines.join("\n");
+        }
+        4 => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let li = rng.gen_range(lines.len());
+                lines.push(lines[li]);
+            }
+            return lines.join("\n");
+        }
+        _ => {
+            if !bytes.is_empty() {
+                bytes.truncate(rng.gen_range(bytes.len()));
+            }
+        }
+    }
+    // parse takes &str; keep arbitrary bytes by lossy round-trip (the CLI
+    // reads plans with read_to_string, which performs the same filtering)
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn mutated_plans_never_panic_the_parser() {
+    let cases: u64 = if std::env::var("DCATCH_SOAK").as_deref() == Ok("1") {
+        4_000
+    } else {
+        600
+    };
+    let corpus = corpus();
+    for seed in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(0xFA01_7000 ^ seed);
+        let mut text = corpus[rng.gen_range(corpus.len())].clone();
+        for _ in 0..=rng.gen_range(4) {
+            text = mutate(&mut rng, &text);
+        }
+        let shown = text.clone();
+        let result = std::panic::catch_unwind(move || FaultPlan::parse(&text).map(|_| ()));
+        match result {
+            Ok(Ok(())) | Ok(Err(_)) => {}
+            Err(_) => panic!("parser panicked on seed {seed}: {shown:?}"),
+        }
+    }
+}
+
+#[test]
+fn rejected_plans_point_at_a_real_location() {
+    // every parse error must carry a plausible (line, column) pair the
+    // caller can surface: 1-based, and within the input's line count
+    let cases = 400;
+    let corpus = corpus();
+    for seed in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(0xC01_0FF ^ seed);
+        let mut text = corpus[rng.gen_range(corpus.len())].clone();
+        for _ in 0..=rng.gen_range(3) {
+            text = mutate(&mut rng, &text);
+        }
+        if let Err(e) = FaultPlan::parse(&text) {
+            let lines = text.lines().count().max(1);
+            assert!(
+                e.line >= 1 && e.line <= lines,
+                "seed {seed}: line {} of {lines}",
+                e.line
+            );
+            assert!(e.column >= 1, "seed {seed}: column 0");
+            assert!(!e.message.is_empty(), "seed {seed}: empty message");
+        }
+    }
+}

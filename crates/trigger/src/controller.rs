@@ -85,6 +85,17 @@ impl ControllerGate {
     fn second(&self) -> usize {
         1 - self.first
     }
+
+    /// Whether `ev` is side `i`'s racing access executing. With direct
+    /// placement (`stmt == access`) the claimed task itself performs the
+    /// access; a *moved* request point (§5.2 rules — enqueue site, RPC
+    /// caller, remote causal ancestor) gates a causally *downstream*
+    /// access that a different task (the handler's worker thread)
+    /// executes, so the confirm must not insist on the claimed task.
+    fn confirms(&self, i: usize, ev: &GateEvent) -> bool {
+        ev.stmt == self.specs[i].access
+            && (self.specs[i].stmt != self.specs[i].access || self.claimed[i] == Some(ev.task))
+    }
 }
 
 impl Gate for ControllerGate {
@@ -122,16 +133,12 @@ impl Gate for ControllerGate {
     fn after(&mut self, ev: &GateEvent) {
         match self.phase {
             Phase::FirstGo => {
-                if self.claimed[self.first] == Some(ev.task)
-                    && ev.stmt == self.specs[self.first].access
-                {
+                if self.confirms(self.first, ev) {
                     self.phase = Phase::SecondGo;
                 }
             }
             Phase::SecondGo => {
-                if self.claimed[self.second()] == Some(ev.task)
-                    && ev.stmt == self.specs[self.second()].access
-                {
+                if self.confirms(self.second(), ev) {
                     self.phase = Phase::Done;
                 }
             }

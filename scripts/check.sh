@@ -15,10 +15,16 @@
 #                             # degrade to a classified failure
 #   scripts/check.sh degrade  # resource-governor smoke: `detect all` under
 #                             # a deliberately tiny memory budget must exit
-#                             # 0 with a clean schema-v5 report (no errors,
+#                             # 0 with a clean schema-v6 report (no errors,
 #                             # no OOM, >0 recorded degradation steps), and
 #                             # a fresh-journal run must byte-match an
 #                             # all-skipped `--resume` of the same journal
+#   scripts/check.sh synth    # protocol-fuzzer smoke: a fixed-seed synth
+#                             # batch must be byte-deterministic across two
+#                             # runs, exit 0, and quarantine nothing; under
+#                             # DCATCH_SOAK=1 it additionally runs 50
+#                             # scenarios per protocol and fails if planted-
+#                             # bug recall drops below SYNTH_BASELINE.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,16 +40,65 @@ if [[ "${1:-}" == "soak" ]]; then
     exit 0
 fi
 
+synth_smoke() {
+    local sy_dir="$1"
+    mkdir -p "$sy_dir"
+    echo "== synth smoke (fixed seed, byte-deterministic, zero discrepancies) =="
+    cargo run --offline --release -q --bin dcatch -- synth --seed 1 --count 3 \
+        --quarantine "$sy_dir/q" --json --out "$sy_dir/s1.json"
+    cargo run --offline --release -q --bin dcatch -- synth --seed 1 --count 3 \
+        --quarantine "$sy_dir/q" --json --out "$sy_dir/s2.json"
+    cmp "$sy_dir/s1.json" "$sy_dir/s2.json"
+    if [[ -d "$sy_dir/q" ]] && [[ -n "$(ls -A "$sy_dir/q")" ]]; then
+        echo "synth smoke quarantined cases:" >&2
+        ls "$sy_dir/q" >&2
+        exit 1
+    fi
+    echo "synth smoke ok: byte-deterministic, nothing quarantined"
+    if [[ "${DCATCH_SOAK:-0}" == "1" ]]; then
+        echo "== synth recall gate (50 scenarios/protocol vs SYNTH_BASELINE.json) =="
+        cargo run --offline --release -q --bin dcatch -- synth --seed 1 --count 50 \
+            --jobs 4 --quarantine "$sy_dir/soak-q" --json --out "$sy_dir/soak.json"
+        python3 - "$sy_dir/soak.json" SYNTH_BASELINE.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+fps = errors = 0
+for p in doc["synth"]["protocols"]:
+    name, planted, detected = p["protocol"], p["planted"], p["detected"]
+    recall = detected / planted if planted else 1.0
+    floor = base["recall_floor"][name]
+    assert recall >= floor, (
+        f"{name}: recall {detected}/{planted} = {recall:.3f} "
+        f"dropped below the committed baseline {floor:.3f}")
+    fps += p["false_positives"]
+    errors += p["errors"]
+    print(f"  {name:8} recall {detected}/{planted} (floor {floor:.2f})")
+assert fps <= base["max_false_positives"], f"{fps} false positives"
+assert errors <= base["max_errors"], f"{errors} pipeline errors"
+print("synth recall gate ok")
+PY
+    fi
+}
+
+if [[ "${1:-}" == "synth" ]]; then
+    sy_dir="$(mktemp -d)"
+    trap 'rm -rf "$sy_dir"' EXIT
+    synth_smoke "$sy_dir"
+    echo "Synth smoke passed."
+    exit 0
+fi
+
 if [[ "${1:-}" == "degrade" ]]; then
     dd_dir="$(mktemp -d)"
     trap 'rm -rf "$dd_dir"' EXIT
-    echo "== governor degrade smoke (2 KiB budget, schema v5, exit 0) =="
+    echo "== governor degrade smoke (2 KiB budget, schema v6, exit 0) =="
     cargo run --offline --release -q --bin dcatch -- detect all --mem-budget 2k \
         --json --scrub-timings --out "$dd_dir/degrade.json"
     python3 - "$dd_dir/degrade.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema_version"] == 5, f"schema {doc['schema_version']}"
+assert doc["schema_version"] == 6, f"schema {doc['schema_version']}"
 steps = doc["degradations"]["governor_degradations"]
 assert steps > 0, "a 2 KiB budget must force degradation steps"
 for b in doc["benchmarks"]:
@@ -114,6 +169,8 @@ cargo run --offline --release -q --bin dcatch -- detect ZK-1144 --json --scrub-t
 cargo run --offline --release -q --bin dcatch -- detect ZK-1144 --json --scrub-timings \
     --trigger-jobs 2 --out "$tl_dir/t2.json"
 cmp "$tl_dir/t1.json" "$tl_dir/t2.json"
+
+synth_smoke "$tl_dir/synth"
 
 if [[ "${DCATCH_SOAK:-0}" == "1" ]]; then
     soak
