@@ -33,11 +33,13 @@ mod hb4729;
 mod mr3274;
 mod mr4637;
 mod noise;
+mod stream;
 pub mod synth;
 mod zk1144;
 mod zk1270;
 
 pub use faults::{fault_scenarios, FaultScenario};
+pub use stream::{streambench, streambench_rounds, STREAM_RECORDS_PER_ROUND};
 
 use dcatch_model::{Program, StmtKind};
 use dcatch_sim::Topology;

@@ -1,0 +1,93 @@
+//! `streambench` — a synthetic unbounded-trace workload for exercising the
+//! streaming detector (`dcatch streambench`, `--streaming` plumbing).
+//!
+//! Two nodes play socket ping-pong: each round's handler reads and
+//! rewrites the node-local `token` and `laps` counters, then volleys back
+//! with a decremented counter. Every access in round *k* is
+//! happens-before-ordered with every access in round *k + 2* on the same
+//! node (through the socket chain), so the online detector provably
+//! retires the whole chain as it goes — the resident window stays O(1)
+//! while the trace grows linearly with `rounds`.
+//!
+//! One pair of detached threads racing on `shared_flag` at boot is the
+//! single surviving candidate, proving a bounded window does not lose the
+//! needle in an arbitrarily long haystack.
+
+use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
+use dcatch_sim::Topology;
+
+/// Trace records one ping-pong round contributes, asymptotically
+/// (measured on the default seed: the socket send/receive pair and the
+/// four memory accesses). `dcatch streambench --records N` sizes `rounds`
+/// with this so the emitted trace lands near the target.
+pub const STREAM_RECORDS_PER_ROUND: u64 = 6;
+
+/// Rounds needed for a trace of roughly `records` records.
+pub fn streambench_rounds(records: u64) -> i64 {
+    (records / STREAM_RECORDS_PER_ROUND).max(1) as i64
+}
+
+/// Builds the streambench program: a `rounds`-long two-node ping-pong
+/// chain plus one detached racer pair on `shared_flag`.
+pub fn streambench(rounds: i64) -> (Program, Topology) {
+    let mut pb = ProgramBuilder::new();
+    pb.func("boot", &["peer"], FuncKind::Regular, |b| {
+        // the needle: two unordered writers of one flag, at trace start —
+        // the window must carry them across the entire chain
+        b.spawn_detached("flag_racer", vec![]);
+        b.spawn_detached("flag_racer", vec![]);
+        b.write("token", Expr::val(0));
+        b.write("laps", Expr::val(0));
+        b.socket_send(
+            Expr::local("peer"),
+            "volley",
+            vec![Expr::val(rounds), Expr::SelfNode],
+        );
+    });
+    pb.func("flag_racer", &[], FuncKind::Regular, |b| {
+        b.write("shared_flag", Expr::val(1));
+    });
+    pb.func("volley", &["n", "peer"], FuncKind::SocketHandler, |b| {
+        // the haystack: node-local state each round reads and rewrites;
+        // ordered against rounds two volleys later, hence retirable
+        b.read("t", "token");
+        b.write("token", Expr::local("n"));
+        b.read("l", "laps");
+        b.write("laps", Expr::local("n"));
+        b.if_(Expr::local("n").gt(Expr::val(0)), |b| {
+            b.socket_send(
+                Expr::local("peer"),
+                "volley",
+                vec![Expr::local("n").sub(Expr::val(1)), Expr::SelfNode],
+            );
+        });
+    });
+    let program = pb.build().expect("streambench program is well-formed");
+    let mut topo = Topology::new();
+    let pong = topo.node("pong").id();
+    topo.node("ping").entry("boot", vec![Value::Node(pong)]);
+    (program, topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcatch_sim::{SimConfig, World};
+
+    #[test]
+    fn trace_length_tracks_rounds() {
+        let steps = |rounds: i64| {
+            let (p, topo) = streambench(rounds);
+            let cfg = SimConfig::default().with_seed(7);
+            let run = World::run_once(&p, &topo, cfg).unwrap();
+            assert!(run.failures.is_empty(), "{:?}", run.failures);
+            run.trace.len() as u64
+        };
+        let (small, large) = (steps(100), steps(200));
+        let per_round = (large - small) / 100;
+        assert_eq!(
+            per_round, STREAM_RECORDS_PER_ROUND,
+            "records-per-round constant drifted: measured {per_round}"
+        );
+    }
+}

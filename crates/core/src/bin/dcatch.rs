@@ -15,6 +15,8 @@
 //!                [--quarantine DIR] [--no-shrink] [--shrink-budget N]
 //!                [--replay FILE] [--fault-plan-out FILE] [--jobs N]
 //!                [--resume FILE] [--json] [--out FILE]
+//! dcatch streambench [--records N] [--stream-window N] [--seed N]
+//!                [--json] [--out FILE]
 //! ```
 //!
 //! `explain` prints, for the named shared object, which access pairs the
@@ -39,6 +41,13 @@
 //! discrepancy, 3/5/6 on pipeline failures, folded worst-wins across the
 //! batch. Output is byte-deterministic for a given seed.
 //!
+//! `streambench` measures the streaming detector on a synthetic two-node
+//! ping-pong workload whose trace grows linearly with `--records` while
+//! the online window stays O(1): it drives `World::run_streamed` straight
+//! into an `OnlineDetector` (no materialized trace) and reports records,
+//! window peak, retirements, and the resident-memory estimate. Exit code
+//! 2 if the planted racer pair is not the sole surviving candidate.
+//!
 //! Detect options:
 //!   --scale N        workload scale factor (default 1)
 //!   --seed N         scheduler seed (default: benchmark seed)
@@ -46,6 +55,15 @@
 //!   --no-prune       skip static pruning
 //!   --no-loop-sync   skip the loop/pull synchronization analysis
 //!   --no-trigger     skip the triggering module
+//!   --streaming      online single-pass detection: the simulator streams
+//!                    records into frontier clocks and a bounded candidate
+//!                    window instead of materializing the trace; the
+//!                    candidate set is identical to the offline mode's
+//!                    (no full HB graph, so triggering falls back to
+//!                    direct placement). Not valid with --ablation.
+//!   --stream-window N  hard cap on resident window entries for
+//!                    --streaming; exceeding it force-evicts (lossy,
+//!                    recorded as a degradation)
 //!   --ablation K     ignore one HB rule family: event|rpc|socket|push
 //!   --budget BYTES   HB reachability memory budget
 //!   --reachability E reachability engine: auto (default) | matrix | clocks
@@ -132,9 +150,10 @@ fn main() -> ExitCode {
         Some("explain") => explain(&args[1..]),
         Some("faults") => faults(&args[1..]),
         Some("synth") => synth(&args[1..]),
+        Some("streambench") => streambench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dcatch <list|detect|stats|trace|timeline|explain|faults|synth> …  (see the README)"
+                "usage: dcatch <list|detect|stats|trace|timeline|explain|faults|synth|streambench> …  (see the README)"
             );
             ExitCode::FAILURE
         }
@@ -212,6 +231,7 @@ const DETECT_FLAGS: &[&str] = &[
     "--verbose",
     "--profile",
     "--scrub-timings",
+    "--streaming",
 ];
 const DETECT_VALUED: &[&str] = &[
     "--scale",
@@ -230,6 +250,7 @@ const DETECT_VALUED: &[&str] = &[
     "--time-budget",
     "--degrade",
     "--resume",
+    "--stream-window",
 ];
 
 fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
@@ -279,6 +300,18 @@ fn build_options(args: &[String]) -> Result<PipelineOptions, String> {
         opts.degrade = mode.parse()?;
     }
     opts.trigger_jobs = opt::<usize>(args, "--trigger-jobs")?.unwrap_or(1).max(1);
+    opts.streaming = flag(args, "--streaming");
+    opts.stream_window = opt::<usize>(args, "--stream-window")?;
+    if opts.streaming && opts.ablation != Ablation::None {
+        return Err(
+            "`--streaming` cannot be combined with `--ablation` — ablations rewrite the \
+             materialized HB graph, which a streaming run never builds"
+                .to_owned(),
+        );
+    }
+    if opts.stream_window.is_some() && !opts.streaming {
+        return Err("`--stream-window` requires `--streaming`".to_owned());
+    }
     Ok(opts)
 }
 
@@ -573,9 +606,10 @@ fn print_profile(r: &dcatch::BenchmarkReport) {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1000.0;
     let t = &r.timings;
     println!(
-        "  profile: tracing {:.2}ms | analysis {:.2}ms | pruning {:.2}ms | \
+        "  profile: tracing {:.2}ms | streaming {:.2}ms | analysis {:.2}ms | pruning {:.2}ms | \
          loop-sync {:.2}ms | triggering {:.2}ms | total {:.2}ms",
         ms(t.tracing),
+        ms(t.streaming),
         ms(t.trace_analysis),
         ms(t.static_pruning),
         ms(t.loop_sync),
@@ -1106,6 +1140,12 @@ fn print_report(r: &dcatch::BenchmarkReport, opts: &PipelineOptions, show_metric
         "  candidates: TA {} → +SP {} → +LP {} (callstack: {}/{}/{})",
         r.ta_static, r.sp_static, r.lp_static, r.ta_stacks, r.sp_stacks, r.lp_stacks
     );
+    if let Some(s) = &r.streaming {
+        println!(
+            "  streaming: window peak {} entries, {} retired, {} force-evicted, ~{} bytes resident",
+            s.window_peak, s.records_retired, s.records_forced, s.peak_bytes
+        );
+    }
     for rep in &r.reports {
         let verdict = match rep.verdict {
             Some(Verdict::Harmful) => "HARMFUL",
@@ -1502,4 +1542,104 @@ fn pair_json(
         ("relation", dcatch_obs::Json::Str(relation.to_owned())),
         ("chain", dcatch_obs::Json::Arr(hops)),
     ])
+}
+
+/// `dcatch streambench` — drives the synthetic ping-pong workload through
+/// `World::run_streamed` + `OnlineDetector` (no trace is ever
+/// materialized) and reports window/retirement accounting plus wall-clock
+/// throughput. The workload plants exactly one racer pair; exit code 2 if
+/// the detector does not report exactly that one surviving candidate.
+fn streambench(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(
+        args,
+        &["--json"],
+        &["--records", "--stream-window", "--seed", "--out"],
+    ) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let (records, window, seed) = match (
+        opt::<u64>(args, "--records"),
+        opt::<usize>(args, "--stream-window"),
+        opt::<u64>(args, "--seed"),
+    ) {
+        (Ok(r), Ok(w), Ok(s)) => (r.unwrap_or(1_000_000), w, s.unwrap_or(7)),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rounds = dcatch::streambench_rounds(records);
+    let (program, topo) = dcatch::streambench(rounds);
+    // full tracing so the planted racer pair (plain threads, no
+    // communication) is visible — the chain's handler accesses are traced
+    // either way
+    let mut cfg = SimConfig::default().with_seed(seed).with_full_tracing();
+    // ~6 interpreter steps per round; leave generous headroom so the step
+    // watchdog never fires before the chain drains
+    cfg.max_steps = (rounds as u64).saturating_mul(32).max(2_000_000);
+    let mut sink = dcatch::OnlineDetector::new(dcatch::OnlineOptions {
+        window_cap: window,
+        ..dcatch::OnlineOptions::default()
+    });
+    let started = std::time::Instant::now();
+    let run = match World::run_streamed(&program, &topo, cfg, &mut sink) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("streambench run failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if !run.failures.is_empty() {
+        eprintln!("streambench run failed: {:?}", run.failures);
+        return ExitCode::from(3);
+    }
+    let out = sink.finalize();
+    let elapsed = started.elapsed();
+    let planted_found = out.candidates.static_pair_count() == 1
+        && out.candidates.iter().all(|c| c.object() == "shared_flag");
+    let code = if planted_found { 0 } else { 2 };
+    if flag(args, "--json") {
+        use dcatch_obs::Json;
+        let doc = Json::obj([
+            (
+                "schema_version",
+                Json::UInt(dcatch::report_json::SCHEMA_VERSION),
+            ),
+            ("records", Json::UInt(out.records as u64)),
+            ("trace_bytes", Json::UInt(out.trace_bytes as u64)),
+            ("window_peak", Json::UInt(out.window_peak as u64)),
+            ("records_retired", Json::UInt(out.records_retired)),
+            ("records_forced", Json::UInt(out.records_forced)),
+            ("peak_bytes", Json::UInt(out.peak_bytes as u64)),
+            (
+                "candidates",
+                Json::UInt(out.candidates.static_pair_count() as u64),
+            ),
+            ("planted_pair_found", Json::Bool(planted_found)),
+            ("elapsed_ns", Json::UInt(elapsed.as_nanos() as u64)),
+        ]);
+        if let Err(e) = emit_json(&doc, opt_str(args, "--out")) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::from(code);
+    }
+    println!(
+        "streambench: {} records ({} bytes as lines) in {:.2}s ({:.0} records/s)",
+        out.records,
+        out.trace_bytes,
+        elapsed.as_secs_f64(),
+        out.records as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "  window peak {} entries (~{} bytes resident), {} retired, {} force-evicted",
+        out.window_peak, out.peak_bytes, out.records_retired, out.records_forced
+    );
+    println!(
+        "  candidates: {} static pair(s); planted racer pair {}",
+        out.candidates.static_pair_count(),
+        if planted_found { "FOUND" } else { "MISSING" },
+    );
+    ExitCode::from(code)
 }

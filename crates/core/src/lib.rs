@@ -43,7 +43,7 @@ pub mod synth;
 
 pub use pipeline::{run_bounded, Pipeline, PipelineError, PipelineOptions, RunPhase};
 pub use profile::{profile_json, profile_timeline};
-pub use report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
+pub use report::{BenchmarkReport, BugReport, StageTimings, StreamingStats, VerdictCounts};
 pub use synth::{
     batch_specs, run_scenario, run_spec, score_report, shrink, synth_report_doc, Discrepancy,
     QuarantinedCase, ScenarioScore, SynthBatchConfig,
@@ -54,11 +54,12 @@ pub use dcatch_obs::budget::{parse_bytes, Budget, DegradationEvent, DegradeMode}
 
 // Re-export the pieces users compose the pipeline from.
 pub use dcatch_apps::{
-    all_benchmarks, all_benchmarks_scaled, benchmark, fault_scenarios, mechanisms, Benchmark,
-    ErrorPattern, FaultScenario, Mechanisms, RootCause, System,
+    all_benchmarks, all_benchmarks_scaled, benchmark, fault_scenarios, mechanisms, streambench,
+    streambench_rounds, Benchmark, ErrorPattern, FaultScenario, Mechanisms, RootCause, System,
 };
 pub use dcatch_detect::{
     find_candidates, find_candidates_chunked, AccessSite, Candidate, CandidateSet, ChunkStats,
+    OnlineDetector, OnlineOptions, StreamOutcome,
 };
 pub use dcatch_hb::{
     apply_ablation, Ablation, BitMatrix, ChainClocks, EdgeRule, HbAnalysis, HbConfig, HbError,
@@ -71,7 +72,7 @@ pub use dcatch_sim::{
     MessageAction, MessageFault, RunFailureKind, RunResult, SimConfig, TimeoutFault, Topology,
     World,
 };
-pub use dcatch_trace::{TraceSet, TraceStats, TracingMode};
+pub use dcatch_trace::{TraceSet, TraceSink, TraceStats, TracingMode};
 pub use dcatch_trigger::{
     plan_candidate, run_farm, steal_map, trigger_candidate, ConfirmFn, FarmSpec, OrderRun,
     TriggerPlan, TriggerReport, Verdict, ORDERINGS,

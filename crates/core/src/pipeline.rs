@@ -4,18 +4,21 @@ use std::fmt;
 use std::time::Duration;
 
 use dcatch_apps::Benchmark;
-use dcatch_detect::{analyze_loop_sync, find_candidates, find_candidates_chunked, CandidateSet};
+use dcatch_detect::{
+    analyze_loop_sync, find_candidates, find_candidates_chunked, plan_loop_sync, CandidateSet,
+    OnlineDetector, OnlineOptions,
+};
 use dcatch_hb::{
-    apply_ablation, Ablation, BitMatrix, ChainClocks, HbAnalysis, HbConfig, HbError,
-    ReachabilityMode,
+    apply_ablation, Ablation, BitMatrix, ChainClocks, FrontierOptions, HbAnalysis, HbConfig,
+    HbError, ReachabilityMode,
 };
 use dcatch_obs::budget::{self, Budget, DegradationEvent, DegradeMode};
 use dcatch_prune::{Impact, Pruner};
 use dcatch_sim::{Failure, FaultPlan, FocusConfig, RunError, SimConfig, World};
-use dcatch_trace::TracingMode;
+use dcatch_trace::{TraceStats, TracingMode};
 use dcatch_trigger::{run_farm, FarmSpec, OrderRun, TriggerPlan, TriggerReport, Verdict};
 
-use crate::report::{BenchmarkReport, BugReport, StageTimings, VerdictCounts};
+use crate::report::{BenchmarkReport, BugReport, StageTimings, StreamingStats, VerdictCounts};
 
 /// Errors aborting a pipeline run. Out-of-memory in the HB analysis is
 /// *not* an error — it is a reportable outcome (Table 8).
@@ -134,6 +137,18 @@ pub struct PipelineOptions {
     /// Whether the governor may walk the degradation ladder at all.
     /// [`DegradeMode::Off`] ignores both budgets above.
     pub degrade: DegradeMode,
+    /// Online single-pass detection (`--streaming`): consume trace records
+    /// as the simulator emits them instead of materializing the trace and
+    /// building a full HB graph. Resident memory is O(window), and the
+    /// candidate set is proven identical to the offline scan (DESIGN.md
+    /// §15). Incompatible with `ablation` (the record stream is never
+    /// materialized, so there is nothing to ablate).
+    pub streaming: bool,
+    /// Hard cap on resident window entries in streaming mode
+    /// (`--stream-window`). `None` relies on provable retirement alone;
+    /// a cap that overflows force-evicts oldest entries (lossy, reported
+    /// as a degradation). The memory governor may clamp this further.
+    pub stream_window: Option<usize>,
 }
 
 impl Default for PipelineOptions {
@@ -154,6 +169,8 @@ impl Default for PipelineOptions {
             mem_budget: None,
             time_budget: None,
             degrade: DegradeMode::Auto,
+            streaming: false,
+            stream_window: None,
         }
     }
 }
@@ -235,7 +252,12 @@ impl Pipeline {
             report.timings = StageTimings::from_spans(&spans);
             report.metrics = metrics;
             report.spans = spans;
+            // governor rungs first, then events stages put on the
+            // report directly (temporal order: the ladder acts before a
+            // stage can observe its effects)
+            let direct = std::mem::take(&mut report.degradations);
             report.degradations = degradations;
+            report.degradations.extend(direct);
             report
         })
     }
@@ -360,6 +382,9 @@ impl Pipeline {
             Some(target) if target != bench.id => FaultPlan::default(),
             _ => opts.faults.clone(),
         };
+        if opts.streaming {
+            return Pipeline::run_stages_streaming(bench, opts, seed, faults);
+        }
 
         // ---- base run (untraced) ----------------------------------------
         if opts.measure_base {
@@ -460,6 +485,7 @@ impl Pipeline {
             metrics: dcatch_obs::MetricsSnapshot::default(),
             spans: dcatch_obs::SpanNode::default(),
             degradations: Vec::new(),
+            streaming: None,
         };
         // `hb` is absent on the chunked rung: loop-sync and placement
         // planning need the full graph and degrade accordingly below.
@@ -582,6 +608,49 @@ impl Pipeline {
             candidates.callstack_pair_count(),
         );
 
+        Ok(Pipeline::finish_report(
+            bench,
+            opts,
+            ReportTail {
+                cfg: &cfg,
+                hb: hb.as_ref(),
+                pruner: &pruner,
+                candidates,
+                ta: (ta_static, ta_stacks),
+                sp: (sp_static, sp_stacks),
+                lp: (lp_static, lp_stacks),
+                trace_stats,
+                trace_bytes,
+                no_graph_reason: "no full HB graph (chunked trace analysis)",
+                streaming: None,
+            },
+        ))
+    }
+
+    /// The shared pipeline tail: triggering, verdict assembly, and the
+    /// final report. `tail.hb` is `None` when no full HB graph exists
+    /// (chunked trace analysis, or streaming detection) — placement
+    /// planning then degrades to direct placement with
+    /// `tail.no_graph_reason`.
+    fn finish_report(
+        bench: &Benchmark,
+        opts: &PipelineOptions,
+        tail: ReportTail,
+    ) -> BenchmarkReport {
+        let ReportTail {
+            cfg,
+            hb,
+            pruner,
+            candidates,
+            ta: (ta_static, ta_stacks),
+            sp: (sp_static, sp_stacks),
+            lp: (lp_static, lp_stacks),
+            trace_stats,
+            trace_bytes,
+            no_graph_reason,
+            streaming,
+        } = tail;
+
         // ---- triggering -------------------------------------------------------
         let candidates = take_candidates(candidates);
         let impacts: Vec<Vec<Impact>> = candidates
@@ -603,17 +672,17 @@ impl Pipeline {
             candidates.iter().map(|_| None).collect()
         } else if opts.triggering {
             let _span = dcatch_obs::span!("pipeline.triggering");
-            let specs: Vec<FarmSpec> = match &hb {
+            let specs: Vec<FarmSpec> = match hb {
                 Some(hb) => candidates.iter().map(|c| FarmSpec::new(c, hb)).collect(),
                 None => {
-                    // placement planning needs the full HB graph; on the
-                    // chunked rung fall back to naive direct placement
+                    // placement planning needs the full HB graph; without
+                    // one fall back to naive direct placement
                     if !candidates.is_empty() {
                         budget::record(DegradationEvent {
                             stage: "triggering".to_owned(),
                             from: "planned_placement".to_owned(),
                             to: "direct_placement".to_owned(),
-                            reason: "no full HB graph (chunked trace analysis)".to_owned(),
+                            reason: no_graph_reason.to_owned(),
                         });
                     }
                     candidates
@@ -636,7 +705,7 @@ impl Pipeline {
             let reports = run_farm(
                 &bench.program,
                 &bench.topology,
-                &cfg,
+                cfg,
                 &specs,
                 opts.trigger_jobs,
                 Some(&confirm),
@@ -704,7 +773,7 @@ impl Pipeline {
             });
         }
 
-        Ok(BenchmarkReport {
+        BenchmarkReport {
             id: bench.id.to_owned(),
             trace_stats,
             trace_bytes,
@@ -722,8 +791,226 @@ impl Pipeline {
             metrics: dcatch_obs::MetricsSnapshot::default(),
             spans: dcatch_obs::SpanNode::default(),
             degradations: Vec::new(),
-        })
+            streaming,
+        }
     }
+
+    /// Streaming single-pass detection (DESIGN.md §15): the traced run and
+    /// the candidate scan fuse into one pass over the live record stream —
+    /// per-chain frontier clocks instead of a reachability index, a
+    /// bounded window of still-racable accesses instead of a materialized
+    /// trace. Candidate output is exactly the offline scan's; resident
+    /// memory is O(window).
+    fn run_stages_streaming(
+        bench: &Benchmark,
+        opts: &PipelineOptions,
+        seed: u64,
+        faults: FaultPlan,
+    ) -> Result<BenchmarkReport, PipelineError> {
+        // ---- base run (untraced) ----------------------------------------
+        if opts.measure_base {
+            let mut cfg = SimConfig::default()
+                .with_seed(seed)
+                .with_faults(faults.clone());
+            cfg.trace_enabled = false;
+            let _span = dcatch_obs::span!("pipeline.base");
+            World::run_once(&bench.program, &bench.topology, cfg)?;
+        }
+
+        // ---- governor rung: window cap under a memory budget ------------
+        // Window entries cost ~O(chain count) bytes each (clock refs +
+        // callstack); 512 B/entry is a deliberately conservative estimate,
+        // so the governed cap errs toward smaller windows.
+        let mut window_cap = opts.stream_window;
+        if let Some(m) = budget::mem_budget() {
+            let gov_cap = (m / 512).max(16);
+            if window_cap.is_none_or(|w| gov_cap < w) {
+                budget::record(DegradationEvent {
+                    stage: "streaming".to_owned(),
+                    from: window_cap
+                        .map_or("unbounded_window".to_owned(), |w| format!("window_{w}")),
+                    to: format!("window_{gov_cap}"),
+                    reason: format!("window estimate 512 B/entry against memory budget {m} B"),
+                });
+                window_cap = Some(gov_cap);
+            }
+        }
+        // A node crash is a spontaneous causal root: surviving chains can
+        // race with anything that follows it, so no window ever provably
+        // closes. Retirement is disabled rather than made unsound.
+        let allow_retirement = faults.crashes.is_empty();
+
+        // ---- pass 1: fused tracing + trace analysis ---------------------
+        let mut cfg = SimConfig::default().with_seed(seed).with_faults(faults);
+        cfg.tracing = opts.tracing;
+        let pass_opts = |sync: Option<(&dcatch_detect::SyncPlan, &[(u64, u64)])>| OnlineOptions {
+            window_cap,
+            engine: FrontierOptions {
+                eserial: sync.is_none(),
+                allow_retirement,
+            },
+            sync_edges: sync.map_or(Vec::new(), |(p, _)| p.edges.clone()),
+            inject_eserial: sync.map_or(Vec::new(), |(_, e)| e.to_vec()),
+            ..OnlineOptions::default()
+        };
+        let pass1 = {
+            let _span = dcatch_obs::span!("pipeline.streaming");
+            let mut sink = OnlineDetector::new(pass_opts(None));
+            let run = World::run_streamed(&bench.program, &bench.topology, cfg.clone(), &mut sink)?;
+            if !run.failures.is_empty() {
+                return Err(PipelineError::TracedRunFailed(format!(
+                    "{:?}",
+                    run.failures
+                )));
+            }
+            sink.finalize()
+        };
+        let mut stats = StreamingStats {
+            window_peak: pass1.window_peak,
+            records_retired: pass1.records_retired,
+            records_forced: pass1.records_forced,
+            peak_bytes: pass1.peak_bytes,
+        };
+        let trace_stats = pass1.stats;
+        let trace_bytes = pass1.trace_bytes;
+        let mut candidates = pass1.candidates;
+        let (ta_static, ta_stacks) = (
+            candidates.static_pair_count(),
+            candidates.callstack_pair_count(),
+        );
+
+        // ---- static pruning ---------------------------------------------
+        let pruner = Pruner::new(&bench.program);
+        if opts.static_pruning {
+            let _span = dcatch_obs::span!("pipeline.static_pruning");
+            let (kept, _pruned, _stats) = pruner.prune(candidates);
+            candidates = kept;
+        }
+        let (sp_static, sp_stacks) = (
+            candidates.static_pair_count(),
+            candidates.callstack_pair_count(),
+        );
+
+        // ---- loop/pull synchronization analysis -------------------------
+        // The offline mode adds the inferred `w* ⇒ LoopExit` edges to the
+        // graph and re-scans. Here the plan's occurrence-space edges are
+        // fired into a *second* streamed pass (same seed, identical
+        // schedule) whose frontier clocks absorb them as they arrive; the
+        // pass-1 `Eserial` pairs are replayed verbatim so pass 2's order
+        // is exactly pass 1's plus the inferred edges.
+        if opts.loop_sync {
+            if budget::time_expired() {
+                budget::record(DegradationEvent {
+                    stage: "loop_sync".to_owned(),
+                    from: "focused_rerun".to_owned(),
+                    to: "skipped".to_owned(),
+                    reason: "time budget exhausted".to_owned(),
+                });
+            } else {
+                let _span = dcatch_obs::span!("pipeline.loop_sync");
+                let _inner = dcatch_obs::span!("detect.loopsync");
+                let base_cfg = cfg.clone();
+                let program = &bench.program;
+                let topo = &bench.topology;
+                let mut rerun = |objects: &std::collections::BTreeSet<String>| {
+                    let focus_cfg = base_cfg
+                        .clone()
+                        .with_focus(FocusConfig::on(objects.iter().cloned()));
+                    World::run_once(program, topo, focus_cfg)
+                        .expect("focused re-run")
+                        .trace
+                };
+                if let Some(plan) = plan_loop_sync(program, &candidates, &mut rerun) {
+                    let pass2 = {
+                        let mut sink =
+                            OnlineDetector::new(pass_opts(Some((&plan, &pass1.eserial_edges))));
+                        let run = World::run_streamed(program, topo, cfg.clone(), &mut sink)?;
+                        if !run.failures.is_empty() {
+                            return Err(PipelineError::TracedRunFailed(format!(
+                                "{:?}",
+                                run.failures
+                            )));
+                        }
+                        sink.finalize()
+                    };
+                    stats.window_peak = stats.window_peak.max(pass2.window_peak);
+                    stats.records_retired += pass2.records_retired;
+                    stats.records_forced += pass2.records_forced;
+                    stats.peak_bytes = stats.peak_bytes.max(pass2.peak_bytes);
+                    let mut updated = pass2.candidates;
+                    // drop the polling idiom pairs themselves
+                    let sync_pairs = plan.sync_pairs();
+                    updated.retain(|c| !sync_pairs.contains(&c.static_pair));
+                    let pruned = candidates
+                        .static_pair_count()
+                        .saturating_sub(updated.static_pair_count());
+                    dcatch_obs::counter!("detect_loopsync_edges_total")
+                        .add(pass2.sync_edges_fired as u64);
+                    dcatch_obs::counter!("detect_loopsync_pruned_total").add(pruned as u64);
+                    candidates = updated;
+                    // loop-sync edges may order candidates SP had already
+                    // scored; re-apply the pruning filter
+                    if opts.static_pruning {
+                        let (kept, _, _) = pruner.prune(candidates);
+                        candidates = kept;
+                    }
+                }
+            }
+        }
+        let (lp_static, lp_stacks) = (
+            candidates.static_pair_count(),
+            candidates.callstack_pair_count(),
+        );
+
+        let mut report = Pipeline::finish_report(
+            bench,
+            opts,
+            ReportTail {
+                cfg: &cfg,
+                hb: None,
+                pruner: &pruner,
+                candidates,
+                ta: (ta_static, ta_stacks),
+                sp: (sp_static, sp_stacks),
+                lp: (lp_static, lp_stacks),
+                trace_stats,
+                trace_bytes,
+                no_graph_reason: "no full HB graph (streaming detection)",
+                streaming: Some(stats),
+            },
+        );
+        // Recorded on the report directly, not via `budget::record`: an
+        // explicit `--stream-window` cap is lossy even with no governor
+        // installed, and the report must say so either way.
+        if stats.records_forced > 0 {
+            report.degradations.push(DegradationEvent {
+                stage: "streaming".to_owned(),
+                from: "exact_window".to_owned(),
+                to: "lossy_window".to_owned(),
+                reason: format!(
+                    "{} accesses force-evicted by the window cap",
+                    stats.records_forced
+                ),
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Everything [`Pipeline::finish_report`] needs from either detection
+/// mode (offline or streaming) to run triggering and assemble the report.
+struct ReportTail<'a> {
+    cfg: &'a SimConfig,
+    hb: Option<&'a HbAnalysis>,
+    pruner: &'a Pruner<'a>,
+    candidates: CandidateSet,
+    ta: (usize, usize),
+    sp: (usize, usize),
+    lp: (usize, usize),
+    trace_stats: TraceStats,
+    trace_bytes: usize,
+    no_graph_reason: &'static str,
+    streaming: Option<StreamingStats>,
 }
 
 /// Runs `f` on a dedicated `'static` thread so that panics are caught at

@@ -67,6 +67,7 @@ pub fn profile_json(r: &BenchmarkReport) -> Json {
             Json::obj([
                 ("base", us(r.timings.base)),
                 ("tracing", us(r.timings.tracing)),
+                ("streaming", us(r.timings.streaming)),
                 ("trace_analysis", us(r.timings.trace_analysis)),
                 ("static_pruning", us(r.timings.static_pruning)),
                 ("loop_sync", us(r.timings.loop_sync)),
@@ -94,29 +95,59 @@ fn emit_benchmark(tl: &mut Timeline, pid: u64, origin: u64, r: &BenchmarkReport)
     let lane_end = lay_out(tl, pid, &r.spans, origin, &mut stage_ends);
     let end_of = |name: &str| stage_ends.get(name).copied().unwrap_or(lane_end);
 
+    // Every sample sits at an origin-relative timestamp, so lanes never
+    // bleed into each other; two samples of the same track that would
+    // coincide (stages that didn't run all fall back to the lane end) are
+    // nudged apart — `validate` rejects overlapping counter samples.
+    let mut last: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut sample = |tl: &mut Timeline, name: &'static str, ts: u64, series: &[(&str, u64)]| {
+        let ts = match last.get(name) {
+            Some(&prev) if ts <= prev => prev + 1,
+            _ => ts,
+        };
+        last.insert(name, ts);
+        tl.counter(pid, name, ts, series);
+    };
+
     // reachability-index footprint: zero at lane start, peak once the HB
     // analysis stage is done (a step chart in the viewer)
     let reach = r.metrics.gauge("hb_reach_bytes_peak");
-    tl.counter(pid, "hb_reach_bytes_peak", origin, &[("bytes", 0)]);
-    tl.counter(
-        pid,
+    sample(tl, "hb_reach_bytes_peak", origin, &[("bytes", 0)]);
+    sample(
+        tl,
         "hb_reach_bytes_peak",
         end_of("pipeline.trace_analysis"),
         &[("bytes", reach)],
     );
 
-    // candidate funnel: one sample at the end of each pruning stage
+    // streaming window occupancy: zero at lane start, peak once the fused
+    // pass is done — the streaming analogue of the reachability footprint
+    if let Some(s) = &r.streaming {
+        let end = end_of("pipeline.streaming");
+        sample(tl, "stream_window", origin, &[("entries", 0)]);
+        sample(
+            tl,
+            "stream_window",
+            end,
+            &[("entries", s.window_peak as u64)],
+        );
+        sample(tl, "stream_retired", origin, &[("records", 0)]);
+        sample(tl, "stream_retired", end, &[("records", s.records_retired)]);
+    }
+
+    // candidate funnel: one sample at the end of each pruning stage (in a
+    // streaming run the fused pass plays the trace-analysis role)
+    let ta_stage = if r.streaming.is_some() {
+        "pipeline.streaming"
+    } else {
+        "pipeline.trace_analysis"
+    };
     for (stage, count) in [
-        ("pipeline.trace_analysis", r.ta_static),
+        (ta_stage, r.ta_static),
         ("pipeline.static_pruning", r.sp_static),
         ("pipeline.loop_sync", r.lp_static),
     ] {
-        tl.counter(
-            pid,
-            "candidates",
-            end_of(stage),
-            &[("static", count as u64)],
-        );
+        sample(tl, "candidates", end_of(stage), &[("static", count as u64)]);
     }
 }
 
@@ -195,6 +226,7 @@ mod tests {
             metrics: Default::default(),
             spans,
             degradations: Vec::new(),
+            streaming: None,
         }
     }
 
@@ -232,6 +264,56 @@ mod tests {
         assert_eq!(ts_of("sim.run"), 0);
         assert_eq!(ts_of("pipeline.trace_analysis"), 4_000);
         assert_eq!(ts_of("error: panic"), LANE_STRIDE);
+    }
+
+    /// Satellite of the streaming work: counter tracks of *every* lane
+    /// must sit at that lane's origin, and colliding samples (stages that
+    /// all fall back to the lane end) must be nudged apart — `validate`
+    /// rejects overlapping counter samples since the same change.
+    #[test]
+    fn streaming_counter_tracks_respect_lane_origins() {
+        let streaming_report = |id: &str| {
+            let mut r = report(id);
+            r.spans = span(
+                &format!("pipeline.{id}"),
+                10,
+                vec![span("pipeline.streaming", 6, vec![])],
+            );
+            r.streaming = Some(crate::report::StreamingStats {
+                window_peak: 42,
+                records_retired: 1000,
+                records_forced: 0,
+                peak_bytes: 4096,
+            });
+            r
+        };
+        let results = vec![
+            ("MR-3274", Ok(streaming_report("MR-3274"))),
+            ("ZK-1144", Ok(streaming_report("ZK-1144"))),
+        ];
+        let doc = profile_timeline(&results).to_json();
+        // both lanes emit the same track names at the same lane-relative
+        // offsets; only the per-benchmark origin keeps them apart
+        dcatch_obs::timeline::validate(&doc).expect("no overlapping counter tracks");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let window_ts: Vec<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("stream_window"))
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_u64().unwrap(),
+                    e.get("ts").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(window_ts.len(), 4, "2 lanes × (origin + pass-end) samples");
+        for (pid, ts) in window_ts {
+            let origin = (pid - 1) * LANE_STRIDE;
+            assert!(
+                ts >= origin && ts < origin + LANE_STRIDE,
+                "pid {pid} sample at ts {ts} escapes its lane"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct StageTimings {
     pub base: Duration,
     /// The traced run ("Tracing").
     pub tracing: Duration,
+    /// The fused tracing + detection pass of `--streaming` runs (zero for
+    /// offline runs, where `tracing` and `trace_analysis` cover it).
+    pub streaming: Duration,
     /// HB-graph construction + candidate detection ("Trace Analysis").
     pub trace_analysis: Duration,
     /// Static pruning ("Static Pruning").
@@ -37,6 +40,7 @@ impl StageTimings {
         StageTimings {
             base: spans.duration_of("pipeline.base"),
             tracing: spans.duration_of("pipeline.tracing"),
+            streaming: spans.duration_of("pipeline.streaming"),
             trace_analysis: spans.duration_of("pipeline.trace_analysis"),
             static_pruning: spans.duration_of("pipeline.static_pruning"),
             loop_sync: spans.duration_of("pipeline.loop_sync"),
@@ -99,6 +103,23 @@ impl BugReport {
     }
 }
 
+/// Window/retirement accounting from a `--streaming` run: how much state
+/// the online detector actually held, against the full trace length the
+/// offline mode would have materialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingStats {
+    /// Peak number of memory accesses resident in the candidate window
+    /// (max across the detection passes).
+    pub window_peak: usize,
+    /// Accesses retired because their race window provably closed.
+    pub records_retired: u64,
+    /// Accesses force-evicted by the hard window cap (lossy; zero unless
+    /// the governor or `--stream-window` clamped the window).
+    pub records_forced: u64,
+    /// Peak resident footprint estimate (frontier clocks + window), bytes.
+    pub peak_bytes: usize,
+}
+
 /// Everything one pipeline invocation produced for one benchmark.
 #[derive(Debug)]
 pub struct BenchmarkReport {
@@ -142,6 +163,9 @@ pub struct BenchmarkReport {
     /// they happened; carries no timestamps, so memory-driven rungs are
     /// byte-stable across machines.
     pub degradations: Vec<DegradationEvent>,
+    /// Window accounting when the run used `--streaming`; `None` for the
+    /// offline (materialize-then-analyze) mode.
+    pub streaming: Option<StreamingStats>,
 }
 
 impl BenchmarkReport {

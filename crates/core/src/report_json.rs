@@ -7,11 +7,11 @@
 //! reports across commits; bump [`SCHEMA_VERSION`] on breaking changes and
 //! describe the layout in DESIGN.md's "Observability" section.
 //!
-//! Document layout (schema version 6):
+//! Document layout (schema version 7):
 //!
 //! ```text
 //! {
-//!   "schema_version": 6,
+//!   "schema_version": 7,
 //!   "tool": "dcatch-rs",
 //!   "degradations": {
 //!     "faults_injected": …, "benchmarks_failed": …,
@@ -30,7 +30,9 @@
 //!       "candidates": { "ta_static": …, …, "lp_stacks": … },
 //!       "verdicts": { "harmful_static": …, …, "total_stacks": … },
 //!       "detected_known_bug": true,
-//!       "timings_ns": { "base": …, …, "triggering": … },
+//!       "streaming": null | { "window_peak": …, "records_retired": …,
+//!                             "records_forced": …, "peak_bytes": … },
+//!       "timings_ns": { "base": …, "streaming": …, …, "triggering": … },
 //!       "spans": { "name": …, "total_ns": …, "count": …, "children": […] },
 //!       "metrics": { "counters": {…}, "gauges": {…}, "histograms": {…} },
 //!       "profile": null | { "stages_us": {…}, "hb_reach_bytes_peak": …,
@@ -78,7 +80,11 @@ use crate::report::{BenchmarkReport, StageTimings, VerdictCounts};
 /// generator parameters, per-protocol recall/precision aggregates against
 /// the planted ground truth, and per-scenario rows with quarantined shrunk
 /// discrepancy cases. Purely additive.
-pub const SCHEMA_VERSION: u64 = 6;
+/// v7: added the per-benchmark `streaming` section (null for offline
+/// runs): window/retirement accounting of `--streaming` detection, plus a
+/// `timings_ns.streaming` entry for the fused pass. Purely additive — see
+/// the `v6_report_still_validates` fixture test.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Oldest schema version [`validate_report`] accepts. Every change since
 /// v2 has been additive, so older documents still validate.
@@ -222,6 +228,18 @@ pub fn benchmark_json_with(r: &BenchmarkReport, profile: bool) -> Json {
         ),
         ("verdicts", verdicts_json(&r.verdicts)),
         ("detected_known_bug", Json::Bool(r.detected_known_bug)),
+        (
+            "streaming",
+            match &r.streaming {
+                Some(s) => Json::obj([
+                    ("window_peak", Json::UInt(s.window_peak as u64)),
+                    ("records_retired", Json::UInt(s.records_retired)),
+                    ("records_forced", Json::UInt(s.records_forced)),
+                    ("peak_bytes", Json::UInt(s.peak_bytes as u64)),
+                ]),
+                None => Json::Null,
+            },
+        ),
         ("timings_ns", timings_json(&r.timings)),
         ("spans", span_json(&r.spans)),
         ("metrics", metrics_json(&r.metrics)),
@@ -323,6 +341,7 @@ fn timings_json(t: &StageTimings) -> Json {
     Json::obj([
         ("base", ns(t.base)),
         ("tracing", ns(t.tracing)),
+        ("streaming", ns(t.streaming)),
         ("trace_analysis", ns(t.trace_analysis)),
         ("static_pruning", ns(t.static_pruning)),
         ("loop_sync", ns(t.loop_sync)),
@@ -415,5 +434,46 @@ mod tests {
         );
         let back = dcatch_obs::json::parse(&doc.to_pretty()).unwrap();
         assert_eq!(back, doc);
+    }
+
+    /// Fixture pinning backward compatibility: a report exactly as schema
+    /// v6 emitted it — no per-benchmark `streaming` key, no
+    /// `timings_ns.streaming` — must still validate after the v7 bump.
+    #[test]
+    fn v6_report_still_validates() {
+        let fixture = r#"{
+          "schema_version": 6,
+          "tool": "dcatch-rs",
+          "degradations": {
+            "faults_injected": 0,
+            "benchmarks_failed": 0,
+            "trigger_retries": 0,
+            "watchdog_timeouts": 0,
+            "governor_degradations": 0
+          },
+          "benchmarks": [
+            {
+              "id": "MR-3274",
+              "error": null,
+              "oom": null,
+              "degradations": [],
+              "trace": {"bytes": 123, "reach_bytes": 0, "stats": {"total": 4}},
+              "candidates": {"ta_static": 1, "lp_static": 1},
+              "verdicts": {"harmful_static": 1, "total_static": 1},
+              "detected_known_bug": true,
+              "timings_ns": {"base": 0, "tracing": 10, "triggering": 5},
+              "spans": {"name": "pipeline.MR-3274", "total_ns": 15, "count": 1, "children": []},
+              "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+              "profile": null
+            },
+            {"id": "ZK-9999", "error": {"kind": "panic", "message": "boom"}}
+          ],
+          "synth": null
+        }"#;
+        let doc = dcatch_obs::json::parse(fixture).expect("fixture parses");
+        assert_eq!(validate_report(&doc), Ok(6));
+        // and the current writer's output validates at the new version
+        let now = run_report(&[]);
+        assert_eq!(validate_report(&now), Ok(SCHEMA_VERSION));
     }
 }

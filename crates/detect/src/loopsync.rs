@@ -42,6 +42,39 @@ pub struct LoopSyncResult {
     pub pruned_static_pairs: usize,
 }
 
+/// The run-independent product of the loop-sync scan: inferred
+/// `w* ⇒ LoopExit` causality in *occurrence space* (see [`OccKey`]),
+/// applicable both to the batch graph (translated to original-trace
+/// indices) and to a streaming second pass (fired by occurrence
+/// counters as records arrive).
+#[derive(Debug, Clone, Default)]
+pub struct SyncPlan {
+    /// Inferred `w* ⇒ LoopExit` edges: `(source write, target exit)`.
+    pub edges: Vec<((OccKey, usize), (OccKey, usize))>,
+    /// Polling read → set of releasing writes (static pairs to drop).
+    pub sync_write_stmts: BTreeMap<StmtId, BTreeSet<StmtId>>,
+    /// Objects the focused re-run traced.
+    pub focused_objects: BTreeSet<String>,
+}
+
+impl SyncPlan {
+    /// The polling-idiom static pairs, canonically ordered.
+    pub fn sync_pairs(&self) -> BTreeSet<(StmtId, StmtId)> {
+        let mut pairs = BTreeSet::new();
+        for (read, writes) in &self.sync_write_stmts {
+            for w in writes {
+                let key = if *read <= *w {
+                    (*read, *w)
+                } else {
+                    (*w, *read)
+                };
+                pairs.insert(key);
+            }
+        }
+        pairs
+    }
+}
+
 /// A read statically identified as feeding a retry-loop exit.
 #[derive(Debug, Clone)]
 struct PolledRead {
@@ -65,17 +98,64 @@ pub fn analyze_loop_sync(
     rerun: &mut dyn FnMut(&BTreeSet<String>) -> TraceSet,
 ) -> (CandidateSet, LoopSyncResult) {
     let _span = dcatch_obs::span!("detect.loopsync");
-    let polled = find_polled_reads(program, &candidates);
-    if polled.is_empty() {
+    let Some(plan) = plan_loop_sync(program, &candidates, rerun) else {
         return (candidates, LoopSyncResult::default());
+    };
+
+    // translate occurrence-space causality into the original trace's
+    // index space; an occurrence the original run never reached drops out
+    let original_index = occurrence_index(hb.trace());
+    let to_original = |(k, ord): &(OccKey, usize)| -> Option<usize> {
+        original_index.get(k).and_then(|v| v.get(*ord)).copied()
+    };
+    let edges: Vec<(usize, usize)> = plan
+        .edges
+        .iter()
+        .filter_map(|(w, exit)| Some((to_original(w)?, to_original(exit)?)))
+        .collect();
+
+    if edges.is_empty() && plan.sync_write_stmts.is_empty() {
+        return (candidates, LoopSyncResult::default());
+    }
+
+    hb.add_edges_and_rebuild(&edges);
+    let mut updated = find_candidates(hb);
+
+    // drop the polling idiom pairs themselves
+    let sync_pairs = plan.sync_pairs();
+    updated.retain(|c| !sync_pairs.contains(&c.static_pair));
+
+    let pruned = candidates
+        .static_pair_count()
+        .saturating_sub(updated.static_pair_count());
+    dcatch_obs::counter!("detect_loopsync_edges_total").add(edges.len() as u64);
+    dcatch_obs::counter!("detect_loopsync_pruned_total").add(pruned as u64);
+    let result = LoopSyncResult {
+        edges,
+        sync_pairs,
+        focused_objects: plan.focused_objects,
+        pruned_static_pairs: pruned,
+    };
+    (updated, result)
+}
+
+/// Runs the static polled-read identification and the focused re-run
+/// scan, producing the occurrence-space [`SyncPlan`] both detection modes
+/// share. Returns `None` when no read polls a retry loop or the focused
+/// run surfaced no cross-task releasing write (nothing to add or prune).
+pub fn plan_loop_sync(
+    program: &Program,
+    candidates: &CandidateSet,
+    rerun: &mut dyn FnMut(&BTreeSet<String>) -> TraceSet,
+) -> Option<SyncPlan> {
+    let polled = find_polled_reads(program, candidates);
+    if polled.is_empty() {
+        return None;
     }
     let focused_objects: BTreeSet<String> = polled.iter().map(|p| p.object.clone()).collect();
     let focused = rerun(&focused_objects);
 
-    // map (task, tag, stmt-or-loop, ordinal) → original index
-    let original_index = occurrence_index(hb.trace());
-
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut edges: Vec<((OccKey, usize), (OccKey, usize))> = Vec::new();
     let mut sync_write_stmts: BTreeMap<StmtId, BTreeSet<StmtId>> = BTreeMap::new();
 
     let loops_of_interest: BTreeSet<LoopId> = polled
@@ -98,10 +178,6 @@ pub fn analyze_loop_sync(
             None => keyed.push(None),
         }
     }
-    let to_original = |i: usize| -> Option<usize> {
-        let (k, ord) = keyed[i].as_ref()?;
-        original_index.get(k).and_then(|v| v.get(*ord)).copied()
-    };
 
     for (i, r) in records.iter().enumerate() {
         let OpKind::LoopExit { loop_id } = r.kind else {
@@ -153,9 +229,10 @@ pub fn analyze_loop_sync(
         if w_task == read_task {
             continue; // same-thread assignment is ordinary program order
         }
-        // inferred causality in the original trace's index space
-        if let (Some(w_orig), Some(exit_orig)) = (to_original(w_idx), to_original(i)) {
-            edges.push((w_orig, exit_orig));
+        // inferred causality, kept in occurrence space: both records carry
+        // a stmt (checked above), so both are keyed
+        if let (Some(w_occ), Some(exit_occ)) = (keyed[w_idx], keyed[i]) {
+            edges.push((w_occ, exit_occ));
         }
         sync_write_stmts
             .entry(read_stmt)
@@ -164,38 +241,13 @@ pub fn analyze_loop_sync(
     }
 
     if edges.is_empty() && sync_write_stmts.is_empty() {
-        return (candidates, LoopSyncResult::default());
+        return None;
     }
-
-    hb.add_edges_and_rebuild(&edges);
-    let mut updated = find_candidates(hb);
-
-    // drop the polling idiom pairs themselves
-    let mut sync_pairs = BTreeSet::new();
-    for (read, writes) in &sync_write_stmts {
-        for w in writes {
-            let key = if *read <= *w {
-                (*read, *w)
-            } else {
-                (*w, *read)
-            };
-            sync_pairs.insert(key);
-        }
-    }
-    updated.retain(|c| !sync_pairs.contains(&c.static_pair));
-
-    let pruned = candidates
-        .static_pair_count()
-        .saturating_sub(updated.static_pair_count());
-    dcatch_obs::counter!("detect_loopsync_edges_total").add(edges.len() as u64);
-    dcatch_obs::counter!("detect_loopsync_pruned_total").add(pruned as u64);
-    let result = LoopSyncResult {
+    Some(SyncPlan {
         edges,
-        sync_pairs,
+        sync_write_stmts,
         focused_objects,
-        pruned_static_pairs: pruned,
-    };
-    (updated, result)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -291,9 +343,10 @@ fn for_each_retry_while(
 /// A run-stable identity for a dynamic record: task + op tag + static
 /// location. The `k`-th record with a given key corresponds across runs of
 /// the same seed because the focused run executes the identical schedule.
-type OccKey = (TaskId, &'static str, StmtId);
+pub type OccKey = (TaskId, &'static str, StmtId);
 
-fn occ_key(r: &dcatch_trace::Record) -> Option<OccKey> {
+/// The [`OccKey`] of one record, if it carries a static location.
+pub fn occ_key(r: &dcatch_trace::Record) -> Option<OccKey> {
     let stmt = r.stmt()?;
     Some((r.task, r.kind.tag(), stmt))
 }

@@ -1,0 +1,485 @@
+//! Streaming single-pass candidate detection.
+//!
+//! [`OnlineDetector`] is a [`TraceSink`]: plugged into
+//! `World::run_streamed`, it consumes every record *as the simulator
+//! emits it*, maintains the online happens-before frontier
+//! ([`FrontierEngine`]), keeps only a bounded window of still-raceable
+//! memory accesses, and emits candidate pairs incrementally. Resident
+//! memory is `O(window)` — independent of trace length — while the
+//! produced [`CandidateSet`] is exactly what the batch scan
+//! ([`find_candidates`](crate::find_candidates)) would report on the
+//! materialized trace.
+//!
+//! Exactness hinges on two facts:
+//!
+//! * **One-sided concurrency test.** Every HB edge points from an
+//!   earlier to a later record, so when record `j` arrives, an earlier
+//!   record `i` can only be *covered by* `j`, never the reverse. `i` and
+//!   `j` are concurrent iff `j`'s frontier clock does not reach `i`'s
+//!   `(chain, pos)` — one array lookup against the window entry.
+//! * **Provable retirement.** [`FrontierEngine::lower_bound`] returns a
+//!   clock every future record is guaranteed to cover. A window entry at
+//!   or below the bound can never be concurrent with anything yet to
+//!   come, so dropping it loses no candidate. Sweeps run every
+//!   [`SWEEP_EVERY`] records.
+//!
+//! A hard [`window cap`](OnlineOptions::window_cap) (the governor's
+//! memory-pressure rung) force-evicts the globally oldest entries when
+//! provable retirement cannot keep up; forced evictions are counted and
+//! surface as a pipeline degradation, because they *can* lose candidates.
+
+use std::collections::{btree_map::Entry, BTreeMap, BTreeSet, VecDeque};
+
+use dcatch_hb::{Arrival, FrontierEngine, FrontierOptions};
+use dcatch_model::StmtId;
+use dcatch_trace::{
+    format_record, CallStack, ExecCtx, MemLoc, MemSpace, Record, StreamControl, TaskId, TraceSink,
+    TraceStats,
+};
+
+use crate::candidates::{AccessSite, Candidate, CandidateSet};
+use crate::loopsync::{occ_key, OccKey};
+
+/// Sweep cadence: provable retirement (and gauge refresh) runs once per
+/// this many records.
+pub const SWEEP_EVERY: usize = 1024;
+
+/// Configuration for one streaming detection pass.
+#[derive(Debug, Clone)]
+pub struct OnlineOptions {
+    /// Hard cap on resident window entries; `None` relies on provable
+    /// retirement alone. When the cap overflows, the globally oldest
+    /// entries are force-evicted (lossy — counted in
+    /// [`StreamOutcome::records_forced`]).
+    pub window_cap: Option<usize>,
+    /// Provable-retirement cadence, in records (default [`SWEEP_EVERY`]).
+    pub sweep_every: usize,
+    /// Options for the underlying frontier engine.
+    pub engine: FrontierOptions,
+    /// Loop-sync second pass: occurrence-space `w* ⇒ LoopExit` edges
+    /// from [`plan_loop_sync`](crate::plan_loop_sync), fired by
+    /// occurrence counters as the matching records arrive.
+    pub sync_edges: Vec<((OccKey, usize), (OccKey, usize))>,
+    /// Loop-sync second pass: `Eserial` `(e1, e2)` pairs derived by the
+    /// first pass, replayed verbatim (native derivation should be off in
+    /// [`OnlineOptions::engine`] when this is non-empty).
+    pub inject_eserial: Vec<(u64, u64)>,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> Self {
+        OnlineOptions {
+            window_cap: None,
+            sweep_every: SWEEP_EVERY,
+            engine: FrontierOptions::default(),
+            sync_edges: Vec::new(),
+            inject_eserial: Vec::new(),
+        }
+    }
+}
+
+/// Everything one streaming pass produced.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The candidate set — identical to the batch scan's.
+    pub candidates: CandidateSet,
+    /// Record-type breakdown, folded incrementally.
+    pub stats: TraceStats,
+    /// Total trace size in the on-disk line format (what
+    /// `TraceSet::byte_size` would report), accumulated per record.
+    pub trace_bytes: usize,
+    /// Total records consumed.
+    pub records: usize,
+    /// Peak resident window entries.
+    pub window_peak: usize,
+    /// Window entries dropped by provable retirement.
+    pub records_retired: u64,
+    /// Window entries force-evicted by the hard cap (lossy).
+    pub records_forced: u64,
+    /// Peak resident-memory estimate (engine + window), in bytes,
+    /// sampled at sweep boundaries.
+    pub peak_bytes: usize,
+    /// `Eserial` pairs the engine derived natively (input for the
+    /// loop-sync second pass).
+    pub eserial_edges: Vec<(u64, u64)>,
+    /// Injected loop-sync edges that actually fired this pass.
+    pub sync_edges_fired: usize,
+}
+
+/// A still-raceable memory access held in the bounded window.
+#[derive(Debug)]
+struct WindowEntry {
+    chain: u32,
+    pos: u32,
+    index: usize,
+    task: TaskId,
+    ctx: ExecCtx,
+    is_write: bool,
+    loc: MemLoc,
+    stmt: StmtId,
+    stack: CallStack,
+}
+
+/// Per-static-pair aggregation in flight. `rank` is the batch scan's
+/// encounter order — `(group key, i, j)` — so the representative pair
+/// min-merges to exactly the one the batch scan keeps.
+#[derive(Debug)]
+struct PendAgg {
+    rank: (bool, String, usize, usize),
+    rep: (AccessSite, AccessSite),
+    stack_pairs: BTreeSet<(CallStack, CallStack)>,
+    dynamic_count: usize,
+}
+
+/// The streaming detector. Feed it one run via [`TraceSink`], then call
+/// [`finalize`](OnlineDetector::finalize).
+#[derive(Debug)]
+pub struct OnlineDetector {
+    engine: FrontierEngine,
+    window_cap: Option<usize>,
+    sweep_every: usize,
+    window: BTreeMap<(bool, String), VecDeque<WindowEntry>>,
+    window_len: usize,
+    window_peak: usize,
+    records_retired: u64,
+    records_forced: u64,
+    peak_bytes: usize,
+    agg: BTreeMap<(StmtId, StmtId), PendAgg>,
+    stats: TraceStats,
+    trace_bytes: usize,
+    records: usize,
+    // --- loop-sync second pass (occurrence-fired injected edges) ---
+    watched_keys: BTreeSet<OccKey>,
+    occ_counters: BTreeMap<OccKey, usize>,
+    watched_sources: BTreeSet<(OccKey, usize)>,
+    targets: BTreeMap<(OccKey, usize), Vec<(OccKey, usize)>>,
+    src_clocks: BTreeMap<(OccKey, usize), Vec<u32>>,
+    sync_fired: usize,
+}
+
+impl OnlineDetector {
+    /// Creates a detector for one streamed run.
+    pub fn new(opts: OnlineOptions) -> OnlineDetector {
+        let mut engine = FrontierEngine::new(opts.engine);
+        engine.inject_eserial(&opts.inject_eserial);
+        let mut watched_keys = BTreeSet::new();
+        let mut watched_sources = BTreeSet::new();
+        let mut targets: BTreeMap<(OccKey, usize), Vec<(OccKey, usize)>> = BTreeMap::new();
+        for (src, dst) in opts.sync_edges {
+            watched_keys.insert(src.0);
+            watched_keys.insert(dst.0);
+            watched_sources.insert(src);
+            targets.entry(dst).or_default().push(src);
+        }
+        OnlineDetector {
+            engine,
+            window_cap: opts.window_cap,
+            sweep_every: opts.sweep_every.max(1),
+            window: BTreeMap::new(),
+            window_len: 0,
+            window_peak: 0,
+            records_retired: 0,
+            records_forced: 0,
+            peak_bytes: 0,
+            agg: BTreeMap::new(),
+            stats: TraceStats::default(),
+            trace_bytes: 0,
+            records: 0,
+            watched_keys,
+            occ_counters: BTreeMap::new(),
+            watched_sources,
+            targets,
+            src_clocks: BTreeMap::new(),
+            sync_fired: 0,
+        }
+    }
+
+    /// Current resident window entries.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Peak resident window entries so far.
+    pub fn window_peak(&self) -> usize {
+        self.window_peak
+    }
+
+    /// Records consumed so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Rough resident-memory estimate (engine + window state), in bytes.
+    pub fn bytes(&self) -> usize {
+        let mut b = self.engine.bytes();
+        for ((_, obj), dq) in &self.window {
+            b += obj.len() + 64;
+            for e in dq {
+                b += 96 + e.loc.object.len() + e.stack.depth() * 16;
+            }
+        }
+        b
+    }
+
+    fn process(&mut self, r: &Record) {
+        let index = self.records;
+        self.records += 1;
+        self.stats.add(r);
+        self.trace_bytes += format_record(r).len() + 1;
+        let at = self.engine.record(r);
+        if !self.watched_keys.is_empty() {
+            self.fire_sync_edges(r, at);
+        }
+        if let (Some(loc), Some(stmt)) = (r.kind.mem_loc(), r.stmt()) {
+            self.scan_pair(r, at, index, loc.clone(), stmt);
+        }
+        if self.records % self.sweep_every == 0 {
+            self.sweep();
+        }
+    }
+
+    /// Occurrence-counter firing of injected loop-sync edges: a target
+    /// (`LoopExit`) joins its sources' snapshotted clocks; a source
+    /// (`w*`) snapshots its clock after arrival. An occurrence that never
+    /// arrives simply never fires — mirroring the batch path's dropped
+    /// `to_original` translations.
+    fn fire_sync_edges(&mut self, r: &Record, at: Arrival) {
+        let Some(k) = occ_key(r) else {
+            return;
+        };
+        if !self.watched_keys.contains(&k) {
+            return;
+        }
+        let ord = {
+            let c = self.occ_counters.entry(k).or_insert(0);
+            let this = *c;
+            *c += 1;
+            this
+        };
+        let id = (k, ord);
+        if let Some(srcs) = self.targets.get(&id) {
+            let joins: Vec<Vec<u32>> = srcs
+                .iter()
+                .filter_map(|s| self.src_clocks.get(s).cloned())
+                .collect();
+            for j in joins {
+                self.engine.join(at, &j);
+                self.sync_fired += 1;
+            }
+        }
+        if self.watched_sources.contains(&id) {
+            self.src_clocks
+                .insert(id, self.engine.clock(at.chain).to_vec());
+        }
+    }
+
+    /// Pairs the arriving access against every window entry of its
+    /// location group — the streaming transliteration of the batch
+    /// scan's inner loop — then enters the window itself.
+    fn scan_pair(&mut self, r: &Record, at: Arrival, index: usize, loc: MemLoc, stmt: StmtId) {
+        let is_write = r.kind.is_write();
+        let gk = (matches!(loc.space, MemSpace::Zk), loc.object.clone());
+        let clock_j = self.engine.clock(at.chain);
+        if let Some(dq) = self.window.get(&gk) {
+            for e in dq {
+                // same program-order group can never race
+                if e.task == r.task && e.ctx == r.ctx {
+                    continue;
+                }
+                if !e.is_write && !is_write {
+                    continue;
+                }
+                if !e.loc.conflicts_with(&loc) {
+                    continue;
+                }
+                // one-sided HB test: `e` arrived earlier, so the pair is
+                // concurrent iff this record's clock does not cover it
+                if clock_j.get(e.chain as usize).copied().unwrap_or(0) >= e.pos {
+                    continue;
+                }
+                let (si, sj) = (e.stmt, stmt);
+                let key = if si <= sj { (si, sj) } else { (sj, si) };
+                let swap = (si, e.index) > (sj, index);
+                let (sa, sb) = if swap {
+                    (&r.stack, &e.stack)
+                } else {
+                    (&e.stack, &r.stack)
+                };
+                let stack_pair = if sa <= sb {
+                    (sa.clone(), sb.clone())
+                } else {
+                    (sb.clone(), sa.clone())
+                };
+                let rank = (gk.0, gk.1.clone(), e.index, index);
+                let make_rep = || {
+                    let site_i = AccessSite {
+                        index: e.index,
+                        stmt: e.stmt,
+                        stack: e.stack.clone(),
+                        task: e.task,
+                        ctx: e.ctx,
+                        loc: e.loc.clone(),
+                        is_write: e.is_write,
+                    };
+                    let site_j = AccessSite {
+                        index,
+                        stmt,
+                        stack: r.stack.clone(),
+                        task: r.task,
+                        ctx: r.ctx,
+                        loc: loc.clone(),
+                        is_write,
+                    };
+                    if swap {
+                        (site_j, site_i)
+                    } else {
+                        (site_i, site_j)
+                    }
+                };
+                match self.agg.entry(key) {
+                    Entry::Occupied(mut o) => {
+                        let a = o.get_mut();
+                        a.dynamic_count += 1;
+                        a.stack_pairs.insert(stack_pair);
+                        // the batch scan's representative is the first
+                        // pair in its (group, i, j) encounter order
+                        if rank < a.rank {
+                            a.rank = rank;
+                            a.rep = make_rep();
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(PendAgg {
+                            rank,
+                            rep: make_rep(),
+                            stack_pairs: [stack_pair].into_iter().collect(),
+                            dynamic_count: 1,
+                        });
+                    }
+                }
+            }
+        }
+        self.window.entry(gk).or_default().push_back(WindowEntry {
+            chain: at.chain,
+            pos: at.pos,
+            index,
+            task: r.task,
+            ctx: r.ctx,
+            is_write,
+            loc,
+            stmt,
+            stack: r.stack.clone(),
+        });
+        self.window_len += 1;
+        if self.window_len > self.window_peak {
+            self.window_peak = self.window_len;
+        }
+        if let Some(cap) = self.window_cap {
+            while self.window_len > cap {
+                self.evict_oldest();
+            }
+        }
+    }
+
+    /// Force-evicts the globally oldest window entry (hard-cap overflow;
+    /// lossy).
+    fn evict_oldest(&mut self) {
+        let oldest = self
+            .window
+            .iter()
+            .filter_map(|(k, dq)| dq.front().map(|e| (e.index, k.clone())))
+            .min();
+        let Some((_, key)) = oldest else {
+            return;
+        };
+        let empty = {
+            let dq = self.window.get_mut(&key).expect("front() was Some");
+            dq.pop_front();
+            dq.is_empty()
+        };
+        if empty {
+            self.window.remove(&key);
+        }
+        self.window_len -= 1;
+        self.records_forced += 1;
+        dcatch_obs::counter!("stream_records_forced_total").inc();
+    }
+
+    /// Provable-retirement sweep plus gauge refresh.
+    fn sweep(&mut self) {
+        if let Some(bound) = self.engine.lower_bound() {
+            let mut dropped = 0usize;
+            self.window.retain(|_, dq| {
+                dq.retain(|e| {
+                    let covered = bound.get(e.chain as usize).copied().unwrap_or(0) >= e.pos;
+                    if covered {
+                        dropped += 1;
+                    }
+                    !covered
+                });
+                !dq.is_empty()
+            });
+            self.window_len -= dropped;
+            self.records_retired += dropped as u64;
+            dcatch_obs::counter!("stream_records_retired_total").add(dropped as u64);
+            self.engine.retire(&bound);
+        }
+        let bytes = self.bytes();
+        if bytes > self.peak_bytes {
+            self.peak_bytes = bytes;
+        }
+        dcatch_obs::gauge!("stream_window_entries").set(self.window_len as u64);
+        dcatch_obs::gauge!("stream_window_peak").set_max(self.window_peak as u64);
+    }
+
+    /// Closes the pass: materializes the candidate set (with the batch
+    /// scan's counters) and returns everything measured along the way.
+    pub fn finalize(mut self) -> StreamOutcome {
+        let _span = dcatch_obs::span!("detect.stream_finalize");
+        let bytes = self.bytes();
+        if bytes > self.peak_bytes {
+            self.peak_bytes = bytes;
+        }
+        dcatch_obs::gauge!("stream_window_entries").set(self.window_len as u64);
+        dcatch_obs::gauge!("stream_window_peak").set_max(self.window_peak as u64);
+        let candidates: CandidateSet = self
+            .agg
+            .into_iter()
+            .map(|(key, a)| Candidate {
+                static_pair: key,
+                stack_pairs: a.stack_pairs,
+                rep: a.rep,
+                dynamic_count: a.dynamic_count,
+            })
+            .collect();
+        dcatch_obs::counter!("detect_candidates_found_total")
+            .add(candidates.static_pair_count() as u64);
+        dcatch_obs::counter!("detect_stack_pairs_found_total")
+            .add(candidates.callstack_pair_count() as u64);
+        StreamOutcome {
+            candidates,
+            stats: self.stats,
+            trace_bytes: self.trace_bytes,
+            records: self.records,
+            window_peak: self.window_peak,
+            records_retired: self.records_retired,
+            records_forced: self.records_forced,
+            peak_bytes: self.peak_bytes,
+            eserial_edges: self.engine.eserial_edges().to_vec(),
+            sync_edges_fired: self.sync_fired,
+        }
+    }
+}
+
+impl TraceSink for OnlineDetector {
+    fn record(&mut self, record: &Record) {
+        self.process(record);
+    }
+
+    fn control(&mut self, control: StreamControl) {
+        self.engine.control(&control);
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,292 @@
+use dcatch_model::{Expr, FuncKind, Program, ProgramBuilder, Value};
+use dcatch_sim::{SimConfig, Topology, World};
+use dcatch_trace::{CollectSink, Record, StreamControl, TraceSink};
+
+use super::{Arrival, FrontierEngine, FrontierOptions};
+use crate::{HbAnalysis, HbConfig};
+
+/// Runs the online engine live off the simulator while also materializing
+/// the batch trace, storing every record's arrival and final clock.
+struct DualSink {
+    engine: FrontierEngine,
+    collect: CollectSink,
+    arrivals: Vec<Arrival>,
+    clocks: Vec<Vec<u32>>,
+    sweep_every: Option<usize>,
+    /// Window mirror: (chain, pos, record index) not yet retired.
+    live: Vec<(u32, u32, usize)>,
+    /// (record index, stream watermark at retirement).
+    retired: Vec<(usize, usize)>,
+}
+
+impl DualSink {
+    fn new(sweep_every: Option<usize>) -> DualSink {
+        DualSink {
+            engine: FrontierEngine::new(FrontierOptions::default()),
+            collect: CollectSink::default(),
+            arrivals: Vec::new(),
+            clocks: Vec::new(),
+            sweep_every,
+            live: Vec::new(),
+            retired: Vec::new(),
+        }
+    }
+
+    /// Online concurrency verdict for record pair `i < j`: `j` arrived
+    /// later, so they are concurrent iff `j`'s clock does not cover `i`.
+    fn concurrent(&self, i: usize, j: usize) -> bool {
+        let a = self.arrivals[i];
+        self.clocks[j].get(a.chain as usize).copied().unwrap_or(0) < a.pos
+    }
+}
+
+impl TraceSink for DualSink {
+    fn record(&mut self, record: &Record) {
+        let a = self.engine.record(record);
+        self.clocks.push(self.engine.clock(a.chain).to_vec());
+        self.live.push((a.chain, a.pos, self.arrivals.len()));
+        self.arrivals.push(a);
+        if let Some(n) = self.sweep_every {
+            if self.arrivals.len() % n == 0 {
+                if let Some(bound) = self.engine.lower_bound() {
+                    let watermark = self.arrivals.len();
+                    let mut dropped = Vec::new();
+                    self.live.retain(|&(c, p, idx)| {
+                        if bound.get(c as usize).copied().unwrap_or(0) >= p {
+                            dropped.push(idx);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    self.retired
+                        .extend(dropped.into_iter().map(|i| (i, watermark)));
+                    self.engine.retire(&bound);
+                }
+            }
+        }
+        self.collect.record(record);
+    }
+
+    fn control(&mut self, control: StreamControl) {
+        self.engine.control(&control);
+        self.collect.control(control);
+    }
+}
+
+fn stream(program: &Program, topo: &Topology, sweep_every: Option<usize>) -> DualSink {
+    let mut sink = DualSink::new(sweep_every);
+    let run = World::run_streamed(
+        program,
+        topo,
+        SimConfig::default().with_full_tracing(),
+        &mut sink,
+    )
+    .expect("run");
+    assert!(run.failures.is_empty(), "{:?}", run.failures);
+    sink
+}
+
+fn fork_join() -> (Program, Topology) {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.write("cell", Expr::val(0));
+        b.spawn("a", "racer", vec![]);
+        b.spawn_detached("racer", vec![]);
+        b.join(Expr::local("a"));
+        b.read("v", "cell");
+    });
+    pb.func("racer", &[], FuncKind::Regular, |b| {
+        b.write("cell", Expr::val(1));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n").entry("main", vec![]);
+    (p, topo)
+}
+
+fn event_queues() -> (Program, Topology) {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", &[], FuncKind::Regular, |b| {
+        b.enqueue("q", "h", vec![Expr::val(1)]);
+        b.enqueue("q", "h", vec![Expr::val(2)]);
+        b.enqueue("q", "h", vec![Expr::val(3)]);
+        b.enqueue("multi", "h", vec![Expr::val(4)]);
+        b.enqueue("multi", "h", vec![Expr::val(5)]);
+    });
+    pb.func("h", &["n"], FuncKind::EventHandler, |b| {
+        b.read("t", "cell");
+        b.write("cell", Expr::local("n"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("n")
+        .queue("q", 1)
+        .queue("multi", 2)
+        .entry("main", vec![]);
+    (p, topo)
+}
+
+fn rpc_pair() -> (Program, Topology) {
+    let mut pb = ProgramBuilder::new();
+    pb.func("client", &["srv"], FuncKind::Regular, |b| {
+        b.rpc("x", Expr::local("srv"), "put", vec![Expr::val(1)]);
+        b.rpc("y", Expr::local("srv"), "put", vec![Expr::val(2)]);
+        b.write("done", Expr::local("x"));
+    });
+    pb.func("put", &["n"], FuncKind::RpcHandler, |b| {
+        b.write("store", Expr::local("n"));
+        b.ret(Expr::local("n"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    let srv = {
+        let mut nb = topo.node("server");
+        nb.rpc_workers(2);
+        nb.id()
+    };
+    topo.node("client").entry("client", vec![Value::Node(srv)]);
+    (p, topo)
+}
+
+fn zk_watch() -> (Program, Topology) {
+    let mut pb = ProgramBuilder::new();
+    pb.func("writer", &[], FuncKind::Regular, |b| {
+        b.zk_create(Expr::val("/region/a"), Expr::val(1));
+        b.zk_set_data(Expr::val("/region/a"), Expr::val(2));
+    });
+    pb.func("on_change", &["path", "data"], FuncKind::ZkWatcher, |b| {
+        b.write("seen", Expr::local("data"));
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    topo.node("writer").entry("writer", vec![]);
+    let obs = topo.node("observer").id();
+    topo.watch(obs, "/region", "on_change");
+    (p, topo)
+}
+
+fn ping_pong(rounds: i64) -> (Program, Topology) {
+    let mut pb = ProgramBuilder::new();
+    pb.func("boot", &["peer"], FuncKind::Regular, |b| {
+        b.write("token", Expr::val(0));
+        b.socket_send(
+            Expr::local("peer"),
+            "ping",
+            vec![Expr::val(rounds), Expr::SelfNode],
+        );
+    });
+    pb.func("ping", &["n", "peer"], FuncKind::SocketHandler, |b| {
+        b.read("t", "token");
+        b.write("token", Expr::local("n"));
+        b.if_(Expr::local("n").gt(Expr::val(0)), |b| {
+            b.socket_send(
+                Expr::local("peer"),
+                "ping",
+                vec![Expr::local("n").sub(Expr::val(1)), Expr::SelfNode],
+            );
+        });
+    });
+    let p = pb.build().unwrap();
+    let mut topo = Topology::new();
+    let b_id = topo.node("b").id();
+    topo.node("a").entry("boot", vec![Value::Node(b_id)]);
+    (p, topo)
+}
+
+/// The one-sided online test must agree with the batch graph on *every*
+/// record pair, across every MTEP rule.
+#[test]
+fn clocks_match_batch_reachability() {
+    let cases: Vec<(&str, (Program, Topology))> = vec![
+        ("fork_join", fork_join()),
+        ("event_queues", event_queues()),
+        ("rpc_pair", rpc_pair()),
+        ("zk_watch", zk_watch()),
+        ("ping_pong", ping_pong(3)),
+    ];
+    for (name, (p, topo)) in cases {
+        let sink = stream(&p, &topo, None);
+        let n = sink.collect.trace.len();
+        assert!(n > 0, "{name}: empty trace");
+        let hb = HbAnalysis::build(sink.collect.trace.clone(), &HbConfig::default()).unwrap();
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(
+                    sink.concurrent(i, j),
+                    hb.concurrent(i, j),
+                    "{name}: pair ({i}, {j}) disagrees with the batch graph"
+                );
+            }
+        }
+    }
+}
+
+/// Retirement safety: a record the bound retires must be ordered (in the
+/// batch graph) before every record that arrives after the sweep — it can
+/// never form a race again. Also proves the state actually shrinks: the
+/// ping-pong chain retires records and recycles handler slots.
+#[test]
+fn retirement_only_drops_ordered_records() {
+    let (p, topo) = ping_pong(24);
+    let sink = stream(&p, &topo, Some(8));
+    let n = sink.collect.trace.len();
+    let hb = HbAnalysis::build(sink.collect.trace.clone(), &HbConfig::default()).unwrap();
+    assert!(
+        !sink.retired.is_empty(),
+        "the ping-pong chain must retire records"
+    );
+    for &(i, watermark) in &sink.retired {
+        for j in watermark..n {
+            assert!(
+                !hb.concurrent(i, j),
+                "retired record {i} still races with later record {j}"
+            );
+        }
+    }
+    // handler chains come and go: recycling must keep the slot count far
+    // below the number of program-order groups in the trace
+    let groups: std::collections::BTreeSet<_> = sink
+        .collect
+        .trace
+        .records()
+        .iter()
+        .map(|r| (r.task, r.ctx))
+        .collect();
+    assert!(
+        sink.engine.chains() < groups.len(),
+        "no slot was recycled: {} slots for {} groups",
+        sink.engine.chains(),
+        groups.len()
+    );
+}
+
+/// Exactness must survive retirement: verdicts taken at arrival time (the
+/// only ones streaming detection uses) agree with the batch graph even
+/// while the engine aggressively retires and recycles behind the window.
+#[test]
+fn verdicts_at_arrival_survive_retirement() {
+    let (p, topo) = ping_pong(16);
+    let sink = stream(&p, &topo, Some(4));
+    let hb = HbAnalysis::build(sink.collect.trace.clone(), &HbConfig::default()).unwrap();
+    // compare each record against every record still in the mirror window
+    // at its arrival — replay the window evolution offline
+    let mut window: Vec<usize> = Vec::new();
+    let mut retired_at: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    for &(i, wm) in &sink.retired {
+        retired_at.insert(i, wm);
+    }
+    for j in 0..sink.arrivals.len() {
+        for &i in &window {
+            assert_eq!(
+                sink.concurrent(i, j),
+                hb.concurrent(i, j),
+                "pair ({i}, {j}) disagrees under retirement"
+            );
+        }
+        window.push(j);
+        let wm = j + 1;
+        window.retain(|i| retired_at.get(i) != Some(&wm));
+    }
+}

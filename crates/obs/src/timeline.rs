@@ -296,8 +296,12 @@ pub struct TimelineSummary {
 
 /// Structurally validates a trace-event document: the `traceEvents` array
 /// exists, every event carries the required `ph`/`ts`/`pid`/`tid` fields,
-/// duration events carry `dur`, and every flow begin (`s`) pairs with
-/// exactly one flow end (`f`) of the same category and id.
+/// duration events carry `dur`, every flow begin (`s`) pairs with exactly
+/// one flow end (`f`) of the same category and id, and no counter track
+/// (`pid` + name) holds two samples at the same timestamp — overlapping
+/// samples are ambiguous in the viewer (it keeps whichever sorts last),
+/// and are what a counter emitted at an absolute time instead of its
+/// lane's origin produces.
 pub fn validate(doc: &Json) -> Result<TimelineSummary, String> {
     let events = doc
         .get("traceEvents")
@@ -305,6 +309,7 @@ pub fn validate(doc: &Json) -> Result<TimelineSummary, String> {
         .ok_or("missing `traceEvents` array")?;
     let mut begins: std::collections::BTreeMap<(String, u64), usize> = Default::default();
     let mut ends: std::collections::BTreeMap<(String, u64), usize> = Default::default();
+    let mut counter_samples: std::collections::BTreeSet<(u64, String, u64)> = Default::default();
     let mut summary = TimelineSummary {
         events: 0,
         flows: 0,
@@ -341,6 +346,14 @@ pub fn validate(doc: &Json) -> Result<TimelineSummary, String> {
             "C" => {
                 if !matches!(e.get("args"), Some(Json::Obj(a)) if !a.is_empty()) {
                     return Err(format!("event {i}: counter without samples"));
+                }
+                let pid = e.get("pid").and_then(Json::as_u64).unwrap_or(0);
+                let ts = e.get("ts").and_then(Json::as_u64).unwrap_or(0);
+                let name = e.get("name").and_then(Json::as_str).unwrap_or_default();
+                if !counter_samples.insert((pid, name.to_owned(), ts)) {
+                    return Err(format!(
+                        "event {i}: counter `{name}` overlaps itself on pid {pid} at ts {ts}"
+                    ));
                 }
             }
             "s" | "f" => {
@@ -478,5 +491,27 @@ mod tests {
             ])]),
         )]);
         assert!(validate(&dangling_flow).unwrap_err().contains("unmatched"));
+    }
+
+    /// Two samples of the same counter track at one timestamp are exactly
+    /// what a counter emitted at an absolute time (instead of its lane's
+    /// synthetic origin) produces — the viewer would silently keep one.
+    #[test]
+    fn validate_rejects_overlapping_counter_samples() {
+        let mut tl = Timeline::new();
+        tl.process(1, "lane");
+        tl.counter(1, "window", 0, &[("entries", 0)]);
+        tl.counter(1, "window", 0, &[("entries", 7)]);
+        let err = validate(&tl.to_json()).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+        // distinct timestamps, or the same timestamp on another pid or
+        // under another track name, are all fine
+        let mut ok = Timeline::new();
+        ok.process(1, "lane");
+        ok.counter(1, "window", 0, &[("entries", 0)]);
+        ok.counter(1, "window", 5, &[("entries", 7)]);
+        ok.counter(1, "retired", 0, &[("records", 0)]);
+        ok.counter(2, "window", 0, &[("entries", 0)]);
+        assert!(validate(&ok.to_json()).is_ok());
     }
 }

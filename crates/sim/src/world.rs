@@ -9,8 +9,9 @@ use dcatch_obs::rng::SmallRng;
 
 use dcatch_model::{BinOp, Expr, FuncId, LoopId, NodeId, Program, UnOp, Value};
 use dcatch_trace::{
-    CallStack, EventId, ExecCtx, HandlerKind, LockRef, MemLoc, MemSpace, MsgId, OpKind, QueueInfo,
-    Record, RpcId, TaskId, TraceSet, TracedFunctions, TracingMode,
+    CallStack, CauseKey, EventId, ExecCtx, HandlerKind, LockRef, MemLoc, MemSpace, MsgId, OpKind,
+    QueueInfo, Record, RpcId, StreamControl, TaskId, TraceSet, TraceSink, TracedFunctions,
+    TracingMode,
 };
 
 use crate::compile::{CompiledProgram, Op};
@@ -281,6 +282,9 @@ pub struct World<'g> {
     mem_samples_seen: u64,
 
     trace: TraceSet,
+    /// Streaming consumer: when present, records bypass `trace` and flow
+    /// into the sink as they are emitted (plus lifecycle controls).
+    sink: Option<&'g mut (dyn TraceSink + Send)>,
     failures: Vec<Failure>,
     logs: Vec<LogLine>,
     gate: &'g mut dyn Gate,
@@ -324,6 +328,21 @@ impl<'g> World<'g> {
         World::run_with_gate(program, topo, config, &mut gate)
     }
 
+    /// Runs `program` on `topo`, streaming every trace record and lifecycle
+    /// control into `sink` as it is emitted instead of materializing a
+    /// `TraceSet` (the returned result's trace holds only the queue/event
+    /// side tables). The sink is called synchronously from the step loop:
+    /// its `record` returning is the backpressure.
+    pub fn run_streamed(
+        program: &Program,
+        topo: &Topology,
+        config: SimConfig,
+        sink: &mut (dyn TraceSink + Send),
+    ) -> Result<RunResult, RunError> {
+        let mut gate = NoGate;
+        World::run_inner(program, topo, config, &mut gate, Some(sink))
+    }
+
     /// Runs `program` on `topo`, consulting `gate` before and after every
     /// statement (the triggering module's controller).
     pub fn run_with_gate(
@@ -331,6 +350,16 @@ impl<'g> World<'g> {
         topo: &Topology,
         config: SimConfig,
         gate: &'g mut dyn Gate,
+    ) -> Result<RunResult, RunError> {
+        World::run_inner(program, topo, config, gate, None)
+    }
+
+    fn run_inner(
+        program: &Program,
+        topo: &Topology,
+        config: SimConfig,
+        gate: &'g mut dyn Gate,
+        sink: Option<&'g mut (dyn TraceSink + Send)>,
     ) -> Result<RunResult, RunError> {
         let problems = topo.validate(program);
         if !problems.is_empty() {
@@ -369,6 +398,7 @@ impl<'g> World<'g> {
             faults_injected: 0,
             mem_samples_seen: 0,
             trace: TraceSet::new(),
+            sink,
             failures: Vec::new(),
             logs: Vec::new(),
             gate,
@@ -400,13 +430,17 @@ impl<'g> World<'g> {
         let i = node.index();
         for q in &nspec.queues {
             self.queues[i].insert(q.name.clone(), VecDeque::new());
-            self.trace.register_queue(
-                node,
-                q.name.clone(),
-                QueueInfo {
-                    consumers: q.consumers,
-                },
-            );
+            let info = QueueInfo {
+                consumers: q.consumers,
+            };
+            self.trace.register_queue(node, q.name.clone(), info);
+            if self.streaming() {
+                self.ctl(StreamControl::RegisterQueue {
+                    node,
+                    queue: q.name.clone(),
+                    info,
+                });
+            }
             for _ in 0..q.consumers {
                 self.new_task(
                     node,
@@ -438,6 +472,11 @@ impl<'g> World<'g> {
             let t = self.new_task(node, TaskKind::Entry, TaskState::Runnable, None);
             let frame = self.make_frame(fid, args.clone(), None, None);
             self.tasks[t].frames.push(frame);
+            // entry threads have no `ThreadCreate` cause announcing them:
+            // the sink must learn they exist before it retires anything
+            // their future records could still race with
+            let task = self.tasks[t].id;
+            self.ctl(StreamControl::TaskStarted { task });
         }
     }
 
@@ -524,8 +563,27 @@ impl<'g> World<'g> {
             stack,
         };
         self.seq += 1;
-        self.trace.push(rec);
+        match self.sink.as_mut() {
+            Some(s) => s.record(&rec),
+            None => self.trace.push(rec),
+        }
         counter!("sim_trace_records_total").inc();
+    }
+
+    /// Sends an out-of-band control to the streaming sink, if any.
+    fn ctl(&mut self, control: StreamControl) {
+        if !self.config.trace_enabled {
+            return;
+        }
+        if let Some(s) = self.sink.as_mut() {
+            s.control(control);
+        }
+    }
+
+    /// Whether the streaming sink (and tracing) is active, used to skip
+    /// building control payloads on the batch path.
+    fn streaming(&self) -> bool {
+        self.sink.is_some() && self.config.trace_enabled
     }
 
     /// Whether a memory access in the current top frame of `t` is traced,
@@ -595,6 +653,8 @@ impl<'g> World<'g> {
     fn kill(&mut self, t: usize, kind: RunFailureKind, msg: impl Into<String>) {
         self.fail(t, kind, msg);
         self.tasks[t].state = TaskState::Killed;
+        let (task, ctx) = (self.tasks[t].id, self.tasks[t].ctx);
+        self.ctl(StreamControl::ChainDone { task, ctx });
         self.release_locks_of(t);
         self.wake_joiners(t);
     }
@@ -841,7 +901,10 @@ impl<'g> World<'g> {
             stack: CallStack::default(),
         };
         self.seq += 1;
-        self.trace.push(rec);
+        match self.sink.as_mut() {
+            Some(s) => s.record(&rec),
+            None => self.trace.push(rec),
+        }
         counter!("sim_trace_records_total").inc();
     }
 
@@ -852,7 +915,10 @@ impl<'g> World<'g> {
 
     /// Puts `msg` on the network, applying any matching message faults.
     /// With an empty plan this is exactly `net.push` (no rng involved).
-    fn send(&mut self, from: NodeId, msg: Message) {
+    /// Returns how many copies were actually accepted (0 when a drop fault
+    /// consumed the message, 2 when duplicated) so streaming mode can tell
+    /// the sink how many deliveries the pending cause should wait for.
+    fn send(&mut self, from: NodeId, msg: Message) -> usize {
         let channel = match &msg {
             Message::RpcRequest { .. } => ChannelKind::RpcRequest,
             Message::RpcReply { .. } => ChannelKind::RpcReply,
@@ -900,6 +966,7 @@ impl<'g> World<'g> {
                 not_before,
             });
         }
+        copies
     }
 
     /// Applies every fault whose time has come: the chaos panic hook,
@@ -943,22 +1010,55 @@ impl<'g> World<'g> {
         self.count_fault();
         counter!("sim_node_crashes_total").inc();
         self.emit_node(node, OpKind::NodeCrash { node });
+        let mut controls = Vec::new();
         for t in &mut self.tasks {
             if t.node == node && !matches!(t.state, TaskState::Done | TaskState::Killed) {
                 t.state = TaskState::Crashed;
+                controls.push(StreamControl::ChainDone {
+                    task: t.id,
+                    ctx: t.ctx,
+                });
             }
         }
-        // the node loses all volatile state
+        // the node loses all volatile state; queued-but-undispatched work
+        // dies with it, so its pending causes are announced as dropped
         let i = node.index();
         self.heaps[i].clear();
         self.locks[i].clear();
         self.lock_waiters.retain(|(n, _), _| *n != node.0);
         for q in self.queues[i].values_mut() {
+            if self.sink.is_some() {
+                for pe in q.iter() {
+                    controls.push(StreamControl::CauseDropped {
+                        key: CauseKey::EventBegin(pe.event.0),
+                    });
+                }
+            }
             q.clear();
+        }
+        if self.sink.is_some() {
+            for pr in &self.rpc_pending[i] {
+                controls.push(StreamControl::CauseDropped {
+                    key: CauseKey::RpcBegin(pr.rpc.0),
+                });
+            }
+            for ps in &self.socket_pending[i] {
+                controls.push(StreamControl::CauseDropped {
+                    key: CauseKey::SocketRecv(ps.msg.0),
+                });
+            }
+            for pn in &self.notify_pending[i] {
+                controls.push(StreamControl::CauseDropped {
+                    key: CauseKey::ZkPushed(pn.path.clone(), pn.version),
+                });
+            }
         }
         self.rpc_pending[i].clear();
         self.socket_pending[i].clear();
         self.notify_pending[i].clear();
+        for c in controls {
+            self.ctl(c);
+        }
         if let Some(r) = c.restart_after {
             self.pending_restarts
                 .push((self.step.saturating_add(r), node));
@@ -1068,6 +1168,17 @@ impl<'g> World<'g> {
         };
         if self.crashed[target.index()] {
             counter!("sim_messages_dropped_total").inc();
+            if self.streaming() {
+                let key = match &msg {
+                    Message::RpcRequest { rpc, .. } => CauseKey::RpcBegin(rpc.0),
+                    Message::RpcReply { rpc, .. } => CauseKey::RpcJoin(rpc.0),
+                    Message::Socket { msg, .. } => CauseKey::SocketRecv(msg.0),
+                    Message::ZkNotify { path, version, .. } => {
+                        CauseKey::ZkPushed(path.clone(), *version)
+                    }
+                };
+                self.ctl(StreamControl::CauseDropped { key });
+            }
             return;
         }
         counter!("sim_messages_delivered_total").inc();
@@ -1099,6 +1210,13 @@ impl<'g> World<'g> {
                     task.state = TaskState::Runnable;
                     self.emit(caller, OpKind::RpcJoin { rpc });
                     counter!("sim_rpcs_completed_total").inc();
+                } else {
+                    // late reply after an RPC timeout (or a duplicated
+                    // reply): the caller no longer waits on this id, so
+                    // the pending `RpcEnd ⇒ RpcJoin` cause loses a copy
+                    self.ctl(StreamControl::CauseDropped {
+                        key: CauseKey::RpcJoin(rpc.0),
+                    });
                 }
             }
             Message::Socket {
@@ -1280,16 +1398,21 @@ impl<'g> World<'g> {
     /// The task's function body finished with `value`.
     fn task_body_finished(&mut self, t: usize, value: Value) {
         self.tasks[t].last_return = value.clone();
+        // the chain that is ending is (task, current ctx) — captured before
+        // worker arms reset their context back to Regular
+        let (task, ctx) = (self.tasks[t].id, self.tasks[t].ctx);
         match self.tasks[t].kind.clone() {
             TaskKind::Entry | TaskKind::Thread => {
                 self.emit(t, OpKind::ThreadEnd);
                 self.tasks[t].state = TaskState::Done;
+                self.ctl(StreamControl::ChainDone { task, ctx });
                 self.wake_joiners(t);
             }
             TaskKind::SocketWorker | TaskKind::WatcherWorker => {
                 self.tasks[t].job = None;
                 self.tasks[t].ctx = ExecCtx::Regular;
                 self.tasks[t].state = TaskState::Idle;
+                self.ctl(StreamControl::ChainDone { task, ctx });
             }
             TaskKind::EventWorker { .. } => {
                 if let Some(HandlerJob::Event { event }) = self.tasks[t].job.take() {
@@ -1297,15 +1420,23 @@ impl<'g> World<'g> {
                 }
                 self.tasks[t].ctx = ExecCtx::Regular;
                 self.tasks[t].state = TaskState::Idle;
+                self.ctl(StreamControl::ChainDone { task, ctx });
             }
             TaskKind::RpcWorker => {
                 if let Some(HandlerJob::Rpc { rpc, caller }) = self.tasks[t].job.take() {
                     self.emit(t, OpKind::RpcEnd { rpc });
                     let from = self.tasks[t].node;
-                    self.send(from, Message::RpcReply { rpc, caller, value });
+                    let copies = self.send(from, Message::RpcReply { rpc, caller, value });
+                    if self.streaming() {
+                        self.ctl(StreamControl::CauseFanout {
+                            key: CauseKey::RpcJoin(rpc.0),
+                            copies: copies as u32,
+                        });
+                    }
                 }
                 self.tasks[t].ctx = ExecCtx::Regular;
                 self.tasks[t].state = TaskState::Idle;
+                self.ctl(StreamControl::ChainDone { task, ctx });
             }
         }
     }
@@ -1768,8 +1899,17 @@ impl<'g> World<'g> {
                 }
                 let event = EventId(self.next_event);
                 self.next_event += 1;
-                self.emit(t, OpKind::EventCreate { event });
+                // register before emitting so a streaming sink knows the
+                // event's queue when the `EventCreate` record arrives
                 self.trace.register_event(event.0, node, queue.clone());
+                if self.streaming() {
+                    self.ctl(StreamControl::RegisterEvent {
+                        event: event.0,
+                        node,
+                        queue: queue.clone(),
+                    });
+                }
+                self.emit(t, OpKind::EventCreate { event });
                 self.queues[node.index()]
                     .get_mut(queue)
                     .expect("checked")
@@ -1855,7 +1995,7 @@ impl<'g> World<'g> {
                 counter!("sim_rpcs_issued_total").inc();
                 self.emit(t, OpKind::RpcCreate { rpc });
                 let from = self.tasks[t].node;
-                self.send(
+                let copies = self.send(
                     from,
                     Message::RpcRequest {
                         rpc,
@@ -1865,6 +2005,12 @@ impl<'g> World<'g> {
                         caller: t,
                     },
                 );
+                if self.streaming() {
+                    self.ctl(StreamControl::CauseFanout {
+                        key: CauseKey::RpcBegin(rpc.0),
+                        copies: copies as u32,
+                    });
+                }
                 self.tasks[t].rpc_ret_local = local.clone();
                 self.tasks[t].state = TaskState::BlockedRpc { rpc: rpc.0 };
                 self.tasks[t].blocked_at = self.step;
@@ -1889,7 +2035,7 @@ impl<'g> World<'g> {
                 self.next_msg += 1;
                 self.emit(t, OpKind::SocketSend { msg });
                 let from = self.tasks[t].node;
-                self.send(
+                let copies = self.send(
                     from,
                     Message::Socket {
                         msg,
@@ -1898,6 +2044,12 @@ impl<'g> World<'g> {
                         args: vals,
                     },
                 );
+                if self.streaming() {
+                    self.ctl(StreamControl::CauseFanout {
+                        key: CauseKey::SocketRecv(msg.0),
+                        copies: copies as u32,
+                    });
+                }
                 Flow::Next
             }
 
@@ -2063,6 +2215,7 @@ impl<'g> World<'g> {
             },
         );
         let from = self.tasks[t].node;
+        let mut copies = 0usize;
         for w in self.topo.watchers.clone() {
             if path.starts_with(&w.path_prefix) {
                 let handler = self
@@ -2072,7 +2225,7 @@ impl<'g> World<'g> {
                     .position(|f| f.name == w.handler)
                     .map(|i| FuncId(i as u32))
                     .expect("validated watcher");
-                self.send(
+                copies += self.send(
                     from,
                     Message::ZkNotify {
                         target: w.node,
@@ -2083,6 +2236,12 @@ impl<'g> World<'g> {
                     },
                 );
             }
+        }
+        if self.streaming() {
+            self.ctl(StreamControl::CauseFanout {
+                key: CauseKey::ZkPushed(path.to_owned(), version),
+                copies: copies as u32,
+            });
         }
     }
 }

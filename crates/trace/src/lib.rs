@@ -29,6 +29,7 @@ mod record;
 mod scope;
 mod set;
 mod stats;
+mod stream;
 
 pub use files::{read_per_task_files, write_per_task_files};
 pub use format::{format_record, parse_record, FormatError};
@@ -37,3 +38,4 @@ pub use record::{CallStack, OpKind, Record};
 pub use scope::{TracedFunctions, TracingMode};
 pub use set::{QueueInfo, TraceSet};
 pub use stats::TraceStats;
+pub use stream::{CauseKey, CollectSink, StreamControl, TraceSink};

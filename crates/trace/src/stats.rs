@@ -32,34 +32,38 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes the breakdown of `records`.
     pub fn of(records: &[Record]) -> TraceStats {
-        let mut s = TraceStats {
-            total: records.len(),
-            ..TraceStats::default()
-        };
+        let mut s = TraceStats::default();
         for r in records {
-            match &r.kind {
-                OpKind::MemRead { .. } | OpKind::MemWrite { .. } => s.mem += 1,
-                OpKind::RpcCreate { .. }
-                | OpKind::RpcBegin { .. }
-                | OpKind::RpcEnd { .. }
-                | OpKind::RpcJoin { .. } => s.rpc += 1,
-                OpKind::SocketSend { .. } | OpKind::SocketRecv { .. } => s.socket += 1,
-                OpKind::EventCreate { .. }
-                | OpKind::EventBegin { .. }
-                | OpKind::EventEnd { .. } => s.event += 1,
-                OpKind::ThreadCreate { .. }
-                | OpKind::ThreadBegin
-                | OpKind::ThreadEnd
-                | OpKind::ThreadJoin { .. } => s.thread += 1,
-                OpKind::LockAcquire { .. } | OpKind::LockRelease { .. } => s.lock += 1,
-                OpKind::ZkUpdate { .. } | OpKind::ZkPushed { .. } => s.zk += 1,
-                OpKind::LoopEnter { .. } | OpKind::LoopExit { .. } => s.loops += 1,
-                OpKind::NodeCrash { .. }
-                | OpKind::NodeRestart { .. }
-                | OpKind::RpcTimeout { .. } => s.faults += 1,
-            }
+            s.add(r);
         }
         s
+    }
+
+    /// Folds one record into the breakdown (the streaming-mode increment;
+    /// `of` is a fold of `add` over the whole slice).
+    pub fn add(&mut self, r: &Record) {
+        self.total += 1;
+        match &r.kind {
+            OpKind::MemRead { .. } | OpKind::MemWrite { .. } => self.mem += 1,
+            OpKind::RpcCreate { .. }
+            | OpKind::RpcBegin { .. }
+            | OpKind::RpcEnd { .. }
+            | OpKind::RpcJoin { .. } => self.rpc += 1,
+            OpKind::SocketSend { .. } | OpKind::SocketRecv { .. } => self.socket += 1,
+            OpKind::EventCreate { .. } | OpKind::EventBegin { .. } | OpKind::EventEnd { .. } => {
+                self.event += 1;
+            }
+            OpKind::ThreadCreate { .. }
+            | OpKind::ThreadBegin
+            | OpKind::ThreadEnd
+            | OpKind::ThreadJoin { .. } => self.thread += 1,
+            OpKind::LockAcquire { .. } | OpKind::LockRelease { .. } => self.lock += 1,
+            OpKind::ZkUpdate { .. } | OpKind::ZkPushed { .. } => self.zk += 1,
+            OpKind::LoopEnter { .. } | OpKind::LoopExit { .. } => self.loops += 1,
+            OpKind::NodeCrash { .. } | OpKind::NodeRestart { .. } | OpKind::RpcTimeout { .. } => {
+                self.faults += 1;
+            }
+        }
     }
 }
 

@@ -26,6 +26,13 @@
 # size is reported against the 1.15x target (timing is jittery at these
 # sizes, so a miss only warns).
 #
+# The `streaming` group is likewise gated within the current document
+# (its bytes are deterministic): at the largest size where both modes ran,
+# the online detector's peak resident bytes must undercut the offline
+# mode's materialized footprint (trace + reachability index) by >=8x, and
+# the online footprint must stay sublinear in the trace -- growing by at
+# most a quarter of the record-count growth across the online sweep.
+#
 # The `profile_overhead` group is likewise gated within the current
 # document: `--profile` only adds post-processing (the pipeline itself is
 # identical either way), so the *extra* cost it introduces — building the
@@ -64,6 +71,8 @@ NOISE_FLOOR_NS = 500_000  # sub-0.5ms entries are jitter-dominated: report only
 MEMORY_RATIO = 4.0  # clocks must beat the matrix by this factor at the top size
 TIME_RATIO = 1.15  # clocks build+query target at the smallest size (soft)
 PROFILE_RATIO = 1.05  # --profile may cost at most 5% on detect-all
+STREAM_MEMORY_RATIO = 8.0  # online must beat the offline footprint by this factor
+STREAM_SUBLINEAR = 4.0  # online bytes may grow at most 1/4 as fast as records
 GOVERNOR_RATIO = 1.03  # an idle governor may cost at most 3% on detect-all
 
 def entries(path):
@@ -148,6 +157,44 @@ if paired:
         f"  engines   reachability@{smallest}rec build+query: clocks "
         f"{c_mean / 1e6:.2f} ms vs matrix {m_mean / 1e6:.2f} ms ({t_ratio:.2f}x) — {verdict}"
     )
+
+# --- streaming window gate (current document only) ---
+stream = {}
+for (group, name), (mean, _mn, nbytes) in cur.items():
+    m = re.fullmatch(r"(online|offline)_(\d+)rec", name)
+    if group == "streaming" and m:
+        stream.setdefault(int(m.group(2)), {})[m.group(1)] = (mean, nbytes)
+stream_paired = {n: e for n, e in stream.items() if "online" in e and "offline" in e}
+if stream_paired:
+    largest = max(stream_paired)
+    off_bytes = stream_paired[largest]["offline"][1]
+    on_bytes = stream_paired[largest]["online"][1]
+    if off_bytes and on_bytes:
+        ratio = off_bytes / on_bytes
+        line = (
+            f"streaming@{largest}rec memory: online {on_bytes} vs "
+            f"offline {off_bytes} bytes ({ratio:.0f}x smaller)"
+        )
+        if ratio < STREAM_MEMORY_RATIO:
+            failed.append(line)
+            print(f"  STREAMING {line} — below the {STREAM_MEMORY_RATIO:.0f}x floor")
+        else:
+            print(f"  streaming {line}")
+online_sizes = sorted(n for n, e in stream.items() if "online" in e and e["online"][1])
+if len(online_sizes) >= 2:
+    lo, hi = online_sizes[0], online_sizes[-1]
+    size_ratio = hi / lo
+    bytes_ratio = stream[hi]["online"][1] / stream[lo]["online"][1]
+    line = (
+        f"streaming window: {stream[lo]['online'][1]} bytes at {lo}rec -> "
+        f"{stream[hi]['online'][1]} bytes at {hi}rec "
+        f"({bytes_ratio:.2f}x bytes over {size_ratio:.0f}x records)"
+    )
+    if bytes_ratio > size_ratio / STREAM_SUBLINEAR:
+        failed.append(line)
+        print(f"  STREAMING {line} — window is not sublinear in the trace")
+    else:
+        print(f"  streaming {line}")
 
 # --- --profile overhead gate (current document only) ---
 pipeline = cur.get(("detect_all", "jobs1"))

@@ -5,14 +5,21 @@
 #   scripts/check.sh          # fmt + clippy + build + test
 #                             # (DCATCH_SOAK=1 appends the fault soak)
 #   scripts/check.sh bench    # fast bench smoke run (1 warm-up + 3 samples
-#                             # per entry), refreshing BENCH_pipeline.json
-#                             # and BENCH_hbgraph.json in the repo root,
-#                             # then scripts/bench_compare.sh against the
+#                             # per entry), refreshing BENCH_pipeline.json,
+#                             # BENCH_hbgraph.json, and BENCH_streaming.json
+#                             # in the repo root, then
+#                             # scripts/bench_compare.sh against the
 #                             # committed *_baseline.json files
 #   scripts/check.sh soak     # seeded fault soak only: the fault_soak test
 #                             # suite plus `dcatch faults all` across a
 #                             # fixed seed set — every run must complete or
 #                             # degrade to a classified failure
+#   scripts/check.sh stream   # streaming-mode smoke: one benchmark run
+#                             # offline and with --streaming in separate
+#                             # processes must agree byte-for-byte on every
+#                             # detection-relevant report section, and the
+#                             # streambench subcommand must find its
+#                             # planted racer pair in bounded memory
 #   scripts/check.sh degrade  # resource-governor smoke: `detect all` under
 #                             # a deliberately tiny memory budget must exit
 #                             # 0 with a clean schema-v6 report (no errors,
@@ -92,13 +99,13 @@ fi
 if [[ "${1:-}" == "degrade" ]]; then
     dd_dir="$(mktemp -d)"
     trap 'rm -rf "$dd_dir"' EXIT
-    echo "== governor degrade smoke (2 KiB budget, schema v6, exit 0) =="
+    echo "== governor degrade smoke (2 KiB budget, schema v7, exit 0) =="
     cargo run --offline --release -q --bin dcatch -- detect all --mem-budget 2k \
         --json --scrub-timings --out "$dd_dir/degrade.json"
     python3 - "$dd_dir/degrade.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema_version"] == 6, f"schema {doc['schema_version']}"
+assert doc["schema_version"] == 7, f"schema {doc['schema_version']}"
 steps = doc["degradations"]["governor_degradations"]
 assert steps > 0, "a 2 KiB budget must force degradation steps"
 for b in doc["benchmarks"]:
@@ -113,6 +120,55 @@ PY
         --scrub-timings --resume "$dd_dir/journal.jsonl" --out "$dd_dir/r2.json"
     cmp "$dd_dir/r1.json" "$dd_dir/r2.json"
     echo "Degrade smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "stream" ]]; then
+    st_dir="$(mktemp -d)"
+    trap 'rm -rf "$st_dir"' EXIT
+    echo "== streaming equivalence smoke (offline vs --streaming, cross-process) =="
+    cargo run --offline --release -q --bin dcatch -- detect MR-3274 --no-trigger \
+        --json --scrub-timings --out "$st_dir/offline.json"
+    cargo run --offline --release -q --bin dcatch -- detect MR-3274 --no-trigger \
+        --json --scrub-timings --streaming --out "$st_dir/streaming.json"
+    # project the detection-relevant subset of each report (stage timings,
+    # span shapes, metrics, and the streaming section itself legitimately
+    # differ between modes) and byte-compare
+    project() {
+        python3 - "$1" "$2" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+keep = ["id", "trace_stats", "trace_bytes", "candidates", "ta_static",
+        "ta_stacks", "sp_static", "sp_stacks", "lp_static", "lp_stacks",
+        "verdicts", "detected_known_bug"]
+out = [{k: b.get(k) for k in keep} for b in doc["benchmarks"]]
+json.dump(out, open(sys.argv[2], "w"), indent=1, sort_keys=True)
+PY
+    }
+    project "$st_dir/offline.json" "$st_dir/offline.proj.json"
+    project "$st_dir/streaming.json" "$st_dir/streaming.proj.json"
+    cmp "$st_dir/offline.proj.json" "$st_dir/streaming.proj.json"
+    python3 - "$st_dir/streaming.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+s = doc["benchmarks"][0]["streaming"]
+assert s is not None, "streaming run must report window stats"
+assert s["records_forced"] == 0, f"unbounded window force-evicted: {s}"
+print(f"streaming section ok: {s}")
+PY
+    echo "== streambench smoke (planted pair in bounded memory) =="
+    cargo run --offline --release -q --bin dcatch -- streambench --records 60000 \
+        --json --out "$st_dir/sb.json"
+    python3 - "$st_dir/sb.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["planted_pair_found"], f"planted pair missing: {doc}"
+assert doc["records_forced"] == 0, f"force-evicted: {doc}"
+assert doc["window_peak"] * 20 < doc["records"], (
+    f"window {doc['window_peak']} not bounded against {doc['records']} records")
+print(f"streambench ok: {doc['records']} records, window peak {doc['window_peak']}")
+PY
+    echo "Streaming smoke passed."
     exit 0
 fi
 
@@ -131,6 +187,7 @@ if [[ "${1:-}" == "bench" ]]; then
     }
     smoke pipeline
     smoke hbgraph
+    smoke streaming
     echo "Bench smoke passed."
     exit 0
 fi
